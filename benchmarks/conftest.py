@@ -1,0 +1,50 @@
+"""Shared machinery for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+representative scale, prints the same rows/series the paper reports,
+and archives the rendered output under ``benchmarks/results/`` so the
+numbers survive output capturing.  Timings (via pytest-benchmark) track
+the cost of each experiment end-to-end.
+
+Run::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knob: REPRO_BENCH_SCALE environment variable (default 0.5) trades
+fidelity for speed; 1.0 reproduces the full synthetic budgets.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.5) -> float:
+    """Benchmark workload scale from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The shared experiment configuration for benchmark runs."""
+    return ExperimentConfig(scale=bench_scale(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, rendered: str) -> None:
+    """Print the experiment output and archive it."""
+    print()
+    print(rendered)
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")

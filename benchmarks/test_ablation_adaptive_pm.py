@@ -1,0 +1,28 @@
+"""Ablation: measured-power-feedback PM vs the static model on galgel.
+
+The paper's own suggestion for its single enforcement failure: "PM could
+adapt model coefficients on the fly ... to address workloads like galgel
+that are difficult to predict with the static model" (§IV-A2).
+"""
+
+from conftest import publish
+
+from repro.experiments.ablations import adaptive_pm_ablation, render_rows
+
+
+def test_ablation_adaptive_pm(benchmark, results_dir):
+    outcome = benchmark.pedantic(adaptive_pm_ablation, rounds=1, iterations=1)
+    publish(
+        results_dir,
+        "ablation_adaptive_pm",
+        render_rows(
+            "Ablation -- adaptive vs static-model PM (galgel @ 13.5 W)",
+            list(outcome.values()),
+        ),
+    )
+    static = outcome["static_model"]
+    adaptive = outcome["adaptive"]
+    # Feedback eliminates (or at least halves) galgel's violations.
+    assert adaptive.violation_fraction <= max(
+        0.01, 0.5 * static.violation_fraction
+    )

@@ -1,0 +1,25 @@
+"""Ablation: the 0.5 W estimate guardband (DESIGN.md §5)."""
+
+from conftest import publish
+
+from repro.experiments.ablations import guardband_ablation, render_rows
+
+
+def test_ablation_guardband(benchmark, results_dir):
+    rows = benchmark.pedantic(guardband_ablation, rounds=1, iterations=1)
+    publish(
+        results_dir,
+        "ablation_guardband",
+        render_rows("Ablation -- PM guardband (galgel @ 13.5 W)", rows),
+    )
+    by_label = {row.label: row for row in rows}
+    # No guardband -> most violations; 1 W -> fewest (but slowest).
+    assert (
+        by_label["guardband=0.0W"].violation_fraction
+        >= by_label["guardband=1.0W"].violation_fraction
+    )
+    # Larger guardbands never run faster.
+    assert (
+        by_label["guardband=1.0W"].duration_s
+        >= by_label["guardband=0.0W"].duration_s - 1e-6
+    )

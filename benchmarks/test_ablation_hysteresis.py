@@ -1,0 +1,32 @@
+"""Ablation: PM's 100 ms raise-hysteresis window (DESIGN.md §5).
+
+The paper lowers immediately but waits 100 ms of consecutive agreeing
+samples before raising, "to minimize power-limit violations during
+difficult-to-predict periods".  This sweep quantifies that trade on
+galgel at the 13.5 W limit.
+"""
+
+from conftest import publish
+
+from repro.experiments.ablations import hysteresis_ablation, render_rows
+
+
+def test_ablation_raise_window(benchmark, results_dir):
+    rows = benchmark.pedantic(hysteresis_ablation, rounds=1, iterations=1)
+    publish(
+        results_dir,
+        "ablation_hysteresis",
+        render_rows("Ablation -- PM raise window (galgel @ 13.5 W)", rows),
+    )
+    by_window = {row.label: row for row in rows}
+    # An instant-raise PM chases bursts into more violations than the
+    # paper's 10-sample window.
+    assert (
+        by_window["raise_window=1"].violation_fraction
+        >= by_window["raise_window=10"].violation_fraction
+    )
+    # The patient window costs throughput: longer windows, longer runs.
+    assert (
+        by_window["raise_window=20"].duration_s
+        >= by_window["raise_window=1"].duration_s - 1e-6
+    )

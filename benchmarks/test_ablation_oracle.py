@@ -1,0 +1,71 @@
+"""Ablation: model headroom -- PM vs an oracle with perfect power knowledge.
+
+Decomposes PM's performance gap at the 13.5 W limit into (a) the price
+of the limit itself (oracle vs unconstrained) and (b) the price of
+*estimating* power from one counter plus a guardband (PM vs oracle).
+"""
+
+from conftest import publish
+
+from repro.analysis.report import TextTable
+from repro.core.controller import PowerManagementController
+from repro.core.governors.oracle import OraclePerformanceMaximizer
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.experiments.runner import trained_power_model
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.registry import get_workload
+
+LIMIT_W = 13.5
+WORKLOADS = ("crafty", "ammp", "gap")
+
+
+def run_all():
+    model = trained_power_model(seed=0)
+    out = {}
+    for name in WORKLOADS:
+        workload = get_workload(name).scaled(0.5)
+        rows = {}
+        for label, factory in (
+            ("unconstrained", lambda m: FixedFrequency(m.config.table, 2000.0)),
+            ("oracle", lambda m: OraclePerformanceMaximizer(
+                m.config.table, m.oracle_power, LIMIT_W)),
+            ("pm", lambda m: PerformanceMaximizer(
+                m.config.table, model, LIMIT_W)),
+        ):
+            machine = Machine(MachineConfig(seed=0))
+            controller = PowerManagementController(machine, factory(machine))
+            rows[label] = controller.run(workload)
+        out[name] = rows
+    return out
+
+
+def test_ablation_oracle_headroom(benchmark, results_dir):
+    outcome = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = TextTable(
+        ["workload", "policy", "time s", "mean W", "viol frac"]
+    )
+    for name, rows in outcome.items():
+        for label, result in rows.items():
+            table.add_row(
+                name, label, result.duration_s, result.mean_power_w,
+                result.violation_fraction(LIMIT_W)
+                if label != "unconstrained" else "-",
+            )
+    publish(
+        results_dir, "ablation_oracle",
+        f"Ablation -- model headroom at {LIMIT_W} W "
+        "(unconstrained / oracle / PM)\n" + table.render(),
+    )
+    for name, rows in outcome.items():
+        # The oracle respects the limit with zero margin...
+        assert rows["oracle"].violation_fraction(LIMIT_W) < 0.03, name
+        # ...and bounds PM from above: the counter model plus guardband
+        # can only lose performance relative to perfect knowledge.
+        assert (
+            rows["oracle"].duration_s <= rows["pm"].duration_s * 1.02
+        ), name
+        # The limit itself costs something on these power-hungry loads.
+        assert (
+            rows["unconstrained"].duration_s < rows["oracle"].duration_s
+        ), name

@@ -1,0 +1,75 @@
+"""Ablation: the thermal-guard extension under a hot-chassis scenario.
+
+Extension beyond the paper (its testbed held temperature constant):
+with a weak-cooling package and temperature-dependent leakage, sustained
+near-peak power overheats an unguarded machine, while a ThermalGuard
+wrapped around the full-speed policy rides the junction limit at a
+quantified performance cost.
+"""
+
+from conftest import publish
+
+from repro.analysis.report import TextTable
+from repro.core.controller import PowerManagementController
+from repro.core.governors.thermal_guard import ThermalGuard
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.platform.leakage import LeakageModel
+from repro.platform.machine import Machine, MachineConfig
+from repro.platform.power import PowerModelConstants
+from repro.platform.thermal import ThermalModel
+from repro.workloads.registry import get_workload
+
+T_LIMIT_C = 95.0
+
+
+def hot_config(seed=0):
+    return MachineConfig(
+        seed=seed,
+        power=PowerModelConstants(
+            leakage=LeakageModel(0.81, theta_per_kelvin=0.012,
+                                 t_ref_celsius=60.0)
+        ),
+        thermal=ThermalModel(
+            r_th_c_per_w=2.6, c_th_j_per_c=0.6, t_ambient_c=60.0,
+            t_junction_max_c=T_LIMIT_C,
+        ),
+    )
+
+
+def run_comparison():
+    workload = get_workload("crafty").scaled(2.5)
+    out = {}
+    machine = Machine(hot_config())
+    controller = PowerManagementController(
+        machine, FixedFrequency(machine.config.table, 2000.0)
+    )
+    out["unguarded"] = controller.run(workload)
+
+    machine = Machine(hot_config())
+    guard = ThermalGuard(
+        FixedFrequency(machine.config.table, 2000.0),
+        lambda: machine.thermal.temperature_c,
+        t_limit_c=T_LIMIT_C,
+    )
+    out["guarded"] = PowerManagementController(machine, guard).run(workload)
+    return out
+
+
+def test_ablation_thermal_guard(benchmark, results_dir):
+    outcome = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = TextTable(["policy", "time s", "Tmax C", "mean W"])
+    maxima = {}
+    for label, result in outcome.items():
+        tmax = max(r.temperature_c for r in result.trace)
+        maxima[label] = tmax
+        table.add_row(label, result.duration_s, tmax, result.mean_power_w)
+    publish(
+        results_dir, "ablation_thermal",
+        f"Ablation -- thermal guard at Tj <= {T_LIMIT_C} C "
+        "(hot chassis, leaky silicon)\n" + table.render(),
+    )
+    assert maxima["unguarded"] > T_LIMIT_C          # the hazard is real
+    assert maxima["guarded"] <= T_LIMIT_C + 0.5     # the guard holds it
+    assert (
+        outcome["guarded"].duration_s > outcome["unguarded"].duration_s
+    )  # and the cost is visible

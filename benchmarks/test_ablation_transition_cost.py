@@ -1,0 +1,58 @@
+"""Ablation: sensitivity to the p-state transition dead time.
+
+The paper relies on "low-overhead DVFS-based p-state change mechanisms";
+Enhanced SpeedStep relocks in ~10 us.  This sweep re-runs PM on the
+phase-heavy ammp with transition costs from 10 us to 5 ms to show how
+slow actuators would erode the dynamic-clocking benefit (and why the
+methodology's feasibility claim depends on fast p-state changes).
+"""
+
+from conftest import publish
+
+from repro.analysis.report import TextTable
+from repro.core.controller import PowerManagementController
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.experiments.runner import trained_power_model
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.registry import get_workload
+
+LIMIT_W = 14.5
+RELOCK_COSTS_S = (10e-6, 100e-6, 1e-3, 5e-3)
+
+
+def run_sweep():
+    model = trained_power_model(seed=0)
+    workload = get_workload("ammp").scaled(1.0)
+    out = {}
+    for relock in RELOCK_COSTS_S:
+        machine = Machine(MachineConfig(seed=0))
+        machine.dvfs.pll_relock_s = relock
+        governor = PerformanceMaximizer(machine.config.table, model, LIMIT_W)
+        controller = PowerManagementController(machine, governor)
+        result = controller.run(workload)
+        out[relock] = (result, machine.dvfs.total_dead_time_s)
+    return out
+
+
+def test_ablation_transition_cost(benchmark, results_dir):
+    outcome = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["PLL relock", "time s", "transitions", "dead time ms", "viol frac"]
+    )
+    for relock, (result, dead) in outcome.items():
+        table.add_row(
+            f"{relock * 1e6:.0f} us", result.duration_s, result.transitions,
+            dead * 1e3, result.violation_fraction(LIMIT_W),
+        )
+    publish(
+        results_dir, "ablation_transition_cost",
+        f"Ablation -- p-state transition cost (ammp under PM @ {LIMIT_W} W)\n"
+        + table.render(),
+    )
+    fast = outcome[10e-6][0]
+    slow = outcome[5e-3][0]
+    # The 10 us actuator makes transitions effectively free; a 5 ms one
+    # visibly stretches the run.
+    assert slow.duration_s > fast.duration_s
+    # Dead time scales with the per-transition cost.
+    assert outcome[5e-3][1] > outcome[10e-6][1] * 50

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table IV (power limit -> static frequency)."""
+
+from conftest import publish
+
+from repro.experiments import table4_static_freq
+from repro.experiments.runner import ExperimentConfig
+
+
+def test_table4_static_frequencies(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: table4_static_freq.run(ExperimentConfig()),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "table4", table4_static_freq.render(result))
+    assert result.matches_paper

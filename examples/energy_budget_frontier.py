@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a PowerSave floor from the energy/performance frontier.
+
+A battery-constrained deployment must pick how much performance to
+trade for runtime.  This example sweeps PS floors over three workloads
+with very different characters -- swim (memory-bound), gap (in-between)
+and sixtrack (core-bound) -- and prints the resulting frontier, plus
+the Demand-Based Switching comparison that motivates PS in the paper
+(§IV-B: utilization-based policies save nothing at full load).
+"""
+
+from repro import (
+    DemandBasedSwitching,
+    FixedFrequency,
+    Machine,
+    MachineConfig,
+    PerformanceModel,
+    PowerManagementController,
+    PowerSave,
+    get_workload,
+)
+
+WORKLOADS = ("swim", "gap", "sixtrack")
+FLOORS = (0.9, 0.8, 0.6, 0.4)
+
+
+def run(name, make_governor, scale=0.4):
+    machine = Machine(MachineConfig(seed=0))
+    governor = make_governor(machine.config.table)
+    controller = PowerManagementController(machine, governor)
+    return controller.run(get_workload(name).scaled(scale))
+
+
+def main() -> None:
+    model = PerformanceModel.paper_primary()
+    print(f"{'workload':>9} {'policy':>12} {'perf kept':>10} {'energy saved':>13}")
+    print("-" * 48)
+    for name in WORKLOADS:
+        baseline = run(name, lambda t: FixedFrequency(t, 2000.0))
+        for floor in FLOORS:
+            ps = run(name, lambda t, f=floor: PowerSave(t, model, f))
+            perf = baseline.duration_s / ps.duration_s
+            saved = 1 - ps.measured_energy_j / baseline.measured_energy_j
+            print(f"{name:>9} {f'PS {floor:.0%}':>12} {perf:10.2f} {saved:13.1%}")
+        dbs = run(name, lambda t: DemandBasedSwitching(t))
+        perf = baseline.duration_s / dbs.duration_s
+        saved = 1 - dbs.measured_energy_j / baseline.measured_energy_j
+        print(f"{name:>9} {'DBS':>12} {perf:10.2f} {saved:13.1%}")
+        print("-" * 48)
+    print(
+        "\ntakeaways: DBS saves ~nothing at full load; PS converts the\n"
+        "performance allowance into savings, and memory-bound workloads\n"
+        "(swim) give most of the energy back for almost no performance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Walkthrough: deriving the paper's models from scratch (paper §III).
+
+Reruns the full model-construction pipeline on the simulated platform:
+
+1. characterize the 12 MS-Loops microbenchmarks at all 8 p-states
+   through the two-counter PMU and the sense-resistor power rig;
+2. fit the per-p-state linear power model (regenerating Table II);
+3. optimize the Eq. 3 performance model's threshold/exponent and show
+   the exponent error curve whose local minima (the paper found 0.81
+   and 0.59) drive the art/mcf floor-violation story of §IV-B2.
+"""
+
+from repro.core.models.power import PAPER_TABLE_II
+from repro.core.models.training import (
+    collect_training_data,
+    exponent_error_curve,
+    fit_performance_model,
+    fit_power_model,
+    local_minima,
+    summarize_points,
+)
+
+
+def main() -> None:
+    print("characterizing MS-Loops (4 loops x 3 footprints x 8 p-states,"
+          " two counter passes each)...")
+    points = collect_training_data()
+    spread = summarize_points(points)
+    print(f"collected {len(points)} training points; "
+          f"DPC spread at 2 GHz: {spread[2000.0][0]:.2f}..{spread[2000.0][1]:.2f}\n")
+
+    model = fit_power_model(points)
+    print("Table II -- fitted vs paper:")
+    print(f"{'MHz':>6} {'alpha':>7} {'paper':>7} {'beta':>7} {'paper':>7}")
+    for freq in model.frequencies_mhz:
+        c = model.coefficients(freq)
+        p = PAPER_TABLE_II[freq]
+        print(f"{freq:6.0f} {c.alpha:7.2f} {p.alpha:7.2f} "
+              f"{c.beta:7.2f} {p.beta:7.2f}")
+
+    print("\noptimizing the Eq. 3 performance model...")
+    perf = fit_performance_model(points)
+    print(f"fitted: threshold={perf.dcu_threshold:.2f}, "
+          f"exponent={perf.memory_exponent:.2f} "
+          "(paper: threshold 1.21, exponent 0.81 / 0.59)")
+
+    curve = exponent_error_curve(points)
+    minima = local_minima(curve)
+    print(f"exponent error-curve local minima at threshold 1.21: "
+          f"{[round(m, 2) for m in minima]}")
+    coarse = curve[::7]
+    print("error curve (exponent: mean rel. error):")
+    print("  " + "  ".join(f"{e:.2f}:{err:.3f}" for e, err in coarse))
+
+
+if __name__ == "__main__":
+    main()

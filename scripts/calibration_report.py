@@ -1,0 +1,98 @@
+"""Developer calibration report: per-workload behaviour vs paper targets.
+
+Run: python scripts/calibration_report.py
+
+Prints, for every workload, the counter signature at 2 GHz, ground-truth
+power, the true throughput ratios at lower p-states, the paper's
+performance-model classification, and the PS frequency the paper's model
+(exponent 0.81 / 0.59) would choose at an 80% floor -- plus the implied
+true performance reduction there.  Used to tune workload profiles so the
+paper's stories hold (only art/mcf violate PS floors; crafty/perlbmk top
+power; FMA-256KB worst-case microbenchmark, Table III crossovers).
+"""
+
+from repro.acpi import pentium_m_755_table
+from repro.platform.pipeline import resolve_rates
+from repro.platform.power import ground_truth_power
+from repro.platform.caches import PENTIUM_M_755_TIMING as T
+from repro.workloads.registry import default_registry
+
+TABLE_III = {600: 3.86, 800: 5.21, 1000: 6.56, 1200: 8.16,
+             1400: 10.16, 1600: 12.46, 1800: 15.29, 2000: 17.78}
+
+reg = default_registry()
+tbl = pentium_m_755_table()
+freqs = [2000, 1800, 1600, 1400, 1200, 1000, 800, 600]
+ps = {f: tbl.by_frequency(f) for f in freqs}
+
+
+def workload_row(w):
+    # instruction-weighted aggregate over phases
+    total = sum(p.instructions for p in w.phases)
+    out = {}
+    for f in freqs:
+        ips = dpc = ipc = dcu = pwr = 0.0
+        t = 0.0
+        for p in w.phases:
+            r = resolve_rates(p, ps[f], T)
+            wgt = p.instructions / total
+            tw = p.instructions / r.ips
+            t += tw
+        # time-weighted means
+        for p in w.phases:
+            r = resolve_rates(p, ps[f], T)
+            tw = (p.instructions / r.ips) / t
+            dpc += r.dpc * tw
+            ipc += r.ipc * tw
+            dcu += r.events.dcu_miss_outstanding * tw
+            pwr += ground_truth_power(ps[f], r.events) * tw
+        out[f] = dict(time=t, dpc=dpc, ipc=ipc, dcu=dcu, pwr=pwr,
+                      ips=total / t)
+    return out
+
+
+def ps_choice(dcu_ipc, exponent):
+    """Frequency the paper's PS picks at an 80% floor from 2 GHz."""
+    if dcu_ipc < 1.21:
+        # core class: throughput ratio = f'/2000
+        for f in reversed(freqs):
+            if f / 2000 >= 0.8:
+                return f
+        return 2000
+    for f in reversed(freqs):
+        if (f / 2000) ** (1 - exponent) >= 0.8:
+            return f
+    return 2000
+
+
+print(f"{'name':16} {'DPC':>5} {'IPC':>5} {'DCU/I':>6} {'cls':>4} "
+      f"{'P@2G':>6} {'r18':>6} {'r16':>6} {'r12':>6} {'r08':>6} {'r06':>6} "
+      f"{'PS81':>5} {'red%':>6} {'PS59':>5} {'red%':>6}")
+for name in reg.names:
+    w = reg.get(name)
+    rows = workload_row(w)
+    r20 = rows[2000]
+    dcu_ipc = r20["dcu"] / r20["ipc"]
+    cls = "mem" if dcu_ipc >= 1.21 else "core"
+    ratios = {f: r20["time"] / rows[f]["time"] for f in freqs}
+    f81 = ps_choice(dcu_ipc, 0.81)
+    f59 = ps_choice(dcu_ipc, 0.59)
+    red81 = (1 - ratios[f81]) * 100
+    red59 = (1 - ratios[f59]) * 100
+    flag = " *VIOL*" if red81 > 20.5 and w.category != "microbenchmark" else ""
+    print(f"{name:16} {r20['dpc']:5.2f} {r20['ipc']:5.2f} {dcu_ipc:6.2f} "
+          f"{cls:>4} {r20['pwr']:6.2f} "
+          f"{ratios[1800]:6.3f} {ratios[1600]:6.3f} {ratios[1200]:6.3f} "
+          f"{ratios[800]:6.3f} {ratios[600]:6.3f} "
+          f"{f81:5d} {red81:6.1f} {f59:5d} {red59:6.1f}{flag}")
+
+print("\nFMA-256KB vs paper Table III:")
+w = reg.get("FMA-256KB")
+rows = workload_row(w)
+for f in freqs:
+    print(f"  {f:5d} MHz: model {rows[f]['pwr']:6.2f} W   paper {TABLE_III[f]:6.2f} W")
+
+print("\nStatic-frequency (Table IV) check using modelled FMA-256KB power:")
+for limit in [17.5, 16.5, 15.5, 14.5, 13.5, 12.5, 11.5, 10.5]:
+    static = max((f for f in freqs if rows[f]["pwr"] <= limit), default=600)
+    print(f"  limit {limit:5.1f} W -> {static} MHz")

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The authoritative metadata lives in pyproject.toml; this file exists so
+that environments without the `wheel` package (where PEP 660 editable
+installs fail) can still do `pip install -e . --no-use-pep517`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""ACPI-style processor performance state (p-state) definitions.
+
+The paper drives power management exclusively through ACPI-defined
+p-states (voltage/frequency pairs) of a Pentium M 755.  This subpackage
+provides the p-state objects and the canonical Dothan table from the
+paper's Table II.
+"""
+
+from repro.acpi.pstates import (
+    PState,
+    PStateTable,
+    PENTIUM_M_755_PSTATES,
+    pentium_m_755_table,
+)
+
+__all__ = [
+    "PState",
+    "PStateTable",
+    "PENTIUM_M_755_PSTATES",
+    "pentium_m_755_table",
+]

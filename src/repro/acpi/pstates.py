@@ -1,0 +1,204 @@
+"""ACPI p-state objects and the Pentium M 755 p-state table.
+
+A p-state is a (frequency, voltage) operating point.  The canonical table
+for the paper's platform -- an Intel Pentium M 755 "Dothan" with Enhanced
+SpeedStep -- is the frequency/voltage column of the paper's Table II:
+
+    ========  =======
+    f (MHz)   V (V)
+    ========  =======
+    600       0.998
+    800       1.052
+    1000      1.100
+    1200      1.148
+    1400      1.196
+    1600      1.244
+    1800      1.292
+    2000      1.340
+    ========  =======
+
+P-states are indexed the ACPI way: **P0 is the highest-performance state**
+(2000 MHz here) and the index increases as frequency drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import PStateError
+from repro.units import mhz_to_ghz
+
+
+@dataclass(frozen=True, order=True)
+class PState:
+    """One ACPI processor performance state (voltage/frequency pair).
+
+    Ordering is by ``(frequency_mhz, voltage)`` so that ``max(states)``
+    yields the fastest state.
+    """
+
+    frequency_mhz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise PStateError(f"non-positive frequency: {self.frequency_mhz}")
+        if self.voltage <= 0:
+            raise PStateError(f"non-positive voltage: {self.voltage}")
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Core frequency in GHz."""
+        return mhz_to_ghz(self.frequency_mhz)
+
+    @property
+    def v2f(self) -> float:
+        """The CMOS dynamic-power scale factor ``V^2 * f`` (f in GHz).
+
+        Dynamic power is ``alpha * C * V^2 * f`` (paper Eq. 1); this
+        property is the p-state-dependent part of that product.
+        """
+        return self.voltage**2 * self.frequency_ghz
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.frequency_mhz:.0f}MHz@{self.voltage:.3f}V"
+
+
+class PStateTable:
+    """An ordered collection of p-states for one processor.
+
+    The table stores states sorted by *descending* frequency so that index
+    0 is P0 (fastest), matching ACPI convention.  It offers the lookups the
+    governors need: next state up/down, highest state under a frequency,
+    and nearest state to a requested frequency.
+    """
+
+    def __init__(self, states: Sequence[PState]):
+        if not states:
+            raise PStateError("p-state table must contain at least one state")
+        ordered = sorted(states, key=lambda s: s.frequency_mhz, reverse=True)
+        freqs = [s.frequency_mhz for s in ordered]
+        if len(set(freqs)) != len(freqs):
+            raise PStateError(f"duplicate frequencies in p-state table: {freqs}")
+        for faster, slower in zip(ordered, ordered[1:]):
+            if faster.voltage < slower.voltage:
+                raise PStateError(
+                    "voltage must be non-decreasing with frequency: "
+                    f"{slower} vs {faster}"
+                )
+        self._states: tuple[PState, ...] = tuple(ordered)
+        self._by_freq = {s.frequency_mhz: s for s in ordered}
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[PState]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> PState:
+        return self._states[index]
+
+    def __contains__(self, state: PState) -> bool:
+        return state in self._states
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PStateTable):
+            return NotImplemented
+        return self._states == other._states
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(s) for s in self._states)
+        return f"PStateTable([{inner}])"
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def fastest(self) -> PState:
+        """P0: the highest-frequency state."""
+        return self._states[0]
+
+    @property
+    def slowest(self) -> PState:
+        """Pn: the lowest-frequency state."""
+        return self._states[-1]
+
+    @property
+    def frequencies_mhz(self) -> tuple[float, ...]:
+        """All frequencies, descending (P0 first)."""
+        return tuple(s.frequency_mhz for s in self._states)
+
+    def index_of(self, state: PState) -> int:
+        """ACPI index of ``state`` (0 is fastest)."""
+        try:
+            return self._states.index(state)
+        except ValueError:
+            raise PStateError(f"{state} is not in this table") from None
+
+    def by_frequency(self, frequency_mhz: float) -> PState:
+        """Exact-frequency lookup."""
+        try:
+            return self._by_freq[frequency_mhz]
+        except KeyError:
+            raise PStateError(
+                f"no p-state at {frequency_mhz} MHz; "
+                f"available: {sorted(self._by_freq)}"
+            ) from None
+
+    def nearest(self, frequency_mhz: float) -> PState:
+        """The state whose frequency is closest to ``frequency_mhz``."""
+        return min(
+            self._states, key=lambda s: abs(s.frequency_mhz - frequency_mhz)
+        )
+
+    def highest_not_above(self, frequency_mhz: float) -> PState:
+        """Fastest state with frequency <= ``frequency_mhz``.
+
+        This implements the static-clocking rule of the paper's Table IV:
+        for a power limit, the static frequency is the fastest p-state whose
+        worst-case power fits under the limit, found by frequency capping.
+        Falls back to the slowest state when every state is above the cap.
+        """
+        for state in self._states:
+            if state.frequency_mhz <= frequency_mhz:
+                return state
+        return self.slowest
+
+    def step_down(self, state: PState, steps: int = 1) -> PState:
+        """Return the state ``steps`` positions slower, clamped at Pn."""
+        if steps < 0:
+            raise PStateError(f"steps must be non-negative, got {steps}")
+        idx = min(self.index_of(state) + steps, len(self._states) - 1)
+        return self._states[idx]
+
+    def step_up(self, state: PState, steps: int = 1) -> PState:
+        """Return the state ``steps`` positions faster, clamped at P0."""
+        if steps < 0:
+            raise PStateError(f"steps must be non-negative, got {steps}")
+        idx = max(self.index_of(state) - steps, 0)
+        return self._states[idx]
+
+    def ascending(self) -> tuple[PState, ...]:
+        """States sorted by ascending frequency (Pn first)."""
+        return tuple(reversed(self._states))
+
+
+#: The Pentium M 755 (Dothan) Enhanced SpeedStep operating points from the
+#: paper's Table II.
+PENTIUM_M_755_PSTATES: tuple[PState, ...] = (
+    PState(600.0, 0.998),
+    PState(800.0, 1.052),
+    PState(1000.0, 1.100),
+    PState(1200.0, 1.148),
+    PState(1400.0, 1.196),
+    PState(1600.0, 1.244),
+    PState(1800.0, 1.292),
+    PState(2000.0, 1.340),
+)
+
+
+def pentium_m_755_table() -> PStateTable:
+    """A fresh :class:`PStateTable` with the Pentium M 755 states."""
+    return PStateTable(PENTIUM_M_755_PSTATES)

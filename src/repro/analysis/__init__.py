@@ -1,0 +1,18 @@
+"""Analysis utilities: time-series statistics and text report rendering."""
+
+from repro.analysis.stats import (
+    moving_average,
+    median,
+    summarize,
+    SeriesSummary,
+)
+from repro.analysis.report import TextTable, format_series
+
+__all__ = [
+    "moving_average",
+    "median",
+    "summarize",
+    "SeriesSummary",
+    "TextTable",
+    "format_series",
+]

@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; :class:`TextTable` keeps that output aligned and
+consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+
+class TextTable:
+    """Minimal fixed-width table builder."""
+
+    def __init__(self, headers: Sequence[str]):
+        if not headers:
+            raise ExperimentError("table needs at least one column")
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified (floats get 3 decimals)."""
+        if len(cells) != len(self._headers):
+            raise ExperimentError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self._headers)} columns"
+            )
+        self._rows.append([self._format(c) for c in cells])
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """The table as an aligned multi-line string."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = "  ".join(
+            h.ljust(widths[i]) for i, h in enumerate(self._headers)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def format_series(
+    pairs: Iterable[tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 40,
+) -> str:
+    """Render an (x, y) series as text, downsampling long series.
+
+    Used for the trace figures (Figs. 5/8): the bench output shows the
+    series shape without dumping thousands of samples.
+    """
+    points = list(pairs)
+    if not points:
+        return f"{x_label}/{y_label}: (empty)"
+    step = max(1, len(points) // max_points)
+    sampled = points[::step]
+    body = "  ".join(f"{x:.2f}:{y:.1f}" for x, y in sampled)
+    return f"{x_label} -> {y_label} [{len(points)} pts]: {body}"

@@ -1,0 +1,69 @@
+"""Small statistics helpers used by experiments and tests.
+
+Nothing here is exotic -- the paper's analysis needs moving averages
+(the 100 ms power window), medians (the SPEC 3-run protocol) and simple
+series summaries.  They are implemented once, tested once, and shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+def moving_average(values: Sequence[float], window: int) -> list[float]:
+    """Trailing moving average; output has ``len(values)-window+1`` points."""
+    if window <= 0:
+        raise ExperimentError("window must be positive")
+    if window > len(values):
+        return []
+    out: list[float] = []
+    acc = 0.0
+    for i, value in enumerate(values):
+        acc += value
+        if i >= window:
+            acc -= values[i - window]
+        if i >= window - 1:
+            out.append(acc / window)
+    return out
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (lower-middle for even lengths, matching the run protocol)."""
+    if not values:
+        raise ExperimentError("median of empty sequence")
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary of a series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p95: float
+
+    @property
+    def spread(self) -> float:
+        """max - min (the paper's Fig. 1 power-variation headline)."""
+        return self.maximum - self.minimum
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Build a :class:`SeriesSummary` for a non-empty series."""
+    if not values:
+        raise ExperimentError("cannot summarize an empty series")
+    ordered = sorted(values)
+    p95_index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+    return SeriesSummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p95=ordered[p95_index],
+    )

@@ -1,0 +1,324 @@
+"""Command-line interface: ``repro-power`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``list``
+    Show every available workload with its category.
+``run``
+    Run one workload under a governor and print a summary (optionally
+    exporting the per-tick trace as CSV).
+``train``
+    Re-derive the power/performance models from MS-Loops and print the
+    Table II comparison.
+``experiment``
+    Regenerate one of the paper's tables/figures by id (e.g. ``fig7``,
+    ``table4``) and print the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Callable, Mapping
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.core.controller import PowerManagementController, RunResult
+from repro.core.governors.adaptive_pm import AdaptivePerformanceMaximizer
+from repro.core.governors.demand_based import DemandBasedSwitching
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.governors.powersave import PowerSave
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.power import LinearPowerModel, PAPER_TABLE_II
+from repro.errors import ReproError
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.registry import default_registry
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description=(
+            "Application-aware power management (IISWC'06 reproduction) "
+            "on a simulated Pentium M 755."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    run = sub.add_parser("run", help="run a workload under a governor")
+    run.add_argument("workload", help="workload name (see 'list')")
+    run.add_argument(
+        "--governor",
+        choices=("pm", "ps", "fixed", "dbs", "adaptive-pm", "edp"),
+        default="pm",
+    )
+    run.add_argument(
+        "--limit", type=float, default=14.5,
+        help="PM power limit in watts (default 14.5)",
+    )
+    run.add_argument(
+        "--floor", type=float, default=0.8,
+        help="PS performance floor fraction (default 0.8)",
+    )
+    run.add_argument(
+        "--frequency", type=float, default=2000.0,
+        help="fixed-governor frequency in MHz (default 2000)",
+    )
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--model", metavar="FILE.json",
+        help="load a saved power model instead of training",
+    )
+    run.add_argument(
+        "--use-paper-model", action="store_true",
+        help="use the published Table II coefficients instead of "
+        "training on MS-Loops",
+    )
+    run.add_argument(
+        "--trace", metavar="FILE.csv",
+        help="export the per-tick trace as CSV",
+    )
+
+    train = sub.add_parser(
+        "train", help="train the models on MS-Loops and compare to Table II"
+    )
+    train.add_argument(
+        "--save", metavar="FILE.json",
+        help="persist the fitted power model as JSON",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "id",
+        choices=sorted(_EXPERIMENTS),
+        help="which table/figure to regenerate",
+    )
+    experiment.add_argument("--scale", type=float, default=None)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument(
+        "--output", default="reproduction_report.md",
+        help="output path (default reproduction_report.md)",
+    )
+    report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--only", nargs="*", default=None,
+        help="restrict to experiments whose module name contains any of "
+        "these substrings",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    registry = default_registry()
+    print(f"{'name':18} {'category':15} description")
+    print("-" * 78)
+    for workload in sorted(registry, key=lambda w: (w.category, w.name)):
+        description = workload.description.split(".")[0][:44]
+        print(f"{workload.name:18} {workload.category:15} {description}")
+    return 0
+
+
+def _resolve_power_model(args) -> LinearPowerModel:
+    if getattr(args, "model", None):
+        from repro.core.models.persistence import power_model_from_json
+
+        with open(args.model) as handle:
+            return power_model_from_json(handle.read())
+    if args.use_paper_model:
+        return LinearPowerModel.paper_model()
+    return _trained_model(args.seed)
+
+
+def _make_governor(args, table):
+    if args.governor == "pm":
+        return PerformanceMaximizer(table, _resolve_power_model(args), args.limit)
+    if args.governor == "adaptive-pm":
+        return AdaptivePerformanceMaximizer(
+            table, _resolve_power_model(args), args.limit
+        )
+    if args.governor == "ps":
+        return PowerSave(table, PerformanceModel.paper_primary(), args.floor)
+    if args.governor == "dbs":
+        return DemandBasedSwitching(table)
+    if args.governor == "edp":
+        from repro.core.governors.energy_efficiency import (
+            EnergyDelayOptimizer,
+        )
+
+        return EnergyDelayOptimizer(
+            table, _resolve_power_model(args), PerformanceModel.paper_primary()
+        )
+    return FixedFrequency(table, args.frequency)
+
+
+def _trained_model(seed: int) -> LinearPowerModel:
+    from repro.experiments.runner import trained_power_model
+
+    print("training power model on MS-Loops...", file=sys.stderr)
+    return trained_power_model(seed=seed)
+
+
+def _cmd_run(args) -> int:
+    workload = default_registry().get(args.workload).scaled(args.scale)
+    machine = Machine(MachineConfig(seed=args.seed))
+    governor = _make_governor(args, machine.config.table)
+    controller = PowerManagementController(
+        machine, governor, keep_trace=bool(args.trace)
+    )
+    result = controller.run(workload)
+    _print_summary(result, args)
+    if args.trace:
+        _export_trace(result, args.trace)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _print_summary(result: RunResult, args) -> None:
+    print(f"workload     : {result.workload}")
+    print(f"governor     : {result.governor}")
+    print(f"time         : {result.duration_s:.3f} s")
+    print(f"instructions : {result.instructions / 1e9:.2f} G "
+          f"({result.ips / 1e9:.2f} G/s)")
+    print(f"mean power   : {result.mean_power_w:.2f} W")
+    print(f"energy       : {result.measured_energy_j:.2f} J")
+    print(f"transitions  : {result.transitions}")
+    residency = ", ".join(
+        f"{freq:.0f} MHz: {seconds:.2f}s"
+        for freq, seconds in sorted(result.residency_s.items())
+    )
+    print(f"residency    : {residency}")
+    if args.governor in ("pm", "adaptive-pm"):
+        violation = result.violation_fraction(args.limit)
+        print(f"violations   : {violation:.1%} of 100 ms windows over "
+              f"{args.limit} W")
+
+
+def _export_trace(result: RunResult, path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["time_s", "frequency_mhz", "measured_power_w", "true_power_w",
+             "instructions"]
+        )
+        for row in result.trace:
+            writer.writerow(
+                [f"{row.time_s:.4f}", f"{row.frequency_mhz:.0f}",
+                 f"{row.measured_power_w:.3f}", f"{row.true_power_w:.3f}",
+                 f"{row.instructions:.0f}"]
+            )
+
+
+def _cmd_train(args) -> int:
+    from repro.core.models.training import (
+        collect_training_data,
+        exponent_error_curve,
+        fit_performance_model,
+        fit_power_model,
+        local_minima,
+    )
+
+    points = collect_training_data()
+    model = fit_power_model(points)
+    print("Table II (fitted vs paper):")
+    for freq in model.frequencies_mhz:
+        c = model.coefficients(freq)
+        p = PAPER_TABLE_II[freq]
+        print(f"  {freq:6.0f} MHz  alpha {c.alpha:5.2f} (paper {p.alpha:5.2f})"
+              f"  beta {c.beta:6.2f} (paper {p.beta:6.2f})")
+    perf = fit_performance_model(points)
+    print(f"performance model: threshold {perf.dcu_threshold:.2f}, "
+          f"exponent {perf.memory_exponent:.2f} (paper: 1.21 / 0.81)")
+    minima = local_minima(exponent_error_curve(points))
+    print(f"exponent local minima at threshold 1.21: "
+          f"{[round(m, 2) for m in minima]}")
+    if args.save:
+        from repro.core.models.persistence import power_model_to_json
+
+        with open(args.save, "w") as handle:
+            handle.write(power_model_to_json(model))
+        print(f"power model saved to {args.save}")
+    return 0
+
+
+def _experiment_runner(module_name: str) -> Callable[[float | None], str]:
+    def run_it(scale: float | None) -> str:
+        import importlib
+
+        from repro.experiments.runner import ExperimentConfig
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        config = ExperimentConfig(scale=scale) if scale else None
+        return module.render(module.run(config))
+
+    return run_it
+
+
+_EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
+    "fig1": _experiment_runner("fig1_power_variation"),
+    "fig2": _experiment_runner("fig2_pstate_impact"),
+    "fig5": _experiment_runner("fig5_pm_trace"),
+    "fig6": _experiment_runner("fig6_perf_vs_limit"),
+    "fig7": _experiment_runner("fig7_pm_speedup"),
+    "fig8": _experiment_runner("fig8_ps_trace"),
+    "fig9": _experiment_runner("fig9_ps_suite"),
+    "fig10": _experiment_runner("fig10_ps_energy"),
+    "fig11": _experiment_runner("fig11_ps_perf"),
+    "table2": _experiment_runner("table2_power_model"),
+    "table3": _experiment_runner("table3_worst_case"),
+    "table4": _experiment_runner("table4_static_freq"),
+    "accuracy": _experiment_runner("model_accuracy"),
+    "characterization": _experiment_runner("characterization"),
+    "hierarchy": _experiment_runner("hierarchy_probe"),
+}
+
+
+def _cmd_experiment(args) -> int:
+    print(_EXPERIMENTS[args.id](args.scale))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report_all import generate
+
+    text = generate(
+        default_scale=args.scale, seed=args.seed, sections=args.only
+    )
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "train":
+            return _cmd_train(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,229 @@
+"""The Monitor -> Estimate -> Control run loop (paper Fig. 3).
+
+:class:`PowerManagementController` wires a machine, a power meter, a
+counter sampler and a governor into the paper's 10 ms loop:
+
+* each tick the machine executes 10 ms of the workload,
+* the sampler turns the PMU deltas into per-cycle rates,
+* the governor picks the next p-state (estimation happens inside it),
+* the SpeedStep driver actuates the change (charged as dead time by the
+  machine on the next tick).
+
+The controller also delivers scheduled constraint changes (the paper's
+runtime signals), feeds measured power back to adaptive governors, and
+returns a :class:`RunResult` with everything the experiments need:
+measured power samples, per-tick trace, residency and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.acpi.pstates import PState
+from repro.core.governors.base import Governor
+from repro.core.limits import ConstraintSchedule
+from repro.core.sampling import CounterSampler, MultiplexedCounterSampler
+from repro.errors import ExperimentError
+from repro.measurement.power_meter import PowerMeter, PowerSample
+from repro.platform.machine import Machine
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """Per-tick trace entry (timestamps are tick-end, like the meter)."""
+
+    time_s: float
+    frequency_mhz: float
+    measured_power_w: float
+    true_power_w: float
+    instructions: float
+    rates: dict
+    #: Clock-modulation duty in effect (1.0 unless a throttling governor
+    #: is driving the T-states).
+    duty: float = 1.0
+    #: Junction temperature (None on isothermal machines).
+    temperature_c: float | None = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, governor) run.
+
+    All energies follow the paper's accounting: measured energy is the
+    sum over 10 ms samples of sample power x interval (§IV-B2).
+    """
+
+    workload: str
+    governor: str
+    duration_s: float
+    instructions: float
+    measured_energy_j: float
+    true_energy_j: float
+    samples: tuple[PowerSample, ...]
+    trace: tuple[TraceRow, ...]
+    residency_s: Dict[float, float] = field(default_factory=dict)
+    transitions: int = 0
+
+    @property
+    def mean_power_w(self) -> float:
+        """Measured mean power over the run."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.measured_energy_j / self.duration_s
+
+    @property
+    def ips(self) -> float:
+        """Achieved instructions per second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.instructions / self.duration_s
+
+    def moving_average_power(self, window: int = 10) -> tuple[tuple[float, float], ...]:
+        """Measured power averaged over ``window`` samples (paper: 10).
+
+        This is the series the paper uses to judge PM's limit adherence
+        ("moving window of ten, 10 ms samples", §IV-A1).
+        """
+        if window <= 0:
+            raise ExperimentError("window must be positive")
+        values = [s.watts for s in self.samples]
+        out: list[tuple[float, float]] = []
+        acc = 0.0
+        for i, sample in enumerate(self.samples):
+            acc += values[i]
+            if i >= window:
+                acc -= values[i - window]
+            if i >= window - 1:
+                out.append((sample.time_s, acc / window))
+        return tuple(out)
+
+    def violation_fraction(self, limit_w: float, window: int = 10) -> float:
+        """Fraction of run time the windowed power exceeds ``limit_w``."""
+        series = self.moving_average_power(window)
+        if not series:
+            return 0.0
+        over = sum(1 for _, watts in series if watts > limit_w + 1e-9)
+        return over / len(series)
+
+
+class PowerManagementController:
+    """Drives one governor over one workload at the 10 ms cadence."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        governor: Governor,
+        meter: PowerMeter | None = None,
+        keep_trace: bool = True,
+    ):
+        self.machine = machine
+        self.governor = governor
+        self.meter = (
+            meter
+            if meter is not None
+            else PowerMeter(
+                interval_s=machine.config.tick_s,
+                rng=np.random.default_rng(machine.config.seed + 1001),
+            )
+        )
+        machine.add_power_sink(self.meter.accumulate)
+        self._keep_trace = keep_trace
+
+    def run(
+        self,
+        workload: Workload,
+        initial_pstate: PState | None = None,
+        schedule: ConstraintSchedule | None = None,
+        max_seconds: float = 600.0,
+    ) -> RunResult:
+        """Run ``workload`` to completion under the governor."""
+        machine = self.machine
+        governor = self.governor
+        governor.reset()
+        start = initial_pstate if initial_pstate is not None else machine.config.table.fastest
+        machine.load(workload, initial_pstate=start)
+        # Governors needing more events than the two counters declare
+        # event_groups and get a multiplexed sampler (one group per tick).
+        groups = getattr(governor, "event_groups", None)
+        if groups:
+            sampler = MultiplexedCounterSampler(machine.pmu, groups)
+        else:
+            sampler = CounterSampler(machine.pmu, governor.events)
+        sampler.start()
+        self.meter.mark(f"{workload.name}:start")
+
+        delivered = 0
+        residency: Dict[float, float] = {}
+        trace: List[TraceRow] = []
+        instructions = 0.0
+        true_energy = 0.0
+        sample_index = len(self.meter.samples)
+
+        while not machine.finished:
+            if machine.now_s > max_seconds:
+                raise ExperimentError(
+                    f"{workload.name} under {governor.name} exceeded "
+                    f"{max_seconds}s of simulated time"
+                )
+            if schedule is not None:
+                for change in schedule.due(machine.now_s, delivered):
+                    change.apply(governor)
+                    delivered += 1
+
+            record = machine.step()
+            counter_sample = sampler.sample(record.duration_s)
+            instructions += record.instructions
+            true_energy += record.energy_j
+            freq = record.pstate.frequency_mhz
+            residency[freq] = residency.get(freq, 0.0) + record.duration_s
+
+            # Measured-power feedback for adaptive governors (the meter
+            # closes samples in lockstep with 10 ms ticks).
+            measured = (
+                self.meter.samples[-1].watts
+                if len(self.meter.samples) > sample_index
+                else record.mean_power_w
+            )
+
+            target = governor.decide(counter_sample, machine.current_pstate)
+            if target != machine.current_pstate:
+                machine.speedstep.set_pstate(target)
+            if hasattr(governor, "observe_power"):
+                governor.observe_power(measured)
+
+            if self._keep_trace:
+                trace.append(
+                    TraceRow(
+                        time_s=machine.now_s,
+                        frequency_mhz=freq,
+                        measured_power_w=measured,
+                        true_power_w=record.mean_power_w,
+                        instructions=record.instructions,
+                        rates=dict(counter_sample.rates),
+                        duty=record.duty,
+                        temperature_c=record.temperature_c,
+                    )
+                )
+
+        self.meter.flush()
+        self.meter.mark(f"{workload.name}:end")
+        samples = self.meter.samples_between(
+            f"{workload.name}:start", f"{workload.name}:end"
+        )
+        measured_energy = self.meter.energy_j(samples)
+        return RunResult(
+            workload=workload.name,
+            governor=governor.name,
+            duration_s=machine.now_s,
+            instructions=instructions,
+            measured_energy_j=measured_energy,
+            true_energy_j=true_energy,
+            samples=samples,
+            trace=tuple(trace),
+            residency_s=residency,
+            transitions=machine.dvfs.transition_count,
+        )

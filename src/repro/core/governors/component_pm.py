@@ -1,0 +1,125 @@
+"""ComponentPerformanceMaximizer: PM driven by the multi-event model.
+
+Same control law as PerformanceMaximizer (highest feasible frequency,
+0.5 W guardband, lower-fast/raise-slow hysteresis) but the estimation
+phase uses the per-component power model, fed by *multiplexed* counters:
+decode rate is refreshed every tick; FP and L2 rates alternate.  Stale
+rates (one tick old at worst) are an explicit accuracy trade the real
+two-counter hardware forces.
+"""
+
+from __future__ import annotations
+
+from repro.acpi.pstates import PState, PStateTable
+from repro.core.governors.base import Governor
+from repro.core.models.component_power import (
+    COMPONENT_EVENTS,
+    ComponentPowerModel,
+)
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+
+class ComponentPerformanceMaximizer(Governor):
+    """Power-limit governor estimating with component activity rates."""
+
+    #: Counter rotation: decode every tick; FP and L2 alternate.
+    EVENT_GROUPS: tuple[tuple[Event, ...], ...] = (
+        (Event.INST_DECODED, Event.FP_COMP_OPS_EXE),
+        (Event.INST_DECODED, Event.L2_RQSTS),
+    )
+
+    def __init__(
+        self,
+        table: PStateTable,
+        model: ComponentPowerModel,
+        power_limit_w: float,
+        guardband_w: float = 0.5,
+        raise_window: int = 10,
+    ):
+        super().__init__(table)
+        if power_limit_w <= 0:
+            raise GovernorError("power limit must be positive")
+        if guardband_w < 0:
+            raise GovernorError("guardband must be non-negative")
+        if raise_window < 1:
+            raise GovernorError("raise window must be at least one sample")
+        self._model = model
+        self._limit = power_limit_w
+        self._guardband = guardband_w
+        self._raise_window = raise_window
+        self._known_rates: dict[Event, float] = {
+            event: 0.0 for event in COMPONENT_EVENTS
+        }
+        self._raise_streak = 0
+        self._pending_raise: PState | None = None
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """Primary group (the controller prefers :attr:`event_groups`)."""
+        return self.EVENT_GROUPS[0]
+
+    @property
+    def event_groups(self) -> tuple[tuple[Event, ...], ...]:
+        """Multiplexing rotation for the controller's sampler."""
+        return self.EVENT_GROUPS
+
+    @property
+    def power_limit_w(self) -> float:
+        return self._limit
+
+    def set_power_limit(self, watts: float) -> None:
+        """Runtime limit change, same semantics as PM."""
+        if watts <= 0:
+            raise GovernorError("power limit must be positive")
+        self._limit = watts
+        self._raise_streak = 0
+        self._pending_raise = None
+
+    def reset(self) -> None:
+        self._known_rates = {event: 0.0 for event in COMPONENT_EVENTS}
+        self._raise_streak = 0
+        self._pending_raise = None
+
+    def estimate_power(self, current: PState, candidate: PState) -> float:
+        """Component-model estimate at ``candidate`` from known rates."""
+        return self._model.estimate_projected(
+            current.frequency_mhz, candidate.frequency_mhz, self._known_rates
+        )
+
+    def _desired(self, current: PState) -> PState:
+        budget = self._limit - self._guardband
+        for candidate in self.table:
+            if self.estimate_power(current, candidate) <= budget:
+                return candidate
+        return self.table.slowest
+
+    def decide(self, sample: CounterSample, current: PState) -> PState:
+        # Absorb whatever events this tick's group measured; the rest
+        # keep their last-known values (the multiplexing trade-off).
+        for event, rate in sample.rates.items():
+            if event in self._known_rates:
+                self._known_rates[event] = rate
+
+        desired = self._desired(current)
+        if desired.frequency_mhz < current.frequency_mhz:
+            self._raise_streak = 0
+            self._pending_raise = None
+            return desired
+        if desired.frequency_mhz > current.frequency_mhz:
+            if (
+                self._pending_raise is None
+                or desired.frequency_mhz < self._pending_raise.frequency_mhz
+            ):
+                self._pending_raise = desired
+            self._raise_streak += 1
+            if self._raise_streak >= self._raise_window:
+                target = self._pending_raise
+                self._raise_streak = 0
+                self._pending_raise = None
+                return target
+            return current
+        self._raise_streak = 0
+        self._pending_raise = None
+        return current

@@ -1,0 +1,69 @@
+"""Demand-Based Switching (DBS): the utilization-driven baseline.
+
+The paper positions PowerSave against DBS-style policies ("Demand-Based
+Switching and many other techniques capitalize on under-utilized
+components or schedule slack", §II; "saving energy only during low
+utilization is insufficient", §IV-B).  DBS lowers frequency when CPU
+utilization is low and raises it when utilization is high -- it never
+trades performance under full load.
+
+Utilization here is the fraction of wall-clock time the core spent
+unhalted (cycles / (frequency x interval)); our benchmark workloads are
+compute processes that never idle, so DBS pins them at full speed --
+which is exactly the comparison point of the PS-vs-DBS ablation: at
+100% load DBS saves nothing while PS saves within its floor.
+"""
+
+from __future__ import annotations
+
+from repro.acpi.pstates import PState, PStateTable
+from repro.core.governors.base import Governor
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+
+class DemandBasedSwitching(Governor):
+    """Classic utilization thresholds: raise when busy, lower when idle.
+
+    Parameters
+    ----------
+    up_threshold:
+        Utilization above which frequency is raised (one step per tick).
+    down_threshold:
+        Utilization below which frequency is lowered (one step per tick).
+    """
+
+    def __init__(
+        self,
+        table: PStateTable,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.30,
+    ):
+        super().__init__(table)
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise GovernorError(
+                "thresholds must satisfy 0 < down < up <= 1, got "
+                f"down={down_threshold}, up={up_threshold}"
+            )
+        self._up = up_threshold
+        self._down = down_threshold
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return (Event.INST_RETIRED,)
+
+    def utilization(self, sample: CounterSample, current: PState) -> float:
+        """Unhalted fraction of the interval at the current frequency."""
+        if sample.interval_s <= 0:
+            return 1.0
+        available = current.frequency_mhz * 1e6 * sample.interval_s
+        return min(1.0, sample.cycles / available)
+
+    def decide(self, sample: CounterSample, current: PState) -> PState:
+        utilization = self.utilization(sample, current)
+        if utilization >= self._up:
+            return self.table.step_up(current)
+        if utilization <= self._down:
+            return self.table.step_down(current)
+        return current

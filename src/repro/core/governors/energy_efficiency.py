@@ -1,0 +1,98 @@
+"""EnergyDelayOptimizer: pick the p-state minimizing predicted EDP.
+
+Extension combining *both* of the paper's models in one policy: PM's
+power model tells the governor what each p-state costs, PS's performance
+model tells it what each delivers; their ratio selects the operating
+point minimizing the energy-delay product
+
+    EDP ∝ P(f') / throughput(f')^2
+
+(or, with ``delay_exponent=2``, ED²P).  ``delay_exponent=0`` degenerates
+to pure energy-per-instruction minimization.
+
+Monitoring needs three events (DPC, IPC, DCU) against two counters, so
+the governor multiplexes: IPC every tick, DPC and DCU alternating --
+a live demonstration of the counter-rotation machinery.
+"""
+
+from __future__ import annotations
+
+from repro.acpi.pstates import PState, PStateTable
+from repro.core.governors.base import Governor
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.power import LinearPowerModel
+from repro.core.models.projection import project_dpc
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+
+class EnergyDelayOptimizer(Governor):
+    """Model-driven EDP (or ED^nP) minimizer."""
+
+    EVENT_GROUPS: tuple[tuple[Event, ...], ...] = (
+        (Event.INST_RETIRED, Event.INST_DECODED),
+        (Event.INST_RETIRED, Event.DCU_MISS_OUTSTANDING),
+    )
+
+    def __init__(
+        self,
+        table: PStateTable,
+        power_model: LinearPowerModel,
+        performance_model: PerformanceModel,
+        delay_exponent: float = 1.0,
+    ):
+        super().__init__(table)
+        if delay_exponent < 0:
+            raise GovernorError("delay exponent must be non-negative")
+        self._power = power_model
+        self._performance = performance_model
+        self._delay_exponent = delay_exponent
+        self._dpc = 0.0
+        self._dcu = 0.0
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return self.EVENT_GROUPS[0]
+
+    @property
+    def event_groups(self) -> tuple[tuple[Event, ...], ...]:
+        return self.EVENT_GROUPS
+
+    def reset(self) -> None:
+        self._dpc = 0.0
+        self._dcu = 0.0
+
+    def objective(
+        self, sample_ipc: float, current: PState, candidate: PState
+    ) -> float:
+        """Predicted energy x delay^n per unit of work at ``candidate``."""
+        dpc = project_dpc(
+            self._dpc, current.frequency_mhz, candidate.frequency_mhz
+        )
+        power = self._power.estimate(candidate, dpc)
+        dcu_per_ipc = self._dcu / sample_ipc if sample_ipc > 0 else 0.0
+        throughput = self._performance.project_throughput(
+            sample_ipc,
+            dcu_per_ipc,
+            current.frequency_mhz,
+            candidate.frequency_mhz,
+        )
+        if throughput <= 0:
+            return float("inf")
+        # Energy/instruction = P / throughput; delay/instruction =
+        # 1 / throughput: objective = P / throughput^(1 + n).
+        return power / throughput ** (1.0 + self._delay_exponent)
+
+    def decide(self, sample: CounterSample, current: PState) -> PState:
+        if Event.INST_DECODED in sample.rates:
+            self._dpc = sample.rates[Event.INST_DECODED]
+        if Event.DCU_MISS_OUTSTANDING in sample.rates:
+            self._dcu = sample.rates[Event.DCU_MISS_OUTSTANDING]
+        ipc = sample.rates.get(Event.INST_RETIRED, 0.0)
+        if ipc <= 0 or self._dpc <= 0:
+            return current  # nothing measured yet
+        return min(
+            self.table,
+            key=lambda candidate: self.objective(ipc, current, candidate),
+        )

@@ -1,0 +1,74 @@
+"""Oracle PM: the upper bound a perfect power model would reach.
+
+Analysis-only governor: instead of the counter-based estimate it reads
+the simulator's *ground-truth* power for the executing phase at every
+candidate p-state -- information no real system has.  The gap between
+OraclePM and PM quantifies what the paper's model inaccuracy plus
+guardband cost ("model headroom"), and the gap between OraclePM and the
+unconstrained run is the irreducible price of the power limit itself.
+
+The oracle deliberately keeps PM's one asymmetry -- it still cannot see
+the future, so bursts can transiently violate until the next decision --
+making the comparison about *estimation*, not prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.acpi.pstates import PState, PStateTable
+from repro.core.governors.base import Governor
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+
+class OraclePerformanceMaximizer(Governor):
+    """Power-limit governor with perfect (ground-truth) power knowledge.
+
+    Parameters
+    ----------
+    table:
+        The p-state table.
+    true_power_at:
+        Callable mapping a candidate :class:`PState` to the ground-truth
+        power the *current* phase would burn there.  Wire it to
+        :meth:`repro.platform.machine.Machine.oracle_power`.
+    power_limit_w:
+        The limit to enforce.
+    margin_w:
+        Safety margin; the oracle needs none for steady phases (0 by
+        default), which is exactly the point of the comparison.
+    """
+
+    def __init__(
+        self,
+        table: PStateTable,
+        true_power_at: Callable[[PState], float],
+        power_limit_w: float,
+        margin_w: float = 0.0,
+    ):
+        super().__init__(table)
+        if power_limit_w <= 0:
+            raise GovernorError("power limit must be positive")
+        if margin_w < 0:
+            raise GovernorError("margin must be non-negative")
+        self._true_power_at = true_power_at
+        self._limit = power_limit_w
+        self._margin = margin_w
+
+    @property
+    def power_limit_w(self) -> float:
+        return self._limit
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        # The oracle needs no counters; one event keeps the loop uniform.
+        return (Event.INST_RETIRED,)
+
+    def decide(self, sample: CounterSample, current: PState) -> PState:
+        budget = self._limit - self._margin
+        for candidate in self.table:  # descending frequency
+            if self._true_power_at(candidate) <= budget:
+                return candidate
+        return self.table.slowest

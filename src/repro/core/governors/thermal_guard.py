@@ -1,0 +1,85 @@
+"""Thermal guard: a closed-loop temperature cap over any governor.
+
+Extension (the paper's related work contrasts its open-loop counter
+models with Foxton's closed-loop "power and thermal envelopes"; this
+composes the two).  The guard wraps an inner governor and, when the
+junction temperature approaches the limit, clamps the inner decision to
+progressively lower p-states -- one extra step per ``degrees_per_step``
+of remaining-headroom deficit.  When the die is cool the inner governor
+is untouched, so the guard composes with PM, PS or a fixed policy.
+
+Temperature is read through a supplied callable (on real hardware, the
+thermal diode MSR; in the reproduction, the machine's thermal model).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.acpi.pstates import PState, PStateTable
+from repro.core.governors.base import Governor
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+
+class ThermalGuard(Governor):
+    """Temperature-capping wrapper around another governor.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped policy (PM, PS, FixedFrequency, ...).
+    read_temperature_c:
+        Callable returning the current junction temperature.
+    t_limit_c:
+        Temperature the guard must keep the die below.
+    margin_c:
+        Control band: the guard starts clamping ``margin_c`` below the
+        limit so the (thermally slow) package never overshoots.
+    degrees_per_step:
+        Proportional gain: one extra p-state step down per this many
+        degrees of band penetration.
+    """
+
+    def __init__(
+        self,
+        inner: Governor,
+        read_temperature_c: Callable[[], float],
+        t_limit_c: float = 100.0,
+        margin_c: float = 8.0,
+        degrees_per_step: float = 2.0,
+    ):
+        super().__init__(inner.table)
+        if margin_c <= 0 or degrees_per_step <= 0:
+            raise GovernorError("margin and gain must be positive")
+        self.inner = inner
+        self._read_temperature = read_temperature_c
+        self.t_limit_c = t_limit_c
+        self.margin_c = margin_c
+        self.degrees_per_step = degrees_per_step
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return self.inner.events
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    @property
+    def name(self) -> str:
+        return f"ThermalGuard({self.inner.name})"
+
+    def clamp_steps(self, temperature_c: float) -> int:
+        """How many p-state steps the guard forces at a temperature."""
+        penetration = temperature_c - (self.t_limit_c - self.margin_c)
+        if penetration <= 0:
+            return 0
+        return 1 + int(penetration / self.degrees_per_step)
+
+    def decide(self, sample: CounterSample, current: PState) -> PState:
+        target = self.inner.decide(sample, current)
+        steps = self.clamp_steps(self._read_temperature())
+        if steps == 0:
+            return target
+        return self.table.step_down(target, steps)

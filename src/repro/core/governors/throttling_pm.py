@@ -1,0 +1,80 @@
+"""ThrottlingMaximizer: PM's job done with ACPI T-states instead of DVFS.
+
+Comparison actuator (the paper's companion report RC24007 models both
+DVFS and clock throttling; the throttling-vs-DVFS ablation bench uses
+this governor).  The core stays at one frequency/voltage and the
+governor modulates the clock duty cycle to fit the power limit.
+
+Estimation: at duty ``d`` dynamic power scales by ``d`` while leakage
+persists, so from the DPC model's full-speed estimate ``E``::
+
+    E(d) = d * (E - L) + L,      L ~= k_leak * V^2
+
+The chosen duty is the largest T-state with ``E(d) + guardband`` within
+the limit.  Because voltage never drops, power falls only linearly with
+performance -- strictly worse than DVFS's ``~V^2 f`` scaling, which is
+exactly what the ablation quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.acpi.pstates import PState, PStateTable
+from repro.core.governors.base import Governor
+from repro.core.models.power import LinearPowerModel
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+from repro.platform.throttling import T_STATE_DUTIES, ThrottleController
+
+
+class ThrottlingMaximizer(Governor):
+    """Power-limit governor actuating clock modulation at fixed frequency."""
+
+    def __init__(
+        self,
+        table: PStateTable,
+        model: LinearPowerModel,
+        throttle: ThrottleController,
+        power_limit_w: float,
+        guardband_w: float = 0.5,
+        leakage_coefficient_w_per_v2: float = 0.81,
+    ):
+        super().__init__(table)
+        if power_limit_w <= 0:
+            raise GovernorError("power limit must be positive")
+        if guardband_w < 0:
+            raise GovernorError("guardband must be non-negative")
+        self._model = model
+        self._throttle = throttle
+        self._limit = power_limit_w
+        self._guardband = guardband_w
+        self._k_leak = leakage_coefficient_w_per_v2
+        self._pstate = table.fastest
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return (Event.INST_DECODED,)
+
+    @property
+    def duty(self) -> float:
+        """The duty cycle currently programmed."""
+        return self._throttle.duty
+
+    def estimate_power(
+        self, sample: CounterSample, pstate: PState, duty: float
+    ) -> float:
+        """Model estimate at a duty cycle (leakage persists)."""
+        full = self._model.estimate(pstate, sample.dpc)
+        leakage = self._k_leak * pstate.voltage**2
+        return duty * max(0.0, full - leakage) + leakage
+
+    def decide(self, sample: CounterSample, current: PState) -> PState:
+        budget = self._limit - self._guardband
+        chosen = T_STATE_DUTIES[0]  # deepest throttle as the fallback
+        for duty in (*T_STATE_DUTIES, 1.0):
+            if self.estimate_power(sample, self._pstate, duty) <= budget:
+                chosen = duty
+        if chosen != self._throttle.duty:
+            self._throttle.set_duty(chosen)
+        # Frequency/voltage never move: throttling is the only actuator.
+        return self._pstate

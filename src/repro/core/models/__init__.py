@@ -1,0 +1,59 @@
+"""Estimate/Predict phase: online power and performance models.
+
+The distinguishing feature of the paper's models (see its related-work
+discussion) is that they predict the effect of moving to *other*
+p-states, not just conditions at the current one:
+
+* :mod:`repro.core.models.projection` -- DPC projection across p-states
+  (paper Eq. 4);
+* :mod:`repro.core.models.power` -- the per-p-state linear DPC power
+  model (paper Eq. 2 / Table II);
+* :mod:`repro.core.models.performance` -- the two-class IPC projection
+  (paper Eq. 3, threshold 1.21, exponent 0.81 with 0.59 as the
+  alternative local minimum);
+* :mod:`repro.core.models.training` -- re-derives all model parameters
+  from the MS-Loops training set, reproducing Table II and the Eq. 3
+  constants rather than hard-coding them.
+"""
+
+from repro.core.models.power import (
+    LinearPowerModel,
+    PStateCoefficients,
+    PAPER_TABLE_II,
+)
+from repro.core.models.performance import PerformanceModel, WorkloadClass
+from repro.core.models.projection import project_dpc, project_rate_conservative
+from repro.core.models.component_power import (
+    COMPONENT_EVENTS,
+    ComponentPowerModel,
+    ComponentTrainingPoint,
+    collect_component_training_data,
+    fit_component_model,
+)
+from repro.core.models.training import (
+    TrainingPoint,
+    collect_training_data,
+    fit_power_model,
+    fit_performance_model,
+    exponent_error_curve,
+)
+
+__all__ = [
+    "LinearPowerModel",
+    "PStateCoefficients",
+    "PAPER_TABLE_II",
+    "PerformanceModel",
+    "WorkloadClass",
+    "project_dpc",
+    "project_rate_conservative",
+    "COMPONENT_EVENTS",
+    "ComponentPowerModel",
+    "ComponentTrainingPoint",
+    "collect_component_training_data",
+    "fit_component_model",
+    "TrainingPoint",
+    "collect_training_data",
+    "fit_power_model",
+    "fit_performance_model",
+    "exponent_error_curve",
+]

@@ -1,0 +1,197 @@
+"""Multi-event (component) power model -- the paper's refinement path.
+
+The paper closes with "we expect additional refinements could further
+improve both [models]" and its related work cites Isci et al.'s
+per-component counter models.  This module provides that refinement: a
+per-p-state *multi-linear* power model over decode, FP and L2 activity::
+
+    P = a_dpc*DPC + a_fp*FP + a_l2*L2 + b        (per p-state)
+
+Because the Pentium M has only two counters, both training and runtime
+use event rotation: characterization runs one extra pass per event
+group, and the online governor multiplexes
+(:class:`~repro.core.sampling.MultiplexedCounterSampler`).
+
+The payoff is exactly the galgel failure mode: its packed-FP phases burn
+power the DPC-only model cannot see, while the component model's FP term
+captures it (see the component-model ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.acpi.pstates import PState, PStateTable, pentium_m_755_table
+from repro.core.models.projection import project_dpc
+from repro.core.models.training import _characterize
+from repro.errors import ModelError, TrainingError
+from repro.platform.events import Event
+from repro.platform.machine import MachineConfig
+from repro.workloads.base import Workload
+from repro.workloads.microbenchmarks import ms_loops
+
+#: The activity events the component model regresses on.
+COMPONENT_EVENTS: tuple[Event, ...] = (
+    Event.INST_DECODED,
+    Event.FP_COMP_OPS_EXE,
+    Event.L2_RQSTS,
+)
+
+
+@dataclass(frozen=True)
+class ComponentTrainingPoint:
+    """One (workload, p-state) characterization with component rates."""
+
+    workload: str
+    frequency_mhz: float
+    rates: Mapping[Event, float]
+    measured_power_w: float
+
+
+def collect_component_training_data(
+    workloads: Iterable[Workload] | None = None,
+    table: PStateTable | None = None,
+    config: MachineConfig | None = None,
+    duration_s: float = 0.25,
+    warmup_ticks: int = 2,
+) -> tuple[ComponentTrainingPoint, ...]:
+    """Characterize the training set for the component model.
+
+    Each point needs three event rates; with two counters that is two
+    passes per point (decode+FP, then L2) -- feasible, again, because
+    the MS-Loops are stable across runs.
+    """
+    workloads = tuple(workloads) if workloads is not None else ms_loops()
+    table = table if table is not None else pentium_m_755_table()
+    config = config if config is not None else MachineConfig()
+    points: list[ComponentTrainingPoint] = []
+    for workload in workloads:
+        for pstate in table:
+            rates1, power = _characterize(
+                workload, pstate,
+                (Event.INST_DECODED, Event.FP_COMP_OPS_EXE),
+                config, duration_s, warmup_ticks,
+            )
+            rates2, _ = _characterize(
+                workload, pstate,
+                (Event.L2_RQSTS, Event.INST_RETIRED),
+                config, duration_s, warmup_ticks,
+            )
+            points.append(
+                ComponentTrainingPoint(
+                    workload=workload.name,
+                    frequency_mhz=pstate.frequency_mhz,
+                    rates={
+                        Event.INST_DECODED: rates1[Event.INST_DECODED],
+                        Event.FP_COMP_OPS_EXE: rates1[Event.FP_COMP_OPS_EXE],
+                        Event.L2_RQSTS: rates2[Event.L2_RQSTS],
+                    },
+                    measured_power_w=power,
+                )
+            )
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class ComponentCoefficients:
+    """Multi-linear coefficients for one p-state."""
+
+    weights: Mapping[Event, float]
+    intercept: float
+
+    def estimate(self, rates: Mapping[Event, float]) -> float:
+        """Power estimate from per-cycle component rates."""
+        total = self.intercept
+        for event, weight in self.weights.items():
+            rate = rates.get(event, 0.0)
+            if rate < 0:
+                raise ModelError(f"negative rate for {event.name}")
+            total += weight * rate
+        return total
+
+
+class ComponentPowerModel:
+    """Per-p-state multi-linear power model over component activities."""
+
+    def __init__(self, coefficients: Mapping[float, ComponentCoefficients]):
+        if not coefficients:
+            raise ModelError("component model needs at least one p-state")
+        self._coefficients = dict(coefficients)
+
+    @property
+    def frequencies_mhz(self) -> tuple[float, ...]:
+        return tuple(sorted(self._coefficients))
+
+    def coefficients(self, frequency_mhz: float) -> ComponentCoefficients:
+        try:
+            return self._coefficients[frequency_mhz]
+        except KeyError:
+            raise ModelError(
+                f"no coefficients for {frequency_mhz} MHz"
+            ) from None
+
+    def estimate(
+        self, pstate: PState | float, rates: Mapping[Event, float]
+    ) -> float:
+        """Estimated power at ``pstate`` for measured component rates."""
+        freq = pstate.frequency_mhz if isinstance(pstate, PState) else pstate
+        return self.coefficients(freq).estimate(rates)
+
+    def estimate_projected(
+        self,
+        from_mhz: float,
+        to_mhz: float,
+        rates: Mapping[Event, float],
+    ) -> float:
+        """Estimate at another p-state, projecting each rate via Eq. 4.
+
+        The same conservative envelope PM uses for DPC applies to every
+        activity rate (decode, FP, L2 all track instruction flow).
+        """
+        projected = {
+            event: project_dpc(rate, from_mhz, to_mhz)
+            for event, rate in rates.items()
+        }
+        return self.estimate(to_mhz, projected)
+
+
+def fit_component_model(
+    points: Sequence[ComponentTrainingPoint],
+) -> ComponentPowerModel:
+    """Least-squares multi-linear fit per p-state, weights clipped >= 0.
+
+    Negative activity weights are physically meaningless (more work
+    cannot reduce power); clipping keeps extrapolation safe for
+    workloads outside the training hull -- the whole point of the model.
+    """
+    if not points:
+        raise TrainingError("empty component training set")
+    by_freq: dict[float, list[ComponentTrainingPoint]] = {}
+    for point in points:
+        by_freq.setdefault(point.frequency_mhz, []).append(point)
+    out: dict[float, ComponentCoefficients] = {}
+    for freq, group in by_freq.items():
+        if len(group) < len(COMPONENT_EVENTS) + 2:
+            raise TrainingError(
+                f"{freq} MHz: too few points for a "
+                f"{len(COMPONENT_EVENTS)}-component fit"
+            )
+        design = np.array(
+            [
+                [p.rates[e] for e in COMPONENT_EVENTS] + [1.0]
+                for p in group
+            ]
+        )
+        target = np.array([p.measured_power_w for p in group])
+        solution = np.linalg.lstsq(design, target, rcond=None)[0]
+        weights = {
+            event: max(0.0, float(w))
+            for event, w in zip(COMPONENT_EVENTS, solution[:-1])
+        }
+        out[freq] = ComponentCoefficients(
+            weights=weights, intercept=float(solution[-1])
+        )
+    return ComponentPowerModel(out)

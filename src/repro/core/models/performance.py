@@ -1,0 +1,122 @@
+"""The two-class IPC projection model (paper Eq. 3).
+
+Workloads respond to frequency changes along a spectrum (paper Fig. 2);
+the paper approximates the spectrum with two classes split on the
+DCU/IPC memory-boundedness metric::
+
+    IPC' = IPC                      if DCU/IPC <  1.21   (core-bound)
+    IPC' = IPC * (f/f')^e           if DCU/IPC >= 1.21   (memory-bound)
+
+with ``e = 0.81`` (the paper's primary fit) or ``e = 0.59`` (the other
+local minimum, which the paper shows repairs the art/mcf floor
+violations, §IV-B2).
+
+Interpretation: core-bound code keeps its per-cycle rate, so throughput
+scales with frequency; memory-bound code keeps (approximately) its
+per-second rate, so the per-cycle rate rises as frequency drops.  The
+exponent interpolates toward the perfectly-memory-bound limit ``e = 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+class WorkloadClass(enum.Enum):
+    """The model's two behaviour classes."""
+
+    CORE_BOUND = "core"
+    MEMORY_BOUND = "memory"
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Eq. 3 with configurable threshold and exponent.
+
+    Attributes
+    ----------
+    dcu_threshold:
+        DCU/IPC boundary between the classes (paper: 1.21).
+    memory_exponent:
+        Frequency-dependence exponent for the memory class (paper: 0.81
+        primary, 0.59 alternative).
+    """
+
+    dcu_threshold: float = 1.21
+    memory_exponent: float = 0.81
+
+    def __post_init__(self) -> None:
+        if self.dcu_threshold <= 0:
+            raise ModelError("DCU/IPC threshold must be positive")
+        if not 0.0 <= self.memory_exponent <= 1.0:
+            raise ModelError(
+                "memory exponent must lie in [0, 1] (0 = core-like, "
+                f"1 = perfectly memory-bound), got {self.memory_exponent}"
+            )
+
+    @classmethod
+    def paper_primary(cls) -> "PerformanceModel":
+        """The paper's main model (threshold 1.21, exponent 0.81)."""
+        return cls()
+
+    @classmethod
+    def paper_alternative(cls) -> "PerformanceModel":
+        """The paper's alternative fit (exponent 0.59, §IV-B2)."""
+        return cls(memory_exponent=0.59)
+
+    def classify(self, dcu_per_ipc: float) -> WorkloadClass:
+        """Classify a sample by its DCU/IPC ratio."""
+        if dcu_per_ipc < 0:
+            raise ModelError("DCU/IPC cannot be negative")
+        if dcu_per_ipc < self.dcu_threshold:
+            return WorkloadClass.CORE_BOUND
+        return WorkloadClass.MEMORY_BOUND
+
+    def project_ipc(
+        self,
+        ipc: float,
+        dcu_per_ipc: float,
+        from_mhz: float,
+        to_mhz: float,
+    ) -> float:
+        """Predicted IPC at ``to_mhz`` given a sample at ``from_mhz``."""
+        if ipc < 0:
+            raise ModelError("IPC cannot be negative")
+        if from_mhz <= 0 or to_mhz <= 0:
+            raise ModelError("frequencies must be positive")
+        if self.classify(dcu_per_ipc) is WorkloadClass.CORE_BOUND:
+            return ipc
+        return ipc * (from_mhz / to_mhz) ** self.memory_exponent
+
+    def project_throughput(
+        self,
+        ipc: float,
+        dcu_per_ipc: float,
+        from_mhz: float,
+        to_mhz: float,
+    ) -> float:
+        """Predicted instructions per second at ``to_mhz``.
+
+        This is the quantity PS compares against the performance floor:
+        throughput = projected IPC x frequency.
+        """
+        return (
+            self.project_ipc(ipc, dcu_per_ipc, from_mhz, to_mhz) * to_mhz * 1e6
+        )
+
+    def relative_performance(
+        self,
+        dcu_per_ipc: float,
+        from_mhz: float,
+        to_mhz: float,
+    ) -> float:
+        """Predicted throughput ratio (to / from), independent of IPC.
+
+        Core class: ``f'/f``.  Memory class: ``(f'/f)^(1-e)``.
+        """
+        if self.classify(dcu_per_ipc) is WorkloadClass.CORE_BOUND:
+            return to_mhz / from_mhz
+        return (to_mhz / from_mhz) ** (1.0 - self.memory_exponent)

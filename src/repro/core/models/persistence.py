@@ -1,0 +1,132 @@
+"""Model persistence: save fitted models as JSON, reload them later.
+
+Training takes a characterization run; deployments want to train once
+and ship coefficients (exactly what the paper's Table II *is* -- frozen
+coefficients).  This module serializes the linear DPC model, the
+performance model and the component model to a stable JSON schema with a
+format-version field, and reloads them with validation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.models.component_power import (
+    ComponentCoefficients,
+    ComponentPowerModel,
+)
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.power import LinearPowerModel, PStateCoefficients
+from repro.errors import ModelError
+from repro.platform.events import Event
+
+#: Schema version written into every document.
+FORMAT_VERSION = 1
+
+
+def power_model_to_json(model: LinearPowerModel) -> str:
+    """Serialize a linear DPC power model."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "kind": "linear_power_model",
+        "coefficients": {
+            str(freq): {
+                "alpha": model.alpha(freq),
+                "beta": model.beta(freq),
+            }
+            for freq in model.frequencies_mhz
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def power_model_from_json(text: str) -> LinearPowerModel:
+    """Reload a linear DPC power model (validates kind and schema)."""
+    doc = _load(text, "linear_power_model")
+    coefficients = {}
+    for freq_text, entry in doc["coefficients"].items():
+        coefficients[float(freq_text)] = PStateCoefficients(
+            alpha=float(entry["alpha"]), beta=float(entry["beta"])
+        )
+    return LinearPowerModel(coefficients)
+
+
+def performance_model_to_json(model: PerformanceModel) -> str:
+    """Serialize an Eq. 3 performance model."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "kind": "performance_model",
+        "dcu_threshold": model.dcu_threshold,
+        "memory_exponent": model.memory_exponent,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def performance_model_from_json(text: str) -> PerformanceModel:
+    """Reload an Eq. 3 performance model."""
+    doc = _load(text, "performance_model")
+    return PerformanceModel(
+        dcu_threshold=float(doc["dcu_threshold"]),
+        memory_exponent=float(doc["memory_exponent"]),
+    )
+
+
+def component_model_to_json(model: ComponentPowerModel) -> str:
+    """Serialize a component power model (events keyed by name)."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "kind": "component_power_model",
+        "coefficients": {
+            str(freq): {
+                "intercept": model.coefficients(freq).intercept,
+                "weights": {
+                    event.name: weight
+                    for event, weight in model.coefficients(
+                        freq
+                    ).weights.items()
+                },
+            }
+            for freq in model.frequencies_mhz
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def component_model_from_json(text: str) -> ComponentPowerModel:
+    """Reload a component power model; unknown event names are errors."""
+    doc = _load(text, "component_power_model")
+    coefficients = {}
+    for freq_text, entry in doc["coefficients"].items():
+        weights = {}
+        for event_name, weight in entry["weights"].items():
+            try:
+                event = Event[event_name]
+            except KeyError:
+                raise ModelError(
+                    f"unknown event {event_name!r} in component model"
+                ) from None
+            weights[event] = float(weight)
+        coefficients[float(freq_text)] = ComponentCoefficients(
+            weights=weights, intercept=float(entry["intercept"])
+        )
+    return ComponentPowerModel(coefficients)
+
+
+def _load(text: str, expected_kind: str) -> dict[str, Any]:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ModelError(f"not valid model JSON: {error}") from None
+    if not isinstance(doc, dict):
+        raise ModelError("model document must be a JSON object")
+    if doc.get("format") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model format {doc.get('format')!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    if doc.get("kind") != expected_kind:
+        raise ModelError(
+            f"expected a {expected_kind}, found {doc.get('kind')!r}"
+        )
+    return doc

@@ -1,0 +1,120 @@
+"""The per-p-state linear DPC power model (paper Eq. 2 / Table II).
+
+``Power = alpha * DPC + beta`` with distinct ``(alpha, beta)`` per
+p-state, because supply voltage and frequency dominate both the dynamic
+and static components (paper Eq. 1).  The published coefficients are
+available as :data:`PAPER_TABLE_II`; the training pipeline
+(:mod:`repro.core.models.training`) re-derives an equivalent model from
+the MS-Loops microbenchmarks on the simulated platform, and the Table II
+reproduction experiment compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.acpi.pstates import PState
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class PStateCoefficients:
+    """Linear model coefficients for one p-state: ``P = alpha*DPC + beta``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ModelError(
+                f"alpha must be non-negative (power rises with activity), "
+                f"got {self.alpha}"
+            )
+        if self.beta <= 0:
+            raise ModelError(
+                f"beta must be positive (idle power is non-zero), got {self.beta}"
+            )
+
+    def estimate(self, dpc: float) -> float:
+        """Estimated power in watts at the given decode rate."""
+        if dpc < 0:
+            raise ModelError(f"DPC cannot be negative, got {dpc}")
+        return self.alpha * dpc + self.beta
+
+
+#: The paper's Table II: DPC-based power model per p-state, as measured
+#: and fitted by the authors on the real Pentium M 755.
+PAPER_TABLE_II: Mapping[float, PStateCoefficients] = {
+    600.0: PStateCoefficients(0.34, 2.58),
+    800.0: PStateCoefficients(0.54, 3.56),
+    1000.0: PStateCoefficients(0.77, 4.49),
+    1200.0: PStateCoefficients(1.06, 5.60),
+    1400.0: PStateCoefficients(1.42, 6.95),
+    1600.0: PStateCoefficients(1.82, 8.44),
+    1800.0: PStateCoefficients(2.36, 10.18),
+    2000.0: PStateCoefficients(2.93, 12.11),
+}
+
+
+class LinearPowerModel:
+    """A per-p-state linear power model keyed by frequency.
+
+    Instances are immutable mappings ``frequency_mhz -> (alpha, beta)``.
+    Use :meth:`paper_model` for the published Table II coefficients or
+    :func:`repro.core.models.training.fit_power_model` to train one on
+    the simulated platform.
+    """
+
+    def __init__(self, coefficients: Mapping[float, PStateCoefficients]):
+        if not coefficients:
+            raise ModelError("power model needs at least one p-state")
+        self._coefficients = dict(coefficients)
+
+    @classmethod
+    def paper_model(cls) -> "LinearPowerModel":
+        """The model with the paper's published Table II coefficients."""
+        return cls(PAPER_TABLE_II)
+
+    @property
+    def frequencies_mhz(self) -> tuple[float, ...]:
+        """Frequencies the model covers, ascending."""
+        return tuple(sorted(self._coefficients))
+
+    def coefficients(self, frequency_mhz: float) -> PStateCoefficients:
+        """The (alpha, beta) pair for a p-state."""
+        try:
+            return self._coefficients[frequency_mhz]
+        except KeyError:
+            raise ModelError(
+                f"no coefficients for {frequency_mhz} MHz; "
+                f"model covers {self.frequencies_mhz}"
+            ) from None
+
+    def estimate(self, pstate: PState | float, dpc: float) -> float:
+        """Estimated power at ``pstate`` for decode rate ``dpc``.
+
+        Accepts a :class:`PState` or a bare frequency in MHz.
+        """
+        freq = pstate.frequency_mhz if isinstance(pstate, PState) else pstate
+        return self.coefficients(freq).estimate(dpc)
+
+    def alpha(self, frequency_mhz: float) -> float:
+        """Slope at a p-state (W per DPC)."""
+        return self.coefficients(frequency_mhz).alpha
+
+    def beta(self, frequency_mhz: float) -> float:
+        """Intercept at a p-state (W)."""
+        return self.coefficients(frequency_mhz).beta
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearPowerModel):
+            return NotImplemented
+        return self._coefficients == other._coefficients
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rows = ", ".join(
+            f"{f:.0f}MHz:(a={c.alpha:.2f},b={c.beta:.2f})"
+            for f, c in sorted(self._coefficients.items())
+        )
+        return f"LinearPowerModel({rows})"

@@ -1,0 +1,61 @@
+"""DPC projection across p-states (paper Eq. 4).
+
+PerformanceMaximizer monitors only the decode rate at the *current*
+frequency; to estimate power at other p-states it must first estimate
+what the decode rate would be there.  The paper's Eq. 4::
+
+    DPC(f') = DPC(f) * (f / f')   if f' <= f
+    DPC(f') = DPC(f)              if f' >  f
+
+is a deliberately conservative envelope:
+
+* scaling **down** assumes decode throughput per *second* is fixed
+  (memory-bound behaviour) so the per-cycle rate rises -- the highest
+  per-cycle activity the slower state could exhibit;
+* scaling **up** assumes the per-cycle rate is fixed (core-bound
+  behaviour) -- again the highest activity the faster state could
+  sustain.
+
+Feeding the power model an over-estimate of DPC in both directions makes
+PM err on the safe side of the power limit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def project_dpc(dpc: float, from_mhz: float, to_mhz: float) -> float:
+    """Project a decoded-instructions-per-cycle rate to another p-state.
+
+    Parameters
+    ----------
+    dpc:
+        Observed DPC at ``from_mhz``.
+    from_mhz / to_mhz:
+        Current and candidate frequencies.
+
+    Returns
+    -------
+    float
+        The conservative DPC estimate at ``to_mhz`` (paper Eq. 4).
+    """
+    if dpc < 0:
+        raise ModelError(f"DPC cannot be negative, got {dpc}")
+    if from_mhz <= 0 or to_mhz <= 0:
+        raise ModelError("frequencies must be positive")
+    if to_mhz <= from_mhz:
+        return dpc * (from_mhz / to_mhz)
+    return dpc
+
+
+def project_rate_conservative(
+    rate: float, from_mhz: float, to_mhz: float
+) -> float:
+    """Eq. 4 generalized to any per-cycle activity rate.
+
+    The same memory-bound-down / core-bound-up envelope applies to other
+    activity rates (e.g. DCU occupancy for PS's secondary prediction);
+    this alias documents that reuse.
+    """
+    return project_dpc(rate, from_mhz, to_mhz)

@@ -1,0 +1,184 @@
+"""A Linux-cpufreq-style facade over the simulated platform.
+
+The paper's methodology is the intellectual ancestor of what Linux later
+shipped as cpufreq governors; this facade maps the reproduction onto
+that familiar sysfs vocabulary so downstream users can drive it the way
+they would drive ``/sys/devices/system/cpu/cpu0/cpufreq``:
+
+* attributes: ``scaling_available_frequencies``, ``scaling_governor``,
+  ``scaling_available_governors``, ``scaling_cur_freq``,
+  ``scaling_setspeed`` (userspace governor), ``scaling_max_freq``;
+* ``stats/time_in_state`` accounting;
+* governors: ``performance``, ``powersave``, ``userspace``, plus the
+  paper's ``repro_pm`` and ``repro_ps``.
+
+Reads and writes go through :meth:`read` / :meth:`write` with
+sysfs-style string values, and a governor step runs per machine tick via
+:meth:`tick` -- the shape a real userspace daemon would see.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.acpi.pstates import PState
+from repro.core.governors.base import Governor
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.governors.powersave import PowerSave
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.power import LinearPowerModel
+from repro.core.sampling import CounterSampler
+from repro.errors import GovernorError, ReproError
+from repro.platform.machine import Machine
+
+
+class CpufreqPolicy:
+    """sysfs-flavoured frequency-scaling policy for one machine."""
+
+    GOVERNORS = (
+        "performance", "powersave", "userspace", "repro_pm", "repro_ps",
+    )
+
+    def __init__(
+        self,
+        machine: Machine,
+        power_model: LinearPowerModel | None = None,
+        performance_model: PerformanceModel | None = None,
+        default_power_limit_w: float = 17.5,
+        default_floor: float = 0.8,
+    ):
+        self._machine = machine
+        self._power_model = power_model or LinearPowerModel.paper_model()
+        self._perf_model = performance_model or PerformanceModel.paper_primary()
+        self._power_limit = default_power_limit_w
+        self._floor = default_floor
+        self._time_in_state: dict[float, float] = {}
+        self._governor_name = "performance"
+        self._governor: Governor = FixedFrequency.fastest(
+            machine.config.table
+        )
+        self._sampler: CounterSampler | None = None
+        self._userspace_speed = machine.config.table.fastest.frequency_mhz
+
+    # -- sysfs-style attribute access ----------------------------------------
+
+    def read(self, attribute: str) -> str:
+        """Read a sysfs-style attribute as its string representation."""
+        table = self._machine.config.table
+        if attribute == "scaling_available_frequencies":
+            return " ".join(
+                f"{int(s.frequency_mhz * 1000)}" for s in table
+            )
+        if attribute == "scaling_available_governors":
+            return " ".join(self.GOVERNORS)
+        if attribute == "scaling_governor":
+            return self._governor_name
+        if attribute == "scaling_cur_freq":
+            return f"{int(self._machine.current_pstate.frequency_mhz * 1000)}"
+        if attribute == "scaling_max_freq":
+            return f"{int(table.fastest.frequency_mhz * 1000)}"
+        if attribute == "scaling_min_freq":
+            return f"{int(table.slowest.frequency_mhz * 1000)}"
+        if attribute == "scaling_setspeed":
+            return f"{int(self._userspace_speed * 1000)}"
+        if attribute == "stats/time_in_state":
+            lines = [
+                f"{int(freq * 1000)} {int(seconds * 100)}"
+                for freq, seconds in sorted(self._time_in_state.items())
+            ]
+            return "\n".join(lines)
+        raise ReproError(f"unknown cpufreq attribute {attribute!r}")
+
+    def write(self, attribute: str, value: str) -> None:
+        """Write a sysfs-style attribute (strings, as a shell would)."""
+        if attribute == "scaling_governor":
+            self.set_governor(value)
+            return
+        if attribute == "scaling_setspeed":
+            if self._governor_name != "userspace":
+                raise GovernorError(
+                    "scaling_setspeed requires the userspace governor"
+                )
+            khz = float(value)
+            self._userspace_speed = khz / 1000.0
+            self._governor = FixedFrequency(
+                self._machine.config.table, self._userspace_speed
+            )
+            self._arm_sampler()
+            return
+        if attribute == "repro_pm/power_limit_w":
+            self._power_limit = float(value)
+            if isinstance(self._governor, PerformanceMaximizer):
+                self._governor.set_power_limit(self._power_limit)
+            return
+        if attribute == "repro_ps/floor":
+            self._floor = float(value)
+            if isinstance(self._governor, PowerSave):
+                self._governor.set_floor(self._floor)
+            return
+        raise ReproError(f"unknown or read-only attribute {attribute!r}")
+
+    # -- governor management ---------------------------------------------------
+
+    def set_governor(self, name: str) -> None:
+        """Switch the active governor, like writing scaling_governor."""
+        table = self._machine.config.table
+        if name == "performance":
+            governor: Governor = FixedFrequency.fastest(table)
+        elif name == "powersave":
+            governor = FixedFrequency.slowest(table)
+        elif name == "userspace":
+            governor = FixedFrequency(table, self._userspace_speed)
+        elif name == "repro_pm":
+            governor = PerformanceMaximizer(
+                table, self._power_model, self._power_limit
+            )
+        elif name == "repro_ps":
+            governor = PowerSave(table, self._perf_model, self._floor)
+        else:
+            raise GovernorError(
+                f"unknown governor {name!r}; "
+                f"available: {' '.join(self.GOVERNORS)}"
+            )
+        self._governor_name = name
+        self._governor = governor
+        self._arm_sampler()
+
+    def _arm_sampler(self) -> None:
+        self._sampler = CounterSampler(
+            self._machine.pmu, self._governor.events
+        )
+        self._sampler.start()
+
+    # -- execution ---------------------------------------------------------------
+
+    def tick(self) -> PState:
+        """Advance one machine tick and apply the governor's decision.
+
+        Returns the p-state in effect for the elapsed tick.
+        """
+        if self._sampler is None:
+            self._arm_sampler()
+        record = self._machine.step()
+        sample = self._sampler.sample(record.duration_s)
+        target = self._governor.decide(sample, self._machine.current_pstate)
+        if target != self._machine.current_pstate:
+            self._machine.speedstep.set_pstate(target)
+        freq = record.pstate.frequency_mhz
+        self._time_in_state[freq] = (
+            self._time_in_state.get(freq, 0.0) + record.duration_s
+        )
+        return record.pstate
+
+    def run_to_completion(self, max_seconds: float = 600.0) -> None:
+        """Tick until the loaded workload finishes."""
+        while not self._machine.finished:
+            if self._machine.now_s > max_seconds:
+                raise ReproError("workload exceeded the time budget")
+            self.tick()
+
+    @property
+    def time_in_state(self) -> Mapping[float, float]:
+        """Seconds spent at each frequency (MHz) since construction."""
+        return dict(self._time_in_state)

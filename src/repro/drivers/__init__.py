@@ -1,0 +1,26 @@
+"""Simulated low-level driver path: MSRs, PMU, Enhanced SpeedStep.
+
+The paper implements kernel drivers for Linux/Windows that (a) read the
+two Pentium M performance counters every 10 ms and (b) write the
+machine-specific registers controlling the PLL multiplier and the VID
+pins of the voltage regulator (paper §III-B).  This subpackage recreates
+that control path faithfully enough that the user-level power-management
+software above it is structured like the paper's prototype:
+
+* :mod:`repro.drivers.msr` -- a model-specific-register file,
+* :mod:`repro.drivers.pmu` -- the two-counter PMU with event-select
+  registers, 40-bit wrap-around and event multiplexing support,
+* :mod:`repro.drivers.speedstep` -- PERF_CTL-style p-state actuation.
+"""
+
+from repro.drivers.msr import MSRFile
+from repro.drivers.pmu import PMU, CounterSnapshot, EventMultiplexer
+from repro.drivers.speedstep import SpeedStepDriver
+
+__all__ = [
+    "MSRFile",
+    "PMU",
+    "CounterSnapshot",
+    "EventMultiplexer",
+    "SpeedStepDriver",
+]

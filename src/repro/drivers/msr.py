@@ -1,0 +1,95 @@
+"""A simulated model-specific register (MSR) file.
+
+Both the PMU and the SpeedStep driver are register-programmed on real
+hardware; routing their state through a shared MSR file keeps the
+simulated control path shaped like the paper's kernel drivers (rdmsr /
+wrmsr on a handful of architectural addresses).
+
+Only the addresses that the drivers declare are mapped; stray accesses
+raise :class:`~repro.errors.MSRError`, the way a real rdmsr of an
+unimplemented address raises #GP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import MSRError
+
+# Architectural MSR addresses used by the simulated drivers.
+IA32_PERF_STATUS = 0x198  #: current p-state (read-only status)
+IA32_PERF_CTL = 0x199  #: requested p-state (write to transition)
+IA32_PERFEVTSEL0 = 0x186  #: event select, counter 0
+IA32_PERFEVTSEL1 = 0x187  #: event select, counter 1
+IA32_PMC0 = 0xC1  #: programmable counter 0
+IA32_PMC1 = 0xC2  #: programmable counter 1
+IA32_TIME_STAMP_COUNTER = 0x10  #: TSC
+
+
+class MSRFile:
+    """Dictionary-backed MSR space with per-register access hooks.
+
+    Drivers ``map_register`` their addresses, optionally supplying read
+    and write hooks so that, e.g., a write to ``IA32_PERF_CTL`` triggers
+    an actual p-state transition in the DVFS controller.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = {}
+        self._read_hooks: Dict[int, Callable[[], int]] = {}
+        self._write_hooks: Dict[int, Callable[[int], None]] = {}
+        self._writable: Dict[int, bool] = {}
+
+    def map_register(
+        self,
+        address: int,
+        initial: int = 0,
+        writable: bool = True,
+        read_hook: Callable[[], int] | None = None,
+        write_hook: Callable[[int], None] | None = None,
+    ) -> None:
+        """Declare ``address`` as an implemented MSR."""
+        if address in self._values:
+            raise MSRError(f"MSR {address:#x} is already mapped")
+        self._values[address] = initial
+        self._writable[address] = writable
+        if read_hook is not None:
+            self._read_hooks[address] = read_hook
+        if write_hook is not None:
+            self._write_hooks[address] = write_hook
+
+    def is_mapped(self, address: int) -> bool:
+        """Whether ``address`` is an implemented register."""
+        return address in self._values
+
+    def rdmsr(self, address: int) -> int:
+        """Read an MSR; raises :class:`MSRError` for unmapped addresses."""
+        if address not in self._values:
+            raise MSRError(f"rdmsr of unimplemented MSR {address:#x}")
+        hook = self._read_hooks.get(address)
+        if hook is not None:
+            self._values[address] = hook()
+        return self._values[address]
+
+    def wrmsr(self, address: int, value: int) -> None:
+        """Write an MSR; raises for unmapped or read-only addresses."""
+        if address not in self._values:
+            raise MSRError(f"wrmsr of unimplemented MSR {address:#x}")
+        if not self._writable[address]:
+            raise MSRError(f"MSR {address:#x} is read-only")
+        if value < 0:
+            raise MSRError("MSR values are unsigned")
+        self._values[address] = value
+        hook = self._write_hooks.get(address)
+        if hook is not None:
+            hook(value)
+
+    def poke(self, address: int, value: int) -> None:
+        """Hardware-side state update (bypasses the writable check).
+
+        Used by the simulated hardware (PMU ticking, status updates), not
+        by driver code.
+        """
+        if address not in self._values:
+            raise MSRError(f"poke of unimplemented MSR {address:#x}")
+        self._values[address] = value

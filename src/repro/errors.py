@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+that callers can catch package-level failures with a single except clause
+while still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class PStateError(ReproError):
+    """Raised for invalid p-state lookups or malformed p-state tables."""
+
+
+class DriverError(ReproError):
+    """Raised by the simulated low-level driver layer (MSR/PMU/SpeedStep)."""
+
+
+class MSRError(DriverError):
+    """Raised on access to an unmapped or read-only model-specific register."""
+
+
+class PMUError(DriverError):
+    """Raised on invalid performance-monitoring-unit configuration.
+
+    The simulated Pentium M PMU has exactly two programmable counters;
+    attempting to program a third, or selecting an unknown event, raises
+    this error -- mirroring how a real driver would reject the request.
+    """
+
+
+class TransitionError(DriverError):
+    """Raised when a DVFS p-state transition request is invalid or fails."""
+
+
+class WorkloadError(ReproError):
+    """Raised for malformed workload definitions (empty phases, bad rates)."""
+
+
+class ModelError(ReproError):
+    """Raised by the online power/performance models for invalid inputs."""
+
+
+class TrainingError(ModelError):
+    """Raised when model training is given an unusable training set."""
+
+
+class GovernorError(ReproError):
+    """Raised for invalid governor configuration (e.g. unachievable limits)."""
+
+
+class MeasurementError(ReproError):
+    """Raised by the simulated power-measurement rig."""
+
+
+class ExperimentError(ReproError):
+    """Raised by experiment drivers for inconsistent configurations."""

@@ -1,0 +1,44 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each ``figN_*``/``tableN_*`` module exposes a ``run(config) -> result``
+function and a ``render(result) -> str`` text renderer producing the
+same rows/series the paper reports.  The per-experiment index lives in
+DESIGN.md §4; measured-vs-paper comparisons are recorded in
+EXPERIMENTS.md.
+
+Shared machinery:
+
+* :mod:`repro.experiments.runner` -- build machines/controllers, run
+  (workload, governor) pairs with the paper's median-of-3 protocol;
+* :mod:`repro.experiments.metrics` -- normalized performance, energy
+  savings, violation accounting, exactly as the paper computes them;
+* :mod:`repro.experiments.suite` -- SPEC-suite sweeps.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_fixed,
+    run_governed,
+    median_run,
+    trained_power_model,
+    worst_case_power_table,
+)
+from repro.experiments.metrics import (
+    normalized_performance,
+    performance_reduction,
+    energy_savings,
+    speedup,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "run_fixed",
+    "run_governed",
+    "median_run",
+    "trained_power_model",
+    "worst_case_power_table",
+    "normalized_performance",
+    "performance_reduction",
+    "energy_savings",
+    "speedup",
+]

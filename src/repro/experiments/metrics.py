@@ -1,0 +1,101 @@
+"""Evaluation metrics, computed exactly as the paper defines them.
+
+* Normalized performance (Fig. 6): "total execution time without power
+  constraints divided by the total execution time with the power
+  constraint".
+* Speedup (Fig. 7): execution-time ratio baseline / candidate.
+* Performance reduction (Figs. 9/11): computed "from the increase in
+  total execution time compared to running at full-speed"; expressed as
+  ``1 - T_fullspeed / T`` so that a 25% time increase is a 20% reduction
+  (matching the floor semantics: an 80% floor allows a 20% reduction).
+* Energy savings (Figs. 9/10): relative to full-speed execution, from
+  10 ms-sample energy sums.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.controller import RunResult
+from repro.errors import ExperimentError
+
+
+def _positive_duration(result: RunResult) -> float:
+    if result.duration_s <= 0:
+        raise ExperimentError(f"run {result.workload} has zero duration")
+    return result.duration_s
+
+
+def normalized_performance(
+    constrained: RunResult, unconstrained: RunResult
+) -> float:
+    """Paper Fig. 6 metric: T_unconstrained / T_constrained (<= ~1)."""
+    return _positive_duration(unconstrained) / _positive_duration(constrained)
+
+
+def speedup(candidate: RunResult, baseline: RunResult) -> float:
+    """Execution-time speedup of ``candidate`` over ``baseline`` (Fig. 7)."""
+    return _positive_duration(baseline) / _positive_duration(candidate)
+
+
+def performance_reduction(result: RunResult, fullspeed: RunResult) -> float:
+    """Fractional performance loss vs full speed (Figs. 9/11)."""
+    return 1.0 - _positive_duration(fullspeed) / _positive_duration(result)
+
+
+def energy_savings(result: RunResult, fullspeed: RunResult) -> float:
+    """Fractional measured-energy savings vs full speed (Figs. 9/10)."""
+    if fullspeed.measured_energy_j <= 0:
+        raise ExperimentError("baseline energy is zero")
+    return 1.0 - result.measured_energy_j / fullspeed.measured_energy_j
+
+
+def suite_normalized_performance(
+    constrained: Sequence[RunResult], unconstrained: Sequence[RunResult]
+) -> float:
+    """Suite-level Fig. 6 metric from total execution times."""
+    return _total_time(unconstrained) / _total_time(constrained)
+
+
+def suite_performance_reduction(
+    results: Sequence[RunResult], fullspeed: Sequence[RunResult]
+) -> float:
+    """Suite-level performance reduction (Fig. 9)."""
+    return 1.0 - _total_time(fullspeed) / _total_time(results)
+
+
+def suite_energy_savings(
+    results: Sequence[RunResult], fullspeed: Sequence[RunResult]
+) -> float:
+    """Suite-level energy savings (Fig. 9)."""
+    total = sum(r.measured_energy_j for r in results)
+    base = sum(r.measured_energy_j for r in fullspeed)
+    if base <= 0:
+        raise ExperimentError("baseline suite energy is zero")
+    return 1.0 - total / base
+
+
+def achieved_speedup_fraction(
+    managed: Sequence[RunResult],
+    static: Sequence[RunResult],
+    unconstrained: Sequence[RunResult],
+) -> float:
+    """Fraction of the possible speedup PM captured (the paper's 86%).
+
+    The paper reports PM "reaching 86% of maximum performance based on
+    the total execution time of the full benchmark suite": the
+    suite-time speedup of PM over static clocking, as a fraction of the
+    speedup unconstrained operation would achieve.
+    """
+    pm_speedup = _total_time(static) / _total_time(managed)
+    max_speedup = _total_time(static) / _total_time(unconstrained)
+    if max_speedup <= 1.0:
+        return 1.0
+    return (pm_speedup - 1.0) / (max_speedup - 1.0)
+
+
+def _total_time(results: Iterable[RunResult]) -> float:
+    total = sum(r.duration_s for r in results)
+    if total <= 0:
+        raise ExperimentError("total suite time is zero")
+    return total

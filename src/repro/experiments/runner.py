@@ -1,0 +1,166 @@
+"""Shared experiment machinery: configured runs and the median protocol.
+
+The paper's protocol: "To account for the variability in workload
+execution times, we employ the standard SPEC approach of executing three
+times and reporting data from the run with the median execution time"
+(§IV).  :func:`median_run` implements that; single-run mode (``runs=1``)
+is the fast default for benchmarks since the simulator's variance is
+small and seeded.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from repro.acpi.pstates import PStateTable, pentium_m_755_table
+from repro.core.controller import PowerManagementController, RunResult
+from repro.core.governors.base import Governor
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.limits import ConstraintSchedule
+from repro.core.models.power import LinearPowerModel
+from repro.core.models.training import collect_training_data, fit_power_model
+from repro.errors import ExperimentError
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.base import Workload
+from repro.workloads.microbenchmarks import worst_case_workload
+from repro.workloads.registry import default_registry
+
+#: A governor factory: given the p-state table, build a fresh governor.
+GovernorFactory = Callable[[PStateTable], Governor]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Common experiment knobs.
+
+    ``scale`` multiplies workload instruction budgets (1.0 = the full
+    synthetic budgets; smaller = faster runs with identical rates and
+    phase structure).  ``runs`` is the paper's repetition count (3 with
+    median selection; 1 for quick sweeps).
+    """
+
+    scale: float = 0.5
+    runs: int = 1
+    seed: int = 0
+    keep_trace: bool = False
+    max_seconds: float = 600.0
+    machine: MachineConfig = field(default_factory=MachineConfig)
+
+    def machine_config(self, seed_offset: int = 0) -> MachineConfig:
+        """Machine config with the experiment seed applied."""
+        return replace(self.machine, seed=self.seed + seed_offset)
+
+    @property
+    def table(self) -> PStateTable:
+        """The platform p-state table."""
+        return self.machine.table
+
+
+def run_governed(
+    workload: Workload,
+    governor_factory: GovernorFactory,
+    config: ExperimentConfig,
+    schedule: ConstraintSchedule | None = None,
+    seed_offset: int = 0,
+    initial_frequency_mhz: float | None = None,
+) -> RunResult:
+    """One (workload, governor) run on a fresh machine."""
+    machine = Machine(config.machine_config(seed_offset))
+    governor = governor_factory(machine.config.table)
+    controller = PowerManagementController(
+        machine, governor, keep_trace=config.keep_trace
+    )
+    initial = (
+        machine.config.table.by_frequency(initial_frequency_mhz)
+        if initial_frequency_mhz is not None
+        else None
+    )
+    return controller.run(
+        workload.scaled(config.scale),
+        initial_pstate=initial,
+        schedule=schedule,
+        max_seconds=config.max_seconds,
+    )
+
+
+def run_fixed(
+    workload: Workload,
+    frequency_mhz: float,
+    config: ExperimentConfig,
+    seed_offset: int = 0,
+) -> RunResult:
+    """Run a workload pinned at one frequency (paper's reference runs).
+
+    The run *starts* at the pinned frequency too -- otherwise the first
+    tick would execute at P0 and bias short characterization runs.
+    """
+    return run_governed(
+        workload,
+        lambda table: FixedFrequency(table, frequency_mhz),
+        config,
+        seed_offset=seed_offset,
+        initial_frequency_mhz=frequency_mhz,
+    )
+
+
+def median_run(
+    workload: Workload,
+    governor_factory: GovernorFactory,
+    config: ExperimentConfig,
+    schedule: ConstraintSchedule | None = None,
+) -> RunResult:
+    """The paper's protocol: ``config.runs`` repetitions, median by time."""
+    if config.runs < 1:
+        raise ExperimentError("need at least one run")
+    results = [
+        run_governed(
+            workload,
+            governor_factory,
+            config,
+            schedule=schedule,
+            seed_offset=100 * i,
+        )
+        for i in range(config.runs)
+    ]
+    results.sort(key=lambda r: r.duration_s)
+    return results[len(results) // 2]
+
+
+@functools.lru_cache(maxsize=4)
+def trained_power_model(seed: int = 0) -> LinearPowerModel:
+    """The power model trained on MS-Loops (cached per process).
+
+    Experiments use the *trained* model by default -- the paper trains
+    on the microbenchmarks, then manages SPEC with the result.  The
+    published Table II coefficients remain available via
+    :meth:`LinearPowerModel.paper_model` for comparisons.
+    """
+    points = collect_training_data(config=MachineConfig(seed=seed))
+    return fit_power_model(points)
+
+
+@functools.lru_cache(maxsize=4)
+def worst_case_power_table(
+    scale: float = 3.0, seed: int = 0
+) -> Mapping[float, float]:
+    """Measured FMA-256KB power per p-state (regenerates Table III).
+
+    This is the worst-case characterization static clocking provisions
+    against; it is *measured* (run on the simulated rig), not computed
+    from model constants.
+    """
+    table = pentium_m_755_table()
+    workload = worst_case_workload()
+    config = ExperimentConfig(scale=scale, seed=seed)
+    out: dict[float, float] = {}
+    for pstate in table:
+        result = run_fixed(workload, pstate.frequency_mhz, config)
+        out[pstate.frequency_mhz] = result.mean_power_w
+    return out
+
+
+def spec_suite(config: ExperimentConfig) -> tuple[Workload, ...]:
+    """The SPEC CPU2000 suite (unscaled; runs apply ``config.scale``)."""
+    return default_registry().spec_suite()

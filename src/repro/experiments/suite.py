@@ -1,0 +1,46 @@
+"""SPEC-suite sweep helpers shared by the figure experiments."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.controller import RunResult
+from repro.experiments.runner import (
+    ExperimentConfig,
+    GovernorFactory,
+    median_run,
+    run_fixed,
+)
+from repro.workloads.registry import default_registry
+
+
+def run_suite_fixed(
+    frequency_mhz: float, config: ExperimentConfig
+) -> Dict[str, RunResult]:
+    """Every SPEC benchmark pinned at one frequency."""
+    results: Dict[str, RunResult] = {}
+    for workload in default_registry().spec_suite():
+        results[workload.name] = run_fixed(workload, frequency_mhz, config)
+    return results
+
+
+def run_suite_governed(
+    governor_factory: GovernorFactory, config: ExperimentConfig
+) -> Dict[str, RunResult]:
+    """Every SPEC benchmark under a fresh governor instance.
+
+    Uses the paper's median-of-``config.runs`` protocol per benchmark.
+    """
+    results: Dict[str, RunResult] = {}
+    for workload in default_registry().spec_suite():
+        results[workload.name] = median_run(workload, governor_factory, config)
+    return results
+
+
+def suite_order(results: Dict[str, RunResult]) -> tuple[str, ...]:
+    """Benchmark names in canonical suite order present in ``results``."""
+    return tuple(
+        w.name
+        for w in default_registry().spec_suite()
+        if w.name in results
+    )

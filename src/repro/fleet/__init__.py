@@ -1,0 +1,32 @@
+"""Shared-budget fleet coordination (the paper's PM situation (i)).
+
+The paper motivates PerformanceMaximizer with "(i) controlling multiple
+components with shared power supply/cooling resources" and cites Felter
+et al.'s performance-conserving power shifting (its reference [7]).
+This subpackage composes those pieces: several simulated machines, each
+under its own PM instance, with a coordinator that periodically
+redistributes a *total* power budget among them according to an
+allocation policy.
+
+* :mod:`repro.fleet.budget`     -- allocation policies (equal share,
+  demand-proportional water-filling),
+* :mod:`repro.fleet.controller` -- the lock-step fleet run loop.
+"""
+
+from repro.fleet.budget import (
+    BudgetAllocator,
+    DemandProportional,
+    EqualShare,
+    NodeDemand,
+)
+from repro.fleet.controller import FleetController, FleetResult, NodeResult
+
+__all__ = [
+    "BudgetAllocator",
+    "EqualShare",
+    "DemandProportional",
+    "NodeDemand",
+    "FleetController",
+    "FleetResult",
+    "NodeResult",
+]

@@ -1,0 +1,140 @@
+"""Fleet power-budget allocation policies.
+
+An allocator splits a total budget across nodes given each node's
+*demand* -- the power its workload would draw at full speed, estimated
+with the paper's DPC model (so allocation, like everything else, runs on
+counters, not on privileged knowledge).
+
+Two policies:
+
+* :class:`EqualShare` -- the static strawman: budget / live nodes each,
+  regardless of need.  A memory-bound node wastes headroom a compute-
+  bound neighbour could have used.
+* :class:`DemandProportional` -- water-filling: satisfy everyone's
+  demand if possible; otherwise grant proportionally to demand, never
+  granting more than demand while surplus remains (the Felter-style
+  performance-conserving shift).
+
+Every allocation respects two invariants (property-tested): grants sum
+to at most the total budget, and no node receives less than the floor
+needed to run at the lowest p-state.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import GovernorError
+
+#: No node is ever granted less than this: roughly the platform's power
+#: at the lowest p-state under load, so PM always has a feasible choice.
+MIN_GRANT_W = 4.0
+
+
+@dataclass(frozen=True)
+class NodeDemand:
+    """One node's standing in an allocation round."""
+
+    name: str
+    #: Estimated power at full speed for the current workload (W).
+    demand_w: float
+    #: Whether the node still has work (finished nodes get nothing).
+    active: bool = True
+
+    def __post_init__(self) -> None:
+        if self.demand_w < 0:
+            raise GovernorError("demand cannot be negative")
+
+
+class BudgetAllocator(abc.ABC):
+    """Splits ``total_budget_w`` across nodes each reallocation round."""
+
+    @abc.abstractmethod
+    def allocate(
+        self, total_budget_w: float, demands: Sequence[NodeDemand]
+    ) -> Mapping[str, float]:
+        """Return per-node power grants (W), keyed by node name."""
+
+    @staticmethod
+    def _check(total_budget_w: float, demands: Sequence[NodeDemand]) -> None:
+        if total_budget_w <= 0:
+            raise GovernorError("total budget must be positive")
+        if not demands:
+            raise GovernorError("no nodes to allocate to")
+        names = [d.name for d in demands]
+        if len(set(names)) != len(names):
+            raise GovernorError(f"duplicate node names: {names}")
+
+
+class EqualShare(BudgetAllocator):
+    """Budget / active-nodes each; inactive nodes get zero."""
+
+    def allocate(
+        self, total_budget_w: float, demands: Sequence[NodeDemand]
+    ) -> Mapping[str, float]:
+        self._check(total_budget_w, demands)
+        active = [d for d in demands if d.active]
+        grants = {d.name: 0.0 for d in demands}
+        if not active:
+            return grants
+        share = total_budget_w / len(active)
+        for demand in active:
+            grants[demand.name] = max(share, MIN_GRANT_W)
+        return grants
+
+
+class DemandProportional(BudgetAllocator):
+    """Water-filling by demand with a per-node floor.
+
+    1. every active node gets the floor (:data:`MIN_GRANT_W`);
+    2. remaining budget is granted up to demand, proportionally to the
+       unmet demand, iterating so no node exceeds its demand while
+       another is still short (classic water-filling);
+    3. any surplus after all demands are met is spread equally as
+       headroom (bursts above the estimate happen; see galgel).
+    """
+
+    def allocate(
+        self, total_budget_w: float, demands: Sequence[NodeDemand]
+    ) -> Mapping[str, float]:
+        self._check(total_budget_w, demands)
+        grants = {d.name: 0.0 for d in demands}
+        active = [d for d in demands if d.active]
+        if not active:
+            return grants
+
+        for demand in active:
+            grants[demand.name] = MIN_GRANT_W
+        remaining = total_budget_w - MIN_GRANT_W * len(active)
+        if remaining <= 0:
+            return grants
+
+        # Water-fill toward each node's demand.
+        unmet = {
+            d.name: max(0.0, d.demand_w - grants[d.name]) for d in active
+        }
+        for _ in range(len(active)):
+            shortfall = {n: u for n, u in unmet.items() if u > 1e-9}
+            if not shortfall or remaining <= 1e-9:
+                break
+            total_unmet = sum(shortfall.values())
+            pool = min(remaining, total_unmet)
+            exhausted = False
+            for name, need in shortfall.items():
+                grant = min(need, pool * need / total_unmet)
+                grants[name] += grant
+                unmet[name] -= grant
+                remaining -= grant
+                if unmet[name] <= 1e-9:
+                    exhausted = True
+            if not exhausted:
+                break
+
+        # Spread any surplus as equal headroom.
+        if remaining > 1e-9:
+            bonus = remaining / len(active)
+            for demand in active:
+                grants[demand.name] += bonus
+        return grants

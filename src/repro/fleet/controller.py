@@ -1,0 +1,208 @@
+"""Fleet run loop: N machines, one shared power budget.
+
+Each node runs its own PerformanceMaximizer against a *per-node* limit;
+the fleet controller re-divides the shared budget every
+``reallocation_period_s`` using an allocation policy and delivers the
+new limits exactly the way the paper's prototype receives them at
+runtime (the SIGUSR path -> :meth:`PerformanceMaximizer.set_power_limit`).
+
+Node demand is estimated from the node's own counters: the DPC sample
+projected to full speed through Eq. 4 and priced with the power model --
+so the coordinator needs nothing the paper's infrastructure does not
+already provide.
+
+Nodes that finish their workload power off (demand and draw drop to
+zero) and their budget share shifts to the stragglers -- the
+power-shifting benefit the paper's situation (i) describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.models.power import LinearPowerModel
+from repro.core.models.projection import project_dpc
+from repro.core.sampling import CounterSampler
+from repro.errors import ExperimentError
+from repro.fleet.budget import BudgetAllocator, NodeDemand
+from repro.measurement.power_meter import PowerMeter
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class NodeResult:
+    """Per-node outcome of a fleet run."""
+
+    name: str
+    workload: str
+    duration_s: float
+    instructions: float
+    energy_j: float
+    final_limit_w: float
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one fleet run."""
+
+    total_budget_w: float
+    nodes: Mapping[str, NodeResult]
+    #: (time, total measured fleet power) per tick.
+    power_series: tuple[tuple[float, float], ...]
+    makespan_s: float
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(n.instructions for n in self.nodes.values())
+
+    @property
+    def mean_fleet_power_w(self) -> float:
+        if not self.power_series:
+            return 0.0
+        return sum(w for _, w in self.power_series) / len(self.power_series)
+
+    def budget_violation_fraction(self, window: int = 10) -> float:
+        """Fraction of 100 ms windows the *fleet* power exceeds budget."""
+        values = [w for _, w in self.power_series]
+        if len(values) < window:
+            return 0.0
+        over = 0
+        count = 0
+        acc = sum(values[:window])
+        for i in range(window, len(values) + 1):
+            count += 1
+            if acc / window > self.total_budget_w + 1e-9:
+                over += 1
+            if i < len(values):
+                acc += values[i] - values[i - window]
+        return over / count
+
+
+class _Node:
+    """One machine + PM governor + instrumentation."""
+
+    def __init__(self, name, workload, model, limit_w, seed):
+        self.name = name
+        self.machine = Machine(MachineConfig(seed=seed))
+        self.meter = PowerMeter(
+            interval_s=self.machine.config.tick_s,
+            rng=np.random.default_rng(seed + 5000),
+        )
+        self.machine.add_power_sink(self.meter.accumulate)
+        self.governor = PerformanceMaximizer(
+            self.machine.config.table, model, limit_w
+        )
+        self.machine.load(workload)
+        self.sampler = CounterSampler(self.machine.pmu, self.governor.events)
+        self.sampler.start()
+        self.workload_name = workload.name
+        self.instructions = 0.0
+        self.finish_time_s: float | None = None
+        self.last_dpc = 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.machine.finished
+
+    def tick(self) -> float:
+        """Advance one tick; returns measured power for the tick."""
+        record = self.machine.step()
+        sample = self.sampler.sample(record.duration_s)
+        self.instructions += record.instructions
+        self.last_dpc = sample.dpc
+        target = self.governor.decide(sample, self.machine.current_pstate)
+        if target != self.machine.current_pstate:
+            self.machine.speedstep.set_pstate(target)
+        if self.finished and self.finish_time_s is None:
+            self.finish_time_s = self.machine.now_s
+        if self.meter.samples:
+            return self.meter.samples[-1].watts
+        return record.mean_power_w
+
+    def demand(self, model: LinearPowerModel) -> NodeDemand:
+        """Estimated full-speed power need from the node's own counters."""
+        if self.finished:
+            return NodeDemand(self.name, 0.0, active=False)
+        table = self.machine.config.table
+        current = self.machine.current_pstate
+        dpc_at_top = project_dpc(
+            self.last_dpc, current.frequency_mhz, table.fastest.frequency_mhz
+        )
+        estimate = model.estimate(table.fastest, dpc_at_top)
+        return NodeDemand(self.name, estimate + 0.5, active=True)
+
+
+class FleetController:
+    """Runs N (workload, node) pairs against one shared power budget."""
+
+    def __init__(
+        self,
+        workloads: Mapping[str, Workload],
+        model: LinearPowerModel,
+        total_budget_w: float,
+        allocator: BudgetAllocator,
+        reallocation_period_s: float = 0.1,
+        seed: int = 0,
+    ):
+        if total_budget_w <= 0:
+            raise ExperimentError("fleet budget must be positive")
+        if not workloads:
+            raise ExperimentError("fleet needs at least one node")
+        self._model = model
+        self._budget = total_budget_w
+        self._allocator = allocator
+        self._period = reallocation_period_s
+        self._nodes = [
+            _Node(name, workload, model, total_budget_w / len(workloads),
+                  seed + 17 * i)
+            for i, (name, workload) in enumerate(sorted(workloads.items()))
+        ]
+
+    def run(self, max_seconds: float = 600.0) -> FleetResult:
+        """Run until every node finishes; returns fleet-level results."""
+        power_series: list[tuple[float, float]] = []
+        now = 0.0
+        next_reallocation = 0.0
+        tick = self._nodes[0].machine.config.tick_s
+
+        while any(not n.finished for n in self._nodes):
+            if now > max_seconds:
+                raise ExperimentError("fleet exceeded its time budget")
+            if now >= next_reallocation - 1e-12:
+                demands = [n.demand(self._model) for n in self._nodes]
+                grants = self._allocator.allocate(self._budget, demands)
+                for node in self._nodes:
+                    grant = grants[node.name]
+                    if grant > 0:
+                        node.governor.set_power_limit(grant)
+                next_reallocation += self._period
+
+            total = 0.0
+            for node in self._nodes:
+                if not node.finished:
+                    total += node.tick()
+            now += tick
+            power_series.append((now, total))
+
+        nodes = {
+            n.name: NodeResult(
+                name=n.name,
+                workload=n.workload_name,
+                duration_s=n.finish_time_s or now,
+                instructions=n.instructions,
+                energy_j=n.meter.energy_j(),
+                final_limit_w=n.governor.power_limit_w,
+            )
+            for n in self._nodes
+        }
+        return FleetResult(
+            total_budget_w=self._budget,
+            nodes=nodes,
+            power_series=tuple(power_series),
+            makespan_s=now,
+        )

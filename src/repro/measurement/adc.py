@@ -1,0 +1,67 @@
+"""DAQ analog-to-digital conversion model.
+
+The PCI-6052E in the paper's rig is a 16-bit DAQ with a peak rate of
+333 kS/s -- "more than adequate for the 10 ms sampling intervals in this
+study" (§III-B).  We model the two effects that survive 10 ms averaging:
+quantization to the converter's step size and a small residual white
+noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass
+class ADCModel:
+    """Quantizing, noisy analog-to-digital converter.
+
+    Parameters
+    ----------
+    full_scale_watts:
+        Input range mapped onto the converter (the rig is configured so
+        peak processor power sits comfortably inside the range).
+    bits:
+        Converter resolution.
+    noise_floor_watts:
+        RMS residual noise after the 10 ms average (amplifier +
+        reference drift), in watts.
+    """
+
+    full_scale_watts: float = 32.0
+    bits: int = 16
+    noise_floor_watts: float = 0.04
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if self.full_scale_watts <= 0:
+            raise MeasurementError("full scale must be positive")
+        if not 4 <= self.bits <= 24:
+            raise MeasurementError("implausible ADC resolution")
+        if self.noise_floor_watts < 0:
+            raise MeasurementError("noise floor must be non-negative")
+        self._rng = self.rng if self.rng is not None else np.random.default_rng()
+
+    @property
+    def lsb_watts(self) -> float:
+        """Quantization step in watts."""
+        return self.full_scale_watts / (1 << self.bits)
+
+    def convert(self, value_watts: float) -> float:
+        """Digitize one averaged power reading.
+
+        Values are clipped to the converter range (a saturated reading,
+        not an exception -- exactly what the real DAQ would report).
+        """
+        noisy = value_watts + self._rng.normal(0.0, self.noise_floor_watts)
+        clipped = min(max(noisy, 0.0), self.full_scale_watts)
+        return round(clipped / self.lsb_watts) * self.lsb_watts
+
+    @property
+    def peak_sample_rate_hz(self) -> float:
+        """Documentation-parity constant: the 6052E's 333 kS/s peak rate."""
+        return 333_000.0

@@ -1,0 +1,182 @@
+"""The assembled power-measurement rig: 10 ms power samples + GPIO sync.
+
+:class:`PowerMeter` integrates instantaneous power fed by the machine
+into fixed-interval (default 10 ms) samples, passes each through the
+sense-resistor and ADC models, and timestamps GPIO markers used to
+delimit benchmark runs -- mirroring the paper's measurement methodology
+(power sampled at 10 ms; energy computed "by summing energy values
+computed from each 10 ms power sample", §IV-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measurement.adc import ADCModel
+from repro.measurement.sense import SenseResistorChannel
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One aggregated measurement interval.
+
+    ``time_s`` is the interval's *end* timestamp; ``watts`` the measured
+    (noisy, quantized) mean power over the interval; ``true_watts`` the
+    simulator's ground truth, retained for model-error analysis only --
+    the paper's software never sees it.
+    """
+
+    time_s: float
+    watts: float
+    true_watts: float
+    #: Actual span of the sample -- equal to the meter interval except
+    #: for a final partial sample closed by :meth:`PowerMeter.flush`.
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class SyncMarker:
+    """A GPIO edge used to synchronize workload execution with the trace."""
+
+    time_s: float
+    label: str
+
+
+class PowerMeter:
+    """Integrating power meter with a fixed sampling interval.
+
+    The machine calls :meth:`accumulate` with (power, duration) segments;
+    the meter closes a sample every ``interval_s`` of accumulated time.
+    Segments may straddle sample boundaries; they are split exactly.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 0.010,
+        sense: SenseResistorChannel | None = None,
+        adc: ADCModel | None = None,
+        supply_voltage_v: float = 1.34,
+        rng: np.random.Generator | None = None,
+    ):
+        if interval_s <= 0:
+            raise MeasurementError("sampling interval must be positive")
+        self.interval_s = interval_s
+        rng = rng if rng is not None else np.random.default_rng()
+        self._sense = sense if sense is not None else SenseResistorChannel(rng=rng)
+        self._adc = adc if adc is not None else ADCModel(rng=rng)
+        self._supply_v = supply_voltage_v
+        self._samples: List[PowerSample] = []
+        self._markers: List[SyncMarker] = []
+        self._time_s = 0.0
+        self._bucket_energy_j = 0.0
+        self._bucket_time_s = 0.0
+
+    # -- feeding ---------------------------------------------------------------
+
+    def accumulate(self, power_watts: float, duration_s: float) -> None:
+        """Integrate ``power_watts`` held for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise MeasurementError("duration must be non-negative")
+        if power_watts < 0:
+            raise MeasurementError("power must be non-negative")
+        remaining = duration_s
+        while remaining > 0:
+            room = self.interval_s - self._bucket_time_s
+            chunk = min(room, remaining)
+            self._bucket_energy_j += power_watts * chunk
+            self._bucket_time_s += chunk
+            self._time_s += chunk
+            remaining -= chunk
+            if self._bucket_time_s >= self.interval_s - 1e-12:
+                self._close_sample()
+
+    def mark(self, label: str) -> SyncMarker:
+        """Record a GPIO sync edge at the current time."""
+        marker = SyncMarker(self._time_s, label)
+        self._markers.append(marker)
+        return marker
+
+    def flush(self) -> None:
+        """Close a partial final sample (end of run)."""
+        if self._bucket_time_s > 1e-12:
+            self._close_sample()
+
+    def _close_sample(self) -> None:
+        true_mean = self._bucket_energy_j / self._bucket_time_s
+        sensed = self._sense.measure_power(true_mean, self._supply_v)
+        measured = self._adc.convert(sensed)
+        self._samples.append(
+            PowerSample(self._time_s, measured, true_mean, self._bucket_time_s)
+        )
+        self._bucket_energy_j = 0.0
+        self._bucket_time_s = 0.0
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def samples(self) -> tuple[PowerSample, ...]:
+        """All closed samples so far."""
+        return tuple(self._samples)
+
+    @property
+    def markers(self) -> tuple[SyncMarker, ...]:
+        """All GPIO markers so far."""
+        return tuple(self._markers)
+
+    @property
+    def now_s(self) -> float:
+        """Accumulated measurement time."""
+        return self._time_s
+
+    def samples_between(self, start_label: str, end_label: str) -> tuple[PowerSample, ...]:
+        """Samples whose timestamps fall between two GPIO markers.
+
+        This is how the paper attributes power to a benchmark run: GPIO
+        edges at run start/end bracket the relevant samples.
+        """
+        start = self._marker_time(start_label)
+        end = self._marker_time(end_label)
+        if end < start:
+            raise MeasurementError(
+                f"marker {end_label!r} precedes {start_label!r}"
+            )
+        return tuple(s for s in self._samples if start < s.time_s <= end + 1e-12)
+
+    def _marker_time(self, label: str) -> float:
+        for marker in self._markers:
+            if marker.label == label:
+                return marker.time_s
+        raise MeasurementError(f"no GPIO marker labelled {label!r}")
+
+    def energy_j(self, samples: Iterable[PowerSample] | None = None) -> float:
+        """Measured energy: sum of sample power x duration (paper §IV-B2).
+
+        All samples span the 10 ms interval except a final partial one,
+        whose true duration is used so short runs are not inflated.
+        """
+        use = self._samples if samples is None else list(samples)
+        return sum(s.watts * s.duration_s for s in use)
+
+    def moving_average(self, window: int) -> list[tuple[float, float]]:
+        """Moving average of measured power over ``window`` samples.
+
+        The paper evaluates PM's limit adherence on a 100 ms moving
+        window of ten 10 ms samples; this helper produces that series as
+        (end_time, average_watts) pairs.
+        """
+        if window <= 0:
+            raise MeasurementError("window must be positive")
+        out: list[tuple[float, float]] = []
+        acc = 0.0
+        vals = self._samples
+        for i, sample in enumerate(vals):
+            acc += sample.watts
+            if i >= window:
+                acc -= vals[i - window].watts
+            if i >= window - 1:
+                out.append((sample.time_s, acc / window))
+        return out

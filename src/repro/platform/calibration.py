@@ -1,0 +1,141 @@
+"""Calibration queries: per-workload behaviour summaries of the platform.
+
+This module answers, in one place, the questions the reproduction's
+calibration rests on: what counter signature does a workload show at a
+p-state, how does its true throughput scale with frequency, which class
+does the paper's discriminator put it in, and what the PS floor math
+implies for it.  The developer report (``scripts/calibration_report.py``)
+and several tests are thin clients of these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.acpi.pstates import PStateTable, pentium_m_755_table
+from repro.platform.caches import MemoryTiming, PENTIUM_M_755_TIMING
+from repro.platform.pipeline import resolve_rates
+from repro.platform.power import (
+    PENTIUM_M_755_POWER,
+    PowerModelConstants,
+    ground_truth_power,
+)
+from repro.workloads.base import Workload
+
+#: The paper's Eq. 3 classifier threshold, used for reporting.
+DCU_IPC_THRESHOLD = 1.21
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """Analytic (noise-free) characterization of one workload.
+
+    All per-cycle figures are time-weighted means over the workload's
+    phase cycle at 2000 MHz; ``scaling[f]`` is true throughput at ``f``
+    relative to 2000 MHz.
+    """
+
+    name: str
+    dpc: float
+    ipc: float
+    dcu_per_ipc: float
+    mean_power_w: float
+    scaling: Mapping[float, float]
+
+    @property
+    def classified_memory_bound(self) -> bool:
+        """Whether Eq. 3 would put the (average) workload in the memory
+        class at 2 GHz."""
+        return self.dcu_per_ipc >= DCU_IPC_THRESHOLD
+
+    def reduction_at(self, frequency_mhz: float) -> float:
+        """True performance reduction when pinned at ``frequency_mhz``."""
+        return 1.0 - self.scaling[frequency_mhz]
+
+
+def workload_signature(
+    workload: Workload,
+    table: PStateTable | None = None,
+    timing: MemoryTiming = PENTIUM_M_755_TIMING,
+    power: PowerModelConstants = PENTIUM_M_755_POWER,
+) -> WorkloadSignature:
+    """Compute the analytic signature of ``workload``.
+
+    Uses the pipeline model directly (no machine run, no noise), which
+    makes it exact and fast -- the right tool for calibration assertions
+    and sorting, not for experiments (those must go through the PMU and
+    the meter like the paper's software).
+    """
+    table = table if table is not None else pentium_m_755_table()
+    top = table.fastest
+
+    def time_weighted(pstate):
+        total_instr = sum(p.instructions for p in workload.phases)
+        total_time = 0.0
+        acc = {"dpc": 0.0, "ipc": 0.0, "dcu": 0.0, "power": 0.0}
+        times = []
+        for phase in workload.phases:
+            rates = resolve_rates(phase, pstate, timing)
+            t = phase.instructions / rates.ips
+            times.append((phase, rates, t))
+            total_time += t
+        for phase, rates, t in times:
+            weight = t / total_time
+            acc["dpc"] += rates.dpc * weight
+            acc["ipc"] += rates.ipc * weight
+            acc["dcu"] += rates.events.dcu_miss_outstanding * weight
+            acc["power"] += ground_truth_power(pstate, rates.events, power) * weight
+        return acc, total_time, total_instr
+
+    top_acc, top_time, _ = time_weighted(top)
+    scaling = {}
+    for pstate in table:
+        _, t, _ = time_weighted(pstate)
+        scaling[pstate.frequency_mhz] = top_time / t
+
+    return WorkloadSignature(
+        name=workload.name,
+        dpc=top_acc["dpc"],
+        ipc=top_acc["ipc"],
+        dcu_per_ipc=top_acc["dcu"] / top_acc["ipc"],
+        mean_power_w=top_acc["power"],
+        scaling=scaling,
+    )
+
+
+def suite_signatures(
+    workloads: Mapping[str, Workload] | None = None,
+) -> dict[str, WorkloadSignature]:
+    """Signatures for a set of workloads (default: the SPEC suite)."""
+    if workloads is None:
+        from repro.workloads.registry import default_registry
+
+        workloads = {w.name: w for w in default_registry().spec_suite()}
+    return {name: workload_signature(w) for name, w in workloads.items()}
+
+
+def ps_choice_for_signature(
+    signature: WorkloadSignature,
+    floor: float,
+    exponent: float = 0.81,
+    table: PStateTable | None = None,
+) -> float:
+    """The frequency the paper's PS model picks for a steady workload.
+
+    Closed-form version of PowerSave's decision at 2 GHz: core class
+    scales as ``f'/f``; memory class as ``(f'/f)^(1-e)``; the choice is
+    the lowest frequency strictly above the floor.
+    """
+    table = table if table is not None else pentium_m_755_table()
+    top = table.fastest.frequency_mhz
+    for pstate in table.ascending():
+        ratio = pstate.frequency_mhz / top
+        predicted = (
+            ratio ** (1.0 - exponent)
+            if signature.classified_memory_bound
+            else ratio
+        )
+        if predicted > floor + 1e-12:
+            return pstate.frequency_mhz
+    return top

@@ -1,0 +1,130 @@
+"""DVFS p-state transition state machine.
+
+On the real Pentium M, a p-state change reprograms the core PLL and the
+voltage regulator's VID pins through machine-specific registers (paper
+§III-B).  The transition is not free: the core halts while the PLL
+relocks (~10 us on Enhanced SpeedStep) and the voltage must ramp before a
+frequency *increase* (raise V first, then f) or after a *decrease*
+(lower f first, then V) to keep the circuit within its safe operating
+region.
+
+This module models the transition as a short dead time during which no
+instructions execute, and exposes the voltage-sequencing order so tests
+can verify the safety invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.acpi.pstates import PState, PStateTable
+from repro.errors import TransitionError
+
+
+@dataclass(frozen=True)
+class TransitionStep:
+    """One hardware action within a p-state transition."""
+
+    kind: str  # "voltage" or "frequency"
+    value: float
+
+
+@dataclass
+class TransitionResult:
+    """Outcome of a requested transition."""
+
+    old: PState
+    new: PState
+    dead_time_s: float
+    steps: tuple[TransitionStep, ...]
+
+    @property
+    def changed(self) -> bool:
+        return self.old != self.new
+
+
+@dataclass
+class DvfsController:
+    """Sequences safe voltage/frequency changes between table p-states.
+
+    Parameters
+    ----------
+    table:
+        The p-state table; only members of this table are legal targets.
+    pll_relock_s:
+        Core dead time per frequency change (PLL relock).
+    volt_ramp_s_per_volt:
+        Additional dead time per volt of VID change (regulator slew).
+        On real hardware execution continues during voltage ramps; we
+        charge a conservative small cost so transition-heavy policies are
+        not free.
+    """
+
+    table: PStateTable
+    pll_relock_s: float = 10e-6
+    volt_ramp_s_per_volt: float = 50e-6
+    _current: PState = field(init=False)
+    _transitions: int = field(default=0, init=False)
+    _dead_time_total_s: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        self._current = self.table.fastest
+
+    @property
+    def current(self) -> PState:
+        """The p-state the core is presently running in."""
+        return self._current
+
+    @property
+    def transition_count(self) -> int:
+        """Number of completed (state-changing) transitions."""
+        return self._transitions
+
+    @property
+    def total_dead_time_s(self) -> float:
+        """Cumulative core dead time spent in transitions."""
+        return self._dead_time_total_s
+
+    def reset(self, pstate: PState | None = None) -> None:
+        """Reset to ``pstate`` (default P0) without charging dead time."""
+        target = pstate if pstate is not None else self.table.fastest
+        if target not in self.table:
+            raise TransitionError(f"{target} is not in the p-state table")
+        self._current = target
+        self._transitions = 0
+        self._dead_time_total_s = 0.0
+
+    def request(self, target: PState) -> TransitionResult:
+        """Transition to ``target``, returning the sequenced steps.
+
+        Raising frequency: voltage is stepped up first, then the PLL is
+        reprogrammed.  Lowering frequency: PLL first, then voltage down.
+        A request for the current state is a no-op with zero cost.
+        """
+        if target not in self.table:
+            raise TransitionError(
+                f"{target} is not a p-state of this processor"
+            )
+        old = self._current
+        if target == old:
+            return TransitionResult(old, old, 0.0, ())
+
+        going_up = target.frequency_mhz > old.frequency_mhz
+        if going_up:
+            steps = (
+                TransitionStep("voltage", target.voltage),
+                TransitionStep("frequency", target.frequency_mhz),
+            )
+        else:
+            steps = (
+                TransitionStep("frequency", target.frequency_mhz),
+                TransitionStep("voltage", target.voltage),
+            )
+
+        dead = self.pll_relock_s + self.volt_ramp_s_per_volt * abs(
+            target.voltage - old.voltage
+        )
+        self._current = target
+        self._transitions += 1
+        self._dead_time_total_s += dead
+        return TransitionResult(old, target, dead, steps)

@@ -1,0 +1,142 @@
+"""Component-level ground-truth power synthesis.
+
+This is the simulator's *actual* power -- the quantity the paper measures
+with sense resistors.  The governors never see it directly (except the
+adaptive-PM extension); they see the DPC-based linear model fitted on top
+of it by :mod:`repro.core.models.training`.
+
+The synthesis follows CMOS physics (paper Eq. 1, ``P = alpha*C*V^2*f``)
+with per-component activity:
+
+``P = V^2 * f_GHz * (c_base + c_dpc(f)*DPC + c_fp*FP + c_l2*L2 + c_bus*BUS)
+     + P_leak(V)``
+
+where DPC/FP/L2/BUS are per-cycle rates of decoded instructions, FP
+micro-ops, L2 requests and data-bus-busy cycles.  The component split is
+what makes the DPC-only linear model *approximately* right (DPC dominates
+and correlates with the rest on the training set) yet *wrong in
+interesting ways* for outliers -- galgel's FP/L2-heavy bursts exceed the
+DPC model's estimate, which is exactly the power-limit-violation story of
+the paper's §IV-A2.
+
+``c_dpc`` carries a mild frequency dependence, reflecting the deeper
+speculation and higher toggle rates sustained at high clock (the paper's
+fitted Table II slopes grow ~40% faster than ``V^2 f`` alone from 600 to
+2000 MHz; this term reproduces that).
+
+Calibration targets (see tests/platform/test_calibration.py):
+
+* refitting ``P = alpha*DPC + beta`` per p-state on the MS-Loops training
+  set reproduces the paper's Table II within tolerance;
+* the FMA-256KB frequency sweep reproduces Table III within tolerance,
+  preserving the static-frequency crossovers of Table IV exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acpi.pstates import PState
+from repro.errors import ModelError
+from repro.platform.events import EventRates
+from repro.platform.leakage import LeakageModel, PENTIUM_M_755_LEAKAGE
+
+
+@dataclass(frozen=True)
+class PowerModelConstants:
+    """Component activity-power coefficients, in W per (V^2 * GHz * rate).
+
+    Attributes
+    ----------
+    c_base:
+        Clock grid, fetch/decode front-end idle toggling -- burns power
+        every unhalted cycle regardless of useful work.
+    c_dpc_0 / c_dpc_slope:
+        Per-decoded-instruction coefficient ``c_dpc(f) = c_dpc_0 +
+        c_dpc_slope * f_GHz``.
+    c_fp:
+        Per FP micro-op executed (FPU datapaths are wide and power-dense).
+    c_l2:
+        Per L2 request (tag + data array reads of a 2 MiB SRAM).
+    c_bus:
+        Per data-bus-busy cycle (I/O drivers).
+    leakage:
+        Static power model.
+    """
+
+    c_base: float = 2.90
+    c_dpc_0: float = 0.40
+    c_dpc_slope: float = 0.15
+    c_fp: float = 0.30
+    c_l2: float = 2.70
+    c_bus: float = 0.15
+    #: Fraction of the clock-grid power gated away while the pipeline is
+    #: stalled on outstanding cache misses (deeper clock gating during
+    #: memory stalls -- this is what pushes memory-bound workloads below
+    #: the linear fit's intercept in the paper's Fig. 1).
+    c_gate: float = 0.025
+    leakage: LeakageModel = PENTIUM_M_755_LEAKAGE
+
+    def __post_init__(self) -> None:
+        for name in ("c_base", "c_dpc_0", "c_fp", "c_l2", "c_bus"):
+            if getattr(self, name) < 0:
+                raise ModelError(f"{name} must be non-negative")
+
+    def c_dpc(self, frequency_ghz: float) -> float:
+        """Effective per-DPC coefficient at ``frequency_ghz``."""
+        return self.c_dpc_0 + self.c_dpc_slope * frequency_ghz
+
+
+#: Constants calibrated against the paper's Table II / Table III.
+PENTIUM_M_755_POWER = PowerModelConstants()
+
+
+def ground_truth_power(
+    pstate: PState,
+    events: EventRates,
+    constants: PowerModelConstants = PENTIUM_M_755_POWER,
+    temperature_c: float | None = None,
+) -> float:
+    """Instantaneous processor power in watts.
+
+    Parameters
+    ----------
+    pstate:
+        Current operating point.
+    events:
+        Per-cycle activity rates from the pipeline model.
+    constants:
+        Component coefficients (defaults to the calibrated Dothan set).
+    temperature_c:
+        Optional die temperature for the leakage term.
+    """
+    f = pstate.frequency_ghz
+    v2f = pstate.v2f
+    gated_base = constants.c_base * (
+        1.0 - constants.c_gate * min(1.0, events.dcu_miss_outstanding)
+    )
+    activity = (
+        gated_base
+        + constants.c_dpc(f) * events.inst_decoded
+        + constants.c_fp * events.fp_comp_ops_exe
+        + constants.c_l2 * events.l2_rqsts
+        + constants.c_bus * events.bus_drdy_clocks
+    )
+    dynamic = v2f * activity
+    static = constants.leakage.power(pstate.voltage, temperature_c)
+    return dynamic + static
+
+
+def idle_power(
+    pstate: PState,
+    constants: PowerModelConstants = PENTIUM_M_755_POWER,
+) -> float:
+    """Power with zero instruction activity (clock grid + leakage).
+
+    This corresponds to the intercept the paper's per-p-state linear fit
+    would produce for a hypothetical zero-DPC workload, and is useful as
+    a lower bound in tests.
+    """
+    return pstate.v2f * constants.c_base + constants.leakage.power(
+        pstate.voltage
+    )

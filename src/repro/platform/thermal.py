@@ -1,0 +1,104 @@
+"""Lumped RC thermal model of the processor package.
+
+Extension subsystem (the paper motivates power management with thermal
+concerns and cites Foxton's closed-loop thermal control; its own
+evaluation holds temperature constant with active cooling).  A single
+thermal RC node is the standard first-order package model::
+
+    C_th * dT/dt = P - (T - T_ambient) / R_th
+
+with steady state ``T = T_ambient + P * R_th`` and time constant
+``tau = R_th * C_th``.  The model integrates exactly over a tick
+(exponential step), so large ticks do not destabilize it.
+
+Coupled with a temperature-dependent leakage model
+(:class:`~repro.platform.leakage.LeakageModel` with ``theta_per_kelvin``
+set), this produces the real positive feedback loop -- hotter silicon
+leaks more, which heats it further -- that thermal governors must tame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+
+@dataclass
+class ThermalModel:
+    """One-node package thermal model.
+
+    Parameters
+    ----------
+    r_th_c_per_w:
+        Junction-to-ambient thermal resistance.  ~2.4 C/W for the
+        Pentium M with its mobile heatpipe/fan solution (21 W TDP and a
+        100 C junction limit over ~50 C local ambient).
+    c_th_j_per_c:
+        Thermal capacitance of die + spreader; with R_th gives a time
+        constant of a few seconds, matching mobile packages.
+    t_ambient_c:
+        Local ambient (inside-chassis) temperature.
+    t_junction_max_c:
+        The junction limit used by thermal governors and assertions.
+    """
+
+    r_th_c_per_w: float = 2.4
+    c_th_j_per_c: float = 2.1
+    t_ambient_c: float = 45.0
+    t_junction_max_c: float = 100.0
+    _temperature_c: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.r_th_c_per_w <= 0 or self.c_th_j_per_c <= 0:
+            raise ModelError("thermal R and C must be positive")
+        if self.t_junction_max_c <= self.t_ambient_c:
+            raise ModelError("junction limit must exceed ambient")
+        self._temperature_c = self.t_ambient_c
+
+    @property
+    def temperature_c(self) -> float:
+        """Current junction temperature."""
+        return self._temperature_c
+
+    @property
+    def time_constant_s(self) -> float:
+        """tau = R_th * C_th."""
+        return self.r_th_c_per_w * self.c_th_j_per_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium temperature under constant power."""
+        if power_w < 0:
+            raise ModelError("power cannot be negative")
+        return self.t_ambient_c + power_w * self.r_th_c_per_w
+
+    def reset(self, temperature_c: float | None = None) -> None:
+        """Reset to ambient (or an explicit temperature)."""
+        self._temperature_c = (
+            temperature_c if temperature_c is not None else self.t_ambient_c
+        )
+
+    def advance(self, power_w: float, dt_s: float) -> float:
+        """Integrate the node over ``dt_s`` at constant ``power_w``.
+
+        Uses the exact exponential solution of the linear ODE, so any
+        step size is stable.  Returns the new temperature.
+        """
+        if dt_s < 0:
+            raise ModelError("time cannot run backwards")
+        target = self.steady_state_c(power_w)
+        decay = math.exp(-dt_s / self.time_constant_s)
+        self._temperature_c = target + (self._temperature_c - target) * decay
+        return self._temperature_c
+
+    @property
+    def headroom_c(self) -> float:
+        """Degrees left before the junction limit."""
+        return self.t_junction_max_c - self._temperature_c
+
+
+#: Pentium M 755 package model: 21 W steady state reaches ~95 C over a
+#: 45 C chassis ambient -- hot but within the 100 C limit, so thermal
+#: throttling engages only for sustained near-peak power.
+PENTIUM_M_755_THERMAL = ThermalModel()

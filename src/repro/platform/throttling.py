@@ -1,0 +1,105 @@
+"""ACPI T-states: clock-modulation (duty-cycle) throttling.
+
+The paper's companion report (its reference [20]) develops power and
+performance estimation "for both DVFS and clock throttling power-
+management mechanisms"; this module provides the second actuator so the
+two can be compared on equal footing (see the throttling-vs-DVFS
+ablation bench).
+
+Clock modulation gates the clock for a fraction of each modulation
+window: at duty ``d`` the core executes and burns *dynamic* power only
+``d`` of the time, while leakage continues at full voltage.  Because
+neither voltage nor frequency drops, throttling is strictly less
+efficient than DVFS for the same performance: performance scales with
+``d`` like a core-bound workload under DVFS, but power only falls
+linearly (no ``V^2`` gain) and leakage not at all.
+
+Programmed through the architectural ``IA32_CLOCK_MODULATION`` MSR with
+the real encoding: bit 4 enables modulation, bits 3:1 select the duty
+level in 1/8 steps (000 reserved, 001 = 12.5% ... 111 = 87.5%).
+"""
+
+from __future__ import annotations
+
+from repro.drivers.msr import MSRFile
+from repro.errors import TransitionError
+
+#: Architectural MSR address for clock modulation.
+IA32_CLOCK_MODULATION = 0x19A
+
+#: Enable bit and duty field shift in the MSR encoding.
+_ENABLE_BIT = 1 << 4
+_DUTY_SHIFT = 1
+
+#: The selectable duty cycles, as (level, fraction) pairs.
+T_STATE_DUTIES: tuple[float, ...] = (
+    0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875,
+)
+
+
+def encode_duty(duty: float) -> int:
+    """Encode a duty fraction into an IA32_CLOCK_MODULATION word.
+
+    ``duty == 1.0`` disables modulation (enable bit clear); other values
+    must be one of the seven architectural levels.
+    """
+    if duty == 1.0:
+        return 0
+    try:
+        level = T_STATE_DUTIES.index(duty) + 1
+    except ValueError:
+        raise TransitionError(
+            f"duty {duty} is not an ACPI T-state; "
+            f"choose from {T_STATE_DUTIES} or 1.0"
+        ) from None
+    return _ENABLE_BIT | (level << _DUTY_SHIFT)
+
+
+def decode_duty(word: int) -> float:
+    """Decode an IA32_CLOCK_MODULATION word to a duty fraction."""
+    if not word & _ENABLE_BIT:
+        return 1.0
+    level = (word >> _DUTY_SHIFT) & 0x7
+    if level == 0:
+        raise TransitionError("duty level 0 is reserved")
+    return T_STATE_DUTIES[level - 1]
+
+
+class ThrottleController:
+    """Owns the clock-modulation state, programmed via the MSR file."""
+
+    def __init__(self, msr: MSRFile):
+        self._msr = msr
+        self._duty = 1.0
+        msr.map_register(
+            IA32_CLOCK_MODULATION, initial=0, write_hook=self._on_write
+        )
+
+    @property
+    def duty(self) -> float:
+        """The active duty cycle (1.0 = unthrottled)."""
+        return self._duty
+
+    def set_duty(self, duty: float) -> None:
+        """Program a duty cycle through the MSR path."""
+        self._msr.wrmsr(IA32_CLOCK_MODULATION, encode_duty(duty))
+
+    def reset(self) -> None:
+        """Return to unthrottled operation."""
+        self._duty = 1.0
+        self._msr.poke(IA32_CLOCK_MODULATION, 0)
+
+    def _on_write(self, word: int) -> None:
+        self._duty = decode_duty(word)
+
+    @staticmethod
+    def nearest_duty(fraction: float) -> float:
+        """The closest programmable duty at or above ``fraction``.
+
+        Governors ask for "at least this much throughput"; rounding up
+        keeps them on the safe side of a performance floor.
+        """
+        for duty in T_STATE_DUTIES:
+            if duty >= fraction - 1e-12:
+                return duty
+        return 1.0

@@ -1,0 +1,31 @@
+"""Workload models: phase-annotated synthetic programs.
+
+The paper's governors never see *programs*; they see streams of
+performance-counter events.  This subpackage therefore models workloads as
+sequences of :class:`~repro.workloads.base.Phase` objects -- each phase a
+stationary mixture of instruction and memory behaviour -- from which the
+simulated platform derives counter rates and power at any p-state.
+
+Provided workload families:
+
+* :mod:`repro.workloads.microbenchmarks` -- the paper's MS-Loops training
+  set (Table I): DAXPY, FMA, MCOPY, MLOAD_RAND at L1/L2/DRAM footprints.
+* :mod:`repro.workloads.spec` -- synthetic stand-ins for the 26 SPEC
+  CPU2000 benchmarks, calibrated to the paper's characterization.
+"""
+
+from repro.workloads.base import Phase, Workload, PhaseCursor
+from repro.workloads.registry import (
+    WorkloadRegistry,
+    default_registry,
+    get_workload,
+)
+
+__all__ = [
+    "Phase",
+    "Workload",
+    "PhaseCursor",
+    "WorkloadRegistry",
+    "default_registry",
+    "get_workload",
+]

@@ -1,0 +1,306 @@
+"""Phase-based workload abstraction.
+
+A :class:`Workload` is a named sequence of :class:`Phase` objects plus a
+total retired-instruction budget.  Each phase describes a *stationary*
+behaviour mixture in architecture-neutral, per-instruction terms (miss
+rates, decode ratio, FP mix, memory-level parallelism).  The platform
+layer (:mod:`repro.platform.pipeline`) turns a phase plus a p-state into
+concrete per-cycle event rates; this module only holds the description.
+
+Design notes
+------------
+
+* Rates are **per retired instruction** where possible because those are
+  frequency-invariant program properties; per-cycle rates depend on the
+  p-state and are derived later.
+* Phases carry an ``activity_jitter``/``jitter_corr`` pair describing an
+  AR(1) multiplicative disturbance applied by the machine at each 10 ms
+  tick.  This is how bursty workloads (galgel in the paper) are expressed.
+* Phase lengths are in instructions, not seconds, so a workload's wall
+  clock time correctly depends on the governor's frequency choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A stationary program phase.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and tests.
+    instructions:
+        Retired-instruction length of one occurrence of this phase.
+    cpi_core:
+        Cycles per instruction assuming all memory references hit the L1
+        data cache.  This captures ILP/issue-width limits and is
+        frequency-independent.
+    decode_ratio:
+        Decoded instructions (including speculative, wrong-path decode)
+        per retired instruction.  The paper's DPC counter measures decode
+        activity, which exceeds retirement for speculative codes.
+    l1_mpi:
+        L1 data-cache misses per retired instruction (demand accesses that
+        reach the L2).
+    l2_mpi:
+        L2 misses per retired instruction (demand accesses that reach
+        DRAM).  Must not exceed ``l1_mpi``.
+    prefetch_mpi:
+        Additional DRAM line transfers per instruction issued by the
+        hardware prefetcher.  Consumes bus bandwidth and power but does
+        not stall the pipeline (the FMA microbenchmark exercises this).
+    mlp:
+        Memory-level parallelism for DRAM misses: the average number of
+        overlapping outstanding misses.  Stall cycles are divided by this.
+    l2_mlp:
+        Overlap factor for L2 hit latency.
+    fp_ratio:
+        Floating-point micro-ops per retired instruction (power model
+        input: FP units burn more power per op).
+    store_ratio:
+        Stores per retired instruction (used for writeback bus traffic).
+    branch_ratio / mispred_pki:
+        Branches per instruction and mispredictions per kilo-instruction
+        (PMU events, and mispredictions feed wrong-path decode power).
+    activity_jitter:
+        Standard deviation of the AR(1) multiplicative activity
+        disturbance (0 = perfectly stationary phase).
+    jitter_corr:
+        AR(1) correlation coefficient in [0, 1); higher values make
+        bursts last longer relative to the 10 ms sampling tick.
+    """
+
+    name: str
+    instructions: float
+    cpi_core: float = 1.0
+    decode_ratio: float = 1.3
+    l1_mpi: float = 0.0
+    l2_mpi: float = 0.0
+    prefetch_mpi: float = 0.0
+    mlp: float = 1.5
+    l2_mlp: float = 1.2
+    fp_ratio: float = 0.0
+    store_ratio: float = 0.15
+    branch_ratio: float = 0.12
+    mispred_pki: float = 4.0
+    activity_jitter: float = 0.02
+    jitter_corr: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise WorkloadError(
+                f"phase {self.name!r}: instructions must be positive"
+            )
+        if self.cpi_core <= 0:
+            raise WorkloadError(f"phase {self.name!r}: cpi_core must be positive")
+        if self.decode_ratio < 1.0:
+            raise WorkloadError(
+                f"phase {self.name!r}: decode_ratio must be >= 1 "
+                "(every retired instruction was decoded)"
+            )
+        if self.l1_mpi < 0 or self.l2_mpi < 0 or self.prefetch_mpi < 0:
+            raise WorkloadError(f"phase {self.name!r}: miss rates must be >= 0")
+        if self.l2_mpi > self.l1_mpi + 1e-12:
+            raise WorkloadError(
+                f"phase {self.name!r}: l2_mpi ({self.l2_mpi}) cannot exceed "
+                f"l1_mpi ({self.l1_mpi}); every DRAM demand miss first "
+                "missed the L1"
+            )
+        if self.mlp < 1.0 or self.l2_mlp < 1.0:
+            raise WorkloadError(
+                f"phase {self.name!r}: MLP factors must be >= 1"
+            )
+        if not 0.0 <= self.jitter_corr < 1.0:
+            raise WorkloadError(
+                f"phase {self.name!r}: jitter_corr must be in [0, 1)"
+            )
+        if self.activity_jitter < 0:
+            raise WorkloadError(
+                f"phase {self.name!r}: activity_jitter must be >= 0"
+            )
+
+    def scaled(self, factor: float) -> "Phase":
+        """A copy of this phase with the instruction budget scaled.
+
+        Used to shrink benchmark runtimes for fast test/bench execution
+        while preserving all behavioural rates.
+        """
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        return replace(self, instructions=self.instructions * factor)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named program: an ordered cycle of phases plus a total budget.
+
+    The phase list is traversed in order; when ``total_instructions``
+    exceeds the sum of one pass over the phases, the sequence repeats
+    (looping phase structure, like ammp's alternating compute/memory
+    regions in the paper's Figs. 5 and 8).
+
+    Attributes
+    ----------
+    name: registry key, e.g. ``"swim"`` or ``"FMA-256KB"``.
+    phases: the phase cycle.
+    total_instructions: retired instructions to completion.
+    category: coarse label (``"core"``, ``"memory"``, ``"mixed"``) used
+        only for reporting, never by the governors.
+    description: human-readable provenance note.
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    total_instructions: float
+    category: str = "mixed"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"workload {self.name!r} has no phases")
+        if self.total_instructions <= 0:
+            raise WorkloadError(
+                f"workload {self.name!r}: total_instructions must be positive"
+            )
+
+    @staticmethod
+    def from_phases(
+        name: str,
+        phases: Sequence[Phase],
+        repeats: float = 1.0,
+        category: str = "mixed",
+        description: str = "",
+    ) -> "Workload":
+        """Build a workload whose budget is ``repeats`` passes over phases."""
+        total = sum(p.instructions for p in phases) * repeats
+        return Workload(
+            name=name,
+            phases=tuple(phases),
+            total_instructions=total,
+            category=category,
+            description=description,
+        )
+
+    @property
+    def cycle_instructions(self) -> float:
+        """Instructions in one pass over the phase list."""
+        return sum(p.instructions for p in self.phases)
+
+    def scaled(self, factor: float) -> "Workload":
+        """Scale the *total* budget by ``factor``, keeping phase lengths.
+
+        Shrinking a workload for fast experiments must not shorten its
+        phases: governor dynamics (PM's 100 ms raise window, PS's phase
+        tracking) interact with phase duration, so a scaled run executes
+        fewer phase repetitions of the original length.
+        """
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        return replace(
+            self,
+            total_instructions=self.total_instructions * factor,
+        )
+
+    def cursor(self) -> "PhaseCursor":
+        """A fresh execution cursor positioned at the start."""
+        return PhaseCursor(self)
+
+    def mean_rate(self, attribute: str) -> float:
+        """Instruction-weighted mean of a phase attribute.
+
+        Convenient for tests and reporting, e.g.
+        ``workload.mean_rate("l2_mpi")``.
+        """
+        total = self.cycle_instructions
+        return sum(
+            getattr(p, attribute) * p.instructions for p in self.phases
+        ) / total
+
+
+class PhaseCursor:
+    """Tracks execution progress through a workload's phase cycle.
+
+    The machine advances the cursor by retired-instruction counts; the
+    cursor reports the current phase and how many instructions remain both
+    in the phase occurrence and in the whole workload.  Phase boundaries
+    never bisect an advance: the machine asks for
+    :meth:`instructions_until_boundary` and splits its time step.
+    """
+
+    def __init__(self, workload: Workload):
+        self._workload = workload
+        self._phase_index = 0
+        self._into_phase = 0.0
+        self._retired = 0.0
+
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    @property
+    def retired(self) -> float:
+        """Total instructions retired so far."""
+        return self._retired
+
+    @property
+    def finished(self) -> bool:
+        """True once the workload's total budget has been retired."""
+        return self._retired >= self._workload.total_instructions - 1e-9
+
+    @property
+    def current_phase(self) -> Phase:
+        """The phase currently executing."""
+        return self._workload.phases[self._phase_index]
+
+    @property
+    def remaining(self) -> float:
+        """Instructions left before workload completion."""
+        return max(0.0, self._workload.total_instructions - self._retired)
+
+    def instructions_until_boundary(self) -> float:
+        """Instructions until the next phase boundary or completion."""
+        phase_left = self.current_phase.instructions - self._into_phase
+        return min(phase_left, self.remaining)
+
+    def advance(self, instructions: float) -> None:
+        """Retire ``instructions``, moving across phase boundaries.
+
+        Raises :class:`WorkloadError` if asked to advance past a phase
+        boundary in a single call (callers must split at boundaries so
+        that per-phase accounting stays exact).
+        """
+        if instructions < 0:
+            raise WorkloadError("cannot advance by a negative amount")
+        boundary = self.instructions_until_boundary()
+        if instructions > boundary + 1e-6:
+            raise WorkloadError(
+                f"advance of {instructions} crosses a phase boundary "
+                f"({boundary} instructions away); split the step"
+            )
+        self._retired += instructions
+        self._into_phase += instructions
+        if self._into_phase >= self.current_phase.instructions - 1e-9:
+            self._into_phase = 0.0
+            self._phase_index = (self._phase_index + 1) % len(
+                self._workload.phases
+            )
+
+
+def validate_workloads(workloads: Iterable[Workload]) -> None:
+    """Sanity-check a collection of workloads, raising on the first flaw.
+
+    Used by the registry at construction time so that a malformed profile
+    fails fast rather than mid-experiment.
+    """
+    seen: set[str] = set()
+    for workload in workloads:
+        if workload.name in seen:
+            raise WorkloadError(f"duplicate workload name {workload.name!r}")
+        seen.add(workload.name)

@@ -1,0 +1,79 @@
+"""Named workload registry.
+
+A single lookup point for every workload in the reproduction: the 26
+SPEC CPU2000 models and the 12 MS-Loops microbenchmarks.  Experiments
+refer to workloads by name (``"swim"``, ``"FMA-256KB"``); the registry is
+validated once at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload, validate_workloads
+from repro.workloads.microbenchmarks import ms_loops
+from repro.workloads.spec import SPEC_FP, SPEC_INT, build_spec_suite
+
+
+class WorkloadRegistry:
+    """Immutable name -> :class:`Workload` mapping with group queries."""
+
+    def __init__(self, workloads: tuple[Workload, ...]):
+        validate_workloads(workloads)
+        self._by_name = {w.name: w for w in workloads}
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Workload]:
+        return iter(self._by_name.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Workload:
+        """Look up a workload by name, raising a helpful error if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown workload {name!r}; available: {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All registered workload names, sorted."""
+        return tuple(sorted(self._by_name))
+
+    def spec_suite(self) -> tuple[Workload, ...]:
+        """The 26 SPEC CPU2000 models, SPECint first, each in suite order."""
+        return tuple(self.get(name) for name in (*SPEC_INT, *SPEC_FP))
+
+    def microbenchmarks(self) -> tuple[Workload, ...]:
+        """The 12 MS-Loops training workloads."""
+        return tuple(
+            w for w in self._by_name.values() if w.category == "microbenchmark"
+        )
+
+    def by_category(self, category: str) -> tuple[Workload, ...]:
+        """All workloads tagged with ``category``."""
+        return tuple(
+            w for w in self._by_name.values() if w.category == category
+        )
+
+
+_default: WorkloadRegistry | None = None
+
+
+def default_registry() -> WorkloadRegistry:
+    """The process-wide registry (built lazily, then cached)."""
+    global _default
+    if _default is None:
+        _default = WorkloadRegistry((*build_spec_suite(), *ms_loops()))
+    return _default
+
+
+def get_workload(name: str) -> Workload:
+    """Convenience lookup into :func:`default_registry`."""
+    return default_registry().get(name)

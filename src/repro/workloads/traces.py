@@ -1,0 +1,244 @@
+"""Counter-trace record & replay.
+
+Library feature for downstream users: capture the per-tick behaviour of
+a live run as a :class:`CounterTrace`, persist it as CSV, and turn it
+back into a phase-per-interval :class:`~repro.workloads.base.Workload`
+that replays the same counter signature deterministically.
+
+Replay inverts the pipeline model's first-order relations: from a
+sampled interval's IPC/DPC/DCU at a known frequency it reconstructs a
+stationary phase with the same decode ratio and an equivalent
+memory-stall mix.  The inversion is deliberately coarse (one DRAM-miss
+knob absorbs all stalls); its purpose is reproducing *counter
+signatures* for governor regression tests, not microarchitectural
+truth.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.controller import RunResult
+from repro.errors import WorkloadError
+from repro.platform.caches import MemoryTiming, PENTIUM_M_755_TIMING
+from repro.platform.events import Event
+from repro.workloads.base import Phase, Workload
+
+#: CSV schema, one row per sampled interval.
+_FIELDS = ("interval_s", "frequency_mhz", "ipc", "dpc", "dcu")
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One recorded monitoring interval."""
+
+    interval_s: float
+    frequency_mhz: float
+    ipc: float
+    dpc: float
+    dcu: float
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise WorkloadError("interval must be positive")
+        if self.frequency_mhz <= 0:
+            raise WorkloadError("frequency must be positive")
+        if self.ipc < 0 or self.dpc < 0 or self.dcu < 0:
+            raise WorkloadError("rates must be non-negative")
+
+    @property
+    def instructions(self) -> float:
+        """Instructions retired in this interval."""
+        return self.ipc * self.frequency_mhz * 1e6 * self.interval_s
+
+
+class CounterTrace:
+    """An ordered sequence of recorded intervals."""
+
+    def __init__(self, name: str, intervals: Sequence[TraceInterval]):
+        if not intervals:
+            raise WorkloadError("trace has no intervals")
+        self.name = name
+        self._intervals = tuple(intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self):
+        return iter(self._intervals)
+
+    @property
+    def intervals(self) -> tuple[TraceInterval, ...]:
+        return self._intervals
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(interval.instructions for interval in self._intervals)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialize to CSV text (schema: interval_s, frequency_mhz,
+        ipc, dpc, dcu)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(_FIELDS)
+        for i in self._intervals:
+            writer.writerow(
+                [f"{i.interval_s:.6f}", f"{i.frequency_mhz:.1f}",
+                 f"{i.ipc:.6f}", f"{i.dpc:.6f}", f"{i.dcu:.6f}"]
+            )
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, name: str, text: str) -> "CounterTrace":
+        """Parse a trace from CSV text (inverse of :meth:`to_csv`)."""
+        reader = csv.DictReader(io.StringIO(text))
+        missing = set(_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise WorkloadError(f"trace CSV missing columns: {sorted(missing)}")
+        intervals = [
+            TraceInterval(
+                interval_s=float(row["interval_s"]),
+                frequency_mhz=float(row["frequency_mhz"]),
+                ipc=float(row["ipc"]),
+                dpc=float(row["dpc"]),
+                dcu=float(row["dcu"]),
+            )
+            for row in reader
+        ]
+        return cls(name, intervals)
+
+
+def record_trace(result: RunResult, name: str | None = None) -> CounterTrace:
+    """Build a trace from a governed run's per-tick rows.
+
+    Requires the run to have been made with ``keep_trace=True`` and a
+    governor monitoring at least ``INST_RETIRED`` (IPC); DPC and DCU
+    fall back to model-typical ratios when unmonitored.
+    """
+    if not result.trace:
+        raise WorkloadError(
+            "run has no trace rows; rerun with keep_trace=True"
+        )
+    intervals = []
+    previous_time = 0.0
+    for row in result.trace:
+        ipc = row.rates.get(Event.INST_RETIRED)
+        dpc = row.rates.get(Event.INST_DECODED)
+        if ipc is None and dpc is None:
+            raise WorkloadError(
+                "trace rows carry neither IPC nor DPC; cannot record"
+            )
+        if ipc is None:
+            ipc = dpc / 1.3  # typical decode ratio
+        if dpc is None:
+            dpc = ipc * 1.3
+        interval = row.time_s - previous_time
+        previous_time = row.time_s
+        if interval <= 0:
+            continue
+        intervals.append(
+            TraceInterval(
+                interval_s=interval,
+                frequency_mhz=row.frequency_mhz,
+                ipc=ipc,
+                dpc=dpc,
+                dcu=row.rates.get(Event.DCU_MISS_OUTSTANDING, 0.0),
+            )
+        )
+    return CounterTrace(name or f"{result.workload}-trace", intervals)
+
+
+def workload_from_trace(
+    trace: CounterTrace,
+    timing: MemoryTiming = PENTIUM_M_755_TIMING,
+    coalesce_tolerance: float = 0.05,
+) -> Workload:
+    """Reconstruct a replayable workload from a counter trace.
+
+    Consecutive intervals whose IPC and DPC agree within
+    ``coalesce_tolerance`` (relative) merge into one phase, so steady
+    traces produce compact workloads.  Each phase inverts the pipeline
+    relations at the *recorded* frequency:
+
+    * ``decode_ratio = dpc / ipc``;
+    * the measured CPI splits into a core part and a DRAM-stall part
+      sized so the replayed DCU occupancy matches the recording.
+    """
+    phases: list[Phase] = []
+    pending: list[TraceInterval] = []
+
+    def close_group() -> None:
+        if not pending:
+            return
+        instructions = sum(i.instructions for i in pending)
+        ipc = sum(i.ipc * i.interval_s for i in pending) / sum(
+            i.interval_s for i in pending
+        )
+        dpc = sum(i.dpc * i.interval_s for i in pending) / sum(
+            i.interval_s for i in pending
+        )
+        dcu = sum(i.dcu * i.interval_s for i in pending) / sum(
+            i.interval_s for i in pending
+        )
+        freq = pending[0].frequency_mhz
+        cpi = 1.0 / max(ipc, 1e-6)
+        # Attribute the DCU occupancy to DRAM misses at the recorded
+        # frequency.  DCU counts *weighted* outstanding misses, so the
+        # miss rate follows from occupancy, while the stall contribution
+        # (occupancy / MLP) must close the measured CPI -- solve for the
+        # MLP that makes both match.
+        dram_cycles = timing.dram_latency_cycles(freq)
+        dcu_per_instr = dcu / max(ipc, 1e-6)
+        l2_mpi = min(dcu_per_instr / dram_cycles, 0.2)
+        if l2_mpi > 1e-9:
+            core_target = max(0.3, min(cpi * 0.4, cpi - 0.05))
+            stall = max(cpi - core_target, 1e-6)
+            mlp = min(16.0, max(1.0, dcu_per_instr / stall))
+            cpi_core = max(0.3, cpi - dcu_per_instr / mlp)
+        else:
+            mlp = 1.0
+            cpi_core = max(0.3, cpi)
+        phases.append(
+            Phase(
+                name=f"{trace.name}-p{len(phases)}",
+                instructions=max(instructions, 1.0),
+                cpi_core=cpi_core,
+                decode_ratio=max(1.0, dpc / max(ipc, 1e-6)),
+                l1_mpi=l2_mpi,
+                l2_mpi=l2_mpi,
+                mlp=mlp,
+                activity_jitter=0.0,
+            )
+        )
+        pending.clear()
+
+    def similar(a: TraceInterval, b: TraceInterval) -> bool:
+        def close(x: float, y: float) -> bool:
+            scale = max(abs(x), abs(y), 1e-6)
+            return abs(x - y) / scale <= coalesce_tolerance
+
+        return (
+            close(a.ipc, b.ipc)
+            and close(a.dpc, b.dpc)
+            and a.frequency_mhz == b.frequency_mhz
+        )
+
+    for interval in trace:
+        if pending and not similar(pending[-1], interval):
+            close_group()
+        pending.append(interval)
+    close_group()
+
+    return Workload(
+        name=trace.name,
+        phases=tuple(phases),
+        total_instructions=sum(p.instructions for p in phases),
+        category="trace",
+        description=f"Replay of counter trace {trace.name!r} "
+        f"({len(trace)} intervals, {len(phases)} phases).",
+    )

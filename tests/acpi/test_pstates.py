@@ -1,0 +1,181 @@
+"""Tests for ACPI p-state objects and the Dothan table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acpi.pstates import (
+    PENTIUM_M_755_PSTATES,
+    PState,
+    PStateTable,
+    pentium_m_755_table,
+)
+from repro.errors import PStateError
+
+
+class TestPState:
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(PStateError):
+            PState(0.0, 1.0)
+        with pytest.raises(PStateError):
+            PState(-600.0, 1.0)
+
+    def test_rejects_non_positive_voltage(self):
+        with pytest.raises(PStateError):
+            PState(600.0, 0.0)
+
+    def test_frequency_ghz(self):
+        assert PState(1500.0, 1.2).frequency_ghz == pytest.approx(1.5)
+
+    def test_v2f_matches_cmos_formula(self):
+        state = PState(2000.0, 1.34)
+        assert state.v2f == pytest.approx(1.34**2 * 2.0)
+
+    def test_ordering_is_by_frequency(self):
+        slow = PState(600.0, 0.998)
+        fast = PState(2000.0, 1.34)
+        assert slow < fast
+        assert max([slow, fast]) is fast
+
+    @given(
+        freq=st.floats(1.0, 10000.0),
+        volt=st.floats(0.5, 2.0),
+    )
+    def test_v2f_positive_and_monotone_in_voltage(self, freq, volt):
+        state = PState(freq, volt)
+        higher = PState(freq, volt + 0.1)
+        assert state.v2f > 0
+        assert higher.v2f > state.v2f
+
+
+class TestPentiumMTable:
+    def test_has_eight_states(self, table):
+        assert len(table) == 8
+
+    def test_p0_is_2000mhz(self, table):
+        assert table.fastest.frequency_mhz == 2000.0
+        assert table.fastest.voltage == pytest.approx(1.340)
+
+    def test_pn_is_600mhz(self, table):
+        assert table.slowest.frequency_mhz == 600.0
+        assert table.slowest.voltage == pytest.approx(0.998)
+
+    def test_table_ii_voltage_column(self, table):
+        expected = {
+            600.0: 0.998, 800.0: 1.052, 1000.0: 1.100, 1200.0: 1.148,
+            1400.0: 1.196, 1600.0: 1.244, 1800.0: 1.292, 2000.0: 1.340,
+        }
+        for freq, volt in expected.items():
+            assert table.by_frequency(freq).voltage == pytest.approx(volt)
+
+    def test_acpi_index_zero_is_fastest(self, table):
+        assert table[0] is table.fastest
+        assert table.index_of(table.fastest) == 0
+        assert table.index_of(table.slowest) == len(table) - 1
+
+    def test_frequencies_descending(self, table):
+        freqs = table.frequencies_mhz
+        assert list(freqs) == sorted(freqs, reverse=True)
+
+    def test_ascending_view(self, table):
+        asc = table.ascending()
+        assert asc[0] is table.slowest
+        assert asc[-1] is table.fastest
+
+    def test_by_frequency_unknown_raises(self, table):
+        with pytest.raises(PStateError, match="no p-state at 700"):
+            table.by_frequency(700.0)
+
+    def test_nearest(self, table):
+        assert table.nearest(690.0).frequency_mhz == 600.0
+        assert table.nearest(710.0).frequency_mhz == 800.0
+        assert table.nearest(2500.0).frequency_mhz == 2000.0
+
+    def test_highest_not_above(self, table):
+        assert table.highest_not_above(1700.0).frequency_mhz == 1600.0
+        assert table.highest_not_above(1600.0).frequency_mhz == 1600.0
+        assert table.highest_not_above(5000.0).frequency_mhz == 2000.0
+
+    def test_highest_not_above_below_range_clamps(self, table):
+        assert table.highest_not_above(100.0) is table.slowest
+
+    def test_step_down_and_up(self, table):
+        p0 = table.fastest
+        p1 = table.step_down(p0)
+        assert p1.frequency_mhz == 1800.0
+        assert table.step_up(p1) is p0
+
+    def test_step_clamps_at_ends(self, table):
+        assert table.step_up(table.fastest) is table.fastest
+        assert table.step_down(table.slowest) is table.slowest
+        assert table.step_down(table.fastest, steps=100) is table.slowest
+
+    def test_step_negative_raises(self, table):
+        with pytest.raises(PStateError):
+            table.step_down(table.fastest, steps=-1)
+
+    def test_contains(self, table):
+        assert table.fastest in table
+        assert PState(1234.0, 1.1) not in table
+
+    def test_index_of_foreign_state_raises(self, table):
+        with pytest.raises(PStateError):
+            table.index_of(PState(1234.0, 1.1))
+
+
+class TestTableValidation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(PStateError):
+            PStateTable([])
+
+    def test_duplicate_frequency_rejected(self):
+        with pytest.raises(PStateError, match="duplicate"):
+            PStateTable([PState(600.0, 1.0), PState(600.0, 1.1)])
+
+    def test_voltage_inversion_rejected(self):
+        # A slower state with a higher voltage than a faster one is
+        # physically inconsistent for DVFS tables.
+        with pytest.raises(PStateError, match="voltage"):
+            PStateTable([PState(600.0, 1.3), PState(2000.0, 1.0)])
+
+    def test_equality(self):
+        assert pentium_m_755_table() == pentium_m_755_table()
+        assert pentium_m_755_table() != PStateTable([PState(600.0, 1.0)])
+
+    @given(
+        freqs=st.lists(
+            st.sampled_from([400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0]),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_step_down_never_raises_frequency(self, freqs):
+        states = [PState(f, 0.9 + f / 10000.0) for f in freqs]
+        built = PStateTable(states)
+        for state in built:
+            stepped = built.step_down(state)
+            assert stepped.frequency_mhz <= state.frequency_mhz
+
+    @given(
+        freqs=st.lists(
+            st.sampled_from([400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0]),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        cap=st.floats(300.0, 1600.0),
+    )
+    def test_highest_not_above_is_maximal_feasible(self, freqs, cap):
+        states = [PState(f, 0.9 + f / 10000.0) for f in freqs]
+        built = PStateTable(states)
+        chosen = built.highest_not_above(cap)
+        feasible = [s for s in built if s.frequency_mhz <= cap]
+        if feasible:
+            assert chosen.frequency_mhz == max(
+                s.frequency_mhz for s in feasible
+            )
+        else:
+            assert chosen is built.slowest
+
+    def test_constant_tuple_is_consistent(self):
+        assert len(PENTIUM_M_755_PSTATES) == 8

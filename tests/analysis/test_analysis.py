@@ -1,0 +1,96 @@
+"""Tests for statistics helpers and text report rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.report import TextTable, format_series
+from repro.analysis.stats import median, moving_average, summarize
+from repro.errors import ExperimentError
+
+
+class TestMovingAverage:
+    def test_simple_window(self):
+        assert moving_average([1, 2, 3, 4], 2) == [1.5, 2.5, 3.5]
+
+    def test_window_equal_to_length(self):
+        assert moving_average([2.0, 4.0], 2) == [3.0]
+
+    def test_window_longer_than_series(self):
+        assert moving_average([1.0], 5) == []
+
+    def test_bad_window(self):
+        with pytest.raises(ExperimentError):
+            moving_average([1.0], 0)
+
+    @given(
+        values=st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        window=st.integers(1, 10),
+    )
+    def test_averages_bounded_by_extremes(self, values, window):
+        out = moving_average(values, window)
+        if out:
+            assert min(values) - 1e-9 <= min(out)
+            assert max(out) <= max(values) + 1e-9
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_takes_lower_middle(self):
+        # Matches the median-of-runs protocol (an actual run is picked).
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.0
+
+    def test_empty(self):
+        with pytest.raises(ExperimentError):
+            median([])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.spread == 3.0
+
+    def test_p95_near_top(self):
+        s = summarize(list(map(float, range(101))))
+        assert s.p95 == 95.0
+
+    def test_empty(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+
+class TestTextTable:
+    def test_renders_aligned(self):
+        table = TextTable(["name", "value"])
+        table.add_row("a", 1.0)
+        table.add_row("bb", 22.5)
+        out = table.render()
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "22.500" in out
+
+    def test_wrong_arity(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ExperimentError):
+            table.add_row("only-one")
+
+    def test_empty_headers(self):
+        with pytest.raises(ExperimentError):
+            TextTable([])
+
+
+class TestFormatSeries:
+    def test_downsamples(self):
+        series = [(float(i), float(i * 2)) for i in range(200)]
+        out = format_series(series, max_points=10)
+        assert "200 pts" in out
+        assert out.count(":") <= 25
+
+    def test_empty(self):
+        assert "(empty)" in format_series([])

@@ -1,0 +1,110 @@
+"""Tests for the measured-power-feedback PM extension."""
+
+import pytest
+
+from repro.core.governors.adaptive_pm import AdaptivePerformanceMaximizer
+from repro.core.models.power import LinearPowerModel
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+MODEL = LinearPowerModel.paper_model()
+
+
+def sample_with_dpc(dpc):
+    return CounterSample(
+        interval_s=0.01, cycles=2e7, rates={Event.INST_DECODED: dpc}
+    )
+
+
+def test_no_feedback_behaves_like_pm(table):
+    adaptive = AdaptivePerformanceMaximizer(table, MODEL, 17.5)
+    assert adaptive.decide(sample_with_dpc(1.0), table.fastest) is (
+        table.fastest
+    )
+    assert adaptive.offset(table.fastest) == 0.0
+
+
+def test_underestimation_learns_positive_offset(table):
+    adaptive = AdaptivePerformanceMaximizer(
+        table, MODEL, 17.5, adaptation_gain=0.5
+    )
+    current = table.fastest
+    sample = sample_with_dpc(1.0)  # est = 15.04 W
+    adaptive.decide(sample, current)
+    adaptive.observe_power(16.5)  # truth runs 1.5 W hotter
+    assert adaptive.offset(current) == pytest.approx(0.73, abs=0.02)
+    # Offsets feed back into estimates.
+    corrected = adaptive.estimate_power(sample, current, current)
+    assert corrected > MODEL.estimate(current, 1.0)
+
+
+def test_learned_offset_forces_lower_state(table):
+    # A galgel-like scenario: DPC looks safe (est 15.04 + gb < 17.5)
+    # but measured power runs 2.5 W hot; after feedback PM backs off.
+    adaptive = AdaptivePerformanceMaximizer(
+        table, MODEL, 17.5, adaptation_gain=1.0
+    )
+    current = table.fastest
+    sample = sample_with_dpc(1.0)
+    assert adaptive.decide(sample, current) is current
+    adaptive.observe_power(17.6)
+    target = adaptive.decide(sample, current)
+    assert target.frequency_mhz < 2000.0
+
+
+def test_overestimation_is_not_rewarded(table):
+    # Negative corrections are clamped: the adaptive PM only becomes
+    # more conservative, never less (safety property).
+    adaptive = AdaptivePerformanceMaximizer(
+        table, MODEL, 17.5, adaptation_gain=1.0
+    )
+    current = table.fastest
+    sample = sample_with_dpc(1.9)
+    adaptive.decide(sample, current)
+    adaptive.observe_power(10.0)  # truth far below estimate
+    assert adaptive.estimate_power(sample, current, current) >= (
+        MODEL.estimate(current, 1.9)
+    )
+
+
+def test_unvisited_states_borrow_nearest_offset(table):
+    adaptive = AdaptivePerformanceMaximizer(
+        table, MODEL, 17.5, adaptation_gain=1.0
+    )
+    current = table.fastest
+    sample = sample_with_dpc(1.0)
+    adaptive.decide(sample, current)
+    adaptive.observe_power(17.0)
+    p1800 = table.by_frequency(1800.0)
+    assert adaptive.estimate_power(sample, current, p1800) > MODEL.estimate(
+        p1800, 1.0
+    )
+
+
+def test_reset_clears_offsets(table):
+    adaptive = AdaptivePerformanceMaximizer(
+        table, MODEL, 17.5, adaptation_gain=1.0
+    )
+    adaptive.decide(sample_with_dpc(1.0), table.fastest)
+    adaptive.observe_power(17.0)
+    adaptive.reset()
+    assert adaptive.offset(table.fastest) == 0.0
+
+
+def test_invalid_gain(table):
+    with pytest.raises(GovernorError):
+        AdaptivePerformanceMaximizer(table, MODEL, 17.5, adaptation_gain=0.0)
+
+
+def test_negative_power_rejected(table):
+    adaptive = AdaptivePerformanceMaximizer(table, MODEL, 17.5)
+    adaptive.decide(sample_with_dpc(1.0), table.fastest)
+    with pytest.raises(GovernorError):
+        adaptive.observe_power(-1.0)
+
+
+def test_observe_before_decide_is_noop(table):
+    adaptive = AdaptivePerformanceMaximizer(table, MODEL, 17.5)
+    adaptive.observe_power(15.0)
+    assert adaptive.offset(table.fastest) == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the baseline governors: static, fixed, demand-based."""
+
+import pytest
+
+from repro.core.governors.demand_based import DemandBasedSwitching
+from repro.core.governors.static import StaticClocking, static_frequency_for_limit
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+#: The paper's Table III, used directly as the provisioning table.
+WORST_CASE = {
+    600.0: 3.86, 800.0: 5.21, 1000.0: 6.56, 1200.0: 8.16,
+    1400.0: 10.16, 1600.0: 12.46, 1800.0: 15.29, 2000.0: 17.78,
+}
+
+
+def retired_sample(ipc=1.0, cycles=2e7, interval_s=0.01):
+    return CounterSample(
+        interval_s=interval_s, cycles=cycles, rates={Event.INST_RETIRED: ipc}
+    )
+
+
+class TestStaticFrequency:
+    def test_paper_table_iv_mapping(self):
+        expected = {
+            17.5: 1800.0, 16.5: 1800.0, 15.5: 1800.0, 14.5: 1600.0,
+            13.5: 1600.0, 12.5: 1600.0, 11.5: 1400.0, 10.5: 1400.0,
+        }
+        for limit, freq in expected.items():
+            assert static_frequency_for_limit(limit, WORST_CASE) == freq
+
+    def test_limit_below_everything_clamps_to_slowest(self):
+        assert static_frequency_for_limit(2.0, WORST_CASE) == 600.0
+
+    def test_generous_limit_allows_full_speed(self):
+        assert static_frequency_for_limit(25.0, WORST_CASE) == 2000.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GovernorError):
+            static_frequency_for_limit(0.0, WORST_CASE)
+        with pytest.raises(GovernorError):
+            static_frequency_for_limit(10.0, {})
+
+
+class TestStaticClockingGovernor:
+    def test_never_moves(self, table):
+        governor = StaticClocking(table, 14.5, WORST_CASE)
+        assert governor.pstate.frequency_mhz == 1600.0
+        for current in table:
+            assert governor.decide(retired_sample(), current) is (
+                governor.pstate
+            )
+
+    def test_records_limit(self, table):
+        governor = StaticClocking(table, 11.5, WORST_CASE)
+        assert governor.power_limit_w == 11.5
+        assert governor.pstate.frequency_mhz == 1400.0
+
+
+class TestFixedFrequency:
+    def test_fastest_and_slowest_constructors(self, table):
+        assert FixedFrequency.fastest(table).pstate is table.fastest
+        assert FixedFrequency.slowest(table).pstate is table.slowest
+
+    def test_decide_is_constant(self, table):
+        governor = FixedFrequency(table, 1200.0)
+        for current in table:
+            assert governor.decide(retired_sample(), current).frequency_mhz == 1200.0
+
+    def test_name_includes_frequency(self, table):
+        assert "1200" in FixedFrequency(table, 1200.0).name
+
+
+class TestDemandBasedSwitching:
+    def test_full_load_pins_max_frequency(self, table):
+        # The PS-motivating property: at 100% utilization DBS never
+        # saves anything (paper §IV-B).
+        dbs = DemandBasedSwitching(table)
+        current = table.by_frequency(1400.0)
+        busy = retired_sample(cycles=1400e6 * 0.01)  # fully unhalted
+        target = dbs.decide(busy, current)
+        assert target.frequency_mhz > current.frequency_mhz
+
+    def test_idle_lowers_frequency(self, table):
+        dbs = DemandBasedSwitching(table)
+        current = table.by_frequency(1400.0)
+        idle = retired_sample(cycles=1400e6 * 0.01 * 0.1)  # 10% busy
+        target = dbs.decide(idle, current)
+        assert target.frequency_mhz < current.frequency_mhz
+
+    def test_moderate_load_holds(self, table):
+        dbs = DemandBasedSwitching(table)
+        current = table.by_frequency(1400.0)
+        mid = retired_sample(cycles=1400e6 * 0.01 * 0.55)
+        assert dbs.decide(mid, current) is current
+
+    def test_utilization_computation(self, table):
+        dbs = DemandBasedSwitching(table)
+        current = table.by_frequency(2000.0)
+        half = retired_sample(cycles=1e7)  # 1e7 of 2e7 available
+        assert dbs.utilization(half, current) == pytest.approx(0.5)
+
+    def test_invalid_thresholds(self, table):
+        with pytest.raises(GovernorError):
+            DemandBasedSwitching(table, up_threshold=0.3, down_threshold=0.5)

@@ -1,0 +1,111 @@
+"""Tests for the EDP-optimizing governor."""
+
+import pytest
+
+from repro.core.controller import PowerManagementController
+from repro.core.governors.energy_efficiency import EnergyDelayOptimizer
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.power import LinearPowerModel
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.registry import get_workload
+
+POWER = LinearPowerModel.paper_model()
+PERF = PerformanceModel.paper_primary()
+
+
+def sample(rates):
+    return CounterSample(interval_s=0.01, cycles=2e7, rates=rates)
+
+
+def make_governor(table, exponent=1.0):
+    return EnergyDelayOptimizer(table, POWER, PERF, delay_exponent=exponent)
+
+
+class TestDecisions:
+    def test_core_bound_edp_prefers_high_frequency(self, table):
+        # For the core class, throughput ~ f while power grows slower
+        # than f^2, so EDP falls with frequency.
+        governor = make_governor(table)
+        governor.decide(
+            sample({Event.INST_RETIRED: 1.3, Event.INST_DECODED: 1.7}),
+            table.fastest,
+        )
+        target = governor.decide(
+            sample({Event.INST_RETIRED: 1.3, Event.DCU_MISS_OUTSTANDING: 0.1}),
+            table.fastest,
+        )
+        assert target.frequency_mhz == 2000.0
+
+    def test_memory_bound_edp_prefers_low_frequency(self, table):
+        governor = make_governor(table)
+        governor.decide(
+            sample({Event.INST_RETIRED: 0.3, Event.INST_DECODED: 0.36}),
+            table.fastest,
+        )
+        target = governor.decide(
+            sample({Event.INST_RETIRED: 0.3, Event.DCU_MISS_OUTSTANDING: 0.9}),
+            table.fastest,
+        )
+        assert target.frequency_mhz <= 800.0
+
+    def test_energy_only_objective_is_more_aggressive(self, table):
+        mixed_rates = [
+            sample({Event.INST_RETIRED: 0.7, Event.INST_DECODED: 0.9}),
+            sample({Event.INST_RETIRED: 0.7, Event.DCU_MISS_OUTSTANDING: 0.9}),
+        ]
+        edp = make_governor(table, exponent=1.0)
+        energy = make_governor(table, exponent=0.0)
+        for s in mixed_rates:
+            edp_target = edp.decide(s, table.fastest)
+            energy_target = energy.decide(s, table.fastest)
+        assert energy_target.frequency_mhz <= edp_target.frequency_mhz
+
+    def test_no_measurement_holds_current(self, table):
+        governor = make_governor(table)
+        current = table.by_frequency(1400.0)
+        target = governor.decide(
+            sample({Event.INST_RETIRED: 0.0, Event.INST_DECODED: 0.0}),
+            current,
+        )
+        assert target is current
+
+    def test_invalid_exponent(self, table):
+        with pytest.raises(GovernorError):
+            make_governor(table, exponent=-1.0)
+
+    def test_multiplexed_event_groups(self, table):
+        governor = make_governor(table)
+        assert len(governor.event_groups) == 2
+        for group in governor.event_groups:
+            assert len(group) <= 2
+            assert Event.INST_RETIRED in group
+
+
+class TestEndToEnd:
+    def run(self, workload, make):
+        machine = Machine(MachineConfig(seed=0))
+        controller = PowerManagementController(
+            machine, make(machine.config.table)
+        )
+        return controller.run(workload)
+
+    def test_beats_fullspeed_edp_on_memory_bound(self):
+        workload = get_workload("swim").scaled(0.2)
+        governed = self.run(workload, make_governor)
+        fullspeed = self.run(
+            workload, lambda t: FixedFrequency(t, 2000.0)
+        )
+        edp = governed.measured_energy_j * governed.duration_s
+        edp_full = fullspeed.measured_energy_j * fullspeed.duration_s
+        assert edp < edp_full * 0.7
+
+    def test_matches_fullspeed_on_core_bound(self):
+        workload = get_workload("sixtrack").scaled(0.1)
+        governed = self.run(workload, make_governor)
+        assert governed.residency_s.get(2000.0, 0.0) > (
+            0.95 * governed.duration_s
+        )

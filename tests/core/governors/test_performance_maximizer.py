@@ -1,0 +1,172 @@
+"""Tests for the PerformanceMaximizer governor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.models.power import LinearPowerModel
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+MODEL = LinearPowerModel.paper_model()
+
+
+def sample_with_dpc(dpc, interval_s=0.01, cycles=2e7):
+    return CounterSample(
+        interval_s=interval_s, cycles=cycles, rates={Event.INST_DECODED: dpc}
+    )
+
+
+def make_pm(table, limit=17.5, **kw):
+    return PerformanceMaximizer(table, MODEL, limit, **kw)
+
+
+class TestDecisions:
+    def test_low_activity_allows_full_speed(self, table):
+        pm = make_pm(table, limit=17.5)
+        # est(2000) for DPC 1.0 = 2.93 + 12.11 = 15.04 + 0.5 gb < 17.5
+        target = pm.decide(sample_with_dpc(1.0), table.fastest)
+        assert target is table.fastest
+
+    def test_high_activity_forces_lower_state(self, table):
+        pm = make_pm(table, limit=17.5)
+        # est(2000) for DPC 2.0 = 17.97 + .5 > 17.5 -> must leave P0.
+        target = pm.decide(sample_with_dpc(2.0), table.fastest)
+        assert target.frequency_mhz < 2000.0
+
+    def test_chooses_highest_feasible_state(self, table):
+        pm = make_pm(table, limit=12.5)
+        sample = sample_with_dpc(1.5)
+        target = pm.decide(sample, table.fastest)
+        budget = 12.5 - 0.5
+        # The choice satisfies the budget...
+        assert pm.estimate_power(sample, table.fastest, target) <= budget
+        # ...and the next-faster state would not.
+        faster = table.step_up(target)
+        assert faster != target
+        assert pm.estimate_power(sample, table.fastest, faster) > budget
+
+    def test_impossible_limit_degrades_to_slowest(self, table):
+        pm = make_pm(table, limit=1.0)
+        target = pm.decide(sample_with_dpc(2.0), table.fastest)
+        assert target is table.slowest
+
+    def test_guardband_matters_at_the_margin(self, table):
+        # est(2000) for DPC 1.6 = 16.80: fits a 17.0 W limit only
+        # without the guardband.
+        with_gb = make_pm(table, limit=17.0, guardband_w=0.5)
+        without_gb = make_pm(table, limit=17.0, guardband_w=0.0)
+        assert (
+            with_gb.decide(sample_with_dpc(1.6), table.fastest)
+            is not table.fastest
+        )
+        assert (
+            without_gb.decide(sample_with_dpc(1.6), table.fastest)
+            is table.fastest
+        )
+
+    def test_projection_makes_downscale_conservative(self, table):
+        # A memory-bound DPC of 0.5 at 2000 MHz projects to 1.67 at
+        # 600 MHz; power estimates at low states use the projected value.
+        pm = make_pm(table)
+        sample = sample_with_dpc(0.5)
+        slow = table.slowest
+        expected = MODEL.estimate(slow, 0.5 * 2000.0 / 600.0)
+        assert pm.estimate_power(sample, table.fastest, slow) == (
+            pytest.approx(expected)
+        )
+
+
+class TestHysteresis:
+    def test_lowers_immediately(self, table):
+        pm = make_pm(table, limit=17.5)
+        target = pm.decide(sample_with_dpc(2.5), table.fastest)
+        assert target.frequency_mhz < 2000.0
+
+    def test_raise_waits_for_full_window(self, table):
+        pm = make_pm(table, limit=17.5, raise_window=10)
+        current = table.by_frequency(1800.0)
+        for _ in range(9):
+            assert pm.decide(sample_with_dpc(0.5), current) is current
+        # The tenth consecutive calm sample completes the 100 ms window.
+        assert (
+            pm.decide(sample_with_dpc(0.5), current).frequency_mhz == 2000.0
+        )
+
+    def test_streak_resets_on_contradicting_sample(self, table):
+        pm = make_pm(table, limit=17.5, raise_window=3)
+        current = table.by_frequency(1800.0)
+        pm.decide(sample_with_dpc(0.5), current)
+        pm.decide(sample_with_dpc(0.5), current)
+        # A hot sample keeping us at 1800 resets the streak...
+        assert pm.decide(sample_with_dpc(1.9), current) is current
+        pm.decide(sample_with_dpc(0.5), current)
+        pm.decide(sample_with_dpc(0.5), current)
+        # ...so two calm samples are not enough again.
+        assert pm.decide(sample_with_dpc(0.5), current) is not current
+
+    def test_raise_uses_most_conservative_target_in_window(self, table):
+        pm = make_pm(table, limit=17.5, raise_window=2)
+        current = table.by_frequency(1400.0)
+        # First sample allows 2000, second only 1800 (est(2000) for DPC
+        # 1.75 is 17.2 W > 17.0 budget): the raise goes to 1800 -- every
+        # sample in the window must allow the final target.
+        pm.decide(sample_with_dpc(0.2), current)
+        target = pm.decide(sample_with_dpc(1.75), current)
+        assert target.frequency_mhz == pytest.approx(1800.0)
+
+    def test_reset_clears_streak(self, table):
+        pm = make_pm(table, limit=17.5, raise_window=2)
+        current = table.by_frequency(1800.0)
+        pm.decide(sample_with_dpc(0.5), current)
+        pm.reset()
+        assert pm.decide(sample_with_dpc(0.5), current) is current
+
+
+class TestRuntimeLimit:
+    def test_limit_change_takes_effect_immediately(self, table):
+        pm = make_pm(table, limit=17.5)
+        assert pm.decide(sample_with_dpc(1.0), table.fastest) is table.fastest
+        pm.set_power_limit(10.5)
+        target = pm.decide(sample_with_dpc(1.0), table.fastest)
+        assert target.frequency_mhz <= 1400.0
+        assert pm.power_limit_w == 10.5
+
+    def test_invalid_configuration(self, table):
+        with pytest.raises(GovernorError):
+            make_pm(table, limit=0.0)
+        with pytest.raises(GovernorError):
+            make_pm(table, guardband_w=-1.0)
+        with pytest.raises(GovernorError):
+            make_pm(table, raise_window=0)
+        pm = make_pm(table)
+        with pytest.raises(GovernorError):
+            pm.set_power_limit(-5.0)
+
+    def test_events_fit_one_counter(self, table):
+        assert make_pm(table).events == (Event.INST_DECODED,)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    dpc=st.floats(0.0, 3.0),
+    limit=st.floats(6.0, 20.0),
+    current_freq=st.sampled_from(
+        [600.0, 1000.0, 1400.0, 1800.0, 2000.0]
+    ),
+)
+def test_safety_invariant_estimated_power_within_budget(
+    dpc, limit, current_freq
+):
+    """PM never picks a state whose estimated power exceeds the budget,
+    unless no state fits at all (then it picks the slowest)."""
+    table = __import__("repro.acpi", fromlist=["pentium_m_755_table"]).pentium_m_755_table()
+    pm = PerformanceMaximizer(table, MODEL, limit)
+    current = table.by_frequency(current_freq)
+    sample = sample_with_dpc(dpc)
+    target = pm.decide(sample, current)
+    budget = limit - 0.5
+    estimate = pm.estimate_power(sample, current, target)
+    if estimate > budget:
+        assert target is table.slowest

@@ -1,0 +1,143 @@
+"""Tests for the PowerSave governor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.core.governors.powersave import PowerSave
+from repro.core.models.performance import PerformanceModel
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+PRIMARY = PerformanceModel.paper_primary()
+ALTERNATIVE = PerformanceModel.paper_alternative()
+
+
+def sample(ipc=1.0, dcu=0.2, interval_s=0.01, cycles=2e7):
+    return CounterSample(
+        interval_s=interval_s,
+        cycles=cycles,
+        rates={Event.INST_RETIRED: ipc, Event.DCU_MISS_OUTSTANDING: dcu},
+    )
+
+
+class TestCoreBoundDecisions:
+    def test_core_bound_at_80_floor_runs_1800(self, table):
+        # Projected relative performance must be strictly above the
+        # floor: 1600/2000 = 0.80 is not above 0.80, so PS picks 1800.
+        ps = PowerSave(table, PRIMARY, 0.80)
+        target = ps.decide(sample(ipc=1.4, dcu=0.1), table.fastest)
+        assert target.frequency_mhz == 1800.0
+
+    def test_core_bound_at_60_floor_runs_1400(self, table):
+        ps = PowerSave(table, PRIMARY, 0.60)
+        target = ps.decide(sample(ipc=1.4, dcu=0.1), table.fastest)
+        assert target.frequency_mhz == 1400.0
+
+    def test_core_bound_at_20_floor_runs_600(self, table):
+        ps = PowerSave(table, PRIMARY, 0.20)
+        target = ps.decide(sample(ipc=1.4, dcu=0.1), table.fastest)
+        assert target.frequency_mhz == 600.0
+
+
+class TestMemoryBoundDecisions:
+    def test_memory_bound_at_80_floor_runs_800(self, table):
+        # (800/2000)^0.19 = 0.84 > 0.80 but (600/2000)^0.19 = 0.795 < 0.80.
+        ps = PowerSave(table, PRIMARY, 0.80)
+        target = ps.decide(sample(ipc=0.3, dcu=0.9), table.fastest)
+        assert target.frequency_mhz == 800.0
+
+    def test_memory_bound_at_60_floor_runs_600(self, table):
+        ps = PowerSave(table, PRIMARY, 0.60)
+        target = ps.decide(sample(ipc=0.3, dcu=0.9), table.fastest)
+        assert target.frequency_mhz == 600.0
+
+    def test_alternative_exponent_keeps_higher_frequency(self, table):
+        # The e=0.59 repair: memory-class workloads stay at 1200 MHz
+        # instead of 800 MHz at the 80% floor.
+        ps = PowerSave(table, ALTERNATIVE, 0.80)
+        target = ps.decide(sample(ipc=0.3, dcu=0.9), table.fastest)
+        assert target.frequency_mhz == 1200.0
+
+
+class TestDynamics:
+    def test_classification_follows_the_sample(self, table):
+        ps = PowerSave(table, PRIMARY, 0.80)
+        compute = ps.decide(sample(ipc=1.4, dcu=0.1), table.fastest)
+        memory = ps.decide(sample(ipc=0.3, dcu=0.9), table.fastest)
+        assert memory.frequency_mhz < compute.frequency_mhz
+
+    def test_projection_from_current_state(self, table):
+        # Running at 800 MHz, a memory-bound sample's projected peak is
+        # recomputed from the current state -- the decision remains 800.
+        ps = PowerSave(table, PRIMARY, 0.80)
+        current = table.by_frequency(800.0)
+        target = ps.decide(sample(ipc=0.65, dcu=1.2), current)
+        assert target.frequency_mhz == 800.0
+
+    def test_zero_ipc_sample_is_fully_memory_bound(self, table):
+        ps = PowerSave(table, PRIMARY, 0.80)
+        target = ps.decide(sample(ipc=0.0, dcu=0.9), table.fastest)
+        # DCU/IPC = inf -> memory class; with zero IPC the projected
+        # peak is zero so any state "meets" the floor: pick the slowest.
+        assert target is table.slowest
+
+    def test_floor_change_at_runtime(self, table):
+        ps = PowerSave(table, PRIMARY, 0.80)
+        assert ps.decide(
+            sample(ipc=1.4, dcu=0.1), table.fastest
+        ).frequency_mhz == 1800.0
+        ps.set_floor(0.40)
+        assert ps.decide(
+            sample(ipc=1.4, dcu=0.1), table.fastest
+        ).frequency_mhz == 1000.0
+        assert ps.floor == 0.40
+
+    def test_floor_of_one_pins_full_speed(self, table):
+        ps = PowerSave(table, PRIMARY, 1.0)
+        assert ps.decide(sample(ipc=1.4, dcu=0.1), table.fastest) is (
+            table.fastest
+        )
+
+
+class TestValidation:
+    def test_invalid_floor(self, table):
+        with pytest.raises(GovernorError):
+            PowerSave(table, PRIMARY, 0.0)
+        with pytest.raises(GovernorError):
+            PowerSave(table, PRIMARY, 1.5)
+        ps = PowerSave(table, PRIMARY, 0.8)
+        with pytest.raises(GovernorError):
+            ps.set_floor(-0.2)
+
+    def test_events_fit_two_counters(self, table):
+        ps = PowerSave(table, PRIMARY, 0.8)
+        assert ps.events == (
+            Event.INST_RETIRED,
+            Event.DCU_MISS_OUTSTANDING,
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ipc=st.floats(0.05, 2.0),
+    dcu=st.floats(0.0, 1.0),
+    floor=st.sampled_from([0.2, 0.4, 0.6, 0.8]),
+    current_freq=st.sampled_from([600.0, 1200.0, 2000.0]),
+)
+def test_floor_invariant_per_model(ipc, dcu, floor, current_freq):
+    """PS's chosen state always projects strictly above the floor, and
+    the next-lower state (if any) would not."""
+    table = pentium_m_755_table()
+    ps = PowerSave(table, PRIMARY, floor)
+    current = table.by_frequency(current_freq)
+    s = sample(ipc=ipc, dcu=dcu)
+    target = ps.decide(s, current)
+    projected = ps.projected_relative_performance(s, current, target)
+    assert projected > floor
+    lower = table.step_down(target)
+    if lower != target:
+        assert (
+            ps.projected_relative_performance(s, current, lower) <= floor + 1e-9
+        )

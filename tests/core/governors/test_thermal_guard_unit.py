@@ -1,0 +1,70 @@
+"""Unit tests for the ThermalGuard wrapper (machine-level coverage lives
+in tests/platform/test_thermal.py)."""
+
+import pytest
+
+from repro.core.governors.thermal_guard import ThermalGuard
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.platform.events import Event
+
+
+def sample():
+    return CounterSample(
+        interval_s=0.01, cycles=2e7, rates={Event.INST_RETIRED: 1.0}
+    )
+
+
+def make_guard(table, temperature, **kw):
+    state = {"t": temperature}
+    guard = ThermalGuard(
+        FixedFrequency(table, 2000.0), lambda: state["t"],
+        t_limit_c=100.0, margin_c=8.0, degrees_per_step=2.0, **kw
+    )
+    return guard, state
+
+
+class TestClampMath:
+    def test_cool_die_passes_through(self, table):
+        guard, _ = make_guard(table, 60.0)
+        assert guard.clamp_steps(60.0) == 0
+        assert guard.decide(sample(), table.fastest).frequency_mhz == 2000.0
+
+    def test_band_entry_forces_one_step(self, table):
+        guard, _ = make_guard(table, 92.5)
+        assert guard.clamp_steps(92.5) == 1
+        assert guard.decide(sample(), table.fastest).frequency_mhz == 1800.0
+
+    def test_deeper_penetration_forces_more_steps(self, table):
+        guard, _ = make_guard(table, 97.0)
+        # 5 degrees into the band at 2 C/step -> 1 + 2 = 3 steps.
+        assert guard.clamp_steps(97.0) == 3
+        assert guard.decide(sample(), table.fastest).frequency_mhz == 1400.0
+
+    def test_clamp_saturates_at_slowest(self, table):
+        guard, _ = make_guard(table, 150.0)
+        assert guard.decide(sample(), table.fastest) is table.slowest
+
+    def test_temperature_read_is_live(self, table):
+        guard, state = make_guard(table, 60.0)
+        assert guard.decide(sample(), table.fastest).frequency_mhz == 2000.0
+        state["t"] = 96.0
+        assert guard.decide(sample(), table.fastest).frequency_mhz < 2000.0
+
+    def test_wraps_inner_events_and_name(self, table):
+        guard, _ = make_guard(table, 60.0)
+        assert guard.events == guard.inner.events
+        assert "ThermalGuard" in guard.name
+        assert "2000" in guard.name
+
+    def test_validation(self, table):
+        with pytest.raises(GovernorError):
+            ThermalGuard(
+                FixedFrequency(table, 2000.0), lambda: 60.0, margin_c=0.0
+            )
+        with pytest.raises(GovernorError):
+            ThermalGuard(
+                FixedFrequency(table, 2000.0), lambda: 60.0,
+                degrees_per_step=-1.0,
+            )

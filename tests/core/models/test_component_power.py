@@ -1,0 +1,119 @@
+"""Tests for the multi-event component power model."""
+
+import pytest
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.core.models.component_power import (
+    COMPONENT_EVENTS,
+    ComponentCoefficients,
+    ComponentPowerModel,
+    collect_component_training_data,
+    fit_component_model,
+)
+from repro.errors import ModelError, TrainingError
+from repro.platform.events import Event
+from repro.workloads.microbenchmarks import ms_loops
+
+TABLE = pentium_m_755_table()
+
+
+@pytest.fixture(scope="module")
+def points():
+    return collect_component_training_data(duration_s=0.12)
+
+
+@pytest.fixture(scope="module")
+def model(points):
+    return fit_component_model(points)
+
+
+class TestTraining:
+    def test_full_training_matrix(self, points):
+        assert len(points) == 12 * 8
+        for point in points:
+            assert set(point.rates) == set(COMPONENT_EVENTS)
+            assert point.measured_power_w > 0
+
+    def test_fp_rates_distinguish_loops(self, points):
+        by_name = {
+            p.workload: p for p in points if p.frequency_mhz == 2000.0
+        }
+        # FMA is FP-dense; MCOPY executes no FP at all.
+        assert by_name["FMA-16KB"].rates[Event.FP_COMP_OPS_EXE] > 0.5
+        assert by_name["MCOPY-16KB"].rates[Event.FP_COMP_OPS_EXE] == (
+            pytest.approx(0.0, abs=1e-6)
+        )
+
+
+class TestFit:
+    def test_weights_non_negative(self, model):
+        for freq in model.frequencies_mhz:
+            c = model.coefficients(freq)
+            assert all(w >= 0.0 for w in c.weights.values())
+            assert c.intercept > 0
+
+    def test_fits_training_set_tighter_than_dpc_model(self, points, model):
+        from repro.core.models.training import (
+            collect_training_data,
+            fit_power_model,
+        )
+
+        dpc_points = collect_training_data(duration_s=0.12)
+        dpc_model = fit_power_model(dpc_points)
+        dpc_by_key = {
+            (p.workload, p.frequency_mhz): p.dpc for p in dpc_points
+        }
+        component_error = 0.0
+        dpc_error = 0.0
+        for point in points:
+            component_error += abs(
+                model.estimate(point.frequency_mhz, point.rates)
+                - point.measured_power_w
+            )
+            dpc = dpc_by_key[(point.workload, point.frequency_mhz)]
+            dpc_error += abs(
+                dpc_model.estimate(point.frequency_mhz, dpc)
+                - point.measured_power_w
+            )
+        assert component_error < dpc_error
+
+    def test_sees_hidden_fp_power(self, model):
+        # Two workloads, same decode rate, different FP mix: the
+        # component model separates them; the DPC model cannot.
+        base = {
+            Event.INST_DECODED: 1.2,
+            Event.FP_COMP_OPS_EXE: 0.0,
+            Event.L2_RQSTS: 0.0,
+        }
+        fp_heavy = {**base, Event.FP_COMP_OPS_EXE: 1.5}
+        assert model.estimate(2000.0, fp_heavy) > model.estimate(
+            2000.0, base
+        ) + 0.5
+
+    def test_projection_is_conservative(self, model):
+        rates = {
+            Event.INST_DECODED: 1.0,
+            Event.FP_COMP_OPS_EXE: 0.4,
+            Event.L2_RQSTS: 0.05,
+        }
+        direct = model.estimate(1000.0, rates)
+        projected = model.estimate_projected(2000.0, 1000.0, rates)
+        # Downscale projection doubles the per-cycle rates.
+        assert projected >= direct
+
+    def test_validation(self, model):
+        with pytest.raises(ModelError):
+            model.estimate(700.0, {})
+        with pytest.raises(ModelError):
+            ComponentCoefficients(
+                weights={Event.INST_DECODED: 1.0}, intercept=5.0
+            ).estimate({Event.INST_DECODED: -1.0})
+        with pytest.raises(TrainingError):
+            fit_component_model([])
+
+    def test_too_few_points_per_pstate(self):
+        sparse = collect_component_training_data(
+            workloads=ms_loops()[:3], duration_s=0.05
+        )
+        with pytest.raises(TrainingError, match="too few"):
+            fit_component_model(sparse)

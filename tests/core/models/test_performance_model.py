@@ -1,0 +1,106 @@
+"""Tests for the two-class IPC projection model (Eq. 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.models.performance import PerformanceModel, WorkloadClass
+from repro.errors import ModelError
+
+PRIMARY = PerformanceModel.paper_primary()
+ALTERNATIVE = PerformanceModel.paper_alternative()
+
+
+class TestClassification:
+    def test_threshold_boundary(self):
+        assert PRIMARY.classify(1.20) is WorkloadClass.CORE_BOUND
+        assert PRIMARY.classify(1.21) is WorkloadClass.MEMORY_BOUND
+        assert PRIMARY.classify(5.0) is WorkloadClass.MEMORY_BOUND
+
+    def test_paper_constants(self):
+        assert PRIMARY.dcu_threshold == 1.21
+        assert PRIMARY.memory_exponent == 0.81
+        assert ALTERNATIVE.memory_exponent == 0.59
+
+    def test_negative_metric_rejected(self):
+        with pytest.raises(ModelError):
+            PRIMARY.classify(-0.1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ModelError):
+            PerformanceModel(dcu_threshold=0.0)
+        with pytest.raises(ModelError):
+            PerformanceModel(memory_exponent=1.5)
+
+
+class TestProjection:
+    def test_core_bound_ipc_is_invariant(self):
+        assert PRIMARY.project_ipc(1.5, 0.2, 2000.0, 600.0) == 1.5
+
+    def test_memory_bound_ipc_rises_when_downscaling(self):
+        projected = PRIMARY.project_ipc(0.4, 3.0, 2000.0, 1000.0)
+        assert projected == pytest.approx(0.4 * 2.0**0.81)
+
+    def test_paper_worked_example(self):
+        # Eq. 3 at the 80% floor: memory class from 2000 MHz, the
+        # predicted relative performance at 800 MHz is (800/2000)^0.19
+        # = 0.84 -- above the floor; at 600 MHz it is 0.795 -- below.
+        assert PRIMARY.relative_performance(3.0, 2000.0, 800.0) == (
+            pytest.approx(0.84, abs=0.002)
+        )
+        assert PRIMARY.relative_performance(3.0, 2000.0, 600.0) == (
+            pytest.approx(0.795, abs=0.002)
+        )
+
+    def test_alternative_exponent_is_more_conservative(self):
+        # e=0.59 predicts a bigger loss from downscaling, so PS picks a
+        # higher frequency -- the repair of the art/mcf violations.
+        primary = PRIMARY.relative_performance(3.0, 2000.0, 800.0)
+        alternative = ALTERNATIVE.relative_performance(3.0, 2000.0, 800.0)
+        assert alternative < primary
+
+    def test_throughput_scales_with_frequency_for_core(self):
+        thr_1000 = PRIMARY.project_throughput(1.0, 0.1, 2000.0, 1000.0)
+        thr_2000 = PRIMARY.project_throughput(1.0, 0.1, 2000.0, 2000.0)
+        assert thr_2000 == pytest.approx(2 * thr_1000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            PRIMARY.project_ipc(-1.0, 0.5, 2000.0, 1000.0)
+        with pytest.raises(ModelError):
+            PRIMARY.project_ipc(1.0, 0.5, 0.0, 1000.0)
+
+
+@given(
+    ipc=st.floats(0.05, 2.0),
+    dcu_per_ipc=st.floats(0.0, 6.0),
+    f_from=st.sampled_from([600.0, 1000.0, 1600.0, 2000.0]),
+    f_to=st.sampled_from([600.0, 1000.0, 1600.0, 2000.0]),
+)
+def test_projection_roundtrip_is_identity(ipc, dcu_per_ipc, f_from, f_to):
+    """Projecting there and back recovers the original IPC.
+
+    (Holds because the classification input is the source-state metric,
+    which the model treats as invariant.)"""
+    there = PRIMARY.project_ipc(ipc, dcu_per_ipc, f_from, f_to)
+    back = PRIMARY.project_ipc(there, dcu_per_ipc, f_to, f_from)
+    assert back == pytest.approx(ipc, rel=1e-9)
+
+
+@given(
+    ipc=st.floats(0.05, 2.0),
+    dcu_per_ipc=st.floats(0.0, 6.0),
+    f_to=st.sampled_from([600.0, 800.0, 1200.0, 1600.0]),
+)
+def test_projected_throughput_never_rises_when_downscaling(
+    ipc, dcu_per_ipc, f_to
+):
+    """No workload class gains throughput from a lower frequency."""
+    peak = PRIMARY.project_throughput(ipc, dcu_per_ipc, 2000.0, 2000.0)
+    lower = PRIMARY.project_throughput(ipc, dcu_per_ipc, 2000.0, f_to)
+    assert lower <= peak + 1e-6
+
+
+@given(dcu=st.floats(0.0, 6.0), f_to=st.sampled_from([600.0, 1000.0, 1600.0]))
+def test_relative_performance_bounded(dcu, f_to):
+    rel = PRIMARY.relative_performance(dcu, 2000.0, f_to)
+    assert f_to / 2000.0 - 1e-9 <= rel <= 1.0 + 1e-9

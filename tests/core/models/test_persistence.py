@@ -1,0 +1,101 @@
+"""Tests for model JSON persistence."""
+
+import pytest
+
+from repro.core.models.component_power import (
+    ComponentCoefficients,
+    ComponentPowerModel,
+)
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.persistence import (
+    component_model_from_json,
+    component_model_to_json,
+    performance_model_from_json,
+    performance_model_to_json,
+    power_model_from_json,
+    power_model_to_json,
+)
+from repro.core.models.power import LinearPowerModel
+from repro.errors import ModelError
+from repro.platform.events import Event
+
+
+class TestPowerModel:
+    def test_roundtrip_paper_model(self):
+        original = LinearPowerModel.paper_model()
+        restored = power_model_from_json(power_model_to_json(original))
+        assert restored == original
+
+    def test_estimates_survive_roundtrip(self):
+        original = LinearPowerModel.paper_model()
+        restored = power_model_from_json(power_model_to_json(original))
+        assert restored.estimate(2000.0, 1.5) == pytest.approx(
+            original.estimate(2000.0, 1.5)
+        )
+
+    def test_rejects_wrong_kind(self):
+        text = performance_model_to_json(PerformanceModel.paper_primary())
+        with pytest.raises(ModelError, match="expected a linear_power_model"):
+            power_model_from_json(text)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ModelError, match="not valid model JSON"):
+            power_model_from_json("{nope")
+        with pytest.raises(ModelError, match="JSON object"):
+            power_model_from_json("[1, 2]")
+
+    def test_rejects_future_format(self):
+        text = power_model_to_json(LinearPowerModel.paper_model()).replace(
+            '"format": 1', '"format": 99'
+        )
+        with pytest.raises(ModelError, match="unsupported model format"):
+            power_model_from_json(text)
+
+
+class TestPerformanceModel:
+    def test_roundtrip(self):
+        for model in (
+            PerformanceModel.paper_primary(),
+            PerformanceModel.paper_alternative(),
+        ):
+            restored = performance_model_from_json(
+                performance_model_to_json(model)
+            )
+            assert restored == model
+
+
+class TestComponentModel:
+    def make_model(self):
+        return ComponentPowerModel(
+            {
+                2000.0: ComponentCoefficients(
+                    weights={
+                        Event.INST_DECODED: 2.4,
+                        Event.FP_COMP_OPS_EXE: 1.1,
+                        Event.L2_RQSTS: 6.5,
+                    },
+                    intercept=12.0,
+                )
+            }
+        )
+
+    def test_roundtrip(self):
+        original = self.make_model()
+        restored = component_model_from_json(
+            component_model_to_json(original)
+        )
+        rates = {
+            Event.INST_DECODED: 1.0,
+            Event.FP_COMP_OPS_EXE: 0.5,
+            Event.L2_RQSTS: 0.02,
+        }
+        assert restored.estimate(2000.0, rates) == pytest.approx(
+            original.estimate(2000.0, rates)
+        )
+
+    def test_unknown_event_rejected(self):
+        text = component_model_to_json(self.make_model()).replace(
+            "INST_DECODED", "BOGUS_EVENT"
+        )
+        with pytest.raises(ModelError, match="unknown event"):
+            component_model_from_json(text)

@@ -1,0 +1,104 @@
+"""Tests for the per-p-state linear power model (Eq. 2 / Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.core.models.power import (
+    LinearPowerModel,
+    PAPER_TABLE_II,
+    PStateCoefficients,
+)
+from repro.errors import ModelError
+
+TABLE = pentium_m_755_table()
+
+
+class TestCoefficients:
+    def test_estimate_is_linear(self):
+        c = PStateCoefficients(2.93, 12.11)
+        assert c.estimate(0.0) == pytest.approx(12.11)
+        assert c.estimate(1.0) == pytest.approx(15.04)
+        assert c.estimate(2.0) - c.estimate(1.0) == pytest.approx(2.93)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ModelError):
+            PStateCoefficients(-0.1, 5.0)
+
+    def test_rejects_non_positive_beta(self):
+        with pytest.raises(ModelError):
+            PStateCoefficients(1.0, 0.0)
+
+    def test_rejects_negative_dpc(self):
+        with pytest.raises(ModelError):
+            PStateCoefficients(1.0, 5.0).estimate(-0.1)
+
+
+class TestPaperTable:
+    def test_published_values(self):
+        assert PAPER_TABLE_II[600.0].alpha == 0.34
+        assert PAPER_TABLE_II[600.0].beta == 2.58
+        assert PAPER_TABLE_II[2000.0].alpha == 2.93
+        assert PAPER_TABLE_II[2000.0].beta == 12.11
+
+    def test_covers_every_pstate(self):
+        assert set(PAPER_TABLE_II) == set(TABLE.frequencies_mhz)
+
+    def test_coefficients_monotone(self):
+        freqs = sorted(PAPER_TABLE_II)
+        alphas = [PAPER_TABLE_II[f].alpha for f in freqs]
+        betas = [PAPER_TABLE_II[f].beta for f in freqs]
+        assert alphas == sorted(alphas)
+        assert betas == sorted(betas)
+
+
+class TestModel:
+    def test_paper_model_estimate(self):
+        model = LinearPowerModel.paper_model()
+        assert model.estimate(2000.0, 1.0) == pytest.approx(15.04)
+        assert model.estimate(TABLE.fastest, 1.0) == pytest.approx(15.04)
+
+    def test_unknown_frequency_raises(self):
+        model = LinearPowerModel.paper_model()
+        with pytest.raises(ModelError, match="no coefficients"):
+            model.estimate(700.0, 1.0)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            LinearPowerModel({})
+
+    def test_equality(self):
+        assert LinearPowerModel.paper_model() == LinearPowerModel.paper_model()
+        assert LinearPowerModel.paper_model() != LinearPowerModel(
+            {600.0: PStateCoefficients(1.0, 1.0)}
+        )
+
+    def test_alpha_beta_accessors(self):
+        model = LinearPowerModel.paper_model()
+        assert model.alpha(1400.0) == 1.42
+        assert model.beta(1400.0) == 6.95
+
+    def test_frequencies_ascending(self):
+        freqs = LinearPowerModel.paper_model().frequencies_mhz
+        assert list(freqs) == sorted(freqs)
+
+    @given(
+        dpc=st.floats(0.0, 3.0),
+        freq=st.sampled_from(sorted(PAPER_TABLE_II)),
+    )
+    def test_estimate_monotone_in_dpc_and_positive(self, dpc, freq):
+        model = LinearPowerModel.paper_model()
+        here = model.estimate(freq, dpc)
+        more = model.estimate(freq, dpc + 0.1)
+        assert here > 0
+        assert more > here
+
+    @given(dpc=st.floats(0.0, 3.0))
+    def test_estimate_monotone_in_frequency(self, dpc):
+        # For a fixed per-cycle activity, a faster p-state always costs
+        # more power (higher V and f).
+        model = LinearPowerModel.paper_model()
+        estimates = [
+            model.estimate(f, dpc) for f in sorted(PAPER_TABLE_II)
+        ]
+        assert estimates == sorted(estimates)

@@ -1,0 +1,69 @@
+"""Tests for Eq. 4 DPC projection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.models.projection import project_dpc, project_rate_conservative
+from repro.errors import ModelError
+
+
+def test_downscale_raises_per_cycle_rate():
+    # Memory-bound assumption: decode/sec constant => per-cycle doubles
+    # when frequency halves.
+    assert project_dpc(1.0, 2000.0, 1000.0) == pytest.approx(2.0)
+
+
+def test_upscale_keeps_per_cycle_rate():
+    assert project_dpc(1.0, 1000.0, 2000.0) == pytest.approx(1.0)
+
+
+def test_identity_projection():
+    assert project_dpc(1.3, 1600.0, 1600.0) == pytest.approx(1.3)
+
+
+def test_rejects_negative_dpc():
+    with pytest.raises(ModelError):
+        project_dpc(-0.1, 2000.0, 1000.0)
+
+
+def test_rejects_bad_frequencies():
+    with pytest.raises(ModelError):
+        project_dpc(1.0, 0.0, 1000.0)
+    with pytest.raises(ModelError):
+        project_dpc(1.0, 1000.0, -5.0)
+
+
+def test_alias_behaves_identically():
+    assert project_rate_conservative(0.7, 1800.0, 600.0) == project_dpc(
+        0.7, 1800.0, 600.0
+    )
+
+
+@given(
+    dpc=st.floats(0.0, 3.0),
+    f_from=st.sampled_from([600.0, 1000.0, 1400.0, 2000.0]),
+    f_to=st.sampled_from([600.0, 1000.0, 1400.0, 2000.0]),
+)
+def test_projection_is_conservative(dpc, f_from, f_to):
+    """Eq. 4 never *under*-estimates activity in either direction:
+
+    the projected per-cycle rate is >= both the core-bound prediction
+    (rate unchanged) and the memory-bound prediction (rate scaled by
+    f/f').
+    """
+    projected = project_dpc(dpc, f_from, f_to)
+    core_bound = dpc
+    memory_bound = dpc * f_from / f_to
+    assert projected >= min(core_bound, memory_bound) - 1e-12
+    assert projected == pytest.approx(max(core_bound, memory_bound))
+
+
+@given(
+    dpc=st.floats(0.01, 3.0),
+    f_mid=st.sampled_from([800.0, 1200.0, 1600.0]),
+)
+def test_downward_projection_composes(dpc, f_mid):
+    """Projecting 2000 -> mid -> 600 equals projecting 2000 -> 600."""
+    direct = project_dpc(dpc, 2000.0, 600.0)
+    via_mid = project_dpc(project_dpc(dpc, 2000.0, f_mid), f_mid, 600.0)
+    assert direct == pytest.approx(via_mid)

@@ -1,0 +1,95 @@
+"""Tests for the Monitor phase (counter sampling)."""
+
+import pytest
+
+from repro.core.sampling import CounterSampler
+from repro.drivers.msr import MSRFile
+from repro.drivers.pmu import PMU
+from repro.errors import PMUError
+from repro.platform.events import Event, EventRates
+
+
+def flat_rates(decoded=1.4, retired=1.0, dcu=0.4):
+    return EventRates(
+        inst_decoded=decoded, inst_retired=retired, uops_retired=1.1,
+        data_mem_refs=0.4, dcu_lines_in=0.01, dcu_miss_outstanding=dcu,
+        l2_rqsts=0.02, l2_lines_in=0.01, bus_tran_mem=0.01,
+        bus_drdy_clocks=0.05, resource_stalls=0.1, fp_comp_ops_exe=0.2,
+        br_inst_decoded=0.1, br_inst_retired=0.08, br_mispred_retired=0.003,
+        ifu_mem_stall=0.02, prefetch_lines_in=0.002,
+    )
+
+
+@pytest.fixture()
+def pmu():
+    return PMU(MSRFile())
+
+
+def test_sampler_enforces_counter_budget(pmu):
+    with pytest.raises(PMUError):
+        CounterSampler(
+            pmu, [Event.INST_DECODED, Event.INST_RETIRED, Event.L2_RQSTS]
+        )
+
+
+def test_sampler_rejects_empty_and_duplicates(pmu):
+    with pytest.raises(PMUError):
+        CounterSampler(pmu, [])
+    with pytest.raises(PMUError):
+        CounterSampler(pmu, [Event.INST_DECODED, Event.INST_DECODED])
+
+
+def test_sample_before_start_raises(pmu):
+    sampler = CounterSampler(pmu, [Event.INST_DECODED])
+    with pytest.raises(PMUError, match="not started"):
+        sampler.sample(0.01)
+
+
+def test_rates_recovered_from_deltas(pmu):
+    sampler = CounterSampler(
+        pmu, [Event.INST_RETIRED, Event.DCU_MISS_OUTSTANDING]
+    )
+    sampler.start()
+    pmu.tick(20_000_000, flat_rates(retired=1.1, dcu=0.35))
+    sample = sampler.sample(0.01)
+    assert sample.ipc == pytest.approx(1.1, rel=1e-3)
+    assert sample.dcu == pytest.approx(0.35, rel=1e-3)
+    assert sample.cycles == pytest.approx(20_000_000)
+
+
+def test_effective_frequency(pmu):
+    sampler = CounterSampler(pmu, [Event.INST_RETIRED])
+    sampler.start()
+    pmu.tick(20_000_000, flat_rates())
+    sample = sampler.sample(0.01)
+    assert sample.effective_frequency_mhz == pytest.approx(2000.0)
+
+
+def test_dcu_per_ipc_infinite_when_stalled(pmu):
+    sampler = CounterSampler(
+        pmu, [Event.INST_RETIRED, Event.DCU_MISS_OUTSTANDING]
+    )
+    sampler.start()
+    pmu.tick(1_000_000, flat_rates(retired=0.0, dcu=0.9))
+    sample = sampler.sample(0.01)
+    assert sample.dcu_per_ipc == float("inf")
+
+
+def test_consecutive_samples_are_independent(pmu):
+    sampler = CounterSampler(pmu, [Event.INST_RETIRED])
+    sampler.start()
+    pmu.tick(10_000_000, flat_rates(retired=0.5))
+    first = sampler.sample(0.005)
+    pmu.tick(10_000_000, flat_rates(retired=1.5))
+    second = sampler.sample(0.005)
+    assert first.ipc == pytest.approx(0.5, rel=1e-3)
+    assert second.ipc == pytest.approx(1.5, rel=1e-3)
+
+
+def test_dpc_accessor_requires_monitored_event(pmu):
+    sampler = CounterSampler(pmu, [Event.INST_RETIRED])
+    sampler.start()
+    pmu.tick(1_000_000, flat_rates())
+    sample = sampler.sample(0.01)
+    with pytest.raises(KeyError):
+        _ = sample.dpc

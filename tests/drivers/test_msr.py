@@ -1,0 +1,71 @@
+"""Tests for the simulated MSR file."""
+
+import pytest
+
+from repro.drivers.msr import MSRFile
+from repro.errors import MSRError
+
+
+@pytest.fixture()
+def msr():
+    return MSRFile()
+
+
+def test_unmapped_read_raises(msr):
+    with pytest.raises(MSRError, match="unimplemented"):
+        msr.rdmsr(0x123)
+
+
+def test_unmapped_write_raises(msr):
+    with pytest.raises(MSRError):
+        msr.wrmsr(0x123, 1)
+
+
+def test_map_and_roundtrip(msr):
+    msr.map_register(0x10, initial=7)
+    assert msr.rdmsr(0x10) == 7
+    msr.wrmsr(0x10, 42)
+    assert msr.rdmsr(0x10) == 42
+
+
+def test_double_map_rejected(msr):
+    msr.map_register(0x10)
+    with pytest.raises(MSRError, match="already mapped"):
+        msr.map_register(0x10)
+
+
+def test_read_only_register(msr):
+    msr.map_register(0x10, initial=5, writable=False)
+    with pytest.raises(MSRError, match="read-only"):
+        msr.wrmsr(0x10, 1)
+    # hardware-side pokes still work
+    msr.poke(0x10, 9)
+    assert msr.rdmsr(0x10) == 9
+
+
+def test_negative_value_rejected(msr):
+    msr.map_register(0x10)
+    with pytest.raises(MSRError, match="unsigned"):
+        msr.wrmsr(0x10, -1)
+
+
+def test_write_hook_fires(msr):
+    seen = []
+    msr.map_register(0x10, write_hook=seen.append)
+    msr.wrmsr(0x10, 5)
+    msr.wrmsr(0x10, 6)
+    assert seen == [5, 6]
+
+
+def test_read_hook_refreshes_value(msr):
+    state = {"v": 1}
+    msr.map_register(0x10, read_hook=lambda: state["v"])
+    assert msr.rdmsr(0x10) == 1
+    state["v"] = 99
+    assert msr.rdmsr(0x10) == 99
+
+
+def test_is_mapped(msr):
+    assert not msr.is_mapped(0x10)
+    msr.map_register(0x10)
+    assert msr.is_mapped(0x10)

@@ -1,0 +1,165 @@
+"""Tests for the two-counter PMU: programming, counting, wrap, multiplexing."""
+
+import pytest
+
+from repro.drivers.msr import MSRFile
+from repro.drivers.pmu import PMU, EventMultiplexer
+from repro.errors import PMUError
+from repro.platform.events import COUNTER_WIDTH_BITS, Event, EventRates
+
+
+def flat_rates(decoded=1.5, retired=1.0, dcu=0.3):
+    return EventRates(
+        inst_decoded=decoded, inst_retired=retired, uops_retired=1.2,
+        data_mem_refs=0.4, dcu_lines_in=0.01, dcu_miss_outstanding=dcu,
+        l2_rqsts=0.02, l2_lines_in=0.01, bus_tran_mem=0.01,
+        bus_drdy_clocks=0.05, resource_stalls=0.1, fp_comp_ops_exe=0.2,
+        br_inst_decoded=0.1, br_inst_retired=0.08, br_mispred_retired=0.003,
+        ifu_mem_stall=0.02, prefetch_lines_in=0.002,
+    )
+
+
+@pytest.fixture()
+def pmu():
+    return PMU(MSRFile())
+
+
+class TestProgramming:
+    def test_two_counters_only(self, pmu):
+        with pytest.raises(PMUError, match="two-counter|only"):
+            pmu.program_events(
+                [Event.INST_DECODED, Event.INST_RETIRED, Event.L2_RQSTS]
+            )
+
+    def test_pm_and_ps_event_sets_fit(self, pmu):
+        pmu.program_events([Event.INST_DECODED])  # PM
+        pmu.program_events(
+            [Event.INST_RETIRED, Event.DCU_MISS_OUTSTANDING]
+        )  # PS
+        assert pmu.configured_event(0) is Event.INST_RETIRED
+        assert pmu.configured_event(1) is Event.DCU_MISS_OUTSTANDING
+
+    def test_programming_clears_counter(self, pmu):
+        pmu.program(0, Event.INST_RETIRED)
+        pmu.tick(1000, flat_rates())
+        assert pmu.read(0) > 0
+        pmu.program(0, Event.INST_RETIRED)
+        assert pmu.read(0) == 0
+
+    def test_partial_programming_disables_other_counter(self, pmu):
+        pmu.program_events([Event.INST_DECODED, Event.INST_RETIRED])
+        pmu.program_events([Event.INST_DECODED])
+        assert pmu.configured_event(1) is None
+
+    def test_invalid_counter_index(self, pmu):
+        with pytest.raises(PMUError):
+            pmu.program(2, Event.INST_RETIRED)
+        with pytest.raises(PMUError):
+            pmu.read(-1)
+
+    def test_invalid_event_rejected(self, pmu):
+        with pytest.raises(PMUError):
+            pmu.program(0, "not-an-event")
+
+    def test_event_for_code(self):
+        assert PMU.event_for_code(0xD0) is Event.INST_DECODED
+        with pytest.raises(PMUError, match="not implemented"):
+            PMU.event_for_code(0x55)
+
+
+class TestCounting:
+    def test_counts_match_rate_times_cycles(self, pmu):
+        pmu.program_events([Event.INST_DECODED, Event.INST_RETIRED])
+        pmu.tick(1_000_000, flat_rates(decoded=1.5, retired=1.0))
+        assert pmu.read(0) == pytest.approx(1_500_000, rel=1e-6)
+        assert pmu.read(1) == pytest.approx(1_000_000, rel=1e-6)
+
+    def test_fractional_residuals_accumulate(self, pmu):
+        # 0.3 events/cycle over 10 cycles x 100 ticks = 300 events; naive
+        # per-tick rounding of 3.0 would also give 300, so use a rate
+        # whose per-tick increment is fractional.
+        pmu.program(0, Event.DCU_MISS_OUTSTANDING)
+        for _ in range(1000):
+            pmu.tick(7, flat_rates(dcu=0.33))
+        assert pmu.read(0) == pytest.approx(7 * 1000 * 0.33, abs=1.0)
+
+    def test_negative_tick_rejected(self, pmu):
+        with pytest.raises(PMUError):
+            pmu.tick(-1, flat_rates())
+
+    def test_snapshot_delta(self, pmu):
+        pmu.program_events([Event.INST_DECODED, Event.INST_RETIRED])
+        before = pmu.snapshot()
+        pmu.tick(10_000, flat_rates())
+        after = pmu.snapshot()
+        c0, c1, cycles = before.delta(after)
+        assert cycles == pytest.approx(10_000)
+        assert c0 == pytest.approx(15_000, rel=1e-3)
+        assert c1 == pytest.approx(10_000, rel=1e-3)
+
+    def test_delta_across_reprogram_rejected(self, pmu):
+        pmu.program_events([Event.INST_DECODED])
+        before = pmu.snapshot()
+        pmu.program_events([Event.INST_RETIRED])
+        after = pmu.snapshot()
+        with pytest.raises(PMUError, match="reprogrammed"):
+            before.delta(after)
+
+
+class TestWrapAround:
+    def test_counter_wraps_at_40_bits(self, pmu):
+        pmu.program(0, Event.INST_DECODED)
+        near_wrap = (1 << COUNTER_WIDTH_BITS) - 500
+        pmu._msr.poke(0xC1, near_wrap)  # hardware-side preset
+        before = pmu.snapshot()
+        pmu.tick(1000, flat_rates(decoded=1.0))
+        after = pmu.snapshot()
+        assert after.values[0] < before.values[0]  # wrapped
+        c0, _, _ = before.delta(after)
+        assert c0 == pytest.approx(1000, abs=2)
+
+    def test_cycle_counter_wrap_in_delta(self, pmu):
+        pmu.program(0, Event.INST_DECODED)
+        pmu._cycles = (1 << COUNTER_WIDTH_BITS) - 100
+        before = pmu.snapshot()
+        pmu.tick(300, flat_rates())
+        after = pmu.snapshot()
+        _, _, cycles = before.delta(after)
+        assert cycles == pytest.approx(300)
+
+
+class TestMultiplexer:
+    def test_rotation_cycles_groups(self, pmu):
+        mux = EventMultiplexer(
+            pmu,
+            [
+                (Event.INST_DECODED, Event.INST_RETIRED),
+                (Event.DCU_MISS_OUTSTANDING, Event.L2_RQSTS),
+            ],
+        )
+        first = mux.rotate()
+        second = mux.rotate()
+        third = mux.rotate()
+        assert first == third
+        assert first != second
+        assert mux.duty_cycle == pytest.approx(0.5)
+
+    def test_scale_extrapolates_by_duty_cycle(self, pmu):
+        mux = EventMultiplexer(pmu, [(Event.INST_DECODED,)] * 4)
+        assert mux.scale(100.0) == pytest.approx(400.0)
+
+    def test_oversized_group_rejected(self, pmu):
+        with pytest.raises(PMUError):
+            EventMultiplexer(
+                pmu,
+                [(Event.INST_DECODED, Event.INST_RETIRED, Event.L2_RQSTS)],
+            )
+
+    def test_empty_groups_rejected(self, pmu):
+        with pytest.raises(PMUError):
+            EventMultiplexer(pmu, [])
+
+    def test_current_group_before_rotate_raises(self, pmu):
+        mux = EventMultiplexer(pmu, [(Event.INST_DECODED,)])
+        with pytest.raises(PMUError):
+            _ = mux.current_group

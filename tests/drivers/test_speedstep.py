@@ -1,0 +1,73 @@
+"""Tests for the SpeedStep driver and PERF_CTL encoding."""
+
+import pytest
+
+from repro.acpi.pstates import PState
+from repro.drivers.msr import IA32_PERF_CTL, IA32_PERF_STATUS, MSRFile
+from repro.drivers.speedstep import (
+    SpeedStepDriver,
+    decode_pstate,
+    encode_pstate,
+)
+from repro.errors import TransitionError
+from repro.platform.dvfs import DvfsController
+
+
+@pytest.fixture()
+def driver(table):
+    msr = MSRFile()
+    dvfs = DvfsController(table)
+    return msr, SpeedStepDriver(msr, dvfs)
+
+
+class TestEncoding:
+    def test_roundtrip_every_table_state(self, table):
+        for state in table:
+            word = encode_pstate(state)
+            decoded = decode_pstate(word, table)
+            assert decoded == state
+
+    def test_ratio_field_layout(self, table):
+        word = encode_pstate(table.by_frequency(1400.0))
+        assert (word >> 8) & 0xFF == 14
+
+    def test_unencodable_voltage_rejected(self):
+        with pytest.raises(TransitionError):
+            encode_pstate(PState(1000.0, 9.0))
+
+    def test_bogus_ratio_rejected(self, table):
+        with pytest.raises(TransitionError, match="not a supported ratio"):
+            decode_pstate((77 << 8) | 0x10, table)
+
+
+class TestDriver:
+    def test_status_reflects_current_state(self, driver, table):
+        msr, speedstep = driver
+        assert speedstep.current_pstate is table.fastest
+        speedstep.set_frequency(1200.0)
+        assert speedstep.current_pstate.frequency_mhz == 1200.0
+        status = decode_pstate(msr.rdmsr(IA32_PERF_STATUS), table)
+        assert status.frequency_mhz == 1200.0
+
+    def test_set_pstate_returns_transition(self, driver, table):
+        _, speedstep = driver
+        result = speedstep.set_pstate(table.slowest)
+        assert result.changed
+        assert result.new is table.slowest
+        assert speedstep.last_transition is result
+
+    def test_raw_perf_ctl_write_drives_dvfs(self, driver, table):
+        msr, speedstep = driver
+        msr.wrmsr(IA32_PERF_CTL, encode_pstate(table.by_frequency(800.0)))
+        assert speedstep.current_pstate.frequency_mhz == 800.0
+
+    def test_status_register_is_read_only(self, driver):
+        msr, _ = driver
+        from repro.errors import MSRError
+
+        with pytest.raises(MSRError):
+            msr.wrmsr(IA32_PERF_STATUS, 0)
+
+    def test_table_property(self, driver, table):
+        _, speedstep = driver
+        assert speedstep.table == table

@@ -1,0 +1,95 @@
+"""Tests for the paper-defined evaluation metrics."""
+
+import pytest
+
+from repro.core.controller import RunResult
+from repro.errors import ExperimentError
+from repro.experiments.metrics import (
+    achieved_speedup_fraction,
+    energy_savings,
+    normalized_performance,
+    performance_reduction,
+    speedup,
+    suite_energy_savings,
+    suite_normalized_performance,
+    suite_performance_reduction,
+)
+
+
+def result(duration_s=1.0, energy_j=10.0, name="w"):
+    return RunResult(
+        workload=name, governor="g", duration_s=duration_s,
+        instructions=1e9, measured_energy_j=energy_j,
+        true_energy_j=energy_j, samples=(), trace=(),
+    )
+
+
+class TestScalarMetrics:
+    def test_normalized_performance(self):
+        # 25% longer runtime -> 0.8 normalized performance.
+        assert normalized_performance(result(1.25), result(1.0)) == (
+            pytest.approx(0.8)
+        )
+
+    def test_speedup(self):
+        assert speedup(result(0.5), result(1.0)) == pytest.approx(2.0)
+
+    def test_performance_reduction_floor_semantics(self):
+        # A 25% time increase is a 20% performance reduction -- the
+        # paper's 80%-floor arithmetic.
+        assert performance_reduction(result(1.25), result(1.0)) == (
+            pytest.approx(0.2)
+        )
+
+    def test_energy_savings(self):
+        assert energy_savings(result(energy_j=8.0), result(energy_j=10.0)) == (
+            pytest.approx(0.2)
+        )
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalized_performance(result(0.0), result(1.0))
+
+    def test_zero_baseline_energy_rejected(self):
+        with pytest.raises(ExperimentError):
+            energy_savings(result(), result(energy_j=0.0))
+
+
+class TestSuiteMetrics:
+    def test_suite_totals(self):
+        constrained = [result(2.0), result(3.0)]
+        baseline = [result(1.0), result(2.0)]
+        assert suite_normalized_performance(constrained, baseline) == (
+            pytest.approx(3.0 / 5.0)
+        )
+        assert suite_performance_reduction(constrained, baseline) == (
+            pytest.approx(1 - 3.0 / 5.0)
+        )
+
+    def test_suite_energy(self):
+        runs = [result(energy_j=4.0), result(energy_j=4.0)]
+        base = [result(energy_j=5.0), result(energy_j=5.0)]
+        assert suite_energy_savings(runs, base) == pytest.approx(0.2)
+
+    def test_achieved_fraction_interpolates(self):
+        static = [result(1.25)]
+        unconstrained = [result(1.0)]
+        pm = [result(1.125)]  # part-way between static and unconstrained
+        fraction = achieved_speedup_fraction(pm, static, unconstrained)
+        # pm speedup 1.25/1.125 = 1.111; max speedup 1.25.
+        assert fraction == pytest.approx((1.25 / 1.125 - 1.0) / 0.25)
+
+    def test_achieved_fraction_full_and_none(self):
+        static = [result(1.25)]
+        unconstrained = [result(1.0)]
+        assert achieved_speedup_fraction(
+            unconstrained, static, unconstrained
+        ) == pytest.approx(1.0)
+        assert achieved_speedup_fraction(
+            static, static, unconstrained
+        ) == pytest.approx(0.0)
+
+    def test_no_possible_speedup_counts_as_full(self):
+        static = [result(1.0)]
+        unconstrained = [result(1.0)]
+        assert achieved_speedup_fraction(static, static, unconstrained) == 1.0

@@ -1,0 +1,57 @@
+"""Tests for the one-shot reproduction report and the ablation helpers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    adaptive_pm_ablation,
+    dbs_ablation,
+    guardband_ablation,
+    hysteresis_ablation,
+    render_rows,
+)
+from repro.experiments.report_all import generate
+from repro.experiments.runner import ExperimentConfig
+
+FAST = ExperimentConfig(scale=0.1)
+
+
+class TestReport:
+    def test_restricted_report_contains_sections(self):
+        text = generate(default_scale=0.1, sections=["table4", "fig2"])
+        assert "# Reproduction report" in text
+        assert "Table IV" in text
+        assert "Fig. 2" in text
+        assert "Fig. 7" not in text
+
+    def test_unknown_section_filter_yields_empty_body(self):
+        text = generate(default_scale=0.1, sections=["nonexistent"])
+        assert "## " not in text
+
+
+class TestAblationHelpers:
+    def test_hysteresis_rows(self):
+        rows = hysteresis_ablation(FAST, windows=(1, 10))
+        assert [r.label for r in rows] == [
+            "raise_window=1", "raise_window=10",
+        ]
+        assert all(r.duration_s > 0 for r in rows)
+
+    def test_guardband_rows(self):
+        rows = guardband_ablation(FAST, guardbands=(0.0, 0.5))
+        assert len(rows) == 2
+        assert rows[0].label == "guardband=0.0W"
+
+    def test_adaptive_rows(self):
+        outcome = adaptive_pm_ablation(FAST)
+        assert set(outcome) == {"static_model", "adaptive"}
+
+    def test_dbs_comparison_shape(self):
+        outcome = dbs_ablation(ExperimentConfig(scale=0.2))
+        assert abs(outcome.dbs_savings) < 0.05
+        assert outcome.ps_savings > 0.05
+
+    def test_render_rows(self):
+        rows = guardband_ablation(FAST, guardbands=(0.5,))
+        out = render_rows("Title", rows)
+        assert out.startswith("Title")
+        assert "guardband" in out

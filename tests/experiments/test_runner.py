@@ -1,0 +1,95 @@
+"""Tests for the shared experiment machinery."""
+
+import pytest
+
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    ExperimentConfig,
+    median_run,
+    run_fixed,
+    run_governed,
+    trained_power_model,
+    worst_case_power_table,
+)
+from repro.experiments.suite import run_suite_fixed, suite_order
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=0.05, seed=3)
+
+
+def test_run_fixed_starts_and_stays_at_frequency(config):
+    result = run_fixed(get_workload("gzip"), 1200.0, config)
+    assert set(result.residency_s) == {1200.0}
+    assert result.transitions == 0
+
+
+def test_run_governed_uses_factory(config):
+    result = run_governed(
+        get_workload("gzip"),
+        lambda table: FixedFrequency(table, 800.0),
+        config,
+    )
+    # Starts at P0 by default, then the governor moves to 800.
+    assert 800.0 in result.residency_s
+
+
+def test_scale_shortens_runs(config):
+    short = run_fixed(get_workload("gzip"), 2000.0, config)
+    longer = run_fixed(
+        get_workload("gzip"), 2000.0, ExperimentConfig(scale=0.1, seed=3)
+    )
+    assert longer.duration_s > short.duration_s
+
+
+def test_median_run_protocol(config):
+    cfg = ExperimentConfig(scale=0.05, seed=3, runs=3)
+    result = median_run(
+        get_workload("gcc"), lambda table: FixedFrequency(table, 2000.0), cfg
+    )
+    assert result.duration_s > 0
+
+
+def test_median_requires_at_least_one_run():
+    cfg = ExperimentConfig(runs=0)
+    with pytest.raises(ExperimentError):
+        median_run(
+            get_workload("gcc"), lambda t: FixedFrequency(t, 2000.0), cfg
+        )
+
+
+def test_trained_model_is_cached():
+    assert trained_power_model(seed=0) is trained_power_model(seed=0)
+
+
+def test_worst_case_table_covers_all_pstates():
+    table = worst_case_power_table()
+    assert set(table) == {
+        600.0, 800.0, 1000.0, 1200.0, 1400.0, 1600.0, 1800.0, 2000.0,
+    }
+
+
+def test_suite_order_is_canonical(config):
+    results = run_suite_fixed(2000.0, ExperimentConfig(scale=0.02))
+    order = suite_order(results)
+    assert len(order) == 26
+    assert order[0] == "gzip"
+
+
+def test_seed_offsets_change_trajectories(config):
+    a = run_governed(
+        get_workload("galgel"),
+        lambda t: FixedFrequency(t, 2000.0),
+        config,
+        seed_offset=0,
+    )
+    b = run_governed(
+        get_workload("galgel"),
+        lambda t: FixedFrequency(t, 2000.0),
+        config,
+        seed_offset=100,
+    )
+    assert a.measured_energy_j != b.measured_energy_j

@@ -1,0 +1,146 @@
+"""Tests for the sense-resistor / ADC / power-meter chain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.adc import ADCModel
+from repro.measurement.power_meter import PowerMeter
+from repro.measurement.sense import SenseResistorChannel
+
+
+class TestSenseResistor:
+    def test_measurement_close_to_truth(self):
+        channel = SenseResistorChannel(rng=np.random.default_rng(0))
+        measured = channel.measure_power(14.5, 1.34)
+        assert measured == pytest.approx(14.5, rel=0.01)
+
+    def test_gain_error_is_fixed_per_channel(self):
+        channel = SenseResistorChannel(
+            amplifier_noise_v=0.0, rng=np.random.default_rng(1)
+        )
+        a = channel.measure_power(10.0, 1.34)
+        b = channel.measure_power(10.0, 1.34)
+        assert a == pytest.approx(b)
+
+    def test_negative_current_rejected(self):
+        channel = SenseResistorChannel(rng=np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            channel.sense_voltage(-1.0)
+
+    def test_bad_supply_voltage_rejected(self):
+        channel = SenseResistorChannel(rng=np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            channel.measure_power(10.0, 0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(MeasurementError):
+            SenseResistorChannel(resistance_ohm=0.0)
+        with pytest.raises(MeasurementError):
+            SenseResistorChannel(tolerance=0.5)
+
+
+class TestADC:
+    def test_quantization_step(self):
+        adc = ADCModel(full_scale_watts=32.0, bits=16, noise_floor_watts=0.0,
+                       rng=np.random.default_rng(0))
+        assert adc.lsb_watts == pytest.approx(32.0 / 65536)
+        value = adc.convert(14.5)
+        assert value % adc.lsb_watts == pytest.approx(0.0, abs=1e-9)
+        assert value == pytest.approx(14.5, abs=adc.lsb_watts)
+
+    def test_saturation_clips(self):
+        adc = ADCModel(full_scale_watts=32.0, noise_floor_watts=0.0,
+                       rng=np.random.default_rng(0))
+        assert adc.convert(100.0) == pytest.approx(32.0)
+        assert adc.convert(-5.0) == pytest.approx(0.0)
+
+    def test_noise_is_zero_mean(self):
+        adc = ADCModel(rng=np.random.default_rng(0))
+        values = [adc.convert(10.0) for _ in range(2000)]
+        assert np.mean(values) == pytest.approx(10.0, abs=0.01)
+
+    def test_documented_peak_rate(self):
+        assert ADCModel(rng=np.random.default_rng(0)).peak_sample_rate_hz == 333_000.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(MeasurementError):
+            ADCModel(full_scale_watts=-1.0)
+        with pytest.raises(MeasurementError):
+            ADCModel(bits=2)
+
+
+class TestPowerMeter:
+    def make_meter(self, **kw):
+        kw.setdefault("rng", np.random.default_rng(0))
+        return PowerMeter(**kw)
+
+    def test_samples_close_every_interval(self):
+        meter = self.make_meter(interval_s=0.010)
+        meter.accumulate(10.0, 0.035)
+        assert len(meter.samples) == 3
+        meter.flush()
+        assert len(meter.samples) == 4
+        assert meter.samples[-1].duration_s == pytest.approx(0.005)
+
+    def test_sample_averages_straddling_segments(self):
+        meter = self.make_meter(interval_s=0.010)
+        meter.accumulate(10.0, 0.005)
+        meter.accumulate(20.0, 0.005)
+        sample = meter.samples[0]
+        assert sample.true_watts == pytest.approx(15.0)
+        assert sample.watts == pytest.approx(15.0, rel=0.02)
+
+    def test_energy_uses_true_durations(self):
+        meter = self.make_meter()
+        meter.accumulate(10.0, 0.013)
+        meter.flush()
+        assert meter.energy_j() == pytest.approx(0.13, rel=0.02)
+
+    def test_markers_bracket_samples(self):
+        meter = self.make_meter()
+        meter.mark("a:start")
+        meter.accumulate(10.0, 0.05)
+        meter.mark("a:end")
+        meter.accumulate(20.0, 0.05)
+        bracketed = meter.samples_between("a:start", "a:end")
+        assert len(bracketed) == 5
+        assert all(s.true_watts == pytest.approx(10.0) for s in bracketed)
+
+    def test_unknown_marker_raises(self):
+        meter = self.make_meter()
+        with pytest.raises(MeasurementError, match="no GPIO marker"):
+            meter.samples_between("x", "y")
+
+    def test_reversed_markers_raise(self):
+        meter = self.make_meter()
+        meter.mark("end")
+        meter.accumulate(10.0, 0.01)
+        meter.mark("start")
+        with pytest.raises(MeasurementError, match="precedes"):
+            meter.samples_between("start", "end")
+
+    def test_moving_average_window(self):
+        meter = self.make_meter()
+        meter.accumulate(10.0, 0.10)
+        meter.accumulate(20.0, 0.10)
+        series = meter.moving_average(10)
+        assert len(series) == 11
+        assert series[0][1] == pytest.approx(10.0, rel=0.02)
+        assert series[-1][1] == pytest.approx(20.0, rel=0.02)
+
+    def test_moving_average_bad_window(self):
+        with pytest.raises(MeasurementError):
+            self.make_meter().moving_average(0)
+
+    def test_negative_inputs_rejected(self):
+        meter = self.make_meter()
+        with pytest.raises(MeasurementError):
+            meter.accumulate(-1.0, 0.01)
+        with pytest.raises(MeasurementError):
+            meter.accumulate(1.0, -0.01)
+
+    def test_now_tracks_accumulated_time(self):
+        meter = self.make_meter()
+        meter.accumulate(5.0, 0.123)
+        assert meter.now_s == pytest.approx(0.123)

@@ -1,0 +1,67 @@
+"""Tests for cache geometry and memory timing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.platform.caches import (
+    CacheGeometry,
+    MemoryTiming,
+    PENTIUM_M_755_GEOMETRY,
+    PENTIUM_M_755_TIMING,
+)
+from repro.units import KIB, MIB
+
+
+class TestGeometry:
+    def test_dothan_constants(self):
+        geo = PENTIUM_M_755_GEOMETRY
+        assert geo.l1d_bytes == 32 * KIB
+        assert geo.l2_bytes == 2 * MIB
+        assert geo.line_bytes == 64
+
+    def test_residency_levels_for_ms_loops_footprints(self):
+        # The paper's footprints must land in the intended levels.
+        geo = PENTIUM_M_755_GEOMETRY
+        assert geo.residency_level(16 * KIB) == "L1"
+        assert geo.residency_level(256 * KIB) == "L2"
+        assert geo.residency_level(8 * MIB) == "DRAM"
+
+    def test_residency_edge_near_capacity(self):
+        geo = PENTIUM_M_755_GEOMETRY
+        # A footprint exactly at capacity does not fit the 90% rule.
+        assert geo.residency_level(32 * KIB) == "L2"
+        assert geo.residency_level(2 * MIB) == "DRAM"
+
+    def test_rejects_l2_smaller_than_l1(self):
+        with pytest.raises(ReproError):
+            CacheGeometry(l1d_bytes=64 * KIB, l2_bytes=32 * KIB, line_bytes=64)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ReproError):
+            CacheGeometry(l1d_bytes=KIB, l2_bytes=MIB, line_bytes=48)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ReproError):
+            CacheGeometry(l1d_bytes=0, l2_bytes=MIB, line_bytes=64)
+
+
+class TestTiming:
+    def test_dram_latency_cycles_linear_in_frequency(self):
+        timing = PENTIUM_M_755_TIMING
+        at_1ghz = timing.dram_latency_cycles(1000.0)
+        at_2ghz = timing.dram_latency_cycles(2000.0)
+        assert at_2ghz == pytest.approx(2 * at_1ghz)
+        assert at_2ghz == pytest.approx(timing.dram_latency_ns * 2.0)
+
+    def test_l2_latency_is_frequency_invariant_in_cycles(self):
+        # On-chip latency is specified in cycles: the attribute is a
+        # plain number, not a function of frequency.
+        assert PENTIUM_M_755_TIMING.l2_latency_cycles == pytest.approx(10.0)
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ReproError):
+            MemoryTiming(0.0, 110.0, 1e9)
+        with pytest.raises(ReproError):
+            MemoryTiming(10.0, -1.0, 1e9)
+        with pytest.raises(ReproError):
+            MemoryTiming(10.0, 110.0, 0.0)

@@ -1,0 +1,108 @@
+"""Calibration tests: the substrate reproduces the paper's measured tables.
+
+These are the load-bearing reproduction checks: training the paper's
+models on the *simulated* platform must recover the published Table II
+coefficients, Table III worst-case powers and Table IV static-frequency
+crossovers within tolerance.  If a platform constant drifts, these tests
+fail first.
+"""
+
+import pytest
+
+from repro.core.models.power import PAPER_TABLE_II
+from repro.core.models.training import collect_training_data, fit_power_model
+from repro.experiments.runner import ExperimentConfig, worst_case_power_table
+from repro.experiments.table3_worst_case import PAPER_TABLE_III
+from repro.experiments.table4_static_freq import (
+    PAPER_TABLE_IV,
+    POWER_LIMITS_W,
+)
+from repro.core.governors.static import static_frequency_for_limit
+
+
+@pytest.fixture(scope="module")
+def training_points():
+    return collect_training_data()
+
+
+@pytest.fixture(scope="module")
+def fitted_model(training_points):
+    return fit_power_model(training_points)
+
+
+@pytest.fixture(scope="module")
+def worst_case():
+    return worst_case_power_table()
+
+
+class TestTableII:
+    def test_alpha_within_tolerance_of_paper(self, fitted_model):
+        for freq, paper in PAPER_TABLE_II.items():
+            fitted = fitted_model.alpha(freq)
+            assert fitted == pytest.approx(paper.alpha, rel=0.20), freq
+
+    def test_beta_within_tolerance_of_paper(self, fitted_model):
+        for freq, paper in PAPER_TABLE_II.items():
+            fitted = fitted_model.beta(freq)
+            assert fitted == pytest.approx(paper.beta, rel=0.08), freq
+
+    def test_alpha_monotone_in_frequency(self, fitted_model):
+        alphas = [fitted_model.alpha(f) for f in fitted_model.frequencies_mhz]
+        assert alphas == sorted(alphas)
+
+    def test_beta_monotone_in_frequency(self, fitted_model):
+        betas = [fitted_model.beta(f) for f in fitted_model.frequencies_mhz]
+        assert betas == sorted(betas)
+
+    def test_training_set_is_twelve_points_per_pstate(self, training_points):
+        by_freq = {}
+        for point in training_points:
+            by_freq.setdefault(point.frequency_mhz, []).append(point)
+        assert set(by_freq) == set(PAPER_TABLE_II)
+        assert all(len(group) == 12 for group in by_freq.values())
+
+    def test_training_dpc_spread_supports_the_fit(self, training_points):
+        # The fit needs both near-idle (latency probe) and busy (L1 FMA)
+        # points; a collapsed spread would make alpha meaningless.
+        at_2000 = [p.dpc for p in training_points if p.frequency_mhz == 2000.0]
+        assert min(at_2000) < 0.1
+        assert max(at_2000) > 1.5
+
+
+class TestTableIII:
+    def test_worst_case_power_close_to_paper_at_static_frequencies(
+        self, worst_case
+    ):
+        # The frequencies Table IV actually selects must be tight.
+        for freq in (1400.0, 1600.0, 1800.0, 2000.0):
+            assert worst_case[freq] == pytest.approx(
+                PAPER_TABLE_III[freq], rel=0.05
+            ), freq
+
+    def test_worst_case_power_shape_at_low_frequencies(self, worst_case):
+        for freq in (600.0, 800.0, 1000.0, 1200.0):
+            assert worst_case[freq] == pytest.approx(
+                PAPER_TABLE_III[freq], rel=0.15
+            ), freq
+
+    def test_monotone_in_frequency(self, worst_case):
+        ordered = [worst_case[f] for f in sorted(worst_case)]
+        assert ordered == sorted(ordered)
+
+
+class TestTableIV:
+    def test_every_crossover_matches_paper(self, worst_case):
+        for limit in POWER_LIMITS_W:
+            static = static_frequency_for_limit(limit, worst_case)
+            assert static == PAPER_TABLE_IV[limit], limit
+
+    def test_worst_case_is_the_hottest_microbenchmark(self, training_points):
+        # FMA-256KB must be the max-power MS-Loop at 2 GHz (the premise
+        # of using it as the static-clocking proxy).
+        at_2000 = {
+            p.workload: p.measured_power_w
+            for p in training_points
+            if p.frequency_mhz == 2000.0
+        }
+        hottest = max(at_2000, key=at_2000.get)
+        assert hottest == "FMA-256KB"

@@ -1,0 +1,87 @@
+"""Tests for the analytic calibration-query module."""
+
+import pytest
+
+from repro.platform.calibration import (
+    ps_choice_for_signature,
+    suite_signatures,
+    workload_signature,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def signatures():
+    return suite_signatures()
+
+
+class TestSignature:
+    def test_scaling_is_normalized_at_top(self, signatures):
+        for signature in signatures.values():
+            assert signature.scaling[2000.0] == pytest.approx(1.0)
+
+    def test_scaling_monotone_in_frequency(self, signatures):
+        for signature in signatures.values():
+            ordered = [signature.scaling[f] for f in sorted(signature.scaling)]
+            assert ordered == sorted(ordered), signature.name
+
+    def test_reduction_accessor(self, signatures):
+        swim = signatures["swim"]
+        assert swim.reduction_at(800.0) == pytest.approx(
+            1.0 - swim.scaling[800.0]
+        )
+
+    def test_classification_matches_groups(self, signatures):
+        assert signatures["swim"].classified_memory_bound
+        assert signatures["mcf"].classified_memory_bound
+        assert not signatures["sixtrack"].classified_memory_bound
+        assert not signatures["crafty"].classified_memory_bound
+
+    def test_signature_of_phased_workload(self):
+        signature = workload_signature(get_workload("ammp"))
+        # Mixed workload: aggregate sits between the pure classes.
+        assert 0.4 < signature.scaling[800.0] < 0.95
+
+
+class TestPsChoice:
+    def test_core_bound_choices_by_floor(self, signatures):
+        sixtrack = signatures["sixtrack"]
+        assert ps_choice_for_signature(sixtrack, 0.8) == 1800.0
+        assert ps_choice_for_signature(sixtrack, 0.6) == 1400.0
+        assert ps_choice_for_signature(sixtrack, 0.2) == 600.0
+
+    def test_memory_bound_choices_by_floor(self, signatures):
+        swim = signatures["swim"]
+        assert ps_choice_for_signature(swim, 0.8) == 800.0
+        assert ps_choice_for_signature(swim, 0.6) == 600.0
+
+    def test_alternative_exponent_is_more_conservative(self, signatures):
+        art = signatures["art"]
+        primary = ps_choice_for_signature(art, 0.8, exponent=0.81)
+        alternative = ps_choice_for_signature(art, 0.8, exponent=0.59)
+        assert alternative > primary
+
+    def test_choice_matches_governor_behaviour(self, signatures):
+        """The closed-form choice agrees with the live PS governor."""
+        from repro.core.governors.powersave import PowerSave
+        from repro.core.models.performance import PerformanceModel
+        from repro.core.sampling import CounterSample
+        from repro.acpi.pstates import pentium_m_755_table
+        from repro.platform.events import Event
+
+        table = pentium_m_755_table()
+        governor = PowerSave(table, PerformanceModel.paper_primary(), 0.8)
+        for name in ("swim", "sixtrack", "mcf", "gap"):
+            signature = signatures[name]
+            sample = CounterSample(
+                interval_s=0.01,
+                cycles=2e7,
+                rates={
+                    Event.INST_RETIRED: signature.ipc,
+                    Event.DCU_MISS_OUTSTANDING: signature.dcu_per_ipc
+                    * signature.ipc,
+                },
+            )
+            live = governor.decide(sample, table.fastest).frequency_mhz
+            closed_form = ps_choice_for_signature(signature, 0.8)
+            assert live == closed_form, name

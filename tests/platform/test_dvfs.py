@@ -1,0 +1,89 @@
+"""Tests for the DVFS transition state machine."""
+
+import pytest
+
+from repro.acpi.pstates import PState
+from repro.errors import TransitionError
+from repro.platform.dvfs import DvfsController
+
+
+@pytest.fixture()
+def dvfs(table):
+    return DvfsController(table)
+
+
+class TestTransitions:
+    def test_starts_at_p0(self, dvfs, table):
+        assert dvfs.current is table.fastest
+
+    def test_noop_transition_is_free(self, dvfs, table):
+        result = dvfs.request(table.fastest)
+        assert not result.changed
+        assert result.dead_time_s == 0.0
+        assert dvfs.transition_count == 0
+
+    def test_down_transition_sequences_frequency_first(self, dvfs, table):
+        target = table.by_frequency(1000.0)
+        result = dvfs.request(target)
+        assert result.changed
+        assert [s.kind for s in result.steps] == ["frequency", "voltage"]
+        assert dvfs.current is target
+
+    def test_up_transition_sequences_voltage_first(self, dvfs, table):
+        dvfs.request(table.slowest)
+        result = dvfs.request(table.fastest)
+        assert [s.kind for s in result.steps] == ["voltage", "frequency"]
+
+    def test_safety_invariant_voltage_always_sufficient(self, dvfs, table):
+        """At every intermediate step the applied voltage must support
+        the highest frequency active at that moment."""
+        for target in list(table) + list(table.ascending()):
+            old = dvfs.current
+            result = dvfs.request(target)
+            if not result.changed:
+                continue
+            voltage = old.voltage
+            frequency = old.frequency_mhz
+            min_voltage_for = {
+                s.frequency_mhz: s.voltage for s in table
+            }
+            for step in result.steps:
+                if step.kind == "voltage":
+                    voltage = step.value
+                else:
+                    frequency = step.value
+                assert voltage >= min_voltage_for[frequency] - 1e-9
+
+    def test_dead_time_accumulates(self, dvfs, table):
+        dvfs.request(table.slowest)
+        first = dvfs.total_dead_time_s
+        assert first > 0
+        dvfs.request(table.fastest)
+        assert dvfs.total_dead_time_s > first
+        assert dvfs.transition_count == 2
+
+    def test_larger_voltage_swing_costs_more(self, dvfs, table):
+        small = dvfs.request(table.by_frequency(1800.0)).dead_time_s
+        dvfs.reset()
+        large = dvfs.request(table.by_frequency(600.0)).dead_time_s
+        assert large > small
+
+    def test_foreign_pstate_rejected(self, dvfs):
+        with pytest.raises(TransitionError):
+            dvfs.request(PState(2400.0, 1.4))
+
+    def test_reset_clears_accounting(self, dvfs, table):
+        dvfs.request(table.slowest)
+        dvfs.reset()
+        assert dvfs.current is table.fastest
+        assert dvfs.transition_count == 0
+        assert dvfs.total_dead_time_s == 0.0
+
+    def test_reset_to_specific_state(self, dvfs, table):
+        target = table.by_frequency(1400.0)
+        dvfs.reset(target)
+        assert dvfs.current is target
+
+    def test_reset_to_foreign_state_rejected(self, dvfs):
+        with pytest.raises(TransitionError):
+            dvfs.reset(PState(2400.0, 1.4))

@@ -1,0 +1,59 @@
+"""Tests for the PMU event menu definitions."""
+
+import pytest
+
+from repro.platform.events import (
+    COUNTER_WIDTH_BITS,
+    Event,
+    EventRates,
+    NUM_PROGRAMMABLE_COUNTERS,
+    REAL_PMU_EVENT_MENU_SIZE,
+)
+
+
+def make_rates(**overrides):
+    fields = dict(
+        inst_decoded=1.5, inst_retired=1.1, uops_retired=1.3,
+        data_mem_refs=0.5, dcu_lines_in=0.02, dcu_miss_outstanding=0.3,
+        l2_rqsts=0.02, l2_lines_in=0.01, bus_tran_mem=0.01,
+        bus_drdy_clocks=0.1, resource_stalls=0.2, fp_comp_ops_exe=0.4,
+        br_inst_decoded=0.15, br_inst_retired=0.12, br_mispred_retired=0.004,
+        ifu_mem_stall=0.05, prefetch_lines_in=0.005,
+    )
+    fields.update(overrides)
+    return EventRates(**fields)
+
+
+def test_hardware_constants_match_pentium_m():
+    assert NUM_PROGRAMMABLE_COUNTERS == 2
+    assert COUNTER_WIDTH_BITS == 40
+    assert REAL_PMU_EVENT_MENU_SIZE == 92
+
+
+def test_event_codes_are_unique():
+    codes = [event.code for event in Event]
+    assert len(codes) == len(set(codes))
+
+
+def test_key_events_present_with_documented_codes():
+    # The events the paper's methodology depends on.
+    assert Event.INST_DECODED.code == 0xD0
+    assert Event.INST_RETIRED.code == 0xC0
+    assert Event.DCU_MISS_OUTSTANDING.code == 0x48
+    assert Event.CPU_CLK_UNHALTED.code == 0x79
+
+
+def test_rate_lookup_covers_every_event():
+    rates = make_rates()
+    for event in Event:
+        value = rates.rate(event)
+        assert value >= 0.0
+
+
+def test_clock_event_rate_is_one_per_cycle():
+    assert make_rates().rate(Event.CPU_CLK_UNHALTED) == 1.0
+
+
+def test_rate_lookup_matches_field():
+    rates = make_rates(inst_decoded=2.2)
+    assert rates.rate(Event.INST_DECODED) == pytest.approx(2.2)

@@ -1,0 +1,162 @@
+"""Tests for the assembled machine simulator."""
+
+import pytest
+
+from repro.errors import ReproError, WorkloadError
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.base import Phase, Workload
+
+
+class TestLifecycle:
+    def test_step_without_workload_raises(self, machine):
+        with pytest.raises(WorkloadError):
+            machine.step()
+
+    def test_load_resets_time(self, machine, tiny_core_workload):
+        machine.load(tiny_core_workload)
+        machine.step()
+        assert machine.now_s > 0
+        machine.load(tiny_core_workload)
+        assert machine.now_s == 0.0
+        assert machine.retired_instructions == 0.0
+
+    def test_step_after_completion_raises(self, machine, tiny_core_workload):
+        machine.load(tiny_core_workload)
+        machine.run_to_completion()
+        with pytest.raises(ReproError):
+            machine.step()
+
+    def test_run_to_completion_retires_full_budget(
+        self, machine, tiny_core_workload
+    ):
+        machine.load(tiny_core_workload)
+        machine.run_to_completion()
+        assert machine.retired_instructions == pytest.approx(
+            tiny_core_workload.total_instructions
+        )
+
+    def test_runaway_guard(self, machine, tiny_core_workload):
+        machine.load(tiny_core_workload)
+        with pytest.raises(ReproError, match="did not finish"):
+            machine.run_to_completion(max_seconds=0.0)
+
+
+class TestTiming:
+    def test_tick_duration_matches_config(self, machine, tiny_core_workload):
+        machine.load(tiny_core_workload)
+        record = machine.step()
+        assert record.duration_s == pytest.approx(machine.config.tick_s)
+
+    def test_final_tick_is_short(self, machine, tiny_core_workload):
+        machine.load(tiny_core_workload)
+        records = machine.run_to_completion()
+        assert records[-1].duration_s <= machine.config.tick_s + 1e-12
+
+    def test_core_bound_time_halves_at_double_frequency(
+        self, tiny_core_workload, table
+    ):
+        fast = Machine(MachineConfig(seed=1))
+        fast.load(tiny_core_workload, initial_pstate=table.by_frequency(2000.0))
+        fast.run_to_completion()
+        slow = Machine(MachineConfig(seed=1))
+        slow.load(tiny_core_workload, initial_pstate=table.by_frequency(1000.0))
+        slow.run_to_completion()
+        assert slow.now_s == pytest.approx(2 * fast.now_s, rel=0.01)
+
+    def test_memory_bound_time_barely_changes(
+        self, tiny_memory_workload, table
+    ):
+        fast = Machine(MachineConfig(seed=1))
+        fast.load(tiny_memory_workload, initial_pstate=table.fastest)
+        fast.run_to_completion()
+        slow = Machine(MachineConfig(seed=1))
+        slow.load(
+            tiny_memory_workload, initial_pstate=table.by_frequency(1000.0)
+        )
+        slow.run_to_completion()
+        assert slow.now_s < 1.5 * fast.now_s
+
+
+class TestPhases:
+    def test_phase_boundaries_split_ticks_exactly(
+        self, machine, two_phase_workload
+    ):
+        machine.load(two_phase_workload)
+        names = set()
+        while not machine.finished:
+            record = machine.step()
+            names.add(record.phase_name)
+        assert names == {"compute", "memory"}
+        assert machine.retired_instructions == pytest.approx(
+            two_phase_workload.total_instructions
+        )
+
+    def test_phase_cycle_repeats(self, machine, two_phase_workload):
+        machine.load(two_phase_workload)
+        sequence = []
+        while not machine.finished:
+            record = machine.step()
+            if not sequence or sequence[-1] != record.phase_name:
+                sequence.append(record.phase_name)
+        # three repeats of compute -> memory
+        assert sequence == ["compute", "memory"] * 3
+
+
+class TestPowerAndCounters:
+    def test_power_sink_receives_all_time(self, machine, tiny_core_workload):
+        total = []
+        machine.add_power_sink(lambda w, dt: total.append((w, dt)))
+        machine.load(tiny_core_workload)
+        machine.run_to_completion()
+        fed = sum(dt for _, dt in total)
+        assert fed == pytest.approx(machine.now_s)
+        assert all(w > 0 for w, _ in total)
+
+    def test_energy_equals_power_times_time(self, machine, tiny_core_workload):
+        machine.load(tiny_core_workload)
+        records = machine.run_to_completion()
+        for record in records:
+            assert record.energy_j == pytest.approx(
+                record.mean_power_w * record.duration_s, rel=1e-9
+            )
+
+    def test_pmu_counts_cycles(self, machine, tiny_core_workload):
+        from repro.platform.events import Event
+
+        machine.pmu.program_events([Event.INST_RETIRED])
+        before = machine.pmu.snapshot()
+        machine.load(tiny_core_workload)
+        machine.run_to_completion()
+        after = machine.pmu.snapshot()
+        _, _, cycles = before.delta(after)
+        # 2 GHz x elapsed time = cycles
+        assert cycles == pytest.approx(machine.now_s * 2.0e9, rel=0.01)
+
+    def test_transition_dead_time_charged(self, machine, tiny_core_workload):
+        machine.load(tiny_core_workload)
+        machine.step()
+        machine.speedstep.set_frequency(600.0)
+        record = machine.step()
+        # The tick still spans the configured duration; instructions are
+        # lost to the dead time (throughput dips).
+        assert record.duration_s == pytest.approx(machine.config.tick_s)
+        assert machine.dvfs.total_dead_time_s > 0
+
+
+class TestJitterDeterminism:
+    def test_same_seed_same_trajectory(self, tiny_core_workload):
+        def run(seed):
+            machine = Machine(MachineConfig(seed=seed))
+            jittery = Workload(
+                "jit",
+                (Phase(
+                    name="j", instructions=5e7, cpi_core=0.8,
+                    decode_ratio=1.3, activity_jitter=0.1, jitter_corr=0.8,
+                ),),
+                5e7,
+            )
+            machine.load(jittery)
+            return [r.mean_power_w for r in machine.run_to_completion()]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

@@ -1,0 +1,204 @@
+"""Tests for the analytical pipeline model.
+
+These pin down the physics the reproduction rests on: core-bound
+throughput scales with frequency, DRAM-bound throughput does not,
+bandwidth-bound throughput is flat, and the DCU occupancy metric
+separates the classes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.errors import ModelError
+from repro.platform.caches import PENTIUM_M_755_TIMING
+from repro.platform.pipeline import resolve_rates, throughput_scaling
+from repro.workloads.base import Phase
+
+TABLE = pentium_m_755_table()
+TIMING = PENTIUM_M_755_TIMING
+P2000 = TABLE.by_frequency(2000.0)
+P1000 = TABLE.by_frequency(1000.0)
+P600 = TABLE.by_frequency(600.0)
+
+
+def core_phase(**kw):
+    defaults = dict(
+        name="core", instructions=1e9, cpi_core=0.8, decode_ratio=1.4,
+        activity_jitter=0.0,
+    )
+    defaults.update(kw)
+    return Phase(**defaults)
+
+
+def dram_phase(**kw):
+    defaults = dict(
+        name="dram", instructions=1e9, cpi_core=0.9, decode_ratio=1.2,
+        l1_mpi=0.04, l2_mpi=0.03, mlp=1.5, activity_jitter=0.0,
+    )
+    defaults.update(kw)
+    return Phase(**defaults)
+
+
+class TestCoreBound:
+    def test_throughput_scales_linearly_with_frequency(self):
+        ratio = throughput_scaling(core_phase(), P2000, P1000, TIMING)
+        assert ratio == pytest.approx(0.5, rel=1e-6)
+
+    def test_ipc_is_frequency_invariant(self):
+        ipc_hi = resolve_rates(core_phase(), P2000, TIMING).ipc
+        ipc_lo = resolve_rates(core_phase(), P600, TIMING).ipc
+        assert ipc_hi == pytest.approx(ipc_lo)
+        assert ipc_hi == pytest.approx(1 / 0.8)
+
+    def test_classified_core_by_dcu_metric(self):
+        rates = resolve_rates(core_phase(), P2000, TIMING)
+        assert rates.dcu_per_ipc < 1.21
+
+
+class TestMemoryBound:
+    def test_throughput_is_frequency_insensitive(self):
+        # Strongly DRAM-latency-bound: 3.3x frequency buys < 1.6x speed.
+        ratio = throughput_scaling(dram_phase(), P2000, P600, TIMING)
+        assert 0.55 < ratio < 0.85
+
+    def test_ipc_rises_as_frequency_drops(self):
+        ipc_hi = resolve_rates(dram_phase(), P2000, TIMING).ipc
+        ipc_lo = resolve_rates(dram_phase(), P600, TIMING).ipc
+        assert ipc_lo > ipc_hi
+
+    def test_classified_memory_by_dcu_metric(self):
+        rates = resolve_rates(dram_phase(), P2000, TIMING)
+        assert rates.dcu_per_ipc >= 1.21
+
+    def test_bandwidth_cap_binds_for_streaming(self):
+        stream = dram_phase(l1_mpi=0.06, l2_mpi=0.05, mlp=10.0,
+                            prefetch_mpi=0.02, cpi_core=0.6)
+        rates = resolve_rates(stream, P2000, TIMING)
+        assert rates.bandwidth_bound
+        # Flat across the top p-states, like the paper's swim.
+        ratio = throughput_scaling(stream, P2000, TABLE.by_frequency(1600.0), TIMING)
+        assert ratio > 0.95
+
+    def test_bytes_per_second_never_exceeds_bus_bandwidth_materially(self):
+        stream = dram_phase(l1_mpi=0.08, l2_mpi=0.07, mlp=12.0, cpi_core=0.5)
+        rates = resolve_rates(stream, P2000, TIMING)
+        assert rates.bytes_per_s <= TIMING.bus_bandwidth_bytes_per_s * 1.05
+
+
+class TestL2Bound:
+    def test_l2_bound_scales_with_frequency_but_looks_memory_bound(self):
+        # The art trap: DCU/IPC above threshold, yet throughput scales.
+        art_like = Phase(
+            name="l2", instructions=1e9, cpi_core=1.1, decode_ratio=1.2,
+            l1_mpi=0.105, l2_mpi=0.010, mlp=1.1, l2_mlp=1.2,
+            activity_jitter=0.0,
+        )
+        rates = resolve_rates(art_like, P2000, TIMING)
+        assert rates.dcu_per_ipc >= 1.21
+        ratio = throughput_scaling(
+            art_like, P2000, TABLE.by_frequency(800.0), TIMING
+        )
+        # Far below the (800/2000)^(1-0.81) = 0.84 the Eq.3 memory class
+        # predicts -- this is what makes PS violate art's floor.
+        assert ratio < 0.70
+
+
+class TestEventRates:
+    def test_dpc_at_least_ipc(self):
+        rates = resolve_rates(core_phase(decode_ratio=1.4), P2000, TIMING)
+        assert rates.dpc >= rates.ipc
+
+    def test_all_per_cycle_rates_bounded(self):
+        for phase in (core_phase(), dram_phase()):
+            rates = resolve_rates(phase, P2000, TIMING)
+            events = rates.events
+            for name in (
+                "inst_decoded", "inst_retired", "uops_retired",
+                "resource_stalls", "bus_drdy_clocks",
+            ):
+                assert 0.0 <= getattr(events, name) <= 3.0, name
+            assert 0.0 <= events.dcu_miss_outstanding <= 4.0
+
+    def test_occupancy_rates_capped(self):
+        heavy = dram_phase(l1_mpi=0.2, l2_mpi=0.18, mlp=1.0)
+        events = resolve_rates(heavy, P600, TIMING).events
+        # DCU outstanding is weighted by in-flight misses, bounded by
+        # the four fill buffers; the other occupancies are true 0/1
+        # per-cycle conditions.
+        assert events.dcu_miss_outstanding <= 4.0
+        assert events.resource_stalls <= 1.0
+        assert events.bus_drdy_clocks <= 1.0
+
+    def test_fp_rate_proportional_to_fp_ratio(self):
+        low = resolve_rates(core_phase(fp_ratio=0.2), P2000, TIMING)
+        high = resolve_rates(core_phase(fp_ratio=0.4), P2000, TIMING)
+        assert high.events.fp_comp_ops_exe == pytest.approx(
+            2 * low.events.fp_comp_ops_exe
+        )
+
+    def test_l2_miss_traffic_reaches_bus(self):
+        rates = resolve_rates(dram_phase(), P2000, TIMING)
+        assert rates.events.bus_tran_mem > 0
+        assert rates.bytes_per_s > 0
+
+    def test_pure_l1_phase_generates_no_bus_traffic(self):
+        rates = resolve_rates(core_phase(), P2000, TIMING)
+        assert rates.events.bus_tran_mem == 0.0
+        assert rates.bytes_per_s == 0.0
+        assert not rates.bandwidth_bound
+
+
+class TestJitter:
+    def test_jitter_scales_throughput_and_power_inputs_together(self):
+        calm = resolve_rates(core_phase(), P2000, TIMING, jitter=1.0)
+        burst = resolve_rates(core_phase(), P2000, TIMING, jitter=1.3)
+        assert burst.ipc > calm.ipc
+        assert burst.dpc > calm.dpc
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ModelError):
+            resolve_rates(core_phase(), P2000, TIMING, jitter=0.0)
+        with pytest.raises(ModelError):
+            resolve_rates(core_phase(), P2000, TIMING, jitter=-1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cpi_core=st.floats(0.4, 3.0),
+    decode_ratio=st.floats(1.0, 2.0),
+    l1_mpi=st.floats(0.0, 0.15),
+    dram_fraction=st.floats(0.0, 1.0),
+    mlp=st.floats(1.0, 10.0),
+)
+def test_throughput_is_monotone_in_frequency(
+    cpi_core, decode_ratio, l1_mpi, dram_fraction, mlp
+):
+    """Higher frequency never reduces instruction throughput."""
+    phase = Phase(
+        name="hyp", instructions=1e9, cpi_core=cpi_core,
+        decode_ratio=decode_ratio, l1_mpi=l1_mpi,
+        l2_mpi=l1_mpi * dram_fraction, mlp=mlp, activity_jitter=0.0,
+    )
+    previous = 0.0
+    for pstate in TABLE.ascending():
+        ips = resolve_rates(phase, pstate, TIMING).ips
+        assert ips >= previous * 0.999  # tolerate softmin rounding
+        previous = ips
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cpi_core=st.floats(0.4, 3.0),
+    l1_mpi=st.floats(0.0, 0.15),
+    dram_fraction=st.floats(0.0, 1.0),
+)
+def test_ipc_never_exceeds_core_limit(cpi_core, l1_mpi, dram_fraction):
+    """Memory stalls can only lower IPC below the core-limited value."""
+    phase = Phase(
+        name="hyp", instructions=1e9, cpi_core=cpi_core, decode_ratio=1.2,
+        l1_mpi=l1_mpi, l2_mpi=l1_mpi * dram_fraction, activity_jitter=0.0,
+    )
+    for pstate in (P600, P2000):
+        ipc = resolve_rates(phase, pstate, TIMING).ipc
+        assert ipc <= 1.0 / cpi_core + 1e-9

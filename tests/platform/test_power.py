@@ -1,0 +1,148 @@
+"""Tests for ground-truth power synthesis and the leakage model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.errors import ModelError
+from repro.platform.caches import PENTIUM_M_755_TIMING
+from repro.platform.leakage import LeakageModel, PENTIUM_M_755_LEAKAGE
+from repro.platform.pipeline import resolve_rates
+from repro.platform.power import (
+    PENTIUM_M_755_POWER,
+    PowerModelConstants,
+    ground_truth_power,
+    idle_power,
+)
+from repro.workloads.base import Phase
+
+TABLE = pentium_m_755_table()
+
+
+def rates_at(pstate, **phase_kw):
+    defaults = dict(
+        name="p", instructions=1e9, cpi_core=0.8, decode_ratio=1.4,
+        activity_jitter=0.0,
+    )
+    defaults.update(phase_kw)
+    return resolve_rates(Phase(**defaults), pstate, PENTIUM_M_755_TIMING)
+
+
+class TestLeakage:
+    def test_quadratic_in_voltage(self):
+        model = LeakageModel(k_watts_per_v2=0.81)
+        assert model.power(1.0) == pytest.approx(0.81)
+        assert model.power(2.0) == pytest.approx(4 * 0.81)
+
+    def test_temperature_term_disabled_by_default(self):
+        model = PENTIUM_M_755_LEAKAGE
+        assert model.power(1.0, temperature_c=90.0) == model.power(1.0)
+
+    def test_temperature_term_raises_leakage(self):
+        model = LeakageModel(k_watts_per_v2=0.81, theta_per_kelvin=0.02)
+        hot = model.power(1.2, temperature_c=90.0)
+        cold = model.power(1.2, temperature_c=30.0)
+        assert hot > cold
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            LeakageModel(k_watts_per_v2=-1.0)
+        with pytest.raises(ModelError):
+            PENTIUM_M_755_LEAKAGE.power(0.0)
+
+
+class TestGroundTruthPower:
+    def test_power_increases_with_frequency_for_same_workload(self):
+        powers = [
+            ground_truth_power(pstate, rates_at(pstate).events)
+            for pstate in TABLE.ascending()
+        ]
+        assert powers == sorted(powers)
+
+    def test_power_increases_with_activity(self):
+        p2000 = TABLE.fastest
+        idle_ish = ground_truth_power(
+            p2000, rates_at(p2000, cpi_core=3.0, decode_ratio=1.0).events
+        )
+        busy = ground_truth_power(
+            p2000, rates_at(p2000, cpi_core=0.5, decode_ratio=1.8).events
+        )
+        assert busy > idle_ish
+
+    def test_fp_activity_costs_extra_power(self):
+        p2000 = TABLE.fastest
+        integer = ground_truth_power(p2000, rates_at(p2000).events)
+        fp = ground_truth_power(p2000, rates_at(p2000, fp_ratio=0.6).events)
+        assert fp > integer
+
+    def test_memory_stall_gating_lowers_base_power(self):
+        # Two workloads with identical DPC but different DCU occupancy:
+        # the stalled one burns less clock-grid power.
+        p2000 = TABLE.fastest
+        from repro.platform.events import EventRates
+
+        def events(dcu):
+            return EventRates(
+                inst_decoded=0.5, inst_retired=0.4, uops_retired=0.5,
+                data_mem_refs=0.2, dcu_lines_in=0.0,
+                dcu_miss_outstanding=dcu, l2_rqsts=0.0, l2_lines_in=0.0,
+                bus_tran_mem=0.0, bus_drdy_clocks=0.0, resource_stalls=0.0,
+                fp_comp_ops_exe=0.0, br_inst_decoded=0.0,
+                br_inst_retired=0.0, br_mispred_retired=0.0,
+                ifu_mem_stall=0.0, prefetch_lines_in=0.0,
+            )
+
+        assert ground_truth_power(p2000, events(0.95)) < ground_truth_power(
+            p2000, events(0.0)
+        )
+
+    def test_idle_power_is_a_lower_bound(self):
+        for pstate in TABLE:
+            busy = ground_truth_power(pstate, rates_at(pstate).events)
+            assert busy > idle_power(pstate)
+
+    def test_idle_power_matches_beta_scale(self):
+        # The paper's Table II intercept at 2 GHz is 12.11 W; our idle
+        # power (clock grid + leakage) should be in that neighbourhood.
+        assert idle_power(TABLE.fastest) == pytest.approx(12.11, abs=0.6)
+
+    def test_constants_reject_negative_coefficients(self):
+        with pytest.raises(ModelError):
+            PowerModelConstants(c_base=-1.0)
+
+    def test_peak_power_near_tdp(self):
+        # The hottest plausible activity mix stays within the part's
+        # thermal design envelope (21 W for the Pentium M 755) plus
+        # margin for synthetic bursts.
+        p2000 = TABLE.fastest
+        hot = rates_at(
+            p2000, cpi_core=0.45, decode_ratio=1.9, fp_ratio=0.9,
+            l1_mpi=0.05,
+        )
+        power = ground_truth_power(p2000, hot.events)
+        assert 17.0 < power < 23.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    cpi_core=st.floats(0.4, 3.0),
+    decode_ratio=st.floats(1.0, 2.0),
+    fp_ratio=st.floats(0.0, 1.0),
+    l1_mpi=st.floats(0.0, 0.1),
+)
+def test_power_positive_and_monotone_in_pstate(
+    cpi_core, decode_ratio, fp_ratio, l1_mpi
+):
+    """Ground-truth power is positive and rises with the p-state."""
+    phase = Phase(
+        name="hyp", instructions=1e9, cpi_core=cpi_core,
+        decode_ratio=decode_ratio, fp_ratio=fp_ratio, l1_mpi=l1_mpi,
+        l2_mpi=l1_mpi * 0.5, activity_jitter=0.0,
+    )
+    previous = 0.0
+    for pstate in TABLE.ascending():
+        rates = resolve_rates(phase, pstate, PENTIUM_M_755_TIMING)
+        power = ground_truth_power(pstate, rates.events)
+        assert power > 0
+        assert power > previous
+        previous = power

@@ -1,0 +1,79 @@
+"""Tests for the repro-power command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "swim" in out
+    assert "FMA-256KB" in out
+
+
+def test_run_fixed(capsys):
+    code = main(
+        ["run", "gzip", "--governor", "fixed", "--frequency", "1200",
+         "--scale", "0.05"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1200 MHz" in out
+    assert "mean power" in out
+
+
+def test_run_pm_with_paper_model(capsys):
+    code = main(
+        ["run", "ammp", "--governor", "pm", "--limit", "14.5",
+         "--scale", "0.05", "--use-paper-model"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "violations" in out
+
+
+def test_run_ps(capsys):
+    code = main(
+        ["run", "swim", "--governor", "ps", "--floor", "0.8",
+         "--scale", "0.05"]
+    )
+    assert code == 0
+    assert "PowerSave" in capsys.readouterr().out
+
+
+def test_run_unknown_workload_fails(capsys):
+    code = main(["run", "nonexistent", "--scale", "0.05"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_trace_export(tmp_path, capsys):
+    trace_file = tmp_path / "trace.csv"
+    code = main(
+        ["run", "gcc", "--governor", "fixed", "--scale", "0.05",
+         "--trace", str(trace_file)]
+    )
+    assert code == 0
+    with open(trace_file) as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows
+    assert {"time_s", "frequency_mhz", "measured_power_w"} <= set(rows[0])
+
+
+def test_experiment_table4(capsys):
+    assert main(["experiment", "table4"]) == 0
+    out = capsys.readouterr().out
+    assert "1800" in out and "crossovers" in out
+
+
+def test_experiment_fig2(capsys):
+    assert main(["experiment", "fig2", "--scale", "0.05"]) == 0
+    assert "sixtrack" in capsys.readouterr().out
+
+
+def test_invalid_experiment_id_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

@@ -1,0 +1,90 @@
+"""Tests for the cpufreq-style facade."""
+
+import pytest
+
+from repro.cpufreq import CpufreqPolicy
+from repro.errors import GovernorError, ReproError
+from repro.platform.machine import Machine, MachineConfig
+
+
+@pytest.fixture()
+def policy(tiny_core_workload):
+    machine = Machine(MachineConfig(seed=0))
+    machine.load(tiny_core_workload.scaled(4.0))
+    return CpufreqPolicy(machine)
+
+
+class TestAttributes:
+    def test_available_frequencies_in_khz(self, policy):
+        freqs = policy.read("scaling_available_frequencies").split()
+        assert freqs[0] == "2000000"
+        assert freqs[-1] == "600000"
+
+    def test_available_governors(self, policy):
+        governors = policy.read("scaling_available_governors").split()
+        assert "repro_pm" in governors and "userspace" in governors
+
+    def test_cur_freq_follows_machine(self, policy):
+        assert policy.read("scaling_cur_freq") == "2000000"
+
+    def test_min_max(self, policy):
+        assert policy.read("scaling_max_freq") == "2000000"
+        assert policy.read("scaling_min_freq") == "600000"
+
+    def test_unknown_attribute(self, policy):
+        with pytest.raises(ReproError):
+            policy.read("bogus")
+        with pytest.raises(ReproError):
+            policy.write("bogus", "1")
+
+
+class TestGovernors:
+    def test_performance_governor_pins_max(self, policy):
+        policy.write("scaling_governor", "performance")
+        policy.run_to_completion()
+        assert set(policy.time_in_state) == {2000.0}
+
+    def test_powersave_governor_pins_min(self, policy):
+        policy.write("scaling_governor", "powersave")
+        policy.run_to_completion()
+        assert 600.0 in policy.time_in_state
+
+    def test_userspace_setspeed(self, policy):
+        policy.write("scaling_governor", "userspace")
+        policy.write("scaling_setspeed", "1200000")
+        assert policy.read("scaling_setspeed") == "1200000"
+        for _ in range(3):
+            policy.tick()
+        assert policy.read("scaling_cur_freq") == "1200000"
+
+    def test_setspeed_requires_userspace(self, policy):
+        with pytest.raises(GovernorError):
+            policy.write("scaling_setspeed", "1200000")
+
+    def test_repro_pm_governor_enforces_limit(self, policy):
+        policy.write("scaling_governor", "repro_pm")
+        policy.write("repro_pm/power_limit_w", "12.5")
+        policy.run_to_completion()
+        # The hot core-bound workload cannot stay at 2 GHz under 12.5 W.
+        states = policy.time_in_state
+        assert max(states, key=states.get) < 2000.0
+
+    def test_repro_ps_governor(self, policy):
+        policy.write("scaling_governor", "repro_ps")
+        policy.write("repro_ps/floor", "0.8")
+        policy.run_to_completion()
+        assert 1800.0 in policy.time_in_state
+
+    def test_unknown_governor(self, policy):
+        with pytest.raises(GovernorError):
+            policy.write("scaling_governor", "ondemand-but-wrong")
+
+
+class TestStats:
+    def test_time_in_state_accumulates(self, policy):
+        policy.write("scaling_governor", "performance")
+        policy.run_to_completion()
+        stats = policy.read("stats/time_in_state")
+        assert stats.startswith("2000000 ")
+        total_10ms_units = int(stats.split()[1])
+        assert total_10ms_units > 0

@@ -1,0 +1,178 @@
+"""Tests for shared-budget fleet coordination."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.models.power import LinearPowerModel
+from repro.errors import ExperimentError, GovernorError
+from repro.fleet import (
+    DemandProportional,
+    EqualShare,
+    FleetController,
+    NodeDemand,
+)
+from repro.fleet.budget import MIN_GRANT_W
+from repro.workloads.registry import get_workload
+
+MODEL = LinearPowerModel.paper_model()
+
+
+class TestEqualShare:
+    def test_splits_evenly_among_active(self):
+        grants = EqualShare().allocate(
+            40.0,
+            [NodeDemand("a", 20.0), NodeDemand("b", 5.0)],
+        )
+        assert grants == {"a": 20.0, "b": 20.0}
+
+    def test_inactive_nodes_get_nothing(self):
+        grants = EqualShare().allocate(
+            40.0,
+            [NodeDemand("a", 20.0), NodeDemand("b", 0.0, active=False)],
+        )
+        assert grants["b"] == 0.0
+        assert grants["a"] == 40.0
+
+    def test_validation(self):
+        with pytest.raises(GovernorError):
+            EqualShare().allocate(0.0, [NodeDemand("a", 1.0)])
+        with pytest.raises(GovernorError):
+            EqualShare().allocate(10.0, [])
+        with pytest.raises(GovernorError):
+            EqualShare().allocate(
+                10.0, [NodeDemand("a", 1.0), NodeDemand("a", 2.0)]
+            )
+
+
+class TestDemandProportional:
+    def test_satisfies_demands_when_budget_suffices(self):
+        grants = DemandProportional().allocate(
+            50.0,
+            [NodeDemand("hungry", 18.0), NodeDemand("modest", 12.0)],
+        )
+        assert grants["hungry"] >= 18.0
+        assert grants["modest"] >= 12.0
+
+    def test_shifts_toward_demand_under_pressure(self):
+        grants = DemandProportional().allocate(
+            26.0,
+            [NodeDemand("hungry", 18.0), NodeDemand("modest", 10.0)],
+        )
+        assert grants["hungry"] > grants["modest"]
+        assert sum(grants.values()) == pytest.approx(26.0)
+
+    def test_never_grants_above_demand_while_others_starve(self):
+        grants = DemandProportional().allocate(
+            24.0,
+            [NodeDemand("a", 18.0), NodeDemand("b", 18.0),
+             NodeDemand("tiny", 5.0)],
+        )
+        # Under pressure tiny never exceeds its demand, and the hungry
+        # nodes receive strictly more (proportional-to-unmet shares).
+        assert grants["tiny"] <= 5.0 + 1e-9
+        assert grants["a"] > grants["tiny"]
+        assert grants["a"] == pytest.approx(grants["b"])
+
+    def test_surplus_spread_as_headroom(self):
+        grants = DemandProportional().allocate(
+            40.0, [NodeDemand("a", 10.0), NodeDemand("b", 10.0)]
+        )
+        assert grants["a"] == pytest.approx(20.0)
+        assert grants["b"] == pytest.approx(20.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        budget=st.floats(10.0, 100.0),
+        demands=st.lists(st.floats(0.0, 25.0), min_size=1, max_size=6),
+    )
+    def test_allocation_invariants(self, budget, demands):
+        nodes = [NodeDemand(f"n{i}", d) for i, d in enumerate(demands)]
+        grants = DemandProportional().allocate(budget, nodes)
+        total = sum(grants.values())
+        # Never over budget (beyond the per-node floor guarantee).
+        floor_total = MIN_GRANT_W * len(nodes)
+        assert total <= max(budget, floor_total) + 1e-6
+        # Every active node gets at least the floor.
+        for node in nodes:
+            assert grants[node.name] >= MIN_GRANT_W - 1e-9
+
+
+class TestFleetController:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return {
+            "a": get_workload("crafty").scaled(0.1),
+            "b": get_workload("swim").scaled(0.1),
+        }
+
+    def test_runs_to_completion(self, workloads):
+        fleet = FleetController(
+            workloads, MODEL, total_budget_w=30.0,
+            allocator=DemandProportional(),
+        )
+        result = fleet.run()
+        assert set(result.nodes) == {"a", "b"}
+        assert result.makespan_s > 0
+        assert result.total_instructions == pytest.approx(
+            sum(w.total_instructions for w in workloads.values()), rel=1e-6
+        )
+
+    def test_fleet_budget_respected(self, workloads):
+        fleet = FleetController(
+            workloads, MODEL, total_budget_w=26.0,
+            allocator=DemandProportional(),
+        )
+        result = fleet.run()
+        assert result.budget_violation_fraction() <= 0.02
+
+    def test_power_shifts_after_a_node_finishes(self):
+        # A short node frees its share for the straggler.
+        fleet = FleetController(
+            {
+                "short": get_workload("gzip").scaled(0.03),
+                "long": get_workload("crafty").scaled(0.15),
+            },
+            MODEL, total_budget_w=26.0, allocator=DemandProportional(),
+        )
+        result = fleet.run()
+        # Once 'short' finished, 'long' ended up with (almost) the whole
+        # budget as its limit.
+        assert result.nodes["long"].final_limit_w > 20.0
+
+    def test_demand_beats_equal_for_the_hungry_node(self):
+        workloads = {
+            "hungry": get_workload("crafty").scaled(0.15),
+            "modest": get_workload("swim").scaled(0.15),
+            "modest2": get_workload("mcf").scaled(0.15),
+        }
+        runs = {}
+        for label, allocator in (
+            ("equal", EqualShare()), ("demand", DemandProportional()),
+        ):
+            fleet = FleetController(
+                workloads, MODEL, total_budget_w=31.0, allocator=allocator
+            )
+            runs[label] = fleet.run()
+        assert (
+            runs["demand"].nodes["hungry"].duration_s
+            < runs["equal"].nodes["hungry"].duration_s
+        )
+
+    def test_validation(self, workloads):
+        with pytest.raises(ExperimentError):
+            FleetController(
+                workloads, MODEL, total_budget_w=0.0,
+                allocator=EqualShare(),
+            )
+        with pytest.raises(ExperimentError):
+            FleetController(
+                {}, MODEL, total_budget_w=10.0, allocator=EqualShare()
+            )
+
+    def test_time_budget_guard(self, workloads):
+        fleet = FleetController(
+            workloads, MODEL, total_budget_w=30.0,
+            allocator=EqualShare(),
+        )
+        with pytest.raises(ExperimentError, match="time budget"):
+            fleet.run(max_seconds=0.0)

@@ -1,0 +1,62 @@
+"""API-contract tests: the public surface stays importable and documented."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = (
+    "repro",
+    "repro.acpi",
+    "repro.drivers",
+    "repro.platform",
+    "repro.platform.machine",
+    "repro.platform.thermal",
+    "repro.platform.throttling",
+    "repro.platform.calibration",
+    "repro.measurement",
+    "repro.workloads",
+    "repro.workloads.traces",
+    "repro.core",
+    "repro.core.models",
+    "repro.core.models.persistence",
+    "repro.core.governors",
+    "repro.experiments",
+    "repro.experiments.ablations",
+    "repro.analysis",
+    "repro.fleet",
+    "repro.cpufreq",
+    "repro.cli",
+)
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports_and_is_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_every_all_entry_is_documented():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) or isinstance(obj, type):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+def test_subpackage_all_exports_resolve():
+    for module_name in ("repro.core", "repro.core.governors",
+                        "repro.core.models", "repro.fleet",
+                        "repro.workloads", "repro.measurement"):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,49 @@
+"""Tests for unit-conversion helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_mhz_to_hz():
+    assert units.mhz_to_hz(2000.0) == pytest.approx(2.0e9)
+
+
+def test_mhz_to_ghz_roundtrip():
+    assert units.ghz_to_mhz(units.mhz_to_ghz(1234.0)) == pytest.approx(1234.0)
+
+
+def test_ns_to_cycles_scales_with_frequency():
+    # 110 ns of DRAM latency costs twice the cycles at twice the clock --
+    # the core analytical fact behind the whole reproduction.
+    low = units.ns_to_cycles(110.0, 1000.0)
+    high = units.ns_to_cycles(110.0, 2000.0)
+    assert high == pytest.approx(2.0 * low)
+    assert high == pytest.approx(220.0)
+
+
+def test_cycles_seconds_roundtrip():
+    seconds = units.cycles_to_seconds(2.0e7, 2000.0)
+    assert seconds == pytest.approx(0.01)
+    assert units.seconds_to_cycles(seconds, 2000.0) == pytest.approx(2.0e7)
+
+
+def test_joules():
+    assert units.joules(14.5, 2.0) == pytest.approx(29.0)
+    assert units.watt_seconds_to_joules(3.0) == 3.0
+
+
+def test_memory_constants():
+    assert units.MIB == 1024 * units.KIB
+    assert units.KIB == 1024
+
+
+@given(
+    latency=st.floats(0.1, 1000.0),
+    freq=st.floats(100.0, 4000.0),
+)
+def test_ns_to_cycles_linear_in_both_arguments(latency, freq):
+    base = units.ns_to_cycles(latency, freq)
+    assert units.ns_to_cycles(2 * latency, freq) == pytest.approx(2 * base)
+    assert units.ns_to_cycles(latency, 2 * freq) == pytest.approx(2 * base)

@@ -1,0 +1,156 @@
+"""Tests for the phase/workload abstraction and the execution cursor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Phase, PhaseCursor, Workload, validate_workloads
+
+
+def make_phase(**kw):
+    defaults = dict(name="p", instructions=100.0, activity_jitter=0.0)
+    defaults.update(kw)
+    return Phase(**defaults)
+
+
+class TestPhaseValidation:
+    def test_rejects_non_positive_instructions(self):
+        with pytest.raises(WorkloadError):
+            make_phase(instructions=0.0)
+
+    def test_rejects_decode_ratio_below_one(self):
+        # Every retired instruction was decoded at least once.
+        with pytest.raises(WorkloadError, match="decode_ratio"):
+            make_phase(decode_ratio=0.9)
+
+    def test_rejects_l2_misses_exceeding_l1(self):
+        with pytest.raises(WorkloadError, match="l2_mpi"):
+            make_phase(l1_mpi=0.01, l2_mpi=0.02)
+
+    def test_rejects_mlp_below_one(self):
+        with pytest.raises(WorkloadError):
+            make_phase(mlp=0.5)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(WorkloadError):
+            make_phase(jitter_corr=1.0)
+        with pytest.raises(WorkloadError):
+            make_phase(activity_jitter=-0.1)
+
+    def test_phase_scaled(self):
+        phase = make_phase(instructions=100.0)
+        assert phase.scaled(2.5).instructions == 250.0
+        with pytest.raises(WorkloadError):
+            phase.scaled(0.0)
+
+
+class TestWorkload:
+    def test_requires_phases(self):
+        with pytest.raises(WorkloadError):
+            Workload("w", (), 100.0)
+
+    def test_from_phases_budget(self):
+        w = Workload.from_phases(
+            "w", [make_phase(instructions=10.0), make_phase(name="q", instructions=5.0)],
+            repeats=4,
+        )
+        assert w.total_instructions == 60.0
+        assert w.cycle_instructions == 15.0
+
+    def test_scaled_keeps_phase_lengths(self):
+        w = Workload.from_phases(
+            "w", [make_phase(instructions=10.0)], repeats=10
+        )
+        scaled = w.scaled(0.5)
+        assert scaled.total_instructions == 50.0
+        assert scaled.phases[0].instructions == 10.0
+
+    def test_mean_rate_weighted_by_instructions(self):
+        w = Workload.from_phases(
+            "w",
+            [
+                make_phase(instructions=30.0, fp_ratio=0.0),
+                make_phase(name="q", instructions=10.0, fp_ratio=0.4),
+            ],
+        )
+        assert w.mean_rate("fp_ratio") == pytest.approx(0.1)
+
+    def test_validate_rejects_duplicates(self):
+        w = Workload("w", (make_phase(),), 100.0)
+        with pytest.raises(WorkloadError, match="duplicate"):
+            validate_workloads([w, w])
+
+
+class TestCursor:
+    def test_initial_state(self):
+        w = Workload("w", (make_phase(instructions=10.0),), 25.0)
+        cursor = w.cursor()
+        assert cursor.retired == 0.0
+        assert not cursor.finished
+        assert cursor.remaining == 25.0
+
+    def test_advance_within_phase(self):
+        w = Workload("w", (make_phase(instructions=10.0),), 25.0)
+        cursor = w.cursor()
+        cursor.advance(4.0)
+        assert cursor.retired == 4.0
+        assert cursor.instructions_until_boundary() == pytest.approx(6.0)
+
+    def test_advance_across_boundary_rejected(self):
+        w = Workload("w", (make_phase(instructions=10.0),), 25.0)
+        cursor = w.cursor()
+        with pytest.raises(WorkloadError, match="boundary"):
+            cursor.advance(11.0)
+
+    def test_phase_cycle_wraps(self):
+        a = make_phase(name="a", instructions=10.0)
+        b = make_phase(name="b", instructions=5.0)
+        w = Workload("w", (a, b), 40.0)
+        cursor = w.cursor()
+        order = []
+        while not cursor.finished:
+            order.append(cursor.current_phase.name)
+            cursor.advance(cursor.instructions_until_boundary())
+        assert order == ["a", "b", "a", "b", "a"]
+        assert cursor.retired == pytest.approx(40.0)
+
+    def test_final_partial_phase(self):
+        w = Workload("w", (make_phase(instructions=10.0),), 25.0)
+        cursor = w.cursor()
+        cursor.advance(10.0)
+        cursor.advance(10.0)
+        assert cursor.instructions_until_boundary() == pytest.approx(5.0)
+        cursor.advance(5.0)
+        assert cursor.finished
+
+    def test_negative_advance_rejected(self):
+        w = Workload("w", (make_phase(),), 100.0)
+        with pytest.raises(WorkloadError):
+            w.cursor().advance(-1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lengths=st.lists(st.floats(1.0, 50.0), min_size=1, max_size=4),
+        budget=st.floats(1.0, 500.0),
+        chunks=st.lists(st.floats(0.1, 20.0), min_size=1, max_size=60),
+    )
+    def test_cursor_accounting_is_exact(self, lengths, budget, chunks):
+        """Retired work always equals the sum of granted advances, and
+        the cursor finishes exactly at the budget."""
+        phases = tuple(
+            make_phase(name=f"p{i}", instructions=n)
+            for i, n in enumerate(lengths)
+        )
+        workload = Workload("hyp", phases, budget)
+        cursor = workload.cursor()
+        granted = 0.0
+        for chunk in chunks:
+            if cursor.finished:
+                break
+            step = min(chunk, cursor.instructions_until_boundary())
+            cursor.advance(step)
+            granted += step
+        assert cursor.retired == pytest.approx(granted)
+        assert cursor.remaining == pytest.approx(
+            max(0.0, budget - granted), abs=1e-6
+        )

@@ -1,0 +1,84 @@
+"""Tests for the MS-Loops microbenchmark construction."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.platform.caches import PENTIUM_M_755_GEOMETRY
+from repro.units import KIB, MIB
+from repro.workloads.microbenchmarks import (
+    FOOTPRINTS_BYTES,
+    LOOP_SPECS,
+    build_microbenchmark,
+    footprint_label,
+    get_loop_spec,
+    microbenchmark_name,
+    ms_loops,
+    worst_case_workload,
+)
+
+
+def test_four_loops_three_footprints():
+    loops = ms_loops()
+    assert len(loops) == 12  # the paper's 12 training points
+    names = {w.name for w in loops}
+    assert "FMA-256KB" in names
+    assert "MLOAD_RAND-8MB" in names
+
+
+def test_footprint_labels():
+    assert footprint_label(16 * KIB) == "16KB"
+    assert footprint_label(256 * KIB) == "256KB"
+    assert footprint_label(8 * MIB) == "8MB"
+    assert microbenchmark_name("DAXPY", 16 * KIB) == "DAXPY-16KB"
+
+
+def test_l1_resident_loops_have_no_misses():
+    for spec in LOOP_SPECS:
+        w = build_microbenchmark(spec, 16 * KIB)
+        assert w.phases[0].l1_mpi == 0.0
+        assert w.phases[0].l2_mpi == 0.0
+
+
+def test_l2_resident_loops_miss_l1_only():
+    for spec in LOOP_SPECS:
+        w = build_microbenchmark(spec, 256 * KIB)
+        assert w.phases[0].l1_mpi > 0.0
+        assert w.phases[0].l2_mpi == 0.0
+
+
+def test_dram_resident_loops_reach_memory():
+    for spec in LOOP_SPECS:
+        w = build_microbenchmark(spec, 8 * MIB)
+        assert w.phases[0].l2_mpi > 0.0
+
+
+def test_latency_probe_has_no_mlp():
+    probe = build_microbenchmark(get_loop_spec("MLOAD_RAND"), 8 * MIB)
+    assert probe.phases[0].mlp == 1.0
+
+
+def test_streaming_loops_have_dram_mlp():
+    fma = build_microbenchmark(get_loop_spec("FMA"), 8 * MIB)
+    assert fma.phases[0].mlp > 4.0  # prefetcher exercised hardest
+
+
+def test_worst_case_is_fma_256kb():
+    assert worst_case_workload().name == "FMA-256KB"
+
+
+def test_microbenchmarks_are_stable():
+    # The paper picked MS-Loops for their run-to-run stability.
+    for w in ms_loops():
+        assert w.phases[0].activity_jitter <= 0.01
+
+
+def test_unknown_loop_spec():
+    with pytest.raises(WorkloadError, match="unknown microbenchmark"):
+        get_loop_spec("BOGUS")
+
+
+def test_footprints_span_hierarchy():
+    levels = {
+        PENTIUM_M_755_GEOMETRY.residency_level(f) for f in FOOTPRINTS_BYTES
+    }
+    assert levels == {"L1", "L2", "DRAM"}

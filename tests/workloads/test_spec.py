@@ -1,0 +1,156 @@
+"""Tests for the SPEC CPU2000 synthetic suite.
+
+Beyond structural checks, these pin the *characterization* each
+benchmark was calibrated to -- the properties the paper's results rest
+on (memory/core grouping, power ordering, the art trap, galgel's
+bursts, ammp's phases).
+"""
+
+import pytest
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.platform.caches import PENTIUM_M_755_TIMING
+from repro.platform.pipeline import resolve_rates, throughput_scaling
+from repro.platform.power import ground_truth_power
+from repro.workloads.spec import (
+    CORE_BOUND_GROUP,
+    HIGH_POWER_GROUP,
+    MEMORY_BOUND_GROUP,
+    SPEC_FP,
+    SPEC_INT,
+    build_spec_suite,
+)
+
+TABLE = pentium_m_755_table()
+P2000 = TABLE.by_frequency(2000.0)
+P1800 = TABLE.by_frequency(1800.0)
+P800 = TABLE.by_frequency(800.0)
+SUITE = {w.name: w for w in build_spec_suite()}
+
+
+def mean_power_at(name, pstate):
+    w = SUITE[name]
+    total_t = 0.0
+    acc = 0.0
+    for phase in w.phases:
+        rates = resolve_rates(phase, pstate, PENTIUM_M_755_TIMING)
+        t = phase.instructions / rates.ips
+        acc += ground_truth_power(pstate, rates.events) * t
+        total_t += t
+    return acc / total_t
+
+
+def scaling(name, to_pstate, from_pstate=P2000):
+    w = SUITE[name]
+    t_from = sum(
+        p.instructions
+        / resolve_rates(p, from_pstate, PENTIUM_M_755_TIMING).ips
+        for p in w.phases
+    )
+    t_to = sum(
+        p.instructions / resolve_rates(p, to_pstate, PENTIUM_M_755_TIMING).ips
+        for p in w.phases
+    )
+    return t_from / t_to
+
+
+class TestStructure:
+    def test_suite_has_26_benchmarks(self):
+        assert len(SUITE) == 26
+        assert len(SPEC_INT) == 12
+        assert len(SPEC_FP) == 14
+        assert set(SPEC_INT) | set(SPEC_FP) == set(SUITE)
+
+    def test_groups_reference_real_benchmarks(self):
+        for group in (MEMORY_BOUND_GROUP, CORE_BOUND_GROUP, HIGH_POWER_GROUP):
+            assert set(group) <= set(SUITE)
+
+    def test_every_benchmark_has_description(self):
+        for w in SUITE.values():
+            assert len(w.description) > 20
+
+    def test_comparable_runtimes_at_full_speed(self):
+        # Suite aggregates must not be dominated by one benchmark: all
+        # full-speed runtimes within a factor ~1.6 of each other.
+        times = {}
+        for name, w in SUITE.items():
+            t = sum(
+                p.instructions
+                / resolve_rates(p, P2000, PENTIUM_M_755_TIMING).ips
+                for p in w.phases
+            ) * (w.total_instructions / w.cycle_instructions)
+            times[name] = t
+        assert max(times.values()) / min(times.values()) < 1.8
+
+
+class TestCharacterization:
+    def test_memory_group_is_classified_memory_bound(self):
+        for name in MEMORY_BOUND_GROUP:
+            w = SUITE[name]
+            rates = resolve_rates(w.phases[0], P2000, PENTIUM_M_755_TIMING)
+            assert rates.dcu_per_ipc >= 1.21, name
+
+    def test_core_group_is_classified_core_bound(self):
+        for name in CORE_BOUND_GROUP:
+            w = SUITE[name]
+            rates = resolve_rates(w.phases[0], P2000, PENTIUM_M_755_TIMING)
+            assert rates.dcu_per_ipc < 1.21, name
+
+    def test_crafty_and_perlbmk_have_highest_mean_power(self):
+        powers = {name: mean_power_at(name, P2000) for name in SUITE}
+        ranked = sorted(powers, key=powers.get, reverse=True)
+        assert set(ranked[:2]) == {"crafty", "perlbmk"}
+
+    def test_swim_flat_sixtrack_linear_gap_between(self):
+        # The paper's Fig. 2 triple.
+        swim = scaling("swim", P1800)
+        gap = scaling("gap", P1800)
+        sixtrack = scaling("sixtrack", P1800)
+        assert swim > 0.98
+        assert sixtrack == pytest.approx(0.9, abs=0.005)
+        assert swim > gap > sixtrack
+
+    def test_art_is_the_classifier_trap(self):
+        # Classified memory-bound but loses heavily at 800 MHz.
+        w = SUITE["art"]
+        rates = resolve_rates(w.phases[0], P2000, PENTIUM_M_755_TIMING)
+        assert rates.dcu_per_ipc >= 1.21
+        assert scaling("art", P800) < 0.65
+
+    def test_streaming_memory_benchmarks_stay_flat_at_800(self):
+        # These must NOT violate an 80% PS floor when sent to 800 MHz.
+        for name in ("swim", "lucas", "applu", "equake", "mgrid"):
+            assert scaling(name, P800) > 0.80, name
+
+    def test_mcf_moderate_violation_shape(self):
+        # The paper's mcf: ~27.7% reduction at 800 MHz.
+        assert 0.65 < scaling("mcf", P800) < 0.78
+
+    def test_galgel_phases(self):
+        w = SUITE["galgel"]
+        names = {p.name for p in w.phases}
+        assert names == {"galgel-solve", "galgel-vector", "galgel-assemble"}
+        vector = next(p for p in w.phases if p.name == "galgel-vector")
+        # The deceptive phase is stable (low jitter) -- that is what lets
+        # PM hold the violating state through whole 100 ms windows.
+        assert vector.activity_jitter <= 0.05
+
+    def test_galgel_vector_power_hides_from_dpc_model(self):
+        from repro.core.models.power import LinearPowerModel
+
+        model = LinearPowerModel.paper_model()
+        w = SUITE["galgel"]
+        vector = next(p for p in w.phases if p.name == "galgel-vector")
+        rates = resolve_rates(vector, P1800, PENTIUM_M_755_TIMING)
+        true = ground_truth_power(P1800, rates.events)
+        estimated = model.estimate(P1800, rates.dpc)
+        assert true - estimated > 0.5  # exceeds PM's guardband
+
+    def test_ammp_alternates_compute_and_memory(self):
+        w = SUITE["ammp"]
+        dcu = {}
+        for phase in w.phases:
+            rates = resolve_rates(phase, P2000, PENTIUM_M_755_TIMING)
+            dcu[phase.name] = rates.dcu_per_ipc
+        assert dcu["ammp-force"] < 1.21
+        assert dcu["ammp-neighbour"] >= 1.21

@@ -1,0 +1,138 @@
+"""Tests for counter-trace record & replay."""
+
+import pytest
+
+from repro.core.controller import PowerManagementController
+from repro.core.governors.powersave import PowerSave
+from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.models.performance import PerformanceModel
+from repro.errors import WorkloadError
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.base import Phase, Workload
+from repro.workloads.traces import (
+    CounterTrace,
+    TraceInterval,
+    record_trace,
+    workload_from_trace,
+)
+
+
+def run_traced(workload, governor_factory, seed=0):
+    machine = Machine(MachineConfig(seed=seed))
+    governor = governor_factory(machine.config.table)
+    controller = PowerManagementController(machine, governor, keep_trace=True)
+    return controller.run(workload)
+
+
+class TestTraceContainer:
+    def test_csv_roundtrip(self):
+        trace = CounterTrace(
+            "t",
+            [
+                TraceInterval(0.01, 2000.0, 1.1, 1.4, 0.2),
+                TraceInterval(0.01, 1800.0, 0.4, 0.5, 1.9),
+            ],
+        )
+        parsed = CounterTrace.from_csv("t", trace.to_csv())
+        assert len(parsed) == 2
+        assert parsed.intervals[0].ipc == pytest.approx(1.1)
+        assert parsed.intervals[1].dcu == pytest.approx(1.9)
+
+    def test_bad_csv_rejected(self):
+        with pytest.raises(WorkloadError, match="missing columns"):
+            CounterTrace.from_csv("t", "a,b\n1,2\n")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            CounterTrace("t", [])
+
+    def test_interval_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceInterval(0.0, 2000.0, 1.0, 1.0, 0.0)
+        with pytest.raises(WorkloadError):
+            TraceInterval(0.01, 2000.0, -1.0, 1.0, 0.0)
+
+    def test_instruction_accounting(self):
+        interval = TraceInterval(0.01, 2000.0, 1.0, 1.3, 0.0)
+        assert interval.instructions == pytest.approx(2e7)
+
+
+class TestRecord:
+    def test_records_ps_run(self, two_phase_workload):
+        result = run_traced(
+            two_phase_workload,
+            lambda t: PowerSave(t, PerformanceModel.paper_primary(), 0.8),
+        )
+        trace = record_trace(result)
+        assert len(trace) == len(result.trace)
+        assert trace.total_instructions == pytest.approx(
+            result.instructions, rel=0.05
+        )
+
+    def test_requires_trace_rows(self, tiny_core_workload):
+        machine = Machine(MachineConfig(seed=0))
+        controller = PowerManagementController(
+            machine,
+            FixedFrequency(machine.config.table, 2000.0),
+            keep_trace=False,
+        )
+        result = controller.run(tiny_core_workload)
+        with pytest.raises(WorkloadError, match="keep_trace"):
+            record_trace(result)
+
+
+class TestReplay:
+    def test_steady_trace_coalesces_to_one_phase(self):
+        trace = CounterTrace(
+            "steady",
+            [TraceInterval(0.01, 2000.0, 1.0, 1.3, 0.1)] * 20,
+        )
+        workload = workload_from_trace(trace)
+        assert len(workload.phases) == 1
+        assert workload.total_instructions == pytest.approx(20 * 2e7, rel=0.01)
+
+    def test_phase_change_splits(self):
+        trace = CounterTrace(
+            "phased",
+            [TraceInterval(0.01, 2000.0, 1.4, 1.8, 0.05)] * 5
+            + [TraceInterval(0.01, 2000.0, 0.4, 0.5, 1.8)] * 5,
+        )
+        workload = workload_from_trace(trace)
+        assert len(workload.phases) == 2
+
+    def test_replay_reproduces_counter_signature(self, two_phase_workload):
+        """Record a run, replay the trace, and compare IPC signatures."""
+        original = run_traced(
+            two_phase_workload, lambda t: FixedFrequency(t, 2000.0)
+        )
+        trace = record_trace(original)
+        replay_workload = workload_from_trace(trace)
+
+        replay = run_traced(
+            replay_workload, lambda t: FixedFrequency(t, 2000.0)
+        )
+        # Same total work and comparable runtime/energy signature.
+        assert replay.instructions == pytest.approx(
+            original.instructions, rel=0.05
+        )
+        assert replay.duration_s == pytest.approx(
+            original.duration_s, rel=0.10
+        )
+
+    def test_memory_bound_trace_replays_memory_bound(self):
+        trace = CounterTrace(
+            "mem",
+            [TraceInterval(0.01, 2000.0, 0.3, 0.36, 2.4)] * 10,
+        )
+        workload = workload_from_trace(trace)
+        phase = workload.phases[0]
+        # The reconstructed phase must carry real DRAM pressure.
+        assert phase.l2_mpi > 0.005
+        from repro.platform.caches import PENTIUM_M_755_TIMING
+        from repro.platform.pipeline import resolve_rates
+        from repro.acpi.pstates import pentium_m_755_table
+
+        table = pentium_m_755_table()
+        rates = resolve_rates(phase, table.fastest, PENTIUM_M_755_TIMING)
+        assert rates.ipc == pytest.approx(0.3, rel=0.15)
+        assert rates.dcu_per_ipc >= 1.21
