@@ -47,6 +47,7 @@ from repro.core import (
 )
 from repro.platform.machine import Machine, MachineConfig
 from repro.measurement import PowerMeter
+from repro.telemetry import NullRecorder, TelemetryRecorder
 from repro.workloads import Workload, default_registry, get_workload
 
 __all__ = [
@@ -79,6 +80,8 @@ __all__ = [
     "ThrottlingMaximizer",
     "PowerManagementController",
     "RunResult",
+    "TelemetryRecorder",
+    "NullRecorder",
     "quickstart_pm",
     "quickstart_ps",
 ]

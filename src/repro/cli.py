@@ -14,12 +14,19 @@ Subcommands
 ``experiment``
     Regenerate one of the paper's tables/figures by id (e.g. ``fig7``,
     ``table4``) and print the same rows/series the paper reports.
+``telemetry-report``
+    Aggregate a telemetry directory written by ``run``/``experiment``
+    with ``--telemetry`` (event log, tick trace, metrics, spans).
+
+``run`` and ``experiment`` accept ``--telemetry DIR`` to export the
+full observability bundle -- ``events.jsonl``, ``trace.csv``,
+``metrics.json`` and ``summary.txt`` -- for the instrumented
+monitor -> estimate -> control loop.
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
 import sys
 from typing import Callable, Mapping
 
@@ -83,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE.csv",
         help="export the per-tick trace as CSV",
     )
+    run.add_argument(
+        "--telemetry", metavar="DIR",
+        help="export events.jsonl, trace.csv, metrics.json and "
+        "summary.txt for this run into DIR",
+    )
 
     train = sub.add_parser(
         "train", help="train the models on MS-Loops and compare to Table II"
@@ -101,6 +113,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which table/figure to regenerate",
     )
     experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument(
+        "--telemetry", metavar="DIR",
+        help="instrument every run of the experiment and export the "
+        "telemetry bundle into DIR",
+    )
+
+    telemetry_report = sub.add_parser(
+        "telemetry-report",
+        help="aggregate a telemetry directory written with --telemetry",
+    )
+    telemetry_report.add_argument(
+        "directory", help="directory produced by run/experiment --telemetry"
+    )
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -169,18 +194,34 @@ def _trained_model(seed: int) -> LinearPowerModel:
     return trained_power_model(seed=seed)
 
 
+def _make_telemetry(directory: str | None):
+    """Recorder + directory sink for ``--telemetry`` (or ``(None, None)``)."""
+    if not directory:
+        return None, None
+    from repro.telemetry import TelemetryDirectory, TelemetryRecorder
+
+    recorder = TelemetryRecorder()
+    sink = TelemetryDirectory(directory)
+    sink.attach(recorder)
+    return recorder, sink
+
+
 def _cmd_run(args) -> int:
     workload = default_registry().get(args.workload).scaled(args.scale)
     machine = Machine(MachineConfig(seed=args.seed))
     governor = _make_governor(args, machine.config.table)
+    recorder, sink = _make_telemetry(args.telemetry)
     controller = PowerManagementController(
-        machine, governor, keep_trace=bool(args.trace)
+        machine, governor, keep_trace=bool(args.trace), telemetry=recorder
     )
     result = controller.run(workload)
     _print_summary(result, args)
     if args.trace:
         _export_trace(result, args.trace)
         print(f"trace written to {args.trace}")
+    if sink is not None:
+        sink.finalize(recorder)
+        print(f"telemetry written to {sink.path}")
     return 0
 
 
@@ -205,18 +246,11 @@ def _print_summary(result: RunResult, args) -> None:
 
 
 def _export_trace(result: RunResult, path: str) -> None:
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(
-            ["time_s", "frequency_mhz", "measured_power_w", "true_power_w",
-             "instructions"]
-        )
-        for row in result.trace:
-            writer.writerow(
-                [f"{row.time_s:.4f}", f"{row.frequency_mhz:.0f}",
-                 f"{row.measured_power_w:.3f}", f"{row.true_power_w:.3f}",
-                 f"{row.instructions:.0f}"]
-            )
+    # One trace-writing code path: the telemetry CSV exporter owns the
+    # column layout for ad-hoc --trace exports and --telemetry alike.
+    from repro.telemetry.exporters import write_trace_csv
+
+    write_trace_csv(result.trace, path)
 
 
 def _cmd_train(args) -> int:
@@ -284,7 +318,24 @@ _EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
 
 
 def _cmd_experiment(args) -> int:
-    print(_EXPERIMENTS[args.id](args.scale))
+    recorder, sink = _make_telemetry(getattr(args, "telemetry", None))
+    if recorder is not None:
+        from repro.telemetry import recording
+
+        with recording(recorder):
+            text = _EXPERIMENTS[args.id](args.scale)
+        sink.finalize(recorder)
+        print(text)
+        print(f"telemetry written to {sink.path}")
+    else:
+        print(_EXPERIMENTS[args.id](args.scale))
+    return 0
+
+
+def _cmd_telemetry_report(args) -> int:
+    from repro.telemetry.report import render_report
+
+    print(render_report(args.directory))
     return 0
 
 
@@ -312,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_train(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "telemetry-report":
+            return _cmd_telemetry_report(args)
         if args.command == "report":
             return _cmd_report(args)
     except ReproError as error:

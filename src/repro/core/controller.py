@@ -13,6 +13,16 @@ The controller also delivers scheduled constraint changes (the paper's
 runtime signals), feeds measured power back to adaptive governors, and
 returns a :class:`RunResult` with everything the experiments need:
 measured power samples, per-tick trace, residency and energy.
+
+When a :class:`~repro.telemetry.TelemetryRecorder` is supplied the loop
+is fully observable: the sampler emits sample events, every decision /
+transition / tick is published on the event bus, per-phase wall-clock
+spans (``execute``/``sample``/``decide``/``actuate``) measure governor
+overhead, and the metrics registry accumulates tick counts, p-state
+residency, transitions, power-limit violations and the power-projection
+error distribution.  With ``telemetry=None`` (the default) every
+instrumentation block is skipped behind a single pre-computed branch,
+so an uninstrumented run costs the same as before the subsystem existed.
 """
 
 from __future__ import annotations
@@ -29,6 +39,19 @@ from repro.core.sampling import CounterSampler, MultiplexedCounterSampler
 from repro.errors import ExperimentError
 from repro.measurement.power_meter import PowerMeter, PowerSample
 from repro.platform.machine import Machine
+from repro.telemetry.bus import (
+    ConstraintChanged,
+    DecisionMade,
+    PStateTransition,
+    RunFinished,
+    RunStarted,
+    TickCompleted,
+)
+from repro.telemetry.metrics import (
+    POWER_BUCKETS_W,
+    PROJECTION_ERROR_BUCKETS_W,
+)
+from repro.telemetry.recorder import TelemetryRecorder
 from repro.workloads.base import Workload
 
 
@@ -119,6 +142,7 @@ class PowerManagementController:
         governor: Governor,
         meter: PowerMeter | None = None,
         keep_trace: bool = True,
+        telemetry: TelemetryRecorder | None = None,
     ):
         self.machine = machine
         self.governor = governor
@@ -132,6 +156,7 @@ class PowerManagementController:
         )
         machine.add_power_sink(self.meter.accumulate)
         self._keep_trace = keep_trace
+        self._telemetry = telemetry
 
     def run(
         self,
@@ -148,11 +173,17 @@ class PowerManagementController:
         machine.load(workload, initial_pstate=start)
         # Governors needing more events than the two counters declare
         # event_groups and get a multiplexed sampler (one group per tick).
+        tel = self._telemetry
+        instrumented = tel is not None and tel.enabled
         groups = getattr(governor, "event_groups", None)
         if groups:
-            sampler = MultiplexedCounterSampler(machine.pmu, groups)
+            sampler = MultiplexedCounterSampler(
+                machine.pmu, groups, telemetry=tel
+            )
         else:
-            sampler = CounterSampler(machine.pmu, governor.events)
+            sampler = CounterSampler(
+                machine.pmu, governor.events, telemetry=tel
+            )
         sampler.start()
         self.meter.mark(f"{workload.name}:start")
 
@@ -162,6 +193,28 @@ class PowerManagementController:
         instructions = 0.0
         true_energy = 0.0
         sample_index = len(self.meter.samples)
+
+        if instrumented:
+            metrics = tel.metrics
+            ticks_counter = metrics.counter("controller.ticks")
+            transitions_counter = metrics.counter("controller.transitions")
+            violations_counter = metrics.counter("controller.limit_violations")
+            power_hist = metrics.histogram(
+                "power.measured_w", POWER_BUCKETS_W
+            )
+            error_hist = metrics.histogram(
+                "projection.error_w", PROJECTION_ERROR_BUCKETS_W
+            )
+            residency_counters: Dict[float, object] = {}
+            can_estimate = hasattr(governor, "estimate_power")
+            last_estimate_w: float | None = None
+            tel.emit(
+                RunStarted(
+                    time_s=machine.now_s,
+                    workload=workload.name,
+                    governor=governor.name,
+                )
+            )
 
         while not machine.finished:
             if machine.now_s > max_seconds:
@@ -173,9 +226,21 @@ class PowerManagementController:
                 for change in schedule.due(machine.now_s, delivered):
                     change.apply(governor)
                     delivered += 1
+                    if instrumented:
+                        tel.emit(
+                            ConstraintChanged(
+                                time_s=machine.now_s, label=change.label
+                            )
+                        )
 
-            record = machine.step()
-            counter_sample = sampler.sample(record.duration_s)
+            if instrumented:
+                with tel.span("execute"):
+                    record = machine.step()
+                with tel.span("sample"):
+                    counter_sample = sampler.sample(record.duration_s)
+            else:
+                record = machine.step()
+                counter_sample = sampler.sample(record.duration_s)
             instructions += record.instructions
             true_energy += record.energy_j
             freq = record.pstate.frequency_mhz
@@ -189,11 +254,68 @@ class PowerManagementController:
                 else record.mean_power_w
             )
 
-            target = governor.decide(counter_sample, machine.current_pstate)
-            if target != machine.current_pstate:
-                machine.speedstep.set_pstate(target)
+            current = machine.current_pstate
+            if instrumented:
+                with tel.span("decide"):
+                    target = governor.decide(counter_sample, current)
+            else:
+                target = governor.decide(counter_sample, current)
+            if target != current:
+                if instrumented:
+                    with tel.span("actuate"):
+                        machine.speedstep.set_pstate(target)
+                else:
+                    machine.speedstep.set_pstate(target)
             if hasattr(governor, "observe_power"):
                 governor.observe_power(measured)
+
+            if instrumented:
+                ticks_counter.inc()
+                freq_counter = residency_counters.get(freq)
+                if freq_counter is None:
+                    freq_counter = residency_counters[freq] = metrics.counter(
+                        f"pstate.residency_s.{freq:.0f}"
+                    )
+                freq_counter.inc(record.duration_s)
+                power_hist.observe(measured)
+                limit = getattr(governor, "power_limit_w", None)
+                if limit is not None and measured > limit:
+                    violations_counter.inc()
+                # The estimate made last tick predicted this tick's power.
+                if last_estimate_w is not None:
+                    error_hist.observe(last_estimate_w - measured)
+                tel.emit(
+                    DecisionMade(
+                        time_s=machine.now_s,
+                        governor=governor.name,
+                        current_mhz=current.frequency_mhz,
+                        target_mhz=target.frequency_mhz,
+                    )
+                )
+                if target != current:
+                    transitions_counter.inc()
+                    tel.emit(
+                        PStateTransition(
+                            time_s=machine.now_s,
+                            from_mhz=current.frequency_mhz,
+                            to_mhz=target.frequency_mhz,
+                        )
+                    )
+                if can_estimate:
+                    last_estimate_w = governor.estimate_power(
+                        counter_sample, current, target
+                    )
+                tel.emit(
+                    TickCompleted(
+                        time_s=machine.now_s,
+                        frequency_mhz=freq,
+                        measured_power_w=measured,
+                        true_power_w=record.mean_power_w,
+                        instructions=record.instructions,
+                        duty=record.duty,
+                        temperature_c=record.temperature_c,
+                    )
+                )
 
             if self._keep_trace:
                 trace.append(
@@ -215,6 +337,21 @@ class PowerManagementController:
             f"{workload.name}:start", f"{workload.name}:end"
         )
         measured_energy = self.meter.energy_j(samples)
+        if instrumented:
+            metrics.gauge("run.duration_s").set(machine.now_s)
+            metrics.gauge("run.instructions").set(instructions)
+            metrics.gauge("run.measured_energy_j").set(measured_energy)
+            tel.emit(
+                RunFinished(
+                    time_s=machine.now_s,
+                    workload=workload.name,
+                    governor=governor.name,
+                    duration_s=machine.now_s,
+                    instructions=instructions,
+                    measured_energy_j=measured_energy,
+                    transitions=machine.dvfs.transition_count,
+                )
+            )
         return RunResult(
             workload=workload.name,
             governor=governor.name,

@@ -20,6 +20,8 @@ from typing import Mapping, Sequence
 from repro.drivers.pmu import PMU, CounterSnapshot
 from repro.errors import PMUError
 from repro.platform.events import Event
+from repro.telemetry.bus import SampleTaken
+from repro.telemetry.recorder import TelemetryRecorder
 
 
 @dataclass(frozen=True)
@@ -83,7 +85,12 @@ class CounterSample:
 class CounterSampler:
     """Programs the PMU and produces :class:`CounterSample` streams."""
 
-    def __init__(self, pmu: PMU, events: Sequence[Event]):
+    def __init__(
+        self,
+        pmu: PMU,
+        events: Sequence[Event],
+        telemetry: TelemetryRecorder | None = None,
+    ):
         if not events:
             raise PMUError("sampler needs at least one event")
         if len(events) > PMU.NUM_COUNTERS:
@@ -96,6 +103,8 @@ class CounterSampler:
         self._pmu = pmu
         self._events = tuple(events)
         self._last: CounterSnapshot | None = None
+        self._telemetry = telemetry
+        self._elapsed_s = 0.0
 
     @property
     def events(self) -> tuple[Event, ...]:
@@ -122,9 +131,22 @@ class CounterSampler:
         rates = {}
         for index, event in enumerate(self._events):
             rates[event] = counts[index] / cycles if cycles > 0 else 0.0
-        return CounterSample(
+        sample = CounterSample(
             interval_s=interval_s, cycles=cycles, rates=rates
         )
+        self._elapsed_s += interval_s
+        tel = self._telemetry
+        if tel is not None and tel.enabled:
+            tel.emit(
+                SampleTaken(
+                    time_s=self._elapsed_s,
+                    interval_s=interval_s,
+                    cycles=cycles,
+                    effective_frequency_mhz=sample.effective_frequency_mhz,
+                    rates={event.name: rate for event, rate in rates.items()},
+                )
+            )
+        return sample
 
 
 class MultiplexedCounterSampler:
@@ -138,11 +160,20 @@ class MultiplexedCounterSampler:
     rates for unprogrammed events are simply absent from the sample.
     """
 
-    def __init__(self, pmu: PMU, groups: Sequence[Sequence[Event]]):
+    def __init__(
+        self,
+        pmu: PMU,
+        groups: Sequence[Sequence[Event]],
+        telemetry: TelemetryRecorder | None = None,
+    ):
         if not groups:
             raise PMUError("multiplexed sampler needs at least one group")
+        # Inner samplers stay un-instrumented; the rotation emits its own
+        # sample events so timestamps cover every tick, not every Nth.
         self._samplers = [CounterSampler(pmu, group) for group in groups]
         self._index = 0
+        self._telemetry = telemetry
+        self._elapsed_s = 0.0
 
     @property
     def groups(self) -> tuple[tuple[Event, ...], ...]:
@@ -159,4 +190,19 @@ class MultiplexedCounterSampler:
         sample = self._samplers[self._index].sample(interval_s)
         self._index = (self._index + 1) % len(self._samplers)
         self._samplers[self._index].start()
+        self._elapsed_s += interval_s
+        tel = self._telemetry
+        if tel is not None and tel.enabled:
+            tel.emit(
+                SampleTaken(
+                    time_s=self._elapsed_s,
+                    interval_s=interval_s,
+                    cycles=sample.cycles,
+                    effective_frequency_mhz=sample.effective_frequency_mhz,
+                    rates={
+                        event.name: rate
+                        for event, rate in sample.rates.items()
+                    },
+                )
+            )
         return sample

@@ -59,3 +59,8 @@ class MeasurementError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by experiment drivers for inconsistent configurations."""
+
+
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry configuration (bad buckets, unknown
+    metric types, malformed export directories)."""

@@ -23,6 +23,7 @@ from repro.core.models.power import LinearPowerModel
 from repro.core.models.training import collect_training_data, fit_power_model
 from repro.errors import ExperimentError
 from repro.platform.machine import Machine, MachineConfig
+from repro.telemetry.recorder import TelemetryRecorder, current_recorder
 from repro.workloads.base import Workload
 from repro.workloads.microbenchmarks import worst_case_workload
 from repro.workloads.registry import default_registry
@@ -65,18 +66,35 @@ def run_governed(
     schedule: ConstraintSchedule | None = None,
     seed_offset: int = 0,
     initial_frequency_mhz: float | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> RunResult:
-    """One (workload, governor) run on a fresh machine."""
+    """One (workload, governor) run on a fresh machine.
+
+    ``telemetry`` instruments the run; when omitted the process-local
+    recorder installed with :func:`repro.telemetry.recording` (if any)
+    is used, so the CLI can observe whole experiment modules without
+    threading a recorder through every driver.  Each configured run is
+    wrapped in a root ``run`` span.
+    """
+    tel = telemetry if telemetry is not None else current_recorder()
     machine = Machine(config.machine_config(seed_offset))
     governor = governor_factory(machine.config.table)
     controller = PowerManagementController(
-        machine, governor, keep_trace=config.keep_trace
+        machine, governor, keep_trace=config.keep_trace, telemetry=tel
     )
     initial = (
         machine.config.table.by_frequency(initial_frequency_mhz)
         if initial_frequency_mhz is not None
         else None
     )
+    if tel is not None and tel.enabled:
+        with tel.span("run"):
+            return controller.run(
+                workload.scaled(config.scale),
+                initial_pstate=initial,
+                schedule=schedule,
+                max_seconds=config.max_seconds,
+            )
     return controller.run(
         workload.scaled(config.scale),
         initial_pstate=initial,
@@ -90,6 +108,7 @@ def run_fixed(
     frequency_mhz: float,
     config: ExperimentConfig,
     seed_offset: int = 0,
+    telemetry: TelemetryRecorder | None = None,
 ) -> RunResult:
     """Run a workload pinned at one frequency (paper's reference runs).
 
@@ -102,6 +121,7 @@ def run_fixed(
         config,
         seed_offset=seed_offset,
         initial_frequency_mhz=frequency_mhz,
+        telemetry=telemetry,
     )
 
 
@@ -110,6 +130,7 @@ def median_run(
     governor_factory: GovernorFactory,
     config: ExperimentConfig,
     schedule: ConstraintSchedule | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> RunResult:
     """The paper's protocol: ``config.runs`` repetitions, median by time."""
     if config.runs < 1:
@@ -121,6 +142,7 @@ def median_run(
             config,
             schedule=schedule,
             seed_offset=100 * i,
+            telemetry=telemetry,
         )
         for i in range(config.runs)
     ]

@@ -31,6 +31,8 @@ from repro.errors import ExperimentError
 from repro.fleet.budget import BudgetAllocator, NodeDemand
 from repro.measurement.power_meter import PowerMeter
 from repro.platform.machine import Machine, MachineConfig
+from repro.telemetry.bus import BudgetReallocated, NodeFinished
+from repro.telemetry.recorder import TelemetryRecorder
 from repro.workloads.base import Workload
 
 
@@ -148,6 +150,7 @@ class FleetController:
         allocator: BudgetAllocator,
         reallocation_period_s: float = 0.1,
         seed: int = 0,
+        telemetry: TelemetryRecorder | None = None,
     ):
         if total_budget_w <= 0:
             raise ExperimentError("fleet budget must be positive")
@@ -157,6 +160,7 @@ class FleetController:
         self._budget = total_budget_w
         self._allocator = allocator
         self._period = reallocation_period_s
+        self._telemetry = telemetry
         self._nodes = [
             _Node(name, workload, model, total_budget_w / len(workloads),
                   seed + 17 * i)
@@ -169,6 +173,11 @@ class FleetController:
         now = 0.0
         next_reallocation = 0.0
         tick = self._nodes[0].machine.config.tick_s
+        tel = self._telemetry
+        instrumented = tel is not None and tel.enabled
+        if instrumented:
+            reallocations_counter = tel.metrics.counter("fleet.reallocations")
+            active_gauge = tel.metrics.gauge("fleet.active_nodes")
 
         while any(not n.finished for n in self._nodes):
             if now > max_seconds:
@@ -181,11 +190,36 @@ class FleetController:
                     if grant > 0:
                         node.governor.set_power_limit(grant)
                 next_reallocation += self._period
+                if instrumented:
+                    active = sum(1 for d in demands if d.active)
+                    reallocations_counter.inc()
+                    active_gauge.set(active)
+                    tel.emit(
+                        BudgetReallocated(
+                            time_s=now,
+                            budget_w=self._budget,
+                            demands_w={d.name: d.demand_w for d in demands},
+                            grants_w=dict(grants),
+                            active_nodes=active,
+                        )
+                    )
 
             total = 0.0
             for node in self._nodes:
                 if not node.finished:
                     total += node.tick()
+                    if node.finished and instrumented:
+                        finish = node.finish_time_s if (
+                            node.finish_time_s is not None
+                        ) else now + tick
+                        tel.emit(
+                            NodeFinished(
+                                time_s=finish,
+                                node=node.name,
+                                workload=node.workload_name,
+                                duration_s=finish,
+                            )
+                        )
             now += tick
             power_series.append((now, total))
 

@@ -1,0 +1,230 @@
+"""Typed telemetry events and the in-process event bus.
+
+Every observable moment of the monitor -> estimate -> control loop is a
+frozen dataclass deriving from :class:`TelemetryEvent`.  Producers (the
+counter sampler, the run controller, the fleet coordinator) publish
+events to an :class:`EventBus`; consumers (exporters, tests, live
+dashboards) subscribe plain callables.
+
+The bus isolates subscribers from each other: an exporter that raises
+never interrupts the run loop or starves its neighbours.  Failures are
+recorded on :attr:`EventBus.errors`, and a subscriber that keeps failing
+is detached after :attr:`EventBus.max_subscriber_errors` strikes.
+
+Timestamps are *simulated* seconds (the machine clock), matching every
+other time axis in the package; wall-clock timing lives in
+:mod:`repro.telemetry.spans`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, ClassVar, List, Mapping
+
+from repro.errors import TelemetryError
+
+#: A subscriber is any callable accepting one event.
+Subscriber = Callable[["TelemetryEvent"], None]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base class for all telemetry events.
+
+    ``time_s`` is the simulated timestamp at which the event occurred;
+    ``kind`` is a stable machine-readable tag used by exporters (each
+    concrete event class overrides it).
+    """
+
+    time_s: float
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form: ``kind`` plus every dataclass field."""
+        out: dict = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Mapping):
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class RunStarted(TelemetryEvent):
+    """A controller run began."""
+
+    workload: str
+    governor: str
+
+    kind: ClassVar[str] = "run_started"
+
+
+@dataclass(frozen=True)
+class SampleTaken(TelemetryEvent):
+    """The monitor phase closed one counter interval (one per tick)."""
+
+    interval_s: float
+    cycles: float
+    effective_frequency_mhz: float
+    #: Per-cycle rates keyed by PMU event *name* (JSON-safe).
+    rates: Mapping[str, float]
+
+    kind: ClassVar[str] = "sample"
+
+
+@dataclass(frozen=True)
+class DecisionMade(TelemetryEvent):
+    """The control phase chose the p-state for the next interval."""
+
+    governor: str
+    current_mhz: float
+    target_mhz: float
+
+    kind: ClassVar[str] = "decision"
+
+
+@dataclass(frozen=True)
+class PStateTransition(TelemetryEvent):
+    """An actuated DVFS transition (target differed from current)."""
+
+    from_mhz: float
+    to_mhz: float
+
+    kind: ClassVar[str] = "transition"
+
+
+@dataclass(frozen=True)
+class TickCompleted(TelemetryEvent):
+    """One 10 ms tick finished; carries the full per-tick trace row."""
+
+    frequency_mhz: float
+    measured_power_w: float
+    true_power_w: float
+    instructions: float
+    duty: float
+    temperature_c: float | None
+
+    kind: ClassVar[str] = "tick"
+
+
+@dataclass(frozen=True)
+class ConstraintChanged(TelemetryEvent):
+    """A scheduled runtime constraint change was delivered (SIGUSR path)."""
+
+    label: str
+
+    kind: ClassVar[str] = "constraint"
+
+
+@dataclass(frozen=True)
+class RunFinished(TelemetryEvent):
+    """A controller run completed; carries run-level totals."""
+
+    workload: str
+    governor: str
+    duration_s: float
+    instructions: float
+    measured_energy_j: float
+    transitions: int
+
+    kind: ClassVar[str] = "run_finished"
+
+
+@dataclass(frozen=True)
+class BudgetReallocated(TelemetryEvent):
+    """The fleet coordinator re-divided the shared power budget."""
+
+    budget_w: float
+    demands_w: Mapping[str, float]
+    grants_w: Mapping[str, float]
+    active_nodes: int
+
+    kind: ClassVar[str] = "reallocation"
+
+
+@dataclass(frozen=True)
+class NodeFinished(TelemetryEvent):
+    """A fleet node completed its workload and powered off."""
+
+    node: str
+    workload: str
+    duration_s: float
+
+    kind: ClassVar[str] = "node_finished"
+
+
+@dataclass(frozen=True)
+class SubscriberFailure:
+    """Record of one subscriber exception swallowed by the bus."""
+
+    subscriber: str
+    event_kind: str
+    error: str
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub with per-subscriber isolation.
+
+    Subscribers are called in subscription order.  An exception raised
+    by one subscriber is caught, recorded on :attr:`errors`, and does
+    not prevent delivery to the remaining subscribers.  A subscriber
+    accumulating :attr:`max_subscriber_errors` failures is detached so
+    a persistently broken exporter cannot slow the hot loop forever.
+    """
+
+    def __init__(self, max_subscriber_errors: int = 5):
+        if max_subscriber_errors < 1:
+            raise TelemetryError("max_subscriber_errors must be >= 1")
+        self.max_subscriber_errors = max_subscriber_errors
+        self._subscribers: List[Subscriber] = []
+        self._failure_counts: dict[int, int] = {}
+        self.errors: List[SubscriberFailure] = []
+
+    @property
+    def subscribers(self) -> tuple[Subscriber, ...]:
+        """Currently attached subscribers."""
+        return tuple(self._subscribers)
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Attach ``subscriber``; returns it for symmetry with unsubscribe."""
+        if not callable(subscriber):
+            raise TelemetryError("subscriber must be callable")
+        if subscriber in self._subscribers:
+            raise TelemetryError("subscriber already attached")
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Detach ``subscriber``; unknown subscribers raise."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            raise TelemetryError("subscriber not attached") from None
+        self._failure_counts.pop(id(subscriber), None)
+
+    def publish(self, event: TelemetryEvent) -> None:
+        """Deliver ``event`` to every subscriber, isolating failures."""
+        if not self._subscribers:
+            return
+        broken: list[Subscriber] = []
+        for subscriber in tuple(self._subscribers):
+            try:
+                subscriber(event)
+            except Exception as error:  # noqa: BLE001 - isolation by design
+                self.errors.append(
+                    SubscriberFailure(
+                        subscriber=repr(subscriber),
+                        event_kind=event.kind,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+                key = id(subscriber)
+                self._failure_counts[key] = self._failure_counts.get(key, 0) + 1
+                if self._failure_counts[key] >= self.max_subscriber_errors:
+                    broken.append(subscriber)
+        for subscriber in broken:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+                self._failure_counts.pop(id(subscriber), None)

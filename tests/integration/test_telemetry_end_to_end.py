@@ -1,0 +1,122 @@
+"""Acceptance test: a full CLI run with --telemetry exports a coherent,
+cross-validated observability bundle.
+
+Validates the ISSUE's acceptance criteria end to end:
+
+* ``repro-power run <workload> --governor pm --telemetry <dir>``
+  produces a JSONL event log, a CSV tick trace and a metrics summary;
+* event ordering is coherent (run_started first, run_finished last,
+  monotone timestamps, one sample/decision/tick triple per tick);
+* p-state residency metrics sum to the run duration;
+* histogram counts match the tick count.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def telemetry_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("telemetry") / "run"
+    code = main(
+        ["run", "ammp", "--governor", "pm", "--limit", "14.5",
+         "--scale", "0.05", "--use-paper-model",
+         "--telemetry", str(directory)]
+    )
+    assert code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def events(telemetry_dir):
+    with open(telemetry_dir / "events.jsonl") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+@pytest.fixture(scope="module")
+def trace_rows(telemetry_dir):
+    with open(telemetry_dir / "trace.csv", newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+@pytest.fixture(scope="module")
+def metrics(telemetry_dir):
+    with open(telemetry_dir / "metrics.json") as handle:
+        return json.load(handle)
+
+
+def test_bundle_files_exist(telemetry_dir):
+    for name in ("events.jsonl", "trace.csv", "metrics.json", "summary.txt"):
+        assert (telemetry_dir / name).exists(), name
+
+
+def test_event_ordering(events):
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "run_started"
+    assert kinds[-1] == "run_finished"
+    times = [e["time_s"] for e in events]
+    assert times == sorted(times)
+    ticks = kinds.count("tick")
+    assert ticks > 0
+    assert kinds.count("sample") == ticks
+    assert kinds.count("decision") == ticks
+
+
+def test_trace_matches_event_stream(events, trace_rows):
+    tick_events = [e for e in events if e["kind"] == "tick"]
+    assert len(trace_rows) == len(tick_events)
+    for row, event in zip(trace_rows, tick_events):
+        assert float(row["time_s"]) == pytest.approx(event["time_s"], abs=1e-4)
+        assert float(row["measured_power_w"]) == pytest.approx(
+            event["measured_power_w"], abs=1e-3
+        )
+
+
+def test_residency_sums_to_run_duration(events, metrics):
+    finished = [e for e in events if e["kind"] == "run_finished"][0]
+    counters = metrics["metrics"]["counters"]
+    residency = sum(
+        v for k, v in counters.items() if k.startswith("pstate.residency_s.")
+    )
+    assert residency == pytest.approx(finished["duration_s"], rel=1e-9)
+
+
+def test_histogram_counts_match_tick_count(events, metrics):
+    ticks = [e for e in events if e["kind"] == "tick"]
+    histograms = metrics["metrics"]["histograms"]
+    assert histograms["power.measured_w"]["count"] == len(ticks)
+    assert sum(histograms["power.measured_w"]["bucket_counts"]) == len(ticks)
+    # The first tick has no prior projection to score.
+    assert histograms["projection.error_w"]["count"] == len(ticks) - 1
+    assert metrics["metrics"]["counters"]["controller.ticks"] == len(ticks)
+
+
+def test_spans_cover_the_control_loop(metrics):
+    spans = metrics["spans"]
+    ticks = metrics["metrics"]["counters"]["controller.ticks"]
+    for phase in ("execute", "sample", "decide"):
+        assert spans[phase]["count"] == ticks
+        assert spans[phase]["total_s"] > 0
+
+
+def test_summary_is_human_readable(telemetry_dir):
+    text = (telemetry_dir / "summary.txt").read_text()
+    assert "p-state residency" in text
+    assert "spans (wall clock)" in text
+
+
+def test_telemetry_report_subcommand(telemetry_dir, capsys):
+    assert main(["telemetry-report", str(telemetry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "ammp under PerformanceMaximizer" in out
+    assert "ticks" in out
+
+
+def test_telemetry_report_missing_directory_fails(tmp_path, capsys):
+    code = main(["telemetry-report", str(tmp_path / "missing")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

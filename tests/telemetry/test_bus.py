@@ -1,0 +1,123 @@
+"""Tests for the typed event bus and its subscriber isolation."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DecisionMade,
+    EventBus,
+    PStateTransition,
+    RunStarted,
+    SampleTaken,
+    TickCompleted,
+)
+
+
+def _decision(time_s=0.01):
+    return DecisionMade(
+        time_s=time_s, governor="PM", current_mhz=2000.0, target_mhz=1800.0
+    )
+
+
+class TestEvents:
+    def test_events_are_frozen(self):
+        event = _decision()
+        with pytest.raises(AttributeError):
+            event.target_mhz = 600.0
+
+    def test_to_dict_carries_kind_and_fields(self):
+        d = _decision().to_dict()
+        assert d["kind"] == "decision"
+        assert d["current_mhz"] == 2000.0
+        assert d["target_mhz"] == 1800.0
+        assert d["time_s"] == 0.01
+
+    def test_kinds_are_distinct(self):
+        kinds = {
+            cls.kind
+            for cls in (RunStarted, SampleTaken, DecisionMade,
+                        PStateTransition, TickCompleted)
+        }
+        assert len(kinds) == 5
+
+    def test_sample_rates_dict_is_json_safe(self):
+        event = SampleTaken(
+            time_s=0.01, interval_s=0.01, cycles=2e7,
+            effective_frequency_mhz=2000.0,
+            rates={"INST_DECODED": 1.5},
+        )
+        d = event.to_dict()
+        assert d["rates"] == {"INST_DECODED": 1.5}
+        assert isinstance(d["rates"], dict)
+
+
+class TestEventBus:
+    def test_delivery_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("a", e.kind)))
+        bus.subscribe(lambda e: seen.append(("b", e.kind)))
+        bus.publish(_decision())
+        assert seen == [("a", "decision"), ("b", "decision")]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe(seen.append)
+        bus.unsubscribe(sub)
+        bus.publish(_decision())
+        assert seen == []
+
+    def test_unsubscribe_unknown_raises(self):
+        with pytest.raises(TelemetryError):
+            EventBus().unsubscribe(lambda e: None)
+
+    def test_duplicate_subscribe_rejected(self):
+        bus = EventBus()
+        sub = bus.subscribe(lambda e: None)
+        with pytest.raises(TelemetryError):
+            bus.subscribe(sub)
+
+    def test_bad_subscriber_never_kills_delivery(self):
+        bus = EventBus()
+        seen = []
+
+        def explode(event):
+            raise RuntimeError("exporter disk full")
+
+        bus.subscribe(explode)
+        bus.subscribe(seen.append)
+        bus.publish(_decision())
+        assert len(seen) == 1
+        assert len(bus.errors) == 1
+        assert bus.errors[0].event_kind == "decision"
+        assert "disk full" in bus.errors[0].error
+
+    def test_persistently_broken_subscriber_is_detached(self):
+        bus = EventBus(max_subscriber_errors=3)
+
+        def explode(event):
+            raise ValueError("nope")
+
+        bus.subscribe(explode)
+        for _ in range(5):
+            bus.publish(_decision())
+        # Detached after 3 strikes: no further error records accumulate.
+        assert len(bus.errors) == 3
+        assert explode not in bus.subscribers
+
+    def test_healthy_subscriber_survives_neighbour_detachment(self):
+        bus = EventBus(max_subscriber_errors=1)
+        seen = []
+        bus.subscribe(lambda e: (_ for _ in ()).throw(RuntimeError("x")))
+        bus.subscribe(seen.append)
+        bus.publish(_decision())
+        bus.publish(_decision())
+        assert len(seen) == 2
+        assert len(bus.subscribers) == 1
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            EventBus(max_subscriber_errors=0)
+        with pytest.raises(TelemetryError):
+            EventBus().subscribe("not callable")

@@ -1,0 +1,97 @@
+"""Tests for the telemetry-directory aggregation report."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    TelemetryDirectory,
+    TelemetryRecorder,
+    load_report,
+    render_report,
+)
+from repro.telemetry.bus import (
+    BudgetReallocated,
+    RunFinished,
+    RunStarted,
+    TickCompleted,
+)
+
+
+def _write_directory(path):
+    recorder = TelemetryRecorder()
+    sink = TelemetryDirectory(path)
+    sink.attach(recorder)
+    recorder.emit(RunStarted(time_s=0.0, workload="ammp", governor="PM"))
+    for i in range(3):
+        recorder.metrics.counter("controller.ticks").inc()
+        recorder.emit(
+            TickCompleted(
+                time_s=0.01 * (i + 1), frequency_mhz=1800.0,
+                measured_power_w=14.0 + i, true_power_w=14.0,
+                instructions=2e7, duty=1.0, temperature_c=None,
+            )
+        )
+    recorder.emit(
+        BudgetReallocated(
+            time_s=0.02, budget_w=30.0, demands_w={"a": 18.0},
+            grants_w={"a": 18.0}, active_nodes=1,
+        )
+    )
+    recorder.emit(
+        RunFinished(
+            time_s=0.03, workload="ammp", governor="PM", duration_s=0.03,
+            instructions=6e7, measured_energy_j=0.42, transitions=2,
+        )
+    )
+    sink.finalize(recorder)
+    return recorder
+
+
+class TestLoadReport:
+    def test_aggregates_all_views(self, tmp_path):
+        _write_directory(tmp_path / "t")
+        report = load_report(tmp_path / "t")
+        assert report.event_counts["tick"] == 3
+        assert report.tick_count == 3
+        assert report.mean_measured_power_w == pytest.approx(15.0)
+        assert len(report.runs) == 1
+        assert report.metrics["counters"]["controller.ticks"] == 3
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            load_report(tmp_path / "nope")
+
+    def test_directory_without_events_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(TelemetryError, match="events.jsonl"):
+            load_report(tmp_path / "empty")
+
+    def test_malformed_event_line_raises(self, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        (d / "events.jsonl").write_text('{"kind": "tick"}\nnot json\n')
+        with pytest.raises(TelemetryError, match="malformed"):
+            load_report(d)
+
+
+class TestRenderReport:
+    def test_renders_runs_fleet_and_spans(self, tmp_path):
+        _write_directory(tmp_path / "t")
+        text = render_report(tmp_path / "t")
+        assert "ammp under PM" in text
+        assert "3 ticks" in text
+        assert "budget reallocations" in text
+        assert "a=18.0W" in text
+
+    def test_tolerates_partial_directories(self, tmp_path):
+        # Only an event log: trace/metrics are optional.
+        d = tmp_path / "partial"
+        d.mkdir()
+        (d / "events.jsonl").write_text(
+            json.dumps({"kind": "run_started", "time_s": 0.0,
+                        "workload": "gzip", "governor": "PM"}) + "\n"
+        )
+        text = render_report(d)
+        assert "run_started" in text

@@ -1,0 +1,63 @@
+"""Tests for nested wall-clock span recording."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import SpanRecorder
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self):
+        spans = SpanRecorder()
+        with spans.span("run"):
+            assert spans.current_path == "run"
+            with spans.span("sample"):
+                assert spans.current_path == "run/sample"
+            with spans.span("decide"):
+                pass
+        assert spans.current_path == ""
+        snap = spans.snapshot()
+        assert set(snap) == {"run", "run/sample", "run/decide"}
+        assert snap["run"]["count"] == 1
+
+    def test_aggregates_repeated_spans(self):
+        spans = SpanRecorder()
+        for _ in range(10):
+            with spans.span("tick"):
+                pass
+        stats = spans.stats("tick")
+        assert stats.count == 10
+        assert stats.total_s >= 0.0
+        assert stats.min_s <= stats.mean_s <= stats.max_s
+
+    def test_durations_are_positive_and_ordered(self):
+        spans = SpanRecorder()
+        with spans.span("outer"):
+            with spans.span("inner"):
+                sum(range(10000))
+        outer = spans.stats("outer")
+        inner = spans.stats("outer/inner")
+        assert outer.total_s >= inner.total_s > 0.0
+
+    def test_span_closed_on_exception(self):
+        spans = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with spans.span("boom"):
+                raise RuntimeError("x")
+        assert spans.depth == 0
+        assert spans.stats("boom").count == 1
+
+    def test_invalid_names_rejected(self):
+        spans = SpanRecorder()
+        with pytest.raises(TelemetryError):
+            spans.span("")
+        with pytest.raises(TelemetryError):
+            spans.span("a/b")
+
+    def test_reset_inside_active_span_rejected(self):
+        spans = SpanRecorder()
+        with spans.span("run"):
+            with pytest.raises(TelemetryError):
+                spans.reset()
+        spans.reset()
+        assert spans.snapshot() == {}

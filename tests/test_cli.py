@@ -63,6 +63,65 @@ def test_trace_export(tmp_path, capsys):
     assert {"time_s", "frequency_mhz", "measured_power_w"} <= set(rows[0])
 
 
+def test_trace_and_telemetry_share_one_csv_layout(tmp_path, capsys):
+    # --trace and --telemetry write through the same exporter: identical
+    # headers and identical per-tick rows.
+    trace_file = tmp_path / "trace.csv"
+    telemetry_dir = tmp_path / "telemetry"
+    code = main(
+        ["run", "gcc", "--governor", "fixed", "--scale", "0.05",
+         "--trace", str(trace_file), "--telemetry", str(telemetry_dir)]
+    )
+    assert code == 0
+    ad_hoc = trace_file.read_text()
+    streamed = (telemetry_dir / "trace.csv").read_text()
+    assert ad_hoc == streamed
+
+
+def test_run_with_telemetry_writes_bundle(tmp_path, capsys):
+    directory = tmp_path / "t"
+    code = main(
+        ["run", "ammp", "--governor", "pm", "--scale", "0.05",
+         "--use-paper-model", "--telemetry", str(directory)]
+    )
+    assert code == 0
+    assert "telemetry written to" in capsys.readouterr().out
+    for name in ("events.jsonl", "trace.csv", "metrics.json", "summary.txt"):
+        assert (directory / name).exists(), name
+
+
+def test_experiment_with_telemetry(tmp_path, capsys):
+    directory = tmp_path / "exp"
+    code = main(
+        ["experiment", "fig2", "--scale", "0.05",
+         "--telemetry", str(directory)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sixtrack" in out
+    assert (directory / "events.jsonl").exists()
+    # Every run of the experiment is wrapped in a root span.
+    import json
+
+    with open(directory / "metrics.json") as handle:
+        spans = json.load(handle)["spans"]
+    assert spans["run"]["count"] > 0
+    assert "run/decide" in spans
+
+
+def test_telemetry_report_round_trip(tmp_path, capsys):
+    directory = tmp_path / "t"
+    assert main(
+        ["run", "gzip", "--governor", "pm", "--scale", "0.05",
+         "--use-paper-model", "--telemetry", str(directory)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["telemetry-report", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "gzip under PerformanceMaximizer" in out
+    assert "events" in out
+
+
 def test_experiment_table4(capsys):
     assert main(["experiment", "table4"]) == 0
     out = capsys.readouterr().out

@@ -12,6 +12,7 @@ from repro.fleet import (
     NodeDemand,
 )
 from repro.fleet.budget import MIN_GRANT_W
+from repro.telemetry import TelemetryRecorder
 from repro.workloads.registry import get_workload
 
 MODEL = LinearPowerModel.paper_model()
@@ -176,3 +177,103 @@ class TestFleetController:
         )
         with pytest.raises(ExperimentError, match="time budget"):
             fleet.run(max_seconds=0.0)
+
+
+class TestFleetReallocationEdgeCases:
+    """Budget-reallocation edge cases, observed through telemetry."""
+
+    @staticmethod
+    def _run_fleet(workloads, budget_w, allocator=None):
+        recorder = TelemetryRecorder()
+        events = []
+        recorder.bus.subscribe(events.append)
+        fleet = FleetController(
+            workloads, MODEL, total_budget_w=budget_w,
+            allocator=allocator or DemandProportional(),
+            telemetry=recorder,
+        )
+        result = fleet.run()
+        return result, recorder, events
+
+    def test_all_nodes_finished_means_zero_demand(self):
+        # Once every node is done the allocator sees only inactive
+        # demands and grants nothing -- verified directly (the fleet
+        # loop exits before an all-finished round, so the allocator
+        # contract is the load-bearing invariant).
+        for allocator in (EqualShare(), DemandProportional()):
+            grants = allocator.allocate(
+                30.0,
+                [NodeDemand("a", 0.0, active=False),
+                 NodeDemand("b", 0.0, active=False)],
+            )
+            assert grants == {"a": 0.0, "b": 0.0}
+
+    def test_finished_node_demand_drops_to_zero_in_events(self):
+        result, _, events = self._run_fleet(
+            {
+                "short": get_workload("gzip").scaled(0.02),
+                "long": get_workload("crafty").scaled(0.1),
+            },
+            budget_w=26.0,
+        )
+        finished = [e for e in events if e.kind == "node_finished"]
+        assert [e.node for e in finished][-1] == "long"
+        assert len(finished) == 2
+        # Reallocations after 'short' finished must see zero demand for
+        # it and hand it no grant.
+        short_end = [e for e in finished if e.node == "short"][0].time_s
+        later = [
+            e for e in events
+            if e.kind == "reallocation" and e.time_s > short_end
+        ]
+        assert later, "expected reallocations after the short node ended"
+        for event in later:
+            assert event.demands_w["short"] == 0.0
+            assert event.grants_w["short"] == 0.0
+            assert event.active_nodes == 1
+
+    def test_single_node_fleet_gets_whole_budget(self):
+        result, recorder, events = self._run_fleet(
+            {"only": get_workload("gzip").scaled(0.05)}, budget_w=25.0
+        )
+        assert set(result.nodes) == {"only"}
+        reallocations = [e for e in events if e.kind == "reallocation"]
+        assert reallocations
+        for event in reallocations:
+            assert event.active_nodes == 1
+            # Surplus headroom means the sole node receives the full
+            # budget, never more.
+            assert event.grants_w["only"] == pytest.approx(25.0)
+        assert (
+            recorder.metrics.counter("fleet.reallocations").value
+            == len(reallocations)
+        )
+
+    def test_budget_below_per_node_floors_still_grants_floor(self):
+        # Three nodes need 3 * MIN_GRANT_W; give the fleet less.  The
+        # floor invariant wins (every live node can still run at the
+        # lowest p-state) even though the sum exceeds the budget.
+        budget = MIN_GRANT_W * 3 - 2.0
+        result, _, events = self._run_fleet(
+            {
+                "a": get_workload("gzip").scaled(0.02),
+                "b": get_workload("swim").scaled(0.02),
+                "c": get_workload("mcf").scaled(0.02),
+            },
+            budget_w=budget,
+        )
+        first = [e for e in events if e.kind == "reallocation"][0]
+        assert first.active_nodes == 3
+        for name in ("a", "b", "c"):
+            assert first.grants_w[name] >= MIN_GRANT_W - 1e-9
+        assert sum(first.grants_w.values()) > budget  # floors win
+        assert result.makespan_s > 0  # the fleet still completes
+
+    def test_reallocation_cadence_matches_period(self):
+        result, _, events = self._run_fleet(
+            {"only": get_workload("gzip").scaled(0.05)}, budget_w=25.0
+        )
+        reallocations = [e for e in events if e.kind == "reallocation"]
+        # One reallocation per started 100 ms period.
+        expected = int(result.makespan_s / 0.1) + 1
+        assert len(reallocations) == pytest.approx(expected, abs=1)

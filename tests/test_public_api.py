@@ -28,6 +28,12 @@ PUBLIC_MODULES = (
     "repro.fleet",
     "repro.cpufreq",
     "repro.cli",
+    "repro.telemetry",
+    "repro.telemetry.bus",
+    "repro.telemetry.metrics",
+    "repro.telemetry.spans",
+    "repro.telemetry.exporters",
+    "repro.telemetry.report",
 )
 
 
@@ -52,7 +58,8 @@ def test_every_all_entry_is_documented():
 def test_subpackage_all_exports_resolve():
     for module_name in ("repro.core", "repro.core.governors",
                         "repro.core.models", "repro.fleet",
-                        "repro.workloads", "repro.measurement"):
+                        "repro.workloads", "repro.measurement",
+                        "repro.telemetry"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name}"
