@@ -24,6 +24,37 @@ from __future__ import annotations
 __version__ = "1.0.0"
 
 from repro.acpi import PState, PStateTable, pentium_m_755_table
+from repro.errors import (
+    DriverError,
+    ExperimentError,
+    FaultError,
+    FaultPlanError,
+    GovernorError,
+    InjectedTransitionError,
+    MSRError,
+    MeasurementError,
+    ModelError,
+    NodeCrashError,
+    PMUError,
+    PStateError,
+    RecoveryError,
+    RecoveryExhaustedError,
+    ReproError,
+    ResilienceError,
+    SampleDropped,
+    SensorFault,
+    TelemetryError,
+    TrainingError,
+    TransitionError,
+    WatchdogError,
+    WorkloadError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    injecting,
+    load_fault_plan,
+)
 from repro.core import (
     AdaptivePerformanceMaximizer,
     ComponentPerformanceMaximizer,
@@ -41,6 +72,7 @@ from repro.core import (
     PerformanceModel,
     PowerManagementController,
     PowerSave,
+    ResilienceConfig,
     RunResult,
     StaticClocking,
     project_dpc,
@@ -82,6 +114,36 @@ __all__ = [
     "RunResult",
     "TelemetryRecorder",
     "NullRecorder",
+    "ResilienceConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "load_fault_plan",
+    "injecting",
+    # The full exception hierarchy: callers harden against this package
+    # the same way its own controller hardens against its drivers.
+    "ReproError",
+    "PStateError",
+    "DriverError",
+    "MSRError",
+    "PMUError",
+    "TransitionError",
+    "WorkloadError",
+    "ModelError",
+    "TrainingError",
+    "GovernorError",
+    "MeasurementError",
+    "ExperimentError",
+    "TelemetryError",
+    "FaultError",
+    "FaultPlanError",
+    "SensorFault",
+    "SampleDropped",
+    "InjectedTransitionError",
+    "NodeCrashError",
+    "RecoveryError",
+    "ResilienceError",
+    "WatchdogError",
+    "RecoveryExhaustedError",
     "quickstart_pm",
     "quickstart_ps",
 ]

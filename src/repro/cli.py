@@ -17,20 +17,26 @@ Subcommands
 ``telemetry-report``
     Aggregate a telemetry directory written by ``run``/``experiment``
     with ``--telemetry`` (event log, tick trace, metrics, spans).
+``faults-report``
+    Reconcile injected faults against the recoveries the hardened loop
+    performed, from the same telemetry directory.
 
 ``run`` and ``experiment`` accept ``--telemetry DIR`` to export the
 full observability bundle -- ``events.jsonl``, ``trace.csv``,
 ``metrics.json`` and ``summary.txt`` -- for the instrumented
-monitor -> estimate -> control loop.
+monitor -> estimate -> control loop, and ``--faults SPEC`` to drill the
+run with a seeded fault plan (JSON, or YAML when PyYAML is installed)
+against the hardened controller.  Both flags are validated up front,
+before any simulation work starts.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Mapping
 
-from repro.acpi.pstates import pentium_m_755_table
 from repro.core.controller import PowerManagementController, RunResult
 from repro.core.governors.adaptive_pm import AdaptivePerformanceMaximizer
 from repro.core.governors.demand_based import DemandBasedSwitching
@@ -95,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="export events.jsonl, trace.csv, metrics.json and "
         "summary.txt for this run into DIR",
     )
+    run.add_argument(
+        "--faults", metavar="SPEC",
+        help="inject faults from a JSON/YAML fault plan and run the "
+        "hardened controller",
+    )
 
     train = sub.add_parser(
         "train", help="train the models on MS-Loops and compare to Table II"
@@ -118,6 +129,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="instrument every run of the experiment and export the "
         "telemetry bundle into DIR",
     )
+    experiment.add_argument(
+        "--faults", metavar="SPEC",
+        help="inject faults from a JSON/YAML fault plan into every "
+        "governed run of the experiment",
+    )
 
     telemetry_report = sub.add_parser(
         "telemetry-report",
@@ -125,6 +141,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     telemetry_report.add_argument(
         "directory", help="directory produced by run/experiment --telemetry"
+    )
+
+    faults_report = sub.add_parser(
+        "faults-report",
+        help="reconcile injected faults vs recoveries from a telemetry "
+        "directory",
+    )
+    faults_report.add_argument(
+        "directory",
+        help="directory produced by run/experiment --telemetry --faults",
     )
 
     report = sub.add_parser(
@@ -194,6 +220,36 @@ def _trained_model(seed: int) -> LinearPowerModel:
     return trained_power_model(seed=seed)
 
 
+def _validate_telemetry_path(directory: str | None) -> None:
+    """Fail fast on an unusable ``--telemetry`` target.
+
+    A typo'd parent directory should abort before minutes of simulation,
+    not after, when the exporter finally tries to write.
+    """
+    if not directory:
+        return
+    from repro.errors import TelemetryError
+
+    parent = os.path.dirname(os.path.abspath(directory))
+    if not os.path.isdir(parent):
+        raise TelemetryError(
+            f"--telemetry: parent directory does not exist: {parent}"
+        )
+    if os.path.exists(directory) and not os.path.isdir(directory):
+        raise TelemetryError(
+            f"--telemetry: {directory} exists and is not a directory"
+        )
+
+
+def _load_faults_arg(spec: str | None):
+    """Parse and validate ``--faults SPEC`` up front (or return None)."""
+    if not spec:
+        return None
+    from repro.faults import load_fault_plan
+
+    return load_fault_plan(spec)
+
+
 def _make_telemetry(directory: str | None):
     """Recorder + directory sink for ``--telemetry`` (or ``(None, None)``)."""
     if not directory:
@@ -206,16 +262,44 @@ def _make_telemetry(directory: str | None):
     return recorder, sink
 
 
+def _print_fault_summary(injector, result: RunResult) -> None:
+    print(f"faults       : {injector.total_injected} injected "
+          + ", ".join(f"{k}: {v}" for k, v in sorted(injector.injected.items())))
+    if result.recoveries:
+        print("recoveries   : "
+              + ", ".join(f"{k}: {v}"
+                          for k, v in sorted(result.recoveries.items())))
+    if result.degraded:
+        print("degraded     : yes (completed on the fail-safe p-state)")
+
+
 def _cmd_run(args) -> int:
+    _validate_telemetry_path(args.telemetry)
+    fault_plan = _load_faults_arg(args.faults)
     workload = default_registry().get(args.workload).scaled(args.scale)
     machine = Machine(MachineConfig(seed=args.seed))
     governor = _make_governor(args, machine.config.table)
     recorder, sink = _make_telemetry(args.telemetry)
+    injector = None
+    resilience = None
+    if fault_plan is not None and fault_plan.active:
+        from repro.core.resilience import ResilienceConfig
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(fault_plan, telemetry=recorder)
+        resilience = ResilienceConfig()
     controller = PowerManagementController(
-        machine, governor, keep_trace=bool(args.trace), telemetry=recorder
+        machine,
+        governor,
+        keep_trace=bool(args.trace),
+        telemetry=recorder,
+        resilience=resilience,
+        injector=injector,
     )
     result = controller.run(workload)
     _print_summary(result, args)
+    if injector is not None:
+        _print_fault_summary(injector, result)
     if args.trace:
         _export_trace(result, args.trace)
         print(f"trace written to {args.trace}")
@@ -318,17 +402,28 @@ _EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
 
 
 def _cmd_experiment(args) -> int:
+    _validate_telemetry_path(getattr(args, "telemetry", None))
+    fault_plan = _load_faults_arg(getattr(args, "faults", None))
     recorder, sink = _make_telemetry(getattr(args, "telemetry", None))
-    if recorder is not None:
-        from repro.telemetry import recording
 
-        with recording(recorder):
-            text = _EXPERIMENTS[args.id](args.scale)
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        if recorder is not None:
+            from repro.telemetry import recording
+
+            stack.enter_context(recording(recorder))
+        if fault_plan is not None:
+            from repro.faults import injecting
+
+            # Ambient plan: every run_governed inside the experiment
+            # builds its own seeded injector from it.
+            stack.enter_context(injecting(fault_plan))
+        text = _EXPERIMENTS[args.id](args.scale)
+    print(text)
+    if sink is not None:
         sink.finalize(recorder)
-        print(text)
         print(f"telemetry written to {sink.path}")
-    else:
-        print(_EXPERIMENTS[args.id](args.scale))
     return 0
 
 
@@ -336,6 +431,13 @@ def _cmd_telemetry_report(args) -> int:
     from repro.telemetry.report import render_report
 
     print(render_report(args.directory))
+    return 0
+
+
+def _cmd_faults_report(args) -> int:
+    from repro.faults import render_faults_report
+
+    print(render_faults_report(args.directory))
     return 0
 
 
@@ -365,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "telemetry-report":
             return _cmd_telemetry_report(args)
+        if args.command == "faults-report":
+            return _cmd_faults_report(args)
         if args.command == "report":
             return _cmd_report(args)
     except ReproError as error:

@@ -35,6 +35,7 @@ from repro.core.governors import (
     ThrottlingMaximizer,
 )
 from repro.core.controller import PowerManagementController, RunResult, TraceRow
+from repro.core.resilience import PowerReadingFilter, ResilienceConfig
 
 __all__ = [
     "CounterSample",
@@ -57,4 +58,6 @@ __all__ = [
     "PowerManagementController",
     "RunResult",
     "TraceRow",
+    "ResilienceConfig",
+    "PowerReadingFilter",
 ]

@@ -23,30 +23,56 @@ residency, transitions, power-limit violations and the power-projection
 error distribution.  With ``telemetry=None`` (the default) every
 instrumentation block is skipped behind a single pre-computed branch,
 so an uninstrumented run costs the same as before the subsystem existed.
+
+When a :class:`~repro.core.resilience.ResilienceConfig` is supplied the
+loop is *hardened*: counter samples are validated and held over across
+dropped/garbled reads, measured power is outlier-filtered, failed
+p-state transitions are retried with exponential backoff (charged as
+real dead time), a watchdog detects a stalled sampler, and after
+repeated unrecoverable faults the controller degrades gracefully to a
+configurable fail-safe static p-state and completes the run.  A
+:class:`~repro.faults.injector.FaultInjector` can be attached to drill
+exactly those failure paths; with injection disabled the run is
+bit-for-bit identical to an unwrapped one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
 
 from repro.acpi.pstates import PState
 from repro.core.governors.base import Governor
 from repro.core.limits import ConstraintSchedule
-from repro.core.sampling import CounterSampler, MultiplexedCounterSampler
-from repro.errors import ExperimentError
+from repro.core.resilience import (
+    PowerReadingFilter,
+    ResilienceConfig,
+    sample_is_plausible,
+)
+from repro.core.sampling import (
+    CounterSample,
+    CounterSampler,
+    MultiplexedCounterSampler,
+)
+from repro.errors import ExperimentError, SensorFault, TransitionError
 from repro.measurement.power_meter import PowerMeter, PowerSample
 from repro.platform.machine import Machine
 from repro.telemetry.bus import (
     ConstraintChanged,
     DecisionMade,
+    DegradedModeEntered,
+    FaultRecovered,
     PStateTransition,
     RunFinished,
     RunStarted,
     TickCompleted,
+    WatchdogTripped,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.injector import FaultInjector
 from repro.telemetry.metrics import (
     POWER_BUCKETS_W,
     PROJECTION_ERROR_BUCKETS_W,
@@ -90,6 +116,12 @@ class RunResult:
     trace: tuple[TraceRow, ...]
     residency_s: Dict[float, float] = field(default_factory=dict)
     transitions: int = 0
+    #: True when the hardened controller fell back to the fail-safe
+    #: static p-state at some point during the run.
+    degraded: bool = False
+    #: Recovery actions taken by the hardened controller, keyed
+    #: ``subsystem.action`` (empty for non-resilient runs).
+    recoveries: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_power_w(self) -> float:
@@ -133,6 +165,173 @@ class RunResult:
         return over / len(series)
 
 
+class _ResilienceRuntime:
+    """Per-run fault-tolerance state for one hardened controller run.
+
+    Owns the holdover/validation, watchdog, retry and degradation logic
+    so the run loop stays readable; every recovery action is counted on
+    :attr:`recoveries` and emitted as telemetry when a recorder is on.
+    """
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        machine: Machine,
+        tel: TelemetryRecorder | None,
+    ):
+        self.config = config
+        self._machine = machine
+        self._tel = tel if (tel is not None and tel.enabled) else None
+        table = machine.config.table
+        self.safe_pstate = (
+            table.by_frequency(config.safe_frequency_mhz)
+            if config.safe_frequency_mhz is not None
+            else table.slowest
+        )
+        self.degraded = False
+        self.recoveries: Dict[str, int] = {}
+        self._last_good_sample: CounterSample | None = None
+        self._sampler_fault_streak = 0
+        self._actuator_fault_streak = 0
+        self._power_filter = PowerReadingFilter(
+            config.power_window,
+            config.power_outlier_factor,
+            config.power_floor_w,
+        )
+        self._last_temp: float | None = None
+        self._temp_repeats = 0
+        self._temp_masked = False
+
+    def _recover(self, subsystem: str, action: str, attempts: int = 0) -> None:
+        key = f"{subsystem}.{action}"
+        self.recoveries[key] = self.recoveries.get(key, 0) + 1
+        tel = self._tel
+        if tel is not None:
+            tel.metrics.counter(f"resilience.{key}").inc()
+            tel.emit(
+                FaultRecovered(
+                    time_s=self._machine.now_s,
+                    subsystem=subsystem,
+                    action=action,
+                    attempts=attempts,
+                )
+            )
+
+    def enter_degraded(self, reason: str) -> None:
+        """Pin the fail-safe p-state for the rest of the run (idempotent)."""
+        if self.degraded:
+            return
+        self.degraded = True
+        tel = self._tel
+        if tel is not None:
+            tel.metrics.counter("resilience.degradations").inc()
+            tel.emit(
+                DegradedModeEntered(
+                    time_s=self._machine.now_s,
+                    reason=reason,
+                    safe_frequency_mhz=self.safe_pstate.frequency_mhz,
+                )
+            )
+
+    def acquire_sample(self, sampler, interval_s: float) -> CounterSample | None:
+        """Sample with validation, last-good holdover and the watchdog.
+
+        Returns the tick's sample (possibly held over); None means no
+        good sample exists yet and the decision should be skipped.
+        """
+        try:
+            sample = sampler.sample(interval_s)
+            ok = sample_is_plausible(sample, self.config.max_plausible_rate)
+        except SensorFault:
+            ok = False
+        if ok:
+            self._sampler_fault_streak = 0
+            self._last_good_sample = sample
+            return sample
+        self._sampler_fault_streak += 1
+        if (
+            self._sampler_fault_streak >= self.config.watchdog_fault_ticks
+            and not self.degraded
+        ):
+            tel = self._tel
+            if tel is not None:
+                tel.emit(
+                    WatchdogTripped(
+                        time_s=self._machine.now_s,
+                        consecutive_faults=self._sampler_fault_streak,
+                    )
+                )
+            self.enter_degraded("sampler watchdog: monitor stalled")
+        if self._last_good_sample is not None:
+            self._recover("sampler", "holdover")
+            return self._last_good_sample
+        self._recover("sampler", "skip")
+        return None
+
+    def filter_power(self, watts: float) -> float:
+        """Validate a measured-power reading, holding the last good one."""
+        if self._power_filter.accept(watts):
+            return watts
+        last = self._power_filter.last_good
+        if last is None:
+            return watts
+        self._recover("meter", "power_holdover")
+        return last
+
+    def observe_temperature(self, temp_c: float | None) -> float | None:
+        """Mask a stuck thermal sensor (N identical consecutive reads)."""
+        if temp_c is None:
+            self._last_temp = None
+            self._temp_repeats = 0
+            self._temp_masked = False
+            return None
+        if self._last_temp is not None and temp_c == self._last_temp:
+            self._temp_repeats += 1
+        else:
+            self._temp_repeats = 0
+            self._temp_masked = False
+        self._last_temp = temp_c
+        if self._temp_repeats + 1 >= self.config.stuck_temperature_ticks:
+            if not self._temp_masked:
+                self._temp_masked = True
+                self._recover("thermal", "masked")
+            return None
+        return temp_c
+
+    def actuate(self, driver, target: PState) -> bool:
+        """Actuate with retry + exponential backoff; False = p-state held.
+
+        Each retry's backoff is charged to the machine as real dead
+        time, so recovery is never free.  Repeated exhausted retries
+        trip graceful degradation.
+        """
+        cfg = self.config
+        try:
+            driver.set_pstate(target)
+            self._actuator_fault_streak = 0
+            return True
+        except TransitionError:
+            pass
+        backoff = cfg.retry_backoff_s
+        dvfs = self._machine.dvfs
+        for attempt in range(1, cfg.max_transition_retries + 1):
+            if backoff > 0:
+                dvfs.charge_dead_time(backoff)
+            backoff *= cfg.retry_backoff_factor
+            try:
+                driver.set_pstate(target)
+            except TransitionError:
+                continue
+            self._actuator_fault_streak = 0
+            self._recover("driver", "retry", attempts=attempt)
+            return True
+        self._actuator_fault_streak += 1
+        self._recover("driver", "hold", attempts=cfg.max_transition_retries)
+        if self._actuator_fault_streak >= cfg.degrade_after_faults:
+            self.enter_degraded("repeated transition failures")
+        return False
+
+
 class PowerManagementController:
     """Drives one governor over one workload at the 10 ms cadence."""
 
@@ -143,10 +342,12 @@ class PowerManagementController:
         meter: PowerMeter | None = None,
         keep_trace: bool = True,
         telemetry: TelemetryRecorder | None = None,
+        resilience: ResilienceConfig | None = None,
+        injector: "FaultInjector | None" = None,
     ):
         self.machine = machine
         self.governor = governor
-        self.meter = (
+        meter = (
             meter
             if meter is not None
             else PowerMeter(
@@ -154,9 +355,23 @@ class PowerManagementController:
                 rng=np.random.default_rng(machine.config.seed + 1001),
             )
         )
+        self._injector = injector
+        if injector is not None and injector.active:
+            meter = injector.wrap_meter(meter)
+        self.meter = meter
         machine.add_power_sink(self.meter.accumulate)
         self._keep_trace = keep_trace
         self._telemetry = telemetry
+        self._resilience = resilience
+
+    @staticmethod
+    def _actuate(
+        rt: _ResilienceRuntime | None, driver, target: PState
+    ) -> bool:
+        if rt is not None:
+            return rt.actuate(driver, target)
+        driver.set_pstate(target)
+        return True
 
     def run(
         self,
@@ -184,6 +399,25 @@ class PowerManagementController:
             sampler = CounterSampler(
                 machine.pmu, governor.events, telemetry=tel
             )
+        injector = self._injector
+        injecting = injector is not None and injector.active
+        driver = machine.speedstep
+        if injecting:
+            injector.set_clock(lambda: machine.now_s)
+            injector.bind_telemetry(tel)
+            sampler = injector.wrap_sampler(sampler)
+            driver = injector.wrap_speedstep(machine.speedstep, machine.dvfs)
+        rt = (
+            _ResilienceRuntime(self._resilience, machine, tel)
+            if self._resilience is not None
+            else None
+        )
+        hardened = rt is not None
+        # Temperature is only observed when someone consumes it; the
+        # plain fast path must not pay for the hardened one.
+        track_temp = (
+            hardened or injecting or instrumented or self._keep_trace
+        )
         sampler.start()
         self.meter.mark(f"{workload.name}:start")
 
@@ -237,10 +471,18 @@ class PowerManagementController:
                 with tel.span("execute"):
                     record = machine.step()
                 with tel.span("sample"):
-                    counter_sample = sampler.sample(record.duration_s)
+                    counter_sample = (
+                        rt.acquire_sample(sampler, record.duration_s)
+                        if hardened
+                        else sampler.sample(record.duration_s)
+                    )
             else:
                 record = machine.step()
-                counter_sample = sampler.sample(record.duration_s)
+                counter_sample = (
+                    rt.acquire_sample(sampler, record.duration_s)
+                    if hardened
+                    else sampler.sample(record.duration_s)
+                )
             instructions += record.instructions
             true_energy += record.energy_j
             freq = record.pstate.frequency_mhz
@@ -253,9 +495,24 @@ class PowerManagementController:
                 if len(self.meter.samples) > sample_index
                 else record.mean_power_w
             )
+            if hardened:
+                measured = rt.filter_power(measured)
+
+            if track_temp:
+                temperature = record.temperature_c
+                if injecting:
+                    temperature = injector.observe_temperature(
+                        temperature, machine.now_s
+                    )
+                if hardened:
+                    temperature = rt.observe_temperature(temperature)
 
             current = machine.current_pstate
-            if instrumented:
+            if hardened and (rt.degraded or counter_sample is None):
+                # Fail-safe governor (closed-loop control abandoned) or
+                # no good sample yet (hold rather than guess).
+                target = rt.safe_pstate if rt.degraded else current
+            elif instrumented:
                 with tel.span("decide"):
                     target = governor.decide(counter_sample, current)
             else:
@@ -263,9 +520,13 @@ class PowerManagementController:
             if target != current:
                 if instrumented:
                     with tel.span("actuate"):
-                        machine.speedstep.set_pstate(target)
+                        changed = self._actuate(rt, driver, target)
+                elif hardened:
+                    rt.actuate(driver, target)
                 else:
-                    machine.speedstep.set_pstate(target)
+                    driver.set_pstate(target)
+            elif instrumented:
+                changed = False
             if hasattr(governor, "observe_power"):
                 governor.observe_power(measured)
 
@@ -292,7 +553,7 @@ class PowerManagementController:
                         target_mhz=target.frequency_mhz,
                     )
                 )
-                if target != current:
+                if changed:
                     transitions_counter.inc()
                     tel.emit(
                         PStateTransition(
@@ -301,7 +562,7 @@ class PowerManagementController:
                             to_mhz=target.frequency_mhz,
                         )
                     )
-                if can_estimate:
+                if can_estimate and counter_sample is not None:
                     last_estimate_w = governor.estimate_power(
                         counter_sample, current, target
                     )
@@ -313,7 +574,7 @@ class PowerManagementController:
                         true_power_w=record.mean_power_w,
                         instructions=record.instructions,
                         duty=record.duty,
-                        temperature_c=record.temperature_c,
+                        temperature_c=temperature,
                     )
                 )
 
@@ -325,9 +586,13 @@ class PowerManagementController:
                         measured_power_w=measured,
                         true_power_w=record.mean_power_w,
                         instructions=record.instructions,
-                        rates=dict(counter_sample.rates),
+                        rates=(
+                            dict(counter_sample.rates)
+                            if counter_sample is not None
+                            else {}
+                        ),
                         duty=record.duty,
-                        temperature_c=record.temperature_c,
+                        temperature_c=temperature,
                     )
                 )
 
@@ -363,4 +628,6 @@ class PowerManagementController:
             trace=tuple(trace),
             residency_s=residency,
             transitions=machine.dvfs.transition_count,
+            degraded=rt.degraded if rt is not None else False,
+            recoveries=dict(rt.recoveries) if rt is not None else {},
         )

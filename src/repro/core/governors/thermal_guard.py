@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.acpi.pstates import PState, PStateTable
+from repro.acpi.pstates import PState
 from repro.core.governors.base import Governor
 from repro.core.sampling import CounterSample
 from repro.errors import GovernorError

@@ -1,0 +1,147 @@
+"""Fault-tolerance policy for the monitor -> estimate -> control loop.
+
+:class:`ResilienceConfig` collects every defensive knob the hardened
+:class:`~repro.core.controller.PowerManagementController` uses:
+
+* **sample validation + holdover** -- a counter sample that is missing
+  (dropped read) or implausible (NaN/negative/absurd rates from garble
+  or wraparound) is replaced by the last good sample; with no good
+  sample yet the decision is skipped and the p-state held;
+* **power validation** -- a measured power reading that is non-finite,
+  below the dropout floor or wildly above the recent median is rejected
+  and the last good reading held for the governor feedback path;
+* **watchdog** -- too many *consecutive* sampler faults mean the monitor
+  is stalled, not merely noisy; the watchdog trips and the loop degrades;
+* **retry with exponential backoff** -- a failed p-state transition is
+  retried up to ``max_transition_retries`` times, each retry charging
+  real (simulated) backoff dead time;
+* **fail-safe governor** -- after ``degrade_after_faults`` unrecovered
+  actuation faults (or a watchdog trip) the controller abandons
+  closed-loop control and pins a configurable safe static p-state for
+  the rest of the run, completing it rather than crashing.
+
+:class:`PowerReadingFilter` implements the rolling-median outlier
+rejection reused by tests and by the controller.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ResilienceError
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Defensive-control knobs for a hardened controller run."""
+
+    #: Transition retries after the initial attempt fails.
+    max_transition_retries: int = 3
+    #: Dead time charged for the first retry backoff (doubles per retry).
+    retry_backoff_s: float = 0.0005
+    #: Multiplier applied to the backoff after each failed retry.
+    retry_backoff_factor: float = 2.0
+    #: Consecutive sampler faults before the watchdog declares a stall.
+    watchdog_fault_ticks: int = 10
+    #: Unrecovered actuation faults before entering degraded mode.
+    degrade_after_faults: int = 3
+    #: Fail-safe frequency; None = the table's slowest (always safe).
+    safe_frequency_mhz: float | None = None
+    #: Rolling window used for measured-power outlier rejection.
+    power_window: int = 10
+    #: A reading above ``factor x`` the window median is an outlier.
+    power_outlier_factor: float = 3.0
+    #: Readings at or below this are meter dropout (the platform always
+    #: draws several watts when powered).
+    power_floor_w: float = 0.5
+    #: Per-cycle event rates above this are physically impossible.
+    max_plausible_rate: float = 100.0
+    #: Identical consecutive temperature readings before the sensor is
+    #: declared stuck and its readings masked.
+    stuck_temperature_ticks: int = 25
+
+    def __post_init__(self) -> None:
+        if self.max_transition_retries < 0:
+            raise ResilienceError("max_transition_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ResilienceError("retry_backoff_s must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ResilienceError("retry_backoff_factor must be >= 1")
+        if self.watchdog_fault_ticks < 1:
+            raise ResilienceError("watchdog_fault_ticks must be >= 1")
+        if self.degrade_after_faults < 1:
+            raise ResilienceError("degrade_after_faults must be >= 1")
+        if self.power_window < 1:
+            raise ResilienceError("power_window must be >= 1")
+        if self.power_outlier_factor <= 1.0:
+            raise ResilienceError("power_outlier_factor must be > 1")
+        if self.power_floor_w < 0:
+            raise ResilienceError("power_floor_w must be non-negative")
+        if self.max_plausible_rate <= 0:
+            raise ResilienceError("max_plausible_rate must be positive")
+        if self.stuck_temperature_ticks < 2:
+            raise ResilienceError("stuck_temperature_ticks must be >= 2")
+
+
+def sample_is_plausible(sample, max_rate: float) -> bool:
+    """Cheap physical-plausibility check for one counter sample.
+
+    Rejects NaN/inf/negative cycles or rates and rates no real event can
+    reach per cycle (garble and wraparound artifacts land here).
+    """
+    if not math.isfinite(sample.cycles) or sample.cycles < 0:
+        return False
+    for rate in sample.rates.values():
+        if not math.isfinite(rate) or rate < 0 or rate > max_rate:
+            return False
+    return True
+
+
+class PowerReadingFilter:
+    """Rolling-median validation of measured power readings.
+
+    ``accept(watts)`` returns True and admits the reading to the window
+    when it is plausible; an implausible reading (non-finite, at/below
+    the dropout floor, or more than ``outlier_factor`` times the window
+    median) is rejected and the window left untouched, so one spike
+    cannot drag the median toward itself.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        outlier_factor: float,
+        floor_w: float,
+    ):
+        if window < 1:
+            raise ResilienceError("window must be >= 1")
+        self._values: deque[float] = deque(maxlen=window)
+        self._factor = outlier_factor
+        self._floor = floor_w
+
+    @property
+    def last_good(self) -> float | None:
+        """The most recent accepted reading (None before any)."""
+        return self._values[-1] if self._values else None
+
+    def median(self) -> float | None:
+        """Median of the current window (None when empty)."""
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    def accept(self, watts: float) -> bool:
+        """Validate ``watts``; admit and return True when plausible."""
+        if not math.isfinite(watts) or watts <= self._floor:
+            return False
+        median = self.median()
+        if median is not None and median > 0 and watts > self._factor * median:
+            return False
+        self._values.append(watts)
+        return True

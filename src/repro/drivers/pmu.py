@@ -18,7 +18,7 @@ sampling layer is tested against wrap events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Sequence
 
 from repro.drivers.msr import (
     IA32_PERFEVTSEL0,

@@ -64,3 +64,56 @@ class ExperimentError(ReproError):
 class TelemetryError(ReproError):
     """Raised for invalid telemetry configuration (bad buckets, unknown
     metric types, malformed export directories)."""
+
+
+class FaultError(ReproError):
+    """Base class for the fault-injection subsystem (:mod:`repro.faults`).
+
+    Subclasses are either *plan* errors (a malformed fault specification)
+    or *injected-fault signals* -- exceptions the injector raises through
+    a wrapped driver/sampler interface to emulate a hardware failure.
+    Hardened consumers catch the signals; an unhardened consumer sees
+    exactly what it would see on the real rig: a crash.
+    """
+
+
+class FaultPlanError(FaultError):
+    """Raised for a malformed or inconsistent fault plan / ``--faults`` spec."""
+
+
+class SensorFault(FaultError):
+    """An injected sensor-path failure (counter or meter read failed)."""
+
+
+class SampleDropped(SensorFault):
+    """An injected dropped counter sample: the 10 ms PMU read was lost."""
+
+
+class InjectedTransitionError(TransitionError, FaultError):
+    """An injected p-state transition failure.
+
+    Derives from :class:`TransitionError` so existing driver-level
+    handling applies, and from :class:`FaultError` so tests and reports
+    can tell injected failures from genuine ones.
+    """
+
+
+class NodeCrashError(FaultError):
+    """An injected fleet-node crash (the node stops ticking)."""
+
+
+class RecoveryError(ReproError):
+    """Base class for the fault-*tolerance* (recovery) layer."""
+
+
+class ResilienceError(RecoveryError):
+    """Raised for invalid resilience configuration (bad retry/watchdog knobs)."""
+
+
+class WatchdogError(RecoveryError):
+    """Raised when the sampler watchdog trips and degradation is disabled."""
+
+
+class RecoveryExhaustedError(RecoveryError):
+    """Raised when every recovery path (retries, then the fail-safe
+    p-state) has been exhausted and the loop cannot continue safely."""

@@ -26,7 +26,6 @@ from repro.core.models.performance import PerformanceModel
 from repro.experiments.metrics import (
     energy_savings,
     performance_reduction,
-    speedup,
 )
 from repro.experiments.runner import (
     ExperimentConfig,

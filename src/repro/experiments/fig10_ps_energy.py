@@ -10,7 +10,7 @@ aggregate separating above- from below-average savers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Tuple
+from typing import Mapping, Sequence
 
 from repro.analysis.report import TextTable
 from repro.core.governors.powersave import PowerSave

@@ -16,7 +16,7 @@ from typing import Dict
 from repro.analysis.report import TextTable
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.experiments.runner import ExperimentConfig
-from repro.experiments.suite import run_suite_fixed, suite_order
+from repro.experiments.suite import run_suite_fixed
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,11 @@ from repro.core.governors.unconstrained import FixedFrequency
 from repro.core.limits import ConstraintSchedule
 from repro.core.models.power import LinearPowerModel
 from repro.core.models.training import collect_training_data, fit_power_model
+from repro.core.resilience import ResilienceConfig
 from repro.errors import ExperimentError
+from repro.faults.context import current_fault_plan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.platform.machine import Machine, MachineConfig
 from repro.telemetry.recorder import TelemetryRecorder, current_recorder
 from repro.workloads.base import Workload
@@ -67,6 +71,8 @@ def run_governed(
     seed_offset: int = 0,
     initial_frequency_mhz: float | None = None,
     telemetry: TelemetryRecorder | None = None,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> RunResult:
     """One (workload, governor) run on a fresh machine.
 
@@ -75,12 +81,33 @@ def run_governed(
     is used, so the CLI can observe whole experiment modules without
     threading a recorder through every driver.  Each configured run is
     wrapped in a root ``run`` span.
+
+    ``fault_plan`` drills the run's failure paths; when omitted the
+    process-local plan installed with :func:`repro.faults.injecting`
+    (if any) is used.  An active plan gets a *fresh* seeded injector per
+    run (so repetitions see identical fault sequences) and implies a
+    default :class:`ResilienceConfig` unless one is supplied --
+    injecting faults into an unhardened loop would just crash it.
+    ``resilience`` alone hardens the loop without injecting anything.
     """
     tel = telemetry if telemetry is not None else current_recorder()
+    plan = fault_plan if fault_plan is not None else current_fault_plan()
+    injector = (
+        FaultInjector(plan, telemetry=tel)
+        if plan is not None and plan.active
+        else None
+    )
+    if injector is not None and resilience is None:
+        resilience = ResilienceConfig()
     machine = Machine(config.machine_config(seed_offset))
     governor = governor_factory(machine.config.table)
     controller = PowerManagementController(
-        machine, governor, keep_trace=config.keep_trace, telemetry=tel
+        machine,
+        governor,
+        keep_trace=config.keep_trace,
+        telemetry=tel,
+        resilience=resilience,
+        injector=injector,
     )
     initial = (
         machine.config.table.by_frequency(initial_frequency_mhz)

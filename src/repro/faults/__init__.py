@@ -1,0 +1,73 @@
+"""Fault injection: deterministic failure drills for the whole loop.
+
+The paper's methodology ran on real hardware where counters glitch, the
+sense-resistor/DAQ rig drops samples and SpeedStep transitions
+occasionally fail -- failure modes the reproduction's happy path never
+exercised.  This subsystem makes those failures a first-class, *seeded*
+input so the hardened monitor -> estimate -> control loop can be tested
+(and demonstrated) under fire:
+
+* :mod:`repro.faults.plan` -- declarative :class:`FaultPlan` with
+  per-subsystem fault models (dropped/duplicated/garbled/overflowed
+  counter samples, meter dropout and spikes, failed/stalled p-state
+  transitions, stuck thermal sensors, fleet node crash/restart), JSON
+  (or YAML) loadable for the CLI's ``--faults SPEC``;
+* :mod:`repro.faults.injector` -- the seeded :class:`FaultInjector` and
+  its interface-preserving wrappers around the counter sampler, power
+  meter and SpeedStep driver;
+* :mod:`repro.faults.context` -- the ambient plan used by
+  ``experiment --faults`` (mirrors :func:`repro.telemetry.recording`);
+* :mod:`repro.faults.report` -- the ``repro-power faults-report``
+  injected-vs-recovered aggregation.
+
+The consumer-side defenses live with the consumers: see
+:class:`repro.core.resilience.ResilienceConfig` and the hardened
+:class:`~repro.core.controller.PowerManagementController` /
+:class:`~repro.fleet.controller.FleetController`.
+"""
+
+from repro.faults.context import (
+    current_fault_plan,
+    injecting,
+    set_fault_plan,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    FaultyPowerMeter,
+    FaultySampler,
+    FaultySpeedStep,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    MeterFaults,
+    NodeFaults,
+    SampleFaults,
+    ThermalFaults,
+    TransitionFaults,
+    load_fault_plan,
+)
+from repro.faults.report import (
+    FaultsReport,
+    load_faults_report,
+    render_faults_report,
+)
+
+__all__ = [
+    "FaultPlan",
+    "SampleFaults",
+    "MeterFaults",
+    "TransitionFaults",
+    "ThermalFaults",
+    "NodeFaults",
+    "load_fault_plan",
+    "FaultInjector",
+    "FaultySampler",
+    "FaultyPowerMeter",
+    "FaultySpeedStep",
+    "current_fault_plan",
+    "set_fault_plan",
+    "injecting",
+    "FaultsReport",
+    "load_faults_report",
+    "render_faults_report",
+]

@@ -14,12 +14,20 @@ already provide.
 Nodes that finish their workload power off (demand and draw drop to
 zero) and their budget share shifts to the stragglers -- the
 power-shifting benefit the paper's situation (i) describes.
+
+With a :class:`~repro.faults.injector.FaultInjector` attached the fleet
+also survives node crashes: a crashed node goes dark (zero draw, zero
+demand), the coordinator detects it and immediately redistributes its
+budget share, and -- when the plan configures a restart delay -- the
+node later rejoins and budget is redistributed again.  A node that
+never restarts is treated like a finished one so the run still
+terminates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -31,9 +39,18 @@ from repro.errors import ExperimentError
 from repro.fleet.budget import BudgetAllocator, NodeDemand
 from repro.measurement.power_meter import PowerMeter
 from repro.platform.machine import Machine, MachineConfig
-from repro.telemetry.bus import BudgetReallocated, NodeFinished
+from repro.telemetry.bus import (
+    BudgetReallocated,
+    FaultRecovered,
+    NodeCrashed,
+    NodeFinished,
+    NodeRestarted,
+)
 from repro.telemetry.recorder import TelemetryRecorder
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -46,6 +63,8 @@ class NodeResult:
     instructions: float
     energy_j: float
     final_limit_w: float
+    #: Injected crashes this node suffered during the run.
+    crashes: int = 0
 
 
 @dataclass(frozen=True)
@@ -106,10 +125,42 @@ class _Node:
         self.instructions = 0.0
         self.finish_time_s: float | None = None
         self.last_dpc = 0.0
+        self.crashed = False
+        self.crashes = 0
+        self.crashed_at_s: float | None = None
+        self.restart_at_s: float | None = None
 
     @property
     def finished(self) -> bool:
         return self.machine.finished
+
+    @property
+    def runnable(self) -> bool:
+        """Still has work to do and will (eventually) be able to do it."""
+        if self.finished:
+            return False
+        # A crash with no scheduled restart is permanent: the node is
+        # dead, and waiting for it would hang the fleet loop.
+        return not (self.crashed and self.restart_at_s is None)
+
+    def crash(self, now_s: float, restart_delay_s: float | None) -> None:
+        """Take the node down (zero draw/demand until restart, if ever)."""
+        self.crashed = True
+        self.crashes += 1
+        self.crashed_at_s = now_s
+        self.restart_at_s = (
+            now_s + restart_delay_s if restart_delay_s is not None else None
+        )
+
+    def maybe_restart(self, now_s: float) -> bool:
+        """Bring the node back once its restart time has arrived."""
+        if not self.crashed or self.restart_at_s is None:
+            return False
+        if now_s < self.restart_at_s - 1e-12:
+            return False
+        self.crashed = False
+        self.restart_at_s = None
+        return True
 
     def tick(self) -> float:
         """Advance one tick; returns measured power for the tick."""
@@ -128,7 +179,7 @@ class _Node:
 
     def demand(self, model: LinearPowerModel) -> NodeDemand:
         """Estimated full-speed power need from the node's own counters."""
-        if self.finished:
+        if self.finished or self.crashed:
             return NodeDemand(self.name, 0.0, active=False)
         table = self.machine.config.table
         current = self.machine.current_pstate
@@ -151,6 +202,7 @@ class FleetController:
         reallocation_period_s: float = 0.1,
         seed: int = 0,
         telemetry: TelemetryRecorder | None = None,
+        injector: "FaultInjector | None" = None,
     ):
         if total_budget_w <= 0:
             raise ExperimentError("fleet budget must be positive")
@@ -161,11 +213,60 @@ class FleetController:
         self._allocator = allocator
         self._period = reallocation_period_s
         self._telemetry = telemetry
+        self._injector = injector
         self._nodes = [
             _Node(name, workload, model, total_budget_w / len(workloads),
                   seed + 17 * i)
             for i, (name, workload) in enumerate(sorted(workloads.items()))
         ]
+
+    def _step_node_faults(self, now: float, instrumented: bool) -> bool:
+        """Restart due nodes, crash unlucky ones; True forces reallocation.
+
+        Detection is the coordinator's job: a crashed node goes dark and
+        its budget share must move to the survivors *now*, not at the
+        next scheduled reallocation.
+        """
+        injector = self._injector
+        tel = self._telemetry
+        changed = False
+        for node in self._nodes:
+            if node.maybe_restart(now):
+                changed = True
+                if instrumented:
+                    downtime = now - (node.crashed_at_s or now)
+                    tel.emit(
+                        NodeRestarted(
+                            time_s=now, node=node.name, downtime_s=downtime
+                        )
+                    )
+                    tel.emit(
+                        FaultRecovered(
+                            time_s=now, subsystem="fleet", action="restart"
+                        )
+                    )
+                continue
+            if node.finished or node.crashed:
+                continue
+            if injector.node_crashes(node.name, now):
+                node.crash(now, injector.node_restart_delay_s)
+                changed = True
+                if instrumented:
+                    tel.emit(
+                        NodeCrashed(
+                            time_s=now,
+                            node=node.name,
+                            restart_at_s=node.restart_at_s,
+                        )
+                    )
+                    tel.emit(
+                        FaultRecovered(
+                            time_s=now,
+                            subsystem="fleet",
+                            action="redistribute",
+                        )
+                    )
+        return changed
 
     def run(self, max_seconds: float = 600.0) -> FleetResult:
         """Run until every node finishes; returns fleet-level results."""
@@ -175,21 +276,32 @@ class FleetController:
         tick = self._nodes[0].machine.config.tick_s
         tel = self._telemetry
         instrumented = tel is not None and tel.enabled
+        injector = self._injector
+        injecting = injector is not None and injector.active
+        if injecting:
+            injector.bind_telemetry(tel)
+        force_reallocation = False
         if instrumented:
             reallocations_counter = tel.metrics.counter("fleet.reallocations")
             active_gauge = tel.metrics.gauge("fleet.active_nodes")
 
-        while any(not n.finished for n in self._nodes):
+        while any(n.runnable for n in self._nodes):
             if now > max_seconds:
                 raise ExperimentError("fleet exceeded its time budget")
-            if now >= next_reallocation - 1e-12:
+
+            if injecting:
+                force_reallocation |= self._step_node_faults(now, instrumented)
+
+            if force_reallocation or now >= next_reallocation - 1e-12:
                 demands = [n.demand(self._model) for n in self._nodes]
                 grants = self._allocator.allocate(self._budget, demands)
                 for node in self._nodes:
                     grant = grants[node.name]
                     if grant > 0:
                         node.governor.set_power_limit(grant)
-                next_reallocation += self._period
+                if now >= next_reallocation - 1e-12:
+                    next_reallocation += self._period
+                force_reallocation = False
                 if instrumented:
                     active = sum(1 for d in demands if d.active)
                     reallocations_counter.inc()
@@ -206,7 +318,7 @@ class FleetController:
 
             total = 0.0
             for node in self._nodes:
-                if not node.finished:
+                if not node.finished and not node.crashed:
                     total += node.tick()
                     if node.finished and instrumented:
                         finish = node.finish_time_s if (
@@ -231,6 +343,7 @@ class FleetController:
                 instructions=n.instructions,
                 energy_j=n.meter.energy_j(),
                 final_limit_w=n.governor.power_limit_w,
+                crashes=n.crashes,
             )
             for n in self._nodes
         }

@@ -10,7 +10,7 @@ computed from each 10 ms power sample", §IV-B2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List
 
 import numpy as np

@@ -94,6 +94,17 @@ class DvfsController:
         self._transitions = 0
         self._dead_time_total_s = 0.0
 
+    def charge_dead_time(self, seconds: float) -> None:
+        """Charge extra core dead time outside a normal transition.
+
+        Used by the fault layer for stalled transitions and by the
+        controller for retry backoff, so recovery has a real performance
+        cost instead of being free simulated bookkeeping.
+        """
+        if seconds < 0:
+            raise TransitionError("dead time must be non-negative")
+        self._dead_time_total_s += seconds
+
     def request(self, target: PState) -> TransitionResult:
         """Transition to ``target``, returning the sequenced steps.
 

@@ -38,7 +38,6 @@ from repro.drivers.speedstep import SpeedStepDriver
 from repro.errors import ReproError, WorkloadError
 from repro.platform.caches import MemoryTiming, PENTIUM_M_755_TIMING
 from repro.platform.dvfs import DvfsController
-from repro.platform.events import EventRates
 from repro.platform.pipeline import ResolvedRates, resolve_rates
 from repro.platform.power import (
     PENTIUM_M_755_POWER,

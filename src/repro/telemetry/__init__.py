@@ -26,8 +26,13 @@ from repro.telemetry.bus import (
     BudgetReallocated,
     ConstraintChanged,
     DecisionMade,
+    DegradedModeEntered,
     EventBus,
+    FaultInjected,
+    FaultRecovered,
+    NodeCrashed,
     NodeFinished,
+    NodeRestarted,
     PStateTransition,
     RunFinished,
     RunStarted,
@@ -35,6 +40,7 @@ from repro.telemetry.bus import (
     SubscriberFailure,
     TelemetryEvent,
     TickCompleted,
+    WatchdogTripped,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -75,6 +81,12 @@ __all__ = [
     "RunFinished",
     "BudgetReallocated",
     "NodeFinished",
+    "FaultInjected",
+    "FaultRecovered",
+    "WatchdogTripped",
+    "DegradedModeEntered",
+    "NodeCrashed",
+    "NodeRestarted",
     "SubscriberFailure",
     "EventBus",
     # metrics

@@ -156,6 +156,85 @@ class NodeFinished(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class FaultInjected(TelemetryEvent):
+    """The fault injector fired one fault into a wrapped component.
+
+    ``subsystem`` names the wrapped interface (``sampler``, ``meter``,
+    ``driver``, ``thermal``, ``node``); ``fault`` the model that fired
+    (``drop``, ``duplicate``, ``garble``, ``overflow``, ``dropout``,
+    ``spike``, ``transition_fail``, ``transition_stall``, ``stuck``,
+    ``crash``); ``detail`` is free-form context (node name, factor...).
+    """
+
+    subsystem: str
+    fault: str
+    detail: str = ""
+
+    kind: ClassVar[str] = "fault_injected"
+
+
+@dataclass(frozen=True)
+class FaultRecovered(TelemetryEvent):
+    """A hardened consumer absorbed a fault and kept the loop running.
+
+    ``action`` is the recovery path taken: ``holdover`` (last-good
+    counter sample reused), ``power_holdover`` (last-good power reading
+    reused), ``retry`` (transition retried to success), ``skip``
+    (decision skipped, p-state held), ``masked`` (stuck sensor reading
+    suppressed), ``restart`` (fleet node restarted), ``redistribute``
+    (crashed node's budget reassigned).  ``attempts`` counts retries
+    when applicable.
+    """
+
+    subsystem: str
+    action: str
+    attempts: int = 0
+
+    kind: ClassVar[str] = "fault_recovered"
+
+
+@dataclass(frozen=True)
+class WatchdogTripped(TelemetryEvent):
+    """The controller's sampler watchdog detected a stalled monitor."""
+
+    consecutive_faults: int
+
+    kind: ClassVar[str] = "watchdog"
+
+
+@dataclass(frozen=True)
+class DegradedModeEntered(TelemetryEvent):
+    """The controller gave up on closed-loop control and pinned the
+    fail-safe static p-state for the rest of the run."""
+
+    reason: str
+    safe_frequency_mhz: float
+
+    kind: ClassVar[str] = "degraded"
+
+
+@dataclass(frozen=True)
+class NodeCrashed(TelemetryEvent):
+    """A fleet node crashed (injected) and stopped executing."""
+
+    node: str
+    #: Scheduled restart time, or None for a permanent failure.
+    restart_at_s: float | None
+
+    kind: ClassVar[str] = "node_crashed"
+
+
+@dataclass(frozen=True)
+class NodeRestarted(TelemetryEvent):
+    """A crashed fleet node came back and resumed its workload."""
+
+    node: str
+    downtime_s: float
+
+    kind: ClassVar[str] = "node_restarted"
+
+
+@dataclass(frozen=True)
 class SubscriberFailure:
     """Record of one subscriber exception swallowed by the bus."""
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import csv
 import json
 import os
-from typing import IO, Iterable, Sequence
+from typing import IO, Iterable
 
 from repro.errors import TelemetryError
 from repro.telemetry.bus import TelemetryEvent, TickCompleted

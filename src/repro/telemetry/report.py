@@ -33,6 +33,8 @@ class TelemetryReport:
     trace_rows: List[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     spans: dict = field(default_factory=dict)
+    #: Malformed/truncated JSONL lines skipped while loading the log.
+    skipped_lines: int = 0
 
     @property
     def event_counts(self) -> Mapping[str, int]:
@@ -62,21 +64,35 @@ class TelemetryReport:
         return total / len(self.trace_rows)
 
 
-def load_events(path: str | os.PathLike) -> List[dict]:
-    """Parse a JSONL event log into dicts (malformed lines raise)."""
+def load_events(path: str | os.PathLike) -> tuple[List[dict], int]:
+    """Parse a JSONL event log, tolerating damage.
+
+    A journal from a crashed or killed run is routinely truncated
+    mid-line, and a corrupted disk can garble arbitrary lines; neither
+    should make the *report* fail.  Malformed and non-object lines are
+    skipped and counted; returns ``(events, skipped_line_count)``.
+    """
     events: List[dict] = []
-    with open(path) as handle:
-        for number, line in enumerate(handle, start=1):
+    skipped = 0
+    try:
+        handle = open(path, errors="replace")
+    except OSError as error:
+        raise TelemetryError(f"cannot read event log {path}: {error}") from None
+    with handle:
+        for line in handle:
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError as error:
-                raise TelemetryError(
-                    f"{path}:{number}: malformed event line ({error})"
-                ) from None
-    return events
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(event, dict):
+                skipped += 1
+                continue
+            events.append(event)
+    return events, skipped
 
 
 def load_report(directory: str | os.PathLike) -> TelemetryReport:
@@ -91,7 +107,7 @@ def load_report(directory: str | os.PathLike) -> TelemetryReport:
             "--telemetry?"
         )
     report = TelemetryReport(directory=directory)
-    report.events = load_events(events_path)
+    report.events, report.skipped_lines = load_events(events_path)
 
     trace_path = os.path.join(directory, TRACE_FILENAME)
     if os.path.exists(trace_path):
@@ -100,10 +116,14 @@ def load_report(directory: str | os.PathLike) -> TelemetryReport:
 
     metrics_path = os.path.join(directory, METRICS_FILENAME)
     if os.path.exists(metrics_path):
-        with open(metrics_path) as handle:
-            snapshot = json.load(handle)
-        report.metrics = snapshot.get("metrics", {})
-        report.spans = snapshot.get("spans", {})
+        try:
+            with open(metrics_path) as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            snapshot = {}  # a truncated snapshot degrades, never raises
+        if isinstance(snapshot, dict):
+            report.metrics = snapshot.get("metrics", {})
+            report.spans = snapshot.get("spans", {})
     return report
 
 
@@ -121,6 +141,10 @@ def render_report(directory: str | os.PathLike) -> str:
     lines.append(f"events ({len(report.events)} total):")
     for kind, count in sorted(report.event_counts.items()):
         lines.append(f"  {kind:16} {count}")
+    if report.skipped_lines:
+        lines.append(
+            f"  (skipped {report.skipped_lines} malformed journal lines)"
+        )
     lines.append("")
 
     for run in report.runs:

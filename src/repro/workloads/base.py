@@ -22,7 +22,7 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.errors import WorkloadError

@@ -6,7 +6,6 @@ from repro.acpi.pstates import pentium_m_755_table
 from repro.core.models.component_power import (
     COMPONENT_EVENTS,
     ComponentCoefficients,
-    ComponentPowerModel,
     collect_component_training_data,
     fit_component_model,
 )

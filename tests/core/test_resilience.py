@@ -1,0 +1,105 @@
+"""Unit tests for the fault-tolerance policy primitives."""
+
+import pytest
+
+from repro.core.resilience import (
+    PowerReadingFilter,
+    ResilienceConfig,
+    sample_is_plausible,
+)
+from repro.core.sampling import CounterSample
+from repro.errors import ResilienceError
+from repro.platform.events import Event
+
+
+def _sample(dpc=1.4, cycles=2e7):
+    return CounterSample(
+        interval_s=0.01, cycles=cycles, rates={Event.INST_DECODED: dpc}
+    )
+
+
+class TestResilienceConfig:
+    def test_defaults_validate(self):
+        ResilienceConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_transition_retries": -1},
+            {"retry_backoff_s": -0.1},
+            {"retry_backoff_factor": 0.5},
+            {"watchdog_fault_ticks": 0},
+            {"degrade_after_faults": 0},
+            {"power_window": 0},
+            {"power_outlier_factor": 1.0},
+            {"power_floor_w": -1.0},
+            {"max_plausible_rate": 0.0},
+            {"stuck_temperature_ticks": 1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ResilienceError):
+            ResilienceConfig(**kwargs)
+
+
+class TestSamplePlausibility:
+    def test_accepts_normal_sample(self):
+        assert sample_is_plausible(_sample(), max_rate=100.0)
+
+    def test_rejects_nan_and_inf(self):
+        assert not sample_is_plausible(_sample(dpc=float("nan")), 100.0)
+        assert not sample_is_plausible(_sample(dpc=float("inf")), 100.0)
+        assert not sample_is_plausible(
+            _sample(cycles=float("nan")), 100.0
+        )
+
+    def test_rejects_negative_values(self):
+        assert not sample_is_plausible(_sample(dpc=-0.1), 100.0)
+        assert not sample_is_plausible(_sample(cycles=-1.0), 100.0)
+
+    def test_rejects_impossible_rates(self):
+        # A 40-bit wraparound artifact shows up as an absurd rate.
+        assert not sample_is_plausible(_sample(dpc=1e5), max_rate=100.0)
+        assert sample_is_plausible(_sample(dpc=99.0), max_rate=100.0)
+
+
+class TestPowerReadingFilter:
+    def _filter(self, window=5, factor=3.0, floor=0.5):
+        return PowerReadingFilter(window, factor, floor)
+
+    def test_accepts_plausible_sequence(self):
+        f = self._filter()
+        assert all(f.accept(w) for w in (12.0, 13.0, 12.5, 14.0))
+        assert f.last_good == 14.0
+        assert f.median() == pytest.approx(12.75)
+
+    def test_rejects_non_finite_and_dropout(self):
+        f = self._filter()
+        assert not f.accept(float("nan"))
+        assert not f.accept(float("inf"))
+        assert not f.accept(0.0)   # dropout: at/below the floor
+        assert not f.accept(-3.0)
+        assert f.last_good is None
+
+    def test_rejects_spikes_against_rolling_median(self):
+        f = self._filter()
+        for w in (12.0, 12.5, 13.0):
+            assert f.accept(w)
+        assert not f.accept(60.0)  # > 3x the ~12.5 median
+        # The spike never entered the window, so the median held firm.
+        assert f.median() == pytest.approx(12.5)
+        assert f.accept(13.5)
+
+    def test_first_reading_has_no_median_to_compare(self):
+        f = self._filter()
+        assert f.accept(40.0)
+
+    def test_window_bound(self):
+        f = self._filter(window=2)
+        for w in (10.0, 11.0, 12.0):
+            assert f.accept(w)
+        assert f.median() == pytest.approx(11.5)
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            PowerReadingFilter(0, 3.0, 0.5)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.sampling import CounterSampler
+from repro.core.sampling import CounterSampler, MultiplexedCounterSampler
 from repro.drivers.msr import MSRFile
 from repro.drivers.pmu import PMU
 from repro.errors import PMUError
@@ -93,3 +93,45 @@ def test_dpc_accessor_requires_monitored_event(pmu):
     sample = sampler.sample(0.01)
     with pytest.raises(KeyError):
         _ = sample.dpc
+
+
+class TestMultiplexedSampler:
+    def test_rejects_empty_group_list(self, pmu):
+        with pytest.raises(PMUError, match="at least one group"):
+            MultiplexedCounterSampler(pmu, [])
+
+    def test_single_group_degenerates_to_plain_rotation(self, pmu):
+        # One group: every tick samples the same events, and the
+        # modulo rotation must not double-start or skip intervals.
+        sampler = MultiplexedCounterSampler(pmu, [[Event.INST_DECODED]])
+        sampler.start()
+        pmu.tick(10_000_000, flat_rates(decoded=1.2))
+        first = sampler.sample(0.01)
+        pmu.tick(10_000_000, flat_rates(decoded=0.6))
+        second = sampler.sample(0.01)
+        assert first.dpc == pytest.approx(1.2, rel=1e-3)
+        assert second.dpc == pytest.approx(0.6, rel=1e-3)
+
+    def test_zero_interval_sample_has_zero_rates(self, pmu):
+        # No cycles elapsed between snapshots: rates fall back to 0.0
+        # rather than dividing by zero, and the frequency reads 0.
+        sampler = MultiplexedCounterSampler(pmu, [[Event.INST_DECODED]])
+        sampler.start()
+        sample = sampler.sample(0.0)
+        assert sample.cycles == 0
+        assert sample.rates[Event.INST_DECODED] == 0.0
+        assert sample.effective_frequency_mhz == 0.0
+
+    def test_sampling_before_start_raises_pmu_error(self, pmu):
+        sampler = MultiplexedCounterSampler(
+            pmu, [[Event.INST_DECODED], [Event.INST_RETIRED]]
+        )
+        with pytest.raises(PMUError, match="not started"):
+            sampler.sample(0.01)
+
+    def test_group_validation_matches_plain_sampler(self, pmu):
+        with pytest.raises(PMUError):
+            MultiplexedCounterSampler(
+                pmu,
+                [[Event.INST_DECODED, Event.INST_RETIRED, Event.L2_RQSTS]],
+            )

@@ -1,7 +1,5 @@
 """Tests for the one-shot reproduction report and the ablation helpers."""
 
-import pytest
-
 from repro.experiments.ablations import (
     adaptive_pm_ablation,
     dbs_ablation,

@@ -1,0 +1,138 @@
+"""Fleet coordination under injected node crashes and restarts."""
+
+import pytest
+
+from repro.core.models.power import LinearPowerModel
+from repro.faults import FaultInjector, FaultPlan, NodeFaults
+from repro.fleet import DemandProportional, FleetController
+from repro.telemetry import (
+    BudgetReallocated,
+    NodeCrashed,
+    NodeRestarted,
+    TelemetryRecorder,
+)
+from repro.workloads.registry import get_workload
+
+MODEL = LinearPowerModel.paper_model()
+
+
+def _workloads():
+    return {
+        "a": get_workload("crafty").scaled(0.1),
+        "b": get_workload("swim").scaled(0.1),
+    }
+
+
+def _run_fleet(plan=None, telemetry=None, max_seconds=600.0):
+    fleet = FleetController(
+        _workloads(), MODEL, total_budget_w=26.0,
+        allocator=DemandProportional(),
+        telemetry=telemetry,
+        injector=FaultInjector(plan) if plan is not None else None,
+    )
+    return fleet.run(max_seconds=max_seconds)
+
+
+class TestCrashAndRestart:
+    PLAN = FaultPlan(
+        seed=1, node=NodeFaults(crash_prob=0.01, restart_delay_s=0.1)
+    )
+
+    def test_crashed_node_rejoins_and_fleet_finishes(self):
+        clean = _run_fleet()
+        faulty = _run_fleet(self.PLAN)
+        assert sum(n.crashes for n in faulty.nodes.values()) >= 1
+        # Nothing is lost: the restarted node resumes where it stopped.
+        assert faulty.total_instructions == pytest.approx(
+            clean.total_instructions, rel=1e-6
+        )
+        # But downtime is not free: the makespan stretches.
+        assert faulty.makespan_s > clean.makespan_s
+
+    def test_crashed_node_draws_no_power(self):
+        recorder = TelemetryRecorder()
+        events = []
+        recorder.bus.subscribe(events.append)
+        result = _run_fleet(self.PLAN, telemetry=recorder)
+        crashes = [e for e in events if isinstance(e, NodeCrashed)]
+        restarts = [e for e in events if isinstance(e, NodeRestarted)]
+        assert crashes and restarts
+        down_from = crashes[0].time_s
+        down_until = restarts[0].time_s
+        # While one of two nodes is dark, fleet power is a single node's
+        # draw -- well under the level both nodes sustain together.
+        down = [w for t, w in result.power_series
+                if down_from < t <= down_until]
+        both_up = [w for t, w in result.power_series if t <= down_from]
+        assert down
+        assert max(down) < min(both_up)
+
+    def test_budget_redistributed_to_survivors(self):
+        recorder = TelemetryRecorder()
+        events = []
+        recorder.bus.subscribe(events.append)
+        _run_fleet(self.PLAN, telemetry=recorder)
+        crash_time = next(
+            e.time_s for e in events if isinstance(e, NodeCrashed)
+        )
+        # The crash forces an immediate reallocation that treats the
+        # dead node as inactive and hands its share to the survivor.
+        realloc = next(
+            e for e in events
+            if isinstance(e, BudgetReallocated) and e.time_s >= crash_time
+        )
+        assert realloc.active_nodes == 1
+        survivor_grant = max(realloc.grants_w.values())
+        assert survivor_grant == pytest.approx(26.0, rel=0.05)
+
+    def test_restart_emits_downtime(self):
+        recorder = TelemetryRecorder()
+        events = []
+        recorder.bus.subscribe(events.append)
+        _run_fleet(self.PLAN, telemetry=recorder)
+        restart = next(e for e in events if isinstance(e, NodeRestarted))
+        assert restart.downtime_s == pytest.approx(0.1, abs=0.02)
+
+
+class TestPermanentCrash:
+    def test_fleet_terminates_without_the_dead_node(self):
+        plan = FaultPlan(
+            seed=1, node=NodeFaults(crash_prob=0.005, restart_delay_s=None)
+        )
+        clean = _run_fleet()
+        # A permanently-dead node must not hang the loop: the run ends
+        # once the survivors finish, with the dead node's work missing.
+        result = _run_fleet(plan, max_seconds=30.0)
+        assert sum(n.crashes for n in result.nodes.values()) == 1
+        assert result.total_instructions < clean.total_instructions
+
+    def test_max_crashes_per_node_bounds_injection(self):
+        plan = FaultPlan(
+            seed=1,
+            node=NodeFaults(
+                crash_prob=0.05, restart_delay_s=0.05, max_crashes_per_node=1
+            ),
+        )
+        result = _run_fleet(plan)
+        assert all(n.crashes <= 1 for n in result.nodes.values())
+
+
+class TestFleetDeterminism:
+    def test_same_plan_reproduces_the_run(self):
+        plan = FaultPlan(
+            seed=7, node=NodeFaults(crash_prob=0.01, restart_delay_s=0.1)
+        )
+        first = _run_fleet(plan)
+        second = _run_fleet(plan)
+        assert first.power_series == second.power_series
+        assert first.makespan_s == second.makespan_s
+
+    def test_disabled_plan_changes_nothing(self):
+        plan = FaultPlan(
+            seed=7,
+            node=NodeFaults(crash_prob=0.5, restart_delay_s=0.1),
+            enabled=False,
+        )
+        clean = _run_fleet()
+        gated = _run_fleet(plan)
+        assert gated.power_series == clean.power_series

@@ -1,0 +1,180 @@
+"""Hardened-controller behavior under injected faults."""
+
+import pytest
+
+from repro.core.controller import PowerManagementController
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.models.power import LinearPowerModel
+from repro.core.resilience import ResilienceConfig
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    MeterFaults,
+    SampleFaults,
+    ThermalFaults,
+    TransitionFaults,
+)
+from repro.platform.machine import Machine, MachineConfig
+from repro.platform.thermal import ThermalModel
+from repro.workloads.registry import get_workload
+
+MODEL = LinearPowerModel.paper_model()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """~70 ticks of gzip: long enough for probabilistic fault models."""
+    return get_workload("gzip").scaled(0.5)
+
+
+def _run(workload, plan=None, resilience=None, seed=0, machine_config=None):
+    machine = Machine(machine_config or MachineConfig(seed=seed))
+    governor = PerformanceMaximizer(machine.config.table, MODEL, 14.5)
+    injector = FaultInjector(plan) if plan is not None else None
+    controller = PowerManagementController(
+        machine,
+        governor,
+        keep_trace=True,
+        resilience=resilience,
+        injector=injector,
+    )
+    return controller.run(workload), machine, injector
+
+
+class TestHoldover:
+    def test_dropped_samples_are_held_over(self, workload):
+        plan = FaultPlan(seed=3, sample=SampleFaults(drop_prob=0.15))
+        result, _, injector = _run(
+            workload, plan, ResilienceConfig()
+        )
+        assert injector.injected.get("sampler.drop", 0) >= 1
+        assert result.recoveries.get("sampler.holdover", 0) >= 1
+        assert not result.degraded
+
+    def test_garbled_samples_are_rejected_and_held_over(
+        self, workload
+    ):
+        plan = FaultPlan(seed=3, sample=SampleFaults(overflow_prob=0.2))
+        result, _, injector = _run(
+            workload, plan, ResilienceConfig()
+        )
+        assert injector.injected.get("sampler.overflow", 0) >= 1
+        assert result.recoveries.get("sampler.holdover", 0) >= 1
+        # Held-over rates keep the governor sane: no absurd trace rows.
+        for row in result.trace:
+            for rate in row.rates.values():
+                assert rate < 100.0
+
+
+class TestPowerFiltering:
+    def test_spiked_readings_are_replaced_by_last_good(
+        self, workload
+    ):
+        plan = FaultPlan(
+            seed=5, meter=MeterFaults(spike_prob=0.3, spike_factor=8.0)
+        )
+        result, _, injector = _run(
+            workload, plan, ResilienceConfig()
+        )
+        assert injector.injected.get("meter.spike", 0) >= 1
+        assert result.recoveries.get("meter.power_holdover", 0) >= 1
+        # The governor's feedback path never saw a physically absurd
+        # reading (platform worst case is well under 40 W).
+        assert all(row.measured_power_w < 40.0 for row in result.trace)
+
+
+class TestRetry:
+    def test_failed_transitions_are_retried(self, workload):
+        plan = FaultPlan(
+            seed=1, transition=TransitionFaults(fail_prob=0.5)
+        )
+        result, machine, injector = _run(
+            workload, plan, ResilienceConfig(max_transition_retries=4)
+        )
+        assert injector.injected.get("driver.transition_fail", 0) >= 1
+        assert result.recoveries.get("driver.retry", 0) >= 1
+        assert not result.degraded
+
+    def test_retry_backoff_costs_simulated_time(self, workload):
+        plan = FaultPlan(
+            seed=1, transition=TransitionFaults(fail_prob=0.5)
+        )
+        clean, _, _ = _run(workload)
+        faulty, machine, _ = _run(
+            workload, plan,
+            ResilienceConfig(max_transition_retries=4, retry_backoff_s=0.002),
+        )
+        # Recovery is not free: backoff dead time stretches the run.
+        assert machine.dvfs.total_dead_time_s > 0
+        assert faulty.duration_s >= clean.duration_s
+
+
+class TestDegradation:
+    def test_watchdog_trips_on_stalled_sampler(self, workload):
+        plan = FaultPlan(seed=0, sample=SampleFaults(drop_prob=1.0))
+        result, machine, _ = _run(
+            workload, plan,
+            ResilienceConfig(watchdog_fault_ticks=5),
+        )
+        assert result.degraded
+        # Completed the whole workload on the fail-safe p-state.
+        assert result.instructions == pytest.approx(
+            workload.total_instructions, rel=1e-6
+        )
+        slowest = machine.config.table.slowest.frequency_mhz
+        assert result.residency_s.get(slowest, 0.0) > 0.0
+
+    def test_unrecoverable_actuation_degrades(self, workload):
+        plan = FaultPlan(
+            seed=0, transition=TransitionFaults(fail_prob=1.0)
+        )
+        result, _, _ = _run(
+            workload, plan,
+            ResilienceConfig(max_transition_retries=1, degrade_after_faults=2),
+        )
+        assert result.degraded
+        assert result.recoveries.get("driver.hold", 0) >= 2
+        assert result.instructions == pytest.approx(
+            workload.total_instructions, rel=1e-6
+        )
+
+    def test_custom_safe_frequency(self, workload):
+        plan = FaultPlan(seed=0, sample=SampleFaults(drop_prob=1.0))
+        result, _, _ = _run(
+            workload, plan,
+            ResilienceConfig(
+                watchdog_fault_ticks=3, safe_frequency_mhz=1000.0
+            ),
+        )
+        assert result.degraded
+        assert result.residency_s.get(1000.0, 0.0) > 0.0
+
+
+class TestStuckThermalSensor:
+    def test_stuck_readings_are_masked(self, workload):
+        config = MachineConfig(seed=0, thermal=ThermalModel())
+        plan = FaultPlan(
+            seed=2,
+            thermal=ThermalFaults(stuck_prob=0.05, stuck_duration_s=0.3),
+        )
+        result, _, injector = _run(
+            workload, plan,
+            ResilienceConfig(stuck_temperature_ticks=5),
+            machine_config=config,
+        )
+        assert injector.injected.get("thermal.stuck", 0) >= 1
+        assert result.recoveries.get("thermal.masked", 0) >= 1
+        # Masked rows report no temperature rather than a frozen lie.
+        assert any(row.temperature_c is None for row in result.trace)
+        assert any(row.temperature_c is not None for row in result.trace)
+
+
+class TestResilienceWithoutFaults:
+    def test_hardened_clean_run_matches_plain_run(self, workload):
+        plain, _, _ = _run(workload)
+        hardened, _, _ = _run(
+            workload, plan=None, resilience=ResilienceConfig()
+        )
+        assert hardened.trace == plain.trace
+        assert hardened.recoveries == {}
+        assert not hardened.degraded

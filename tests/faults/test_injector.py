@@ -1,0 +1,219 @@
+"""Tests for the seeded fault injector and its wrappers."""
+
+import pytest
+
+from repro.core.sampling import CounterSampler
+from repro.drivers.msr import MSRFile
+from repro.drivers.pmu import PMU
+from repro.errors import InjectedTransitionError, SampleDropped
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultySampler,
+    MeterFaults,
+    SampleFaults,
+    TransitionFaults,
+)
+from repro.measurement.power_meter import PowerMeter
+from repro.platform.events import Event, EventRates
+from repro.platform.machine import Machine, MachineConfig
+
+
+def _rates():
+    return EventRates(
+        inst_decoded=1.4, inst_retired=1.0, uops_retired=1.1,
+        data_mem_refs=0.4, dcu_lines_in=0.01, dcu_miss_outstanding=0.4,
+        l2_rqsts=0.02, l2_lines_in=0.01, bus_tran_mem=0.01,
+        bus_drdy_clocks=0.05, resource_stalls=0.1, fp_comp_ops_exe=0.2,
+        br_inst_decoded=0.1, br_inst_retired=0.08, br_mispred_retired=0.003,
+        ifu_mem_stall=0.02, prefetch_lines_in=0.002,
+    )
+
+
+def _drop_pattern(plan, ticks=200):
+    """Which of ``ticks`` samples were dropped under ``plan``."""
+    pmu = PMU(MSRFile())
+    injector = FaultInjector(plan)
+    sampler = injector.wrap_sampler(
+        CounterSampler(pmu, [Event.INST_DECODED])
+    )
+    sampler.start()
+    dropped = []
+    for i in range(ticks):
+        pmu.tick(10_000_000, _rates())
+        try:
+            sampler.sample(0.01)
+        except SampleDropped:
+            dropped.append(i)
+    return dropped
+
+
+class TestDeterminism:
+    def test_same_plan_same_fault_sequence(self):
+        plan = FaultPlan(seed=11, sample=SampleFaults(drop_prob=0.1))
+        assert _drop_pattern(plan) == _drop_pattern(plan)
+        assert _drop_pattern(plan)  # and some faults actually fired
+
+    def test_different_seed_different_sequence(self):
+        a = FaultPlan(seed=1, sample=SampleFaults(drop_prob=0.1))
+        b = FaultPlan(seed=2, sample=SampleFaults(drop_prob=0.1))
+        assert _drop_pattern(a) != _drop_pattern(b)
+
+    def test_streams_are_independent_across_subsystems(self):
+        # Enabling meter faults must not shift the sampler's sequence:
+        # each subsystem draws from its own seeded stream.
+        bare = FaultPlan(seed=11, sample=SampleFaults(drop_prob=0.1))
+        with_meter = FaultPlan(
+            seed=11,
+            sample=SampleFaults(drop_prob=0.1),
+            meter=MeterFaults(dropout_prob=0.5),
+        )
+        assert _drop_pattern(bare) == _drop_pattern(with_meter)
+
+
+class TestWrapping:
+    def test_inactive_sections_return_component_unwrapped(self):
+        injector = FaultInjector(
+            FaultPlan(sample=SampleFaults(drop_prob=0.5), enabled=False)
+        )
+        pmu = PMU(MSRFile())
+        sampler = CounterSampler(pmu, [Event.INST_DECODED])
+        meter = PowerMeter(interval_s=0.01)
+        assert injector.wrap_sampler(sampler) is sampler
+        assert injector.wrap_meter(meter) is meter
+        assert not injector.active
+
+    def test_enabled_section_wraps(self):
+        injector = FaultInjector(
+            FaultPlan(sample=SampleFaults(drop_prob=0.5))
+        )
+        pmu = PMU(MSRFile())
+        sampler = CounterSampler(pmu, [Event.INST_DECODED])
+        assert isinstance(injector.wrap_sampler(sampler), FaultySampler)
+        # The meter section is inert, so the meter stays unwrapped.
+        meter = PowerMeter(interval_s=0.01)
+        assert injector.wrap_meter(meter) is meter
+
+
+class TestFaultySampler:
+    def _sampler(self, sample_faults, seed=0):
+        pmu = PMU(MSRFile())
+        injector = FaultInjector(FaultPlan(seed=seed, sample=sample_faults))
+        sampler = injector.wrap_sampler(
+            CounterSampler(pmu, [Event.INST_DECODED])
+        )
+        sampler.start()
+        return pmu, sampler, injector
+
+    def test_drop_raises_and_is_recorded(self):
+        pmu, sampler, injector = self._sampler(SampleFaults(drop_prob=1.0))
+        pmu.tick(10_000_000, _rates())
+        with pytest.raises(SampleDropped):
+            sampler.sample(0.01)
+        assert injector.injected == {"sampler.drop": 1}
+
+    def test_duplicate_returns_previous_sample(self):
+        pmu, sampler, injector = self._sampler(
+            SampleFaults(duplicate_prob=1.0)
+        )
+        pmu.tick(10_000_000, _rates())
+        first = sampler.sample(0.01)  # nothing to duplicate yet
+        pmu.tick(10_000_000, _rates())
+        second = sampler.sample(0.01)
+        assert second is first
+        assert injector.injected == {"sampler.duplicate": 1}
+
+    def test_garble_corrupts_rates(self):
+        pmu, sampler, injector = self._sampler(SampleFaults(garble_prob=1.0))
+        pmu.tick(10_000_000, _rates())
+        sample = sampler.sample(0.01)
+        assert sample.dpc != pytest.approx(1.4, rel=1e-3)
+        assert injector.injected == {"sampler.garble": 1}
+
+    def test_overflow_inflates_rates_beyond_plausibility(self):
+        pmu, sampler, injector = self._sampler(
+            SampleFaults(overflow_prob=1.0)
+        )
+        pmu.tick(10_000_000, _rates())
+        sample = sampler.sample(0.01)
+        assert sample.dpc > 100.0  # a full 40-bit span landed in the delta
+        assert injector.injected == {"sampler.overflow": 1}
+
+    def test_delegates_unknown_attributes_to_inner(self):
+        _, sampler, _ = self._sampler(SampleFaults(drop_prob=0.5))
+        assert sampler.events == (Event.INST_DECODED,)
+
+
+class TestFaultyPowerMeter:
+    def test_dropout_zeroes_closed_samples(self):
+        injector = FaultInjector(
+            FaultPlan(meter=MeterFaults(dropout_prob=1.0))
+        )
+        meter = injector.wrap_meter(PowerMeter(interval_s=0.01))
+        for _ in range(5):
+            meter.accumulate(12.0, 0.01)
+        meter.flush()
+        assert meter.samples
+        assert all(s.watts == 0.0 for s in meter.samples)
+        assert injector.injected["meter.dropout"] == len(meter.samples)
+
+    def test_spike_multiplies_samples(self):
+        injector = FaultInjector(
+            FaultPlan(meter=MeterFaults(spike_prob=1.0, spike_factor=4.0))
+        )
+        meter = injector.wrap_meter(PowerMeter(interval_s=0.01))
+        for _ in range(5):
+            meter.accumulate(10.0, 0.01)
+        meter.flush()
+        # Spike factor is uniform in [2, 4]; the raw reading carries its
+        # own sense noise, so just bound well above the true 10 W.
+        assert all(s.watts > 15.0 for s in meter.samples)
+
+    def test_disabled_injection_leaves_samples_untouched(self):
+        plan = FaultPlan(
+            meter=MeterFaults(dropout_prob=1.0), enabled=False
+        )
+        injector = FaultInjector(plan)
+        meter = injector.wrap_meter(PowerMeter(interval_s=0.01))
+        meter.accumulate(10.0, 0.01)
+        meter.flush()
+        assert all(s.watts > 5.0 for s in meter.samples)
+
+
+class TestFaultySpeedStep:
+    def _driver(self, transition_faults):
+        machine = Machine(MachineConfig(seed=0))
+        injector = FaultInjector(
+            FaultPlan(transition=transition_faults)
+        )
+        driver = injector.wrap_speedstep(machine.speedstep, machine.dvfs)
+        return machine, driver, injector
+
+    def test_injected_failure_raises_transition_error(self):
+        machine, driver, injector = self._driver(
+            TransitionFaults(fail_prob=1.0)
+        )
+        slower = machine.config.table.slowest
+        with pytest.raises(InjectedTransitionError):
+            driver.set_pstate(slower)
+        # The real driver never saw the request.
+        assert machine.current_pstate != slower
+        assert injector.injected == {"driver.transition_fail": 1}
+
+    def test_stall_charges_dead_time_after_success(self):
+        machine, driver, injector = self._driver(
+            TransitionFaults(stall_prob=1.0, stall_s=0.004)
+        )
+        before = machine.dvfs.total_dead_time_s
+        driver.set_pstate(machine.config.table.slowest)
+        assert machine.current_pstate == machine.config.table.slowest
+        # Dead time = the genuine transition cost plus the injected stall.
+        assert machine.dvfs.total_dead_time_s >= before + 0.004
+        assert injector.injected == {"driver.transition_stall": 1}
+
+    def test_set_frequency_routes_through_faults(self):
+        machine, driver, injector = self._driver(
+            TransitionFaults(fail_prob=1.0)
+        )
+        with pytest.raises(InjectedTransitionError):
+            driver.set_frequency(machine.config.table.slowest.frequency_mhz)

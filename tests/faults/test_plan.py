@@ -1,0 +1,120 @@
+"""Tests for fault plan validation, round-tripping and loading."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    FaultPlan,
+    MeterFaults,
+    NodeFaults,
+    SampleFaults,
+    ThermalFaults,
+    TransitionFaults,
+    load_fault_plan,
+)
+
+
+class TestSectionValidation:
+    def test_probabilities_must_be_in_unit_interval(self):
+        with pytest.raises(FaultPlanError, match="drop_prob"):
+            SampleFaults(drop_prob=1.5)
+        with pytest.raises(FaultPlanError, match="dropout_prob"):
+            MeterFaults(dropout_prob=-0.1)
+        with pytest.raises(FaultPlanError, match="fail_prob"):
+            TransitionFaults(fail_prob="often")
+        with pytest.raises(FaultPlanError, match="stuck_prob"):
+            ThermalFaults(stuck_prob=2.0)
+        with pytest.raises(FaultPlanError, match="crash_prob"):
+            NodeFaults(crash_prob=1.1)
+
+    def test_magnitudes_validated(self):
+        with pytest.raises(FaultPlanError, match="garble_magnitude"):
+            SampleFaults(garble_magnitude=-1.0)
+        with pytest.raises(FaultPlanError, match="spike_factor"):
+            MeterFaults(spike_factor=1.5)
+        with pytest.raises(FaultPlanError, match="stall_s"):
+            TransitionFaults(stall_s=-0.1)
+        with pytest.raises(FaultPlanError, match="max_crashes"):
+            NodeFaults(max_crashes_per_node=-1)
+
+    def test_any_enabled(self):
+        assert not SampleFaults().any_enabled
+        assert SampleFaults(drop_prob=0.1).any_enabled
+        assert not NodeFaults(crash_prob=0.5, max_crashes_per_node=0).any_enabled
+
+
+class TestPlanActivity:
+    def test_default_plan_is_inert(self):
+        assert not FaultPlan().active
+
+    def test_disabled_plan_is_never_active(self):
+        plan = FaultPlan(enabled=False, sample=SampleFaults(drop_prob=0.5))
+        assert not plan.active
+
+    def test_enabled_plan_with_any_model_is_active(self):
+        plan = FaultPlan(meter=MeterFaults(spike_prob=0.01))
+        assert plan.active
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_plan(self):
+        plan = FaultPlan(
+            seed=9,
+            sample=SampleFaults(drop_prob=0.05, garble_prob=0.01),
+            transition=TransitionFaults(fail_prob=0.2, stall_prob=0.1),
+            node=NodeFaults(crash_prob=0.001, restart_delay_s=None),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"sampler": {}})
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown sample fault keys"):
+            FaultPlan.from_dict({"sample": {"drop_probability": 0.1}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(FaultPlanError, match="must be a mapping"):
+            FaultPlan.from_dict([1, 2])
+        with pytest.raises(FaultPlanError, match="section must be a mapping"):
+            FaultPlan.from_dict({"meter": 3})
+
+    def test_seed_and_enabled_types_checked(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan.from_dict({"seed": "zero"})
+        with pytest.raises(FaultPlanError, match="enabled"):
+            FaultPlan.from_dict({"enabled": "yes"})
+
+
+class TestLoadFaultPlan:
+    def test_loads_json(self, tmp_path):
+        spec = tmp_path / "plan.json"
+        spec.write_text(json.dumps(
+            {"seed": 3, "sample": {"drop_prob": 0.07}}
+        ))
+        plan = load_fault_plan(spec)
+        assert plan.seed == 3
+        assert plan.sample.drop_prob == pytest.approx(0.07)
+
+    def test_missing_file_gives_clear_error(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read fault spec"):
+            load_fault_plan(tmp_path / "nope.json")
+
+    def test_garbage_spec_gives_clear_error(self, tmp_path):
+        # Message differs depending on whether PyYAML is installed; both
+        # variants name the spec and say JSON parsing failed.
+        spec = tmp_path / "bad.json"
+        spec.write_text("{{{{")
+        with pytest.raises(FaultPlanError, match="valid JSON"):
+            load_fault_plan(spec)
+
+    def test_loads_yaml_when_pyyaml_present(self, tmp_path):
+        pytest.importorskip("yaml")
+        spec = tmp_path / "plan.yaml"
+        spec.write_text("seed: 5\ntransition:\n  fail_prob: 0.25\n")
+        plan = load_fault_plan(spec)
+        assert plan.seed == 5
+        assert plan.transition.fail_prob == pytest.approx(0.25)

@@ -12,7 +12,6 @@ from repro import (
     PowerManagementController,
     PowerSave,
     get_workload,
-    pentium_m_755_table,
     quickstart_pm,
     quickstart_ps,
 )
@@ -39,7 +38,6 @@ class TestPaperHeadlines:
     def test_pm_captures_most_of_the_possible_speedup(self):
         # Paper: 86% of the possible suite speedup at 17.5 W.  Checked
         # properly in benchmarks/; here a three-benchmark spot check.
-        table = pentium_m_755_table()
         model = LinearPowerModel.paper_model()
         speedups = {}
         for name in ("swim", "gap", "eon"):
@@ -108,7 +106,6 @@ class TestRuntimeReconfiguration:
 
 class TestCrossGovernorConsistency:
     def test_all_governors_complete_the_same_workload(self):
-        table = pentium_m_755_table()
         model = LinearPowerModel.paper_model()
         factories = [
             lambda t: FixedFrequency(t, 2000.0),

@@ -9,7 +9,6 @@ from repro.platform.caches import PENTIUM_M_755_TIMING
 from repro.platform.leakage import LeakageModel, PENTIUM_M_755_LEAKAGE
 from repro.platform.pipeline import resolve_rates
 from repro.platform.power import (
-    PENTIUM_M_755_POWER,
     PowerModelConstants,
     ground_truth_power,
     idle_power,

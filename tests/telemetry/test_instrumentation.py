@@ -162,7 +162,7 @@ class TestOverhead:
         measured-power feedback, result assembly) so timing it against
         the instrumented controller isolates the telemetry-off cost.
         """
-        from repro.core.controller import RunResult, TraceRow
+        from repro.core.controller import RunResult
         from repro.core.sampling import CounterSampler
 
         machine = Machine(MachineConfig(seed=0))
@@ -189,7 +189,7 @@ class TestOverhead:
             true_energy += record.energy_j
             freq = record.pstate.frequency_mhz
             residency[freq] = residency.get(freq, 0.0) + record.duration_s
-            measured = (
+            _measured = (
                 meter.samples[-1].watts
                 if len(meter.samples) > sample_index
                 else record.mean_power_w

@@ -68,12 +68,30 @@ class TestLoadReport:
         with pytest.raises(TelemetryError, match="events.jsonl"):
             load_report(tmp_path / "empty")
 
-    def test_malformed_event_line_raises(self, tmp_path):
+    def test_malformed_event_lines_skipped_and_counted(self, tmp_path):
+        # A journal from a crashed run is routinely truncated mid-line;
+        # damage is skipped and counted, never fatal to the report.
         d = tmp_path / "bad"
         d.mkdir()
-        (d / "events.jsonl").write_text('{"kind": "tick"}\nnot json\n')
-        with pytest.raises(TelemetryError, match="malformed"):
-            load_report(d)
+        (d / "events.jsonl").write_text(
+            '{"kind": "tick"}\n'
+            "not json\n"
+            '{"kind": "tick", "time_s": 0.0\n'  # truncated mid-object
+            '["not", "an", "object"]\n'
+            '{"kind": "decision"}\n'
+        )
+        report = load_report(d)
+        assert report.skipped_lines == 3
+        assert report.event_counts == {"tick": 1, "decision": 1}
+
+    def test_corrupt_metrics_snapshot_degrades(self, tmp_path):
+        d = tmp_path / "halfmetrics"
+        d.mkdir()
+        (d / "events.jsonl").write_text('{"kind": "tick"}\n')
+        (d / "metrics.json").write_text('{"metrics": {"counters":')
+        report = load_report(d)
+        assert report.metrics == {}
+        assert report.spans == {}
 
 
 class TestRenderReport:

@@ -136,3 +136,94 @@ def test_experiment_fig2(capsys):
 def test_invalid_experiment_id_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["experiment", "fig99"])
+
+
+class TestUpFrontValidation:
+    """--telemetry and --faults fail fast, before any simulation."""
+
+    def test_missing_faults_spec_rejected(self, tmp_path, capsys):
+        code = main(
+            ["run", "gzip", "--scale", "0.05",
+             "--faults", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        assert "cannot read fault spec" in capsys.readouterr().err
+
+    def test_unknown_fault_plan_key_rejected(self, tmp_path, capsys):
+        spec = tmp_path / "plan.json"
+        spec.write_text('{"sampler": {"drop_prob": 0.1}}')
+        code = main(
+            ["run", "gzip", "--scale", "0.05", "--faults", str(spec)]
+        )
+        assert code == 1
+        assert "unknown fault plan keys" in capsys.readouterr().err
+
+    def test_bad_telemetry_parent_rejected(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir"
+        code = main(
+            ["run", "gzip", "--scale", "0.05", "--telemetry", str(target)]
+        )
+        assert code == 1
+        assert "parent directory does not exist" in capsys.readouterr().err
+
+    def test_telemetry_target_must_not_be_a_file(self, tmp_path, capsys):
+        target = tmp_path / "occupied"
+        target.write_text("")
+        code = main(
+            ["run", "gzip", "--scale", "0.05", "--telemetry", str(target)]
+        )
+        assert code == 1
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_experiment_validates_faults_too(self, tmp_path, capsys):
+        code = main(
+            ["experiment", "fig2", "--scale", "0.05",
+             "--faults", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        assert "cannot read fault spec" in capsys.readouterr().err
+
+
+def test_run_with_faults_prints_summary(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "plan.json"
+    spec.write_text(json.dumps(
+        {"seed": 0, "sample": {"drop_prob": 0.08},
+         "transition": {"fail_prob": 0.6}}
+    ))
+    code = main(
+        ["run", "gzip", "--governor", "pm", "--limit", "14.5",
+         "--scale", "0.5", "--use-paper-model", "--faults", str(spec)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "injected" in out
+    assert "recoveries" in out
+
+
+def test_faults_report_round_trip(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "plan.json"
+    spec.write_text(json.dumps(
+        {"seed": 0, "sample": {"drop_prob": 0.08},
+         "transition": {"fail_prob": 0.6}}
+    ))
+    directory = tmp_path / "t"
+    assert main(
+        ["run", "gzip", "--governor", "pm", "--limit", "14.5",
+         "--scale", "0.5", "--use-paper-model",
+         "--faults", str(spec), "--telemetry", str(directory)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["faults-report", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "injected" in out
+    assert "sampler" in out
+
+
+def test_faults_report_on_missing_directory_fails(tmp_path, capsys):
+    code = main(["faults-report", str(tmp_path / "nope")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

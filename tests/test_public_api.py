@@ -34,6 +34,13 @@ PUBLIC_MODULES = (
     "repro.telemetry.spans",
     "repro.telemetry.exporters",
     "repro.telemetry.report",
+    "repro.errors",
+    "repro.core.resilience",
+    "repro.faults",
+    "repro.faults.plan",
+    "repro.faults.injector",
+    "repro.faults.context",
+    "repro.faults.report",
 )
 
 
@@ -55,11 +62,37 @@ def test_every_all_entry_is_documented():
             assert obj.__doc__, f"repro.{name} lacks a docstring"
 
 
+def test_every_error_class_is_exported():
+    """Every ReproError subclass is part of the top-level public API.
+
+    Callers hardening against this package need the whole hierarchy
+    importable from ``repro`` directly, not scattered per-module.
+    """
+    from repro import errors
+
+    classes = {
+        name: obj
+        for name, obj in vars(errors).items()
+        if isinstance(obj, type) and issubclass(obj, errors.ReproError)
+    }
+    assert "FaultError" in classes and "RecoveryError" in classes
+    for name, obj in classes.items():
+        assert name in repro.__all__, f"{name} missing from repro.__all__"
+        assert getattr(repro, name) is obj
+
+
+def test_fault_api_is_exported():
+    for name in ("FaultPlan", "FaultInjector", "load_fault_plan",
+                 "injecting", "ResilienceConfig"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+
+
 def test_subpackage_all_exports_resolve():
     for module_name in ("repro.core", "repro.core.governors",
                         "repro.core.models", "repro.fleet",
                         "repro.workloads", "repro.measurement",
-                        "repro.telemetry"):
+                        "repro.telemetry", "repro.faults"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name}"

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import WorkloadError
-from repro.workloads.base import Phase, PhaseCursor, Workload, validate_workloads
+from repro.workloads.base import Phase, Workload, validate_workloads
 
 
 def make_phase(**kw):

@@ -10,7 +10,7 @@ import pytest
 
 from repro.acpi.pstates import pentium_m_755_table
 from repro.platform.caches import PENTIUM_M_755_TIMING
-from repro.platform.pipeline import resolve_rates, throughput_scaling
+from repro.platform.pipeline import resolve_rates
 from repro.platform.power import ground_truth_power
 from repro.workloads.spec import (
     CORE_BOUND_GROUP,

@@ -8,7 +8,6 @@ from repro.core.governors.unconstrained import FixedFrequency
 from repro.core.models.performance import PerformanceModel
 from repro.errors import WorkloadError
 from repro.platform.machine import Machine, MachineConfig
-from repro.workloads.base import Phase, Workload
 from repro.workloads.traces import (
     CounterTrace,
     TraceInterval,
