@@ -25,6 +25,7 @@ __version__ = "1.0.0"
 
 from repro.acpi import PState, PStateTable, pentium_m_755_table
 from repro.errors import (
+    AdaptationError,
     DriverError,
     ExperimentError,
     FaultError,
@@ -48,6 +49,12 @@ from repro.errors import (
     TransitionError,
     WatchdogError,
     WorkloadError,
+)
+from repro.adaptation import (
+    AdaptationConfig,
+    AdaptationManager,
+    ModelRegistry,
+    adapting,
 )
 from repro.faults import (
     FaultInjector,
@@ -119,6 +126,10 @@ __all__ = [
     "FaultInjector",
     "load_fault_plan",
     "injecting",
+    "AdaptationConfig",
+    "AdaptationManager",
+    "ModelRegistry",
+    "adapting",
     # The full exception hierarchy: callers harden against this package
     # the same way its own controller hardens against its drivers.
     "ReproError",
@@ -136,6 +147,7 @@ __all__ = [
     "TelemetryError",
     "FaultError",
     "FaultPlanError",
+    "AdaptationError",
     "SensorFault",
     "SampleDropped",
     "InjectedTransitionError",

@@ -1,0 +1,244 @@
+"""Drift detection over model residuals.
+
+Estimation errors are inevitable (the paper budgets a 0.5 W guardband
+for them); *drift* is different -- a persistent, one-directional bias
+meaning the fitted coefficients no longer describe the platform (sensor
+gain drift, thermal shift, an unmodeled workload regime).  This module
+separates the two:
+
+* :class:`PageHinkleyDetector` -- the Page-Hinkley test (a two-sided
+  CUSUM variant) over the power-model residual stream.  Transient noise
+  cancels in the cumulative statistic; a sustained mean shift grows it
+  linearly until it crosses the confirmation threshold.
+* :class:`ResidualTracker` -- exponentially weighted mean/std of the
+  residual stream, used to widen the PM guardband proportionally to the
+  observed residual spread and to judge a recalibrated model during its
+  probation window.
+* :class:`MisclassificationMonitor` -- the performance-model
+  counterpart: watches p-state transitions and checks whether the
+  DCU/IPC threshold classified the workload into the class that best
+  explains the *observed* IPC scaling.  A high misclassification rate
+  over the window means the Eq. 3 threshold/exponent have drifted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.core.models.performance import PerformanceModel, WorkloadClass
+from repro.errors import AdaptationError
+
+
+class PageHinkleyDetector:
+    """Two-sided Page-Hinkley test for a mean shift in a sample stream.
+
+    Parameters
+    ----------
+    delta:
+        Tolerated drift magnitude per sample (the test's insensitivity
+        band; residual noise smaller than this never accumulates).
+    threshold:
+        Confirmation threshold ``lambda`` on the cumulative statistic.
+        Larger = fewer false positives, slower confirmation.
+    min_samples:
+        Samples required before the detector may fire (the running mean
+        needs to settle first).
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.05,
+        threshold: float = 5.0,
+        min_samples: int = 30,
+    ):
+        if delta < 0:
+            raise AdaptationError(f"delta must be non-negative, got {delta}")
+        if threshold <= 0:
+            raise AdaptationError(
+                f"threshold must be positive, got {threshold}"
+            )
+        if min_samples < 1:
+            raise AdaptationError("min_samples must be at least 1")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all accumulated evidence (fresh stream)."""
+        self._count = 0
+        self._mean = 0.0
+        self._cum_up = 0.0
+        self._min_up = 0.0
+        self._cum_down = 0.0
+        self._max_down = 0.0
+
+    @property
+    def samples_seen(self) -> int:
+        """Samples absorbed since the last reset."""
+        return self._count
+
+    @property
+    def statistic(self) -> float:
+        """The larger of the upward/downward test statistics."""
+        return max(
+            self._cum_up - self._min_up, self._max_down - self._cum_down
+        )
+
+    def update(self, value: float) -> bool:
+        """Absorb one sample; True when a drift is confirmed.
+
+        The caller is expected to :meth:`reset` after acting on a
+        confirmation (recalibration starts a fresh evidence stream).
+        """
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        deviation = value - self._mean
+        self._cum_up += deviation - self.delta
+        self._min_up = min(self._min_up, self._cum_up)
+        self._cum_down += deviation + self.delta
+        self._max_down = max(self._max_down, self._cum_down)
+        if self._count < self.min_samples:
+            return False
+        return self.statistic > self.threshold
+
+
+class ResidualTracker:
+    """Exponentially weighted mean and spread of a residual stream."""
+
+    def __init__(self, alpha: float = 0.02):
+        if not 0.0 < alpha <= 1.0:
+            raise AdaptationError(
+                f"EWMA alpha must be in (0, 1], got {alpha}"
+            )
+        self.alpha = alpha
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the stream (fresh model / fresh probation window)."""
+        self._count = 0
+        self._mean = 0.0
+        self._var = 0.0
+        self._abs_mean = 0.0
+
+    def update(self, value: float) -> None:
+        """Absorb one residual."""
+        self._count += 1
+        if self._count == 1:
+            self._mean = value
+            self._abs_mean = abs(value)
+            return
+        alpha = self.alpha
+        diff = value - self._mean
+        incr = alpha * diff
+        self._mean += incr
+        self._var = (1.0 - alpha) * (self._var + diff * incr)
+        self._abs_mean += alpha * (abs(value) - self._abs_mean)
+
+    @property
+    def count(self) -> int:
+        """Residuals absorbed since the last reset."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Exponentially weighted residual mean (signed bias)."""
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Exponentially weighted residual standard deviation."""
+        return math.sqrt(max(self._var, 0.0))
+
+    @property
+    def abs_mean(self) -> float:
+        """Exponentially weighted mean |residual| (probation score)."""
+        return self._abs_mean
+
+
+class MisclassificationMonitor:
+    """Performance-model class monitor over observed p-state transitions.
+
+    On a frequency change from ``f`` to ``f'``, Eq. 3 predicts the IPC
+    ratio ``IPC'/IPC`` to be ``1`` (core-bound) or ``(f/f')^e``
+    (memory-bound), chosen by the DCU/IPC threshold.  Each observation
+    asks: *which class better explains the ratio we actually measured?*
+    A sample whose observed scaling is closer (in log space) to the
+    other class's prediction counts as a misclassification; the rate
+    over a sliding window is the drift signal.
+    """
+
+    def __init__(
+        self,
+        model: PerformanceModel,
+        window: int = 200,
+        rate_threshold: float = 0.5,
+        min_observations: int = 20,
+    ):
+        if window < 1:
+            raise AdaptationError("window must be at least 1")
+        if not 0.0 < rate_threshold <= 1.0:
+            raise AdaptationError(
+                f"rate threshold must be in (0, 1], got {rate_threshold}"
+            )
+        if min_observations < 1:
+            raise AdaptationError("min_observations must be at least 1")
+        self._model = model
+        self._window: deque[bool] = deque(maxlen=window)
+        self.rate_threshold = rate_threshold
+        self.min_observations = min_observations
+
+    def reset(self) -> None:
+        """Forget the window (fresh model)."""
+        self._window.clear()
+
+    @property
+    def observations(self) -> int:
+        """Transitions observed within the current window."""
+        return len(self._window)
+
+    @property
+    def misclassification_rate(self) -> float:
+        """Fraction of windowed observations the model misclassified."""
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    def observe(
+        self,
+        dcu_per_ipc: float,
+        from_mhz: float,
+        to_mhz: float,
+        observed_ipc_ratio: float,
+    ) -> bool:
+        """Score one transition; True when the drift rate is exceeded.
+
+        ``observed_ipc_ratio`` is ``IPC_after / IPC_before`` across the
+        transition.  Equal-frequency ticks carry no class information
+        and must not be fed in.
+        """
+        if from_mhz <= 0 or to_mhz <= 0:
+            raise AdaptationError("frequencies must be positive")
+        if from_mhz == to_mhz:
+            raise AdaptationError(
+                "equal-frequency observations carry no class signal"
+            )
+        if observed_ipc_ratio <= 0:
+            raise AdaptationError("observed IPC ratio must be positive")
+        predicted = self._model.classify(dcu_per_ipc)
+        core_ratio = 1.0
+        memory_ratio = (from_mhz / to_mhz) ** self._model.memory_exponent
+        log_obs = math.log(observed_ipc_ratio)
+        core_error = abs(log_obs - math.log(core_ratio))
+        memory_error = abs(log_obs - math.log(memory_ratio))
+        best = (
+            WorkloadClass.CORE_BOUND
+            if core_error <= memory_error
+            else WorkloadClass.MEMORY_BOUND
+        )
+        self._window.append(best is not predicted)
+        return (
+            len(self._window) >= self.min_observations
+            and self.misclassification_rate > self.rate_threshold
+        )

@@ -1,0 +1,207 @@
+"""Recursive least squares for the per-p-state linear power model.
+
+The paper fits ``P = alpha * DPC + beta`` per p-state once, offline, on
+the MS-Loops characterization sweep (Table II).  Online adaptation
+needs the same fit to be *refinable from the control loop itself*: every
+10 ms tick yields one ``(DPC, measured power)`` pair at the p-state that
+just executed.  :class:`PowerModelRLS` maintains one two-parameter
+recursive-least-squares estimate per p-state -- O(1) state and O(1)
+update per sample, no history stored -- with an exponential forgetting
+factor so stale pre-drift samples age out of the fit.
+
+Standard RLS with regressor ``phi = [dpc, 1]`` and parameters
+``theta = [alpha, beta]``::
+
+    K     = P phi / (lambda + phi' P phi)
+    theta = theta + K (y - phi' theta)
+    P     = (P - K phi' P) / lambda
+
+``lambda`` (the forgetting factor) in (0, 1]: 1.0 is the ordinary
+infinite-memory fit; smaller values weight recent samples more, with an
+effective window of roughly ``1 / (1 - lambda)`` samples.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.acpi.pstates import PState
+from repro.core.models.power import LinearPowerModel, PStateCoefficients
+from repro.errors import AdaptationError
+
+#: Initial parameter-covariance scale for a cold-started p-state (large:
+#: the first few samples dominate the estimate).
+COLD_P0 = 1e4
+
+#: Initial covariance scale when warm-starting from an existing model's
+#: coefficients (small: trust the prior until evidence accumulates).
+WARM_P0 = 1.0
+
+#: Floor applied to a refitted beta so the resulting
+#: :class:`PStateCoefficients` keeps its idle-power-is-positive invariant.
+MIN_BETA_W = 0.05
+
+
+class _RlsState:
+    """One p-state's running estimate."""
+
+    __slots__ = ("theta", "P", "count")
+
+    def __init__(self, theta: np.ndarray, p0: float):
+        self.theta = theta
+        self.P = np.eye(2) * p0
+        self.count = 0
+
+
+class PowerModelRLS:
+    """Per-p-state recursive (alpha, beta) refinement from live samples.
+
+    Parameters
+    ----------
+    forgetting:
+        Exponential forgetting factor ``lambda`` in (0, 1].
+    initial_model:
+        Optional model whose coefficients warm-start each p-state's
+        estimate (cold p-states start from zero with a large covariance).
+    """
+
+    def __init__(
+        self,
+        forgetting: float = 0.98,
+        initial_model: LinearPowerModel | None = None,
+    ):
+        if not 0.0 < forgetting <= 1.0:
+            raise AdaptationError(
+                f"forgetting factor must be in (0, 1], got {forgetting}"
+            )
+        self._forgetting = forgetting
+        self._initial = initial_model
+        self._states: dict[float, _RlsState] = {}
+
+    @property
+    def forgetting(self) -> float:
+        """The forgetting factor ``lambda``."""
+        return self._forgetting
+
+    @property
+    def frequencies_mhz(self) -> tuple[float, ...]:
+        """P-states that have received at least one sample, ascending."""
+        return tuple(sorted(self._states))
+
+    def _state(self, frequency_mhz: float) -> _RlsState:
+        state = self._states.get(frequency_mhz)
+        if state is None:
+            theta = np.zeros(2)
+            p0 = COLD_P0
+            if self._initial is not None:
+                try:
+                    prior = self._initial.coefficients(frequency_mhz)
+                except Exception:  # noqa: BLE001 - any miss cold-starts
+                    prior = None
+                if prior is not None:
+                    theta = np.array([prior.alpha, prior.beta])
+                    p0 = WARM_P0
+            state = self._states[frequency_mhz] = _RlsState(theta, p0)
+        return state
+
+    def update(
+        self, pstate: PState | float, dpc: float, measured_w: float
+    ) -> tuple[float, float]:
+        """Fold one ``(DPC, measured power)`` sample into a p-state's fit.
+
+        Returns the updated ``(alpha, beta)`` estimate.
+        """
+        if dpc < 0:
+            raise AdaptationError(f"DPC cannot be negative, got {dpc}")
+        if measured_w < 0:
+            raise AdaptationError(
+                f"measured power cannot be negative, got {measured_w}"
+            )
+        freq = pstate.frequency_mhz if isinstance(pstate, PState) else pstate
+        state = self._state(freq)
+        lam = self._forgetting
+        phi = np.array([dpc, 1.0])
+        P_phi = state.P @ phi
+        gain = P_phi / (lam + phi @ P_phi)
+        state.theta = state.theta + gain * (measured_w - phi @ state.theta)
+        state.P = (state.P - np.outer(gain, P_phi)) / lam
+        state.count += 1
+        return float(state.theta[0]), float(state.theta[1])
+
+    def samples_seen(self, frequency_mhz: float) -> int:
+        """Samples folded into one p-state's estimate so far."""
+        state = self._states.get(frequency_mhz)
+        return state.count if state is not None else 0
+
+    @property
+    def total_samples(self) -> int:
+        """Samples folded in across all p-states."""
+        return sum(state.count for state in self._states.values())
+
+    def coefficients(
+        self, frequency_mhz: float
+    ) -> PStateCoefficients | None:
+        """The current estimate for one p-state (None before any sample).
+
+        Estimates are clamped to the model invariants (``alpha >= 0``,
+        ``beta > 0``) -- a briefly ill-conditioned fit must never
+        produce an unconstructible model.
+        """
+        state = self._states.get(frequency_mhz)
+        if state is None or state.count == 0:
+            return None
+        return PStateCoefficients(
+            alpha=max(float(state.theta[0]), 0.0),
+            beta=max(float(state.theta[1]), MIN_BETA_W),
+        )
+
+    def fitted_model(
+        self,
+        fallback: LinearPowerModel,
+        min_samples: int = 1,
+    ) -> LinearPowerModel:
+        """A full model: refined where trusted, ``fallback`` elsewhere.
+
+        A p-state's online estimate replaces the fallback coefficients
+        only once it has absorbed ``min_samples`` samples; p-states the
+        run never visited keep the fallback fit, so the swapped-in model
+        always covers the whole table.
+        """
+        if min_samples < 1:
+            raise AdaptationError("min_samples must be at least 1")
+        coefficients: dict[float, PStateCoefficients] = {
+            freq: fallback.coefficients(freq)
+            for freq in fallback.frequencies_mhz
+        }
+        for freq in self.frequencies_mhz:
+            if self.samples_seen(freq) >= min_samples:
+                refined = self.coefficients(freq)
+                if refined is not None:
+                    coefficients[freq] = refined
+        return LinearPowerModel(coefficients)
+
+    def refit_frequencies(self, min_samples: int = 1) -> tuple[float, ...]:
+        """P-states whose estimates would be trusted by :meth:`fitted_model`."""
+        return tuple(
+            freq
+            for freq in self.frequencies_mhz
+            if self.samples_seen(freq) >= min_samples
+        )
+
+    def reset(self) -> None:
+        """Forget all per-p-state state (fresh run)."""
+        self._states.clear()
+
+    def snapshot(self) -> Mapping[float, dict]:
+        """JSON-safe per-p-state estimate summary (for provenance)."""
+        out: dict[float, dict] = {}
+        for freq in self.frequencies_mhz:
+            state = self._states[freq]
+            out[freq] = {
+                "alpha": float(state.theta[0]),
+                "beta": float(state.theta[1]),
+                "samples": state.count,
+            }
+        return out

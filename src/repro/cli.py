@@ -20,14 +20,20 @@ Subcommands
 ``faults-report``
     Reconcile injected faults against the recoveries the hardened loop
     performed, from the same telemetry directory.
+``adaptation-report``
+    Summarize the online-adaptation activity (drift detections,
+    recalibrations, rollbacks, residual spread) recorded in a telemetry
+    directory from a ``--adapt`` run.
 
 ``run`` and ``experiment`` accept ``--telemetry DIR`` to export the
 full observability bundle -- ``events.jsonl``, ``trace.csv``,
 ``metrics.json`` and ``summary.txt`` -- for the instrumented
-monitor -> estimate -> control loop, and ``--faults SPEC`` to drill the
+monitor -> estimate -> control loop, ``--faults SPEC`` to drill the
 run with a seeded fault plan (JSON, or YAML when PyYAML is installed)
-against the hardened controller.  Both flags are validated up front,
-before any simulation work starts.
+against the hardened controller, and ``--adapt`` to turn on online
+model adaptation (recursive calibration + drift detection + versioned
+model registry) for PM-family governors.  All flags are validated up
+front, before any simulation work starts.
 """
 
 from __future__ import annotations
@@ -106,6 +112,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject faults from a JSON/YAML fault plan and run the "
         "hardened controller",
     )
+    run.add_argument(
+        "--adapt", action="store_true",
+        help="enable online model adaptation (PM-family governors "
+        "only): recursive calibration, drift detection, versioned "
+        "model registry",
+    )
+    run.add_argument(
+        "--registry", metavar="FILE.json",
+        help="with --adapt: save the run's versioned model registry "
+        "(baseline + every recalibration, with provenance) to FILE",
+    )
 
     train = sub.add_parser(
         "train", help="train the models on MS-Loops and compare to Table II"
@@ -134,6 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject faults from a JSON/YAML fault plan into every "
         "governed run of the experiment",
     )
+    experiment.add_argument(
+        "--adapt", action="store_true",
+        help="enable online model adaptation for every PM-family "
+        "governed run of the experiment",
+    )
 
     telemetry_report = sub.add_parser(
         "telemetry-report",
@@ -151,6 +173,16 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_report.add_argument(
         "directory",
         help="directory produced by run/experiment --telemetry --faults",
+    )
+
+    adaptation_report = sub.add_parser(
+        "adaptation-report",
+        help="summarize online-adaptation activity from a telemetry "
+        "directory",
+    )
+    adaptation_report.add_argument(
+        "directory",
+        help="directory produced by run/experiment --telemetry --adapt",
     )
 
     report = sub.add_parser(
@@ -273,9 +305,23 @@ def _print_fault_summary(injector, result: RunResult) -> None:
         print("degraded     : yes (completed on the fail-safe p-state)")
 
 
+def _print_adaptation_summary(manager) -> None:
+    summary = manager.summary()
+    if not summary["engaged"]:
+        print("adaptation   : not engaged (governor has no swappable model)")
+        return
+    print(f"adaptation   : {summary['drift_detections']} drift detections, "
+          f"{summary['recalibrations']} recalibrations, "
+          f"{summary['rollbacks']} rollbacks "
+          f"(registry: {summary['registered_versions']} versions, "
+          f"v{summary['active_version']} active)")
+
+
 def _cmd_run(args) -> int:
     _validate_telemetry_path(args.telemetry)
     fault_plan = _load_faults_arg(args.faults)
+    if args.registry and not args.adapt:
+        raise ReproError("--registry requires --adapt")
     workload = default_registry().get(args.workload).scaled(args.scale)
     machine = Machine(MachineConfig(seed=args.seed))
     governor = _make_governor(args, machine.config.table)
@@ -288,6 +334,11 @@ def _cmd_run(args) -> int:
 
         injector = FaultInjector(fault_plan, telemetry=recorder)
         resilience = ResilienceConfig()
+    adaptation = None
+    if args.adapt:
+        from repro.adaptation import AdaptationManager
+
+        adaptation = AdaptationManager()
     controller = PowerManagementController(
         machine,
         governor,
@@ -295,11 +346,17 @@ def _cmd_run(args) -> int:
         telemetry=recorder,
         resilience=resilience,
         injector=injector,
+        adaptation=adaptation,
     )
     result = controller.run(workload)
     _print_summary(result, args)
     if injector is not None:
         _print_fault_summary(injector, result)
+    if adaptation is not None:
+        _print_adaptation_summary(adaptation)
+        if args.registry:
+            adaptation.registry.save(args.registry)
+            print(f"model registry saved to {args.registry}")
     if args.trace:
         _export_trace(result, args.trace)
         print(f"trace written to {args.trace}")
@@ -398,6 +455,7 @@ _EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
     "accuracy": _experiment_runner("model_accuracy"),
     "characterization": _experiment_runner("characterization"),
     "hierarchy": _experiment_runner("hierarchy_probe"),
+    "drift": _experiment_runner("adaptation_drift"),
 }
 
 
@@ -419,6 +477,12 @@ def _cmd_experiment(args) -> int:
             # Ambient plan: every run_governed inside the experiment
             # builds its own seeded injector from it.
             stack.enter_context(injecting(fault_plan))
+        if getattr(args, "adapt", False):
+            from repro.adaptation import AdaptationConfig, adapting
+
+            # Ambient config: every run_governed inside the experiment
+            # builds its own fresh manager from it.
+            stack.enter_context(adapting(AdaptationConfig()))
         text = _EXPERIMENTS[args.id](args.scale)
     print(text)
     if sink is not None:
@@ -438,6 +502,13 @@ def _cmd_faults_report(args) -> int:
     from repro.faults import render_faults_report
 
     print(render_faults_report(args.directory))
+    return 0
+
+
+def _cmd_adaptation_report(args) -> int:
+    from repro.adaptation import render_adaptation_report
+
+    print(render_adaptation_report(args.directory))
     return 0
 
 
@@ -469,6 +540,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_telemetry_report(args)
         if args.command == "faults-report":
             return _cmd_faults_report(args)
+        if args.command == "adaptation-report":
+            return _cmd_adaptation_report(args)
         if args.command == "report":
             return _cmd_report(args)
     except ReproError as error:

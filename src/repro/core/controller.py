@@ -72,6 +72,7 @@ from repro.telemetry.bus import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.adaptation.manager import AdaptationManager
     from repro.faults.injector import FaultInjector
 from repro.telemetry.metrics import (
     POWER_BUCKETS_W,
@@ -344,6 +345,7 @@ class PowerManagementController:
         telemetry: TelemetryRecorder | None = None,
         resilience: ResilienceConfig | None = None,
         injector: "FaultInjector | None" = None,
+        adaptation: "AdaptationManager | None" = None,
     ):
         self.machine = machine
         self.governor = governor
@@ -363,6 +365,7 @@ class PowerManagementController:
         self._keep_trace = keep_trace
         self._telemetry = telemetry
         self._resilience = resilience
+        self._adaptation = adaptation
 
     @staticmethod
     def _actuate(
@@ -413,6 +416,10 @@ class PowerManagementController:
             else None
         )
         hardened = rt is not None
+        adapt = self._adaptation
+        adapting = adapt is not None and adapt.engage(
+            governor, tel, now_s=machine.now_s
+        )
         # Temperature is only observed when someone consumes it; the
         # plain fast path must not pay for the hardened one.
         track_temp = (
@@ -529,6 +536,11 @@ class PowerManagementController:
                 changed = False
             if hasattr(governor, "observe_power"):
                 governor.observe_power(measured)
+            # Online adaptation: fold the interval that just executed
+            # into the shadow score / RLS fit.  Any model swap decided
+            # here takes effect at the *next* control decision.
+            if adapting and counter_sample is not None:
+                adapt.observe(counter_sample, current, measured, machine.now_s)
 
             if instrumented:
                 ticks_counter.inc()

@@ -57,6 +57,16 @@ class AdaptivePerformanceMaximizer(PerformanceMaximizer):
         self._last_sample = None
         self._last_state = None
 
+    def swap_model(self, model: LinearPowerModel) -> None:
+        """Hot-swap the model and drop the learned offsets.
+
+        A recalibrated model already absorbs whatever persistent error
+        the offsets were compensating; keeping them would double-count
+        the correction.
+        """
+        super().swap_model(model)
+        self._offsets.clear()
+
     def offset(self, pstate: PState) -> float:
         """Current learned correction for a p-state (W)."""
         return self._offsets.get(pstate.frequency_mhz, 0.0)

@@ -83,6 +83,37 @@ class PerformanceMaximizer(Governor):
         self._pending_raise = None
 
     @property
+    def model(self) -> LinearPowerModel:
+        """The power model currently driving estimates."""
+        return self._model
+
+    def swap_model(self, model: LinearPowerModel) -> None:
+        """Hot-swap the power model, effective at the next decision.
+
+        The online-adaptation manager calls this between control
+        decisions after a confirmed recalibration or rollback; the
+        raise hysteresis is left alone (the streak's evidence is about
+        the workload, not the model).
+        """
+        self._model = model
+
+    @property
+    def guardband_w(self) -> float:
+        """The estimate guardband currently applied."""
+        return self._guardband
+
+    def set_guardband(self, watts: float) -> None:
+        """Change the estimate guardband, effective at the next decision.
+
+        The adaptation manager widens it in proportion to the observed
+        model-residual spread: a model known to be noisy is trusted
+        less.
+        """
+        if watts < 0:
+            raise GovernorError("guardband must be non-negative")
+        self._guardband = watts
+
+    @property
     def events(self) -> tuple[Event, ...]:
         """PM needs only the decode counter (paper §IV-A1)."""
         return (Event.INST_DECODED,)

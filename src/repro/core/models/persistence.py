@@ -5,12 +5,22 @@ and ship coefficients (exactly what the paper's Table II *is* -- frozen
 coefficients).  This module serializes the linear DPC model, the
 performance model and the component model to a stable JSON schema with a
 format-version field, and reloads them with validation.
+
+Format history
+--------------
+
+* **v1** -- ``format``/``kind`` plus the model payload.
+* **v2** -- adds an optional ``provenance`` object (who fitted the
+  model, from what data, with what residual statistics) used by the
+  online-adaptation :class:`~repro.adaptation.registry.ModelRegistry`
+  to version models with full lineage.  v1 documents remain loadable;
+  writers emit v2.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Callable, Mapping
 
 from repro.core.models.component_power import (
     ComponentCoefficients,
@@ -22,21 +32,31 @@ from repro.errors import ModelError
 from repro.platform.events import Event
 
 #: Schema version written into every document.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Formats this build can still read (v1 documents predate provenance).
+SUPPORTED_FORMATS = (1, 2)
 
 
-def power_model_to_json(model: LinearPowerModel) -> str:
-    """Serialize a linear DPC power model."""
-    doc = {
-        "format": FORMAT_VERSION,
-        "kind": "linear_power_model",
-        "coefficients": {
-            str(freq): {
-                "alpha": model.alpha(freq),
-                "beta": model.beta(freq),
-            }
-            for freq in model.frequencies_mhz
-        },
+def _document(kind: str, provenance: Mapping[str, Any] | None) -> dict:
+    doc: dict = {"format": FORMAT_VERSION, "kind": kind}
+    if provenance is not None:
+        doc["provenance"] = dict(provenance)
+    return doc
+
+
+def power_model_to_json(
+    model: LinearPowerModel,
+    provenance: Mapping[str, Any] | None = None,
+) -> str:
+    """Serialize a linear DPC power model (v2; provenance optional)."""
+    doc = _document("linear_power_model", provenance)
+    doc["coefficients"] = {
+        str(freq): {
+            "alpha": model.alpha(freq),
+            "beta": model.beta(freq),
+        }
+        for freq in model.frequencies_mhz
     }
     return json.dumps(doc, indent=2, sort_keys=True)
 
@@ -52,14 +72,14 @@ def power_model_from_json(text: str) -> LinearPowerModel:
     return LinearPowerModel(coefficients)
 
 
-def performance_model_to_json(model: PerformanceModel) -> str:
-    """Serialize an Eq. 3 performance model."""
-    doc = {
-        "format": FORMAT_VERSION,
-        "kind": "performance_model",
-        "dcu_threshold": model.dcu_threshold,
-        "memory_exponent": model.memory_exponent,
-    }
+def performance_model_to_json(
+    model: PerformanceModel,
+    provenance: Mapping[str, Any] | None = None,
+) -> str:
+    """Serialize an Eq. 3 performance model (v2; provenance optional)."""
+    doc = _document("performance_model", provenance)
+    doc["dcu_threshold"] = model.dcu_threshold
+    doc["memory_exponent"] = model.memory_exponent
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
@@ -72,23 +92,23 @@ def performance_model_from_json(text: str) -> PerformanceModel:
     )
 
 
-def component_model_to_json(model: ComponentPowerModel) -> str:
+def component_model_to_json(
+    model: ComponentPowerModel,
+    provenance: Mapping[str, Any] | None = None,
+) -> str:
     """Serialize a component power model (events keyed by name)."""
-    doc = {
-        "format": FORMAT_VERSION,
-        "kind": "component_power_model",
-        "coefficients": {
-            str(freq): {
-                "intercept": model.coefficients(freq).intercept,
-                "weights": {
-                    event.name: weight
-                    for event, weight in model.coefficients(
-                        freq
-                    ).weights.items()
-                },
-            }
-            for freq in model.frequencies_mhz
-        },
+    doc = _document("component_power_model", provenance)
+    doc["coefficients"] = {
+        str(freq): {
+            "intercept": model.coefficients(freq).intercept,
+            "weights": {
+                event.name: weight
+                for event, weight in model.coefficients(
+                    freq
+                ).weights.items()
+            },
+        }
+        for freq in model.frequencies_mhz
     }
     return json.dumps(doc, indent=2, sort_keys=True)
 
@@ -113,18 +133,58 @@ def component_model_from_json(text: str) -> ComponentPowerModel:
     return ComponentPowerModel(coefficients)
 
 
-def _load(text: str, expected_kind: str) -> dict[str, Any]:
+#: Loader per document kind, for generic (registry) reloading.
+_LOADERS: Mapping[str, Callable[[str], Any]] = {
+    "linear_power_model": power_model_from_json,
+    "performance_model": performance_model_from_json,
+    "component_power_model": component_model_from_json,
+}
+
+
+def model_from_json(text: str):
+    """Reload *any* supported model document, dispatching on ``kind``.
+
+    The registry stores heterogeneous model documents; this is its
+    single reload path.
+    """
+    doc = _parse(text)
+    kind = doc.get("kind")
+    loader = _LOADERS.get(kind)
+    if loader is None:
+        raise ModelError(
+            f"unknown model kind {kind!r}; "
+            f"supported: {', '.join(sorted(_LOADERS))}"
+        )
+    return loader(text)
+
+
+def model_provenance(text: str) -> dict[str, Any]:
+    """The ``provenance`` object of a model document ({} for v1 docs)."""
+    doc = _parse(text)
+    provenance = doc.get("provenance", {})
+    if not isinstance(provenance, dict):
+        raise ModelError("model provenance must be a JSON object")
+    return provenance
+
+
+def _parse(text: str) -> dict[str, Any]:
     try:
         doc = json.loads(text)
     except json.JSONDecodeError as error:
         raise ModelError(f"not valid model JSON: {error}") from None
     if not isinstance(doc, dict):
         raise ModelError("model document must be a JSON object")
-    if doc.get("format") != FORMAT_VERSION:
+    if doc.get("format") not in SUPPORTED_FORMATS:
         raise ModelError(
             f"unsupported model format {doc.get('format')!r}; "
-            f"this build reads version {FORMAT_VERSION}"
+            f"this build reads versions "
+            f"{', '.join(str(v) for v in SUPPORTED_FORMATS)}"
         )
+    return doc
+
+
+def _load(text: str, expected_kind: str) -> dict[str, Any]:
+    doc = _parse(text)
     if doc.get("kind") != expected_kind:
         raise ModelError(
             f"expected a {expected_kind}, found {doc.get('kind')!r}"

@@ -53,6 +53,12 @@ class GovernorError(ReproError):
     """Raised for invalid governor configuration (e.g. unachievable limits)."""
 
 
+class AdaptationError(ReproError):
+    """Raised by the online model-adaptation subsystem
+    (:mod:`repro.adaptation`) for invalid estimator/detector/registry
+    configuration or misuse (e.g. rolling back with no prior version)."""
+
+
 class MeasurementError(ReproError):
     """Raised by the simulated power-measurement rig."""
 

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
 
 from repro.acpi.pstates import PStateTable, pentium_m_755_table
+from repro.adaptation.context import current_adaptation_config
+from repro.adaptation.manager import AdaptationConfig, AdaptationManager
 from repro.core.controller import PowerManagementController, RunResult
 from repro.core.governors.base import Governor
 from repro.core.governors.unconstrained import FixedFrequency
@@ -73,6 +75,7 @@ def run_governed(
     telemetry: TelemetryRecorder | None = None,
     fault_plan: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
+    adaptation: AdaptationConfig | AdaptationManager | None = None,
 ) -> RunResult:
     """One (workload, governor) run on a fresh machine.
 
@@ -89,9 +92,23 @@ def run_governed(
     default :class:`ResilienceConfig` unless one is supplied --
     injecting faults into an unhardened loop would just crash it.
     ``resilience`` alone hardens the loop without injecting anything.
+
+    ``adaptation`` turns on online model adaptation; when omitted the
+    process-local config installed with :func:`repro.adaptation.
+    adapting` (if any) is used.  A config gets a *fresh*
+    :class:`AdaptationManager` per run, so repetitions never share
+    learned state; pass a prebuilt manager instead to inspect its
+    registry and summary after the run.  The manager engages only on
+    governors that expose the model-swap interface and is a guaranteed
+    no-op otherwise.
     """
     tel = telemetry if telemetry is not None else current_recorder()
     plan = fault_plan if fault_plan is not None else current_fault_plan()
+    adapt = (
+        adaptation if adaptation is not None else current_adaptation_config()
+    )
+    if adapt is not None and not isinstance(adapt, AdaptationManager):
+        adapt = AdaptationManager(adapt)
     injector = (
         FaultInjector(plan, telemetry=tel)
         if plan is not None and plan.active
@@ -108,6 +125,7 @@ def run_governed(
         telemetry=tel,
         resilience=resilience,
         injector=injector,
+        adaptation=adapt,
     )
     initial = (
         machine.config.table.by_frequency(initial_frequency_mhz)

@@ -268,6 +268,7 @@ class FaultyPowerMeter:
         self._cfg = injector.plan.meter
         self._rng = injector.rng("meter")
         self._corrupted = len(inner.samples)
+        self._drift_started = False
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
@@ -288,6 +289,21 @@ class FaultyPowerMeter:
         while self._corrupted < len(samples):
             index = self._corrupted
             sample = samples[index]
+            # Gain drift is deterministic and applied first, so the
+            # dropout/spike RNG draws match a drift-free plan exactly.
+            gain = cfg.drift_gain(sample.time_s)
+            if gain != 1.0:
+                sample = dataclasses.replace(
+                    sample, watts=sample.watts * gain
+                )
+                samples[index] = sample
+                if not self._drift_started:
+                    self._drift_started = True
+                    self._injector.record(
+                        "meter", "drift", sample.time_s,
+                        detail=f"+{cfg.drift_rate_per_s * 100:.2f}%/s "
+                        f"from t={cfg.drift_start_s:.2f}s",
+                    )
             if cfg.dropout_prob and rng.random() < cfg.dropout_prob:
                 samples[index] = dataclasses.replace(sample, watts=0.0)
                 self._injector.record("meter", "dropout", sample.time_s)

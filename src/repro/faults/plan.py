@@ -73,7 +73,15 @@ class SampleFaults:
 
 @dataclass(frozen=True)
 class MeterFaults:
-    """Power-meter fault model (the sense-resistor/DAQ rig path)."""
+    """Power-meter fault model (the sense-resistor/DAQ rig path).
+
+    Dropout and spikes are *transient* faults the resilience filter
+    absorbs; gain drift is a *persistent* fault -- a sense-resistor /
+    ADC calibration slowly walking away from truth -- that only online
+    model adaptation can compensate.  Drift is deterministic (no
+    randomness consumed), so enabling it never perturbs the dropout /
+    spike sequences of an existing plan.
+    """
 
     #: A 10 ms power sample reads zero (dead channel / dropped DAQ frame).
     dropout_prob: float = 0.0
@@ -81,6 +89,13 @@ class MeterFaults:
     spike_prob: float = 0.0
     #: Upper bound of the uniform spike factor (lower bound is 2x).
     spike_factor: float = 6.0
+    #: Fractional gain error added per simulated second once drift
+    #: starts (0.01 = the meter reads 1% higher per second).
+    drift_rate_per_s: float = 0.0
+    #: Simulated time at which the gain starts drifting.
+    drift_start_s: float = 0.0
+    #: Cap on the total gain error (0.5 = readings at most 1.5x truth).
+    drift_max_gain: float = 0.5
 
     def __post_init__(self) -> None:
         _check_probability("meter.dropout_prob", self.dropout_prob)
@@ -89,11 +104,30 @@ class MeterFaults:
             raise FaultPlanError(
                 f"meter.spike_factor must be >= 2, got {self.spike_factor!r}"
             )
+        _check_non_negative("meter.drift_rate_per_s", self.drift_rate_per_s)
+        _check_non_negative("meter.drift_start_s", self.drift_start_s)
+        _check_non_negative("meter.drift_max_gain", self.drift_max_gain)
 
     @property
     def any_enabled(self) -> bool:
         """True when any meter fault can fire."""
-        return self.dropout_prob > 0 or self.spike_prob > 0
+        return (
+            self.dropout_prob > 0
+            or self.spike_prob > 0
+            or self.drift_enabled
+        )
+
+    @property
+    def drift_enabled(self) -> bool:
+        """True when the gain-drift model is active."""
+        return self.drift_rate_per_s > 0 and self.drift_max_gain > 0
+
+    def drift_gain(self, time_s: float) -> float:
+        """The multiplicative gain error applied at ``time_s``."""
+        if not self.drift_enabled or time_s <= self.drift_start_s:
+            return 1.0
+        excess = self.drift_rate_per_s * (time_s - self.drift_start_s)
+        return 1.0 + min(excess, self.drift_max_gain)
 
 
 @dataclass(frozen=True)

@@ -214,6 +214,53 @@ class DegradedModeEntered(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class ModelDriftDetected(TelemetryEvent):
+    """The drift detector confirmed the active model no longer fits.
+
+    ``detector`` names the monitor that fired (``page_hinkley`` for the
+    power-model residual CUSUM, ``misclassification`` for the
+    performance-model class monitor); ``statistic`` is the detector's
+    test statistic at the moment it crossed ``threshold``.
+    """
+
+    detector: str
+    statistic: float
+    threshold: float
+
+    kind: ClassVar[str] = "model_drift_detected"
+
+
+@dataclass(frozen=True)
+class ModelRecalibrated(TelemetryEvent):
+    """The adaptation manager fitted, registered and hot-swapped a new
+    model between control decisions.
+
+    ``version`` is the ModelRegistry version activated; ``refit_mhz``
+    lists the p-states whose coefficients came from the online RLS
+    estimator (the rest were carried over from the previous model).
+    """
+
+    version: int
+    refit_mhz: tuple[float, ...]
+    residual_mean_w: float
+    residual_std_w: float
+
+    kind: ClassVar[str] = "model_recalibrated"
+
+
+@dataclass(frozen=True)
+class ModelRolledBack(TelemetryEvent):
+    """A recalibrated model failed probation and the previous registry
+    version was re-activated."""
+
+    from_version: int
+    to_version: int
+    reason: str
+
+    kind: ClassVar[str] = "model_rolled_back"
+
+
+@dataclass(frozen=True)
 class NodeCrashed(TelemetryEvent):
     """A fleet node crashed (injected) and stopped executing."""
 

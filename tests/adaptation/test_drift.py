@@ -1,0 +1,171 @@
+"""Tests for the drift detectors and residual tracker."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.drift import (
+    MisclassificationMonitor,
+    PageHinkleyDetector,
+    ResidualTracker,
+)
+from repro.core.models.performance import PerformanceModel
+from repro.errors import AdaptationError
+
+
+class TestPageHinkley:
+    def test_fires_on_sustained_mean_shift(self):
+        detector = PageHinkleyDetector(
+            delta=0.05, threshold=5.0, min_samples=30
+        )
+        rng = np.random.default_rng(0)
+        fired_at = None
+        for i in range(600):
+            value = rng.normal(0.0, 0.1)
+            if i >= 300:
+                value += 0.5  # persistent 0.5 W bias appears
+            if detector.update(value):
+                fired_at = i
+                break
+        assert fired_at is not None
+        assert fired_at >= 300  # never before the shift
+        assert fired_at < 400  # confirmed within ~1 s of 10 ms ticks
+
+    def test_no_false_positives_on_clean_noise(self):
+        """Zero-mean noise at guardband scale must never confirm drift."""
+        for seed in range(10):
+            detector = PageHinkleyDetector(
+                delta=0.05, threshold=5.0, min_samples=30
+            )
+            stream = np.random.default_rng(seed).normal(0.0, 0.15, 2000)
+            assert not any(detector.update(v) for v in stream), (
+                f"false positive on clean stream seed={seed}"
+            )
+
+    def test_detects_downward_shift_too(self):
+        detector = PageHinkleyDetector(
+            delta=0.05, threshold=5.0, min_samples=30
+        )
+        rng = np.random.default_rng(3)
+        fired = False
+        for i in range(600):
+            value = rng.normal(0.0, 0.1) - (0.5 if i >= 300 else 0.0)
+            if detector.update(value):
+                fired = True
+                break
+        assert fired
+
+    def test_respects_min_samples(self):
+        detector = PageHinkleyDetector(
+            delta=0.0, threshold=0.01, min_samples=50
+        )
+        # A blatant shift must still wait out the settling window.
+        assert not any(detector.update(10.0) for _ in range(49))
+
+    def test_reset_clears_evidence(self):
+        detector = PageHinkleyDetector(delta=0.0, threshold=1.0, min_samples=2)
+        for _ in range(20):
+            detector.update(1.0)
+        assert detector.statistic > 0 or detector.samples_seen == 20
+        detector.reset()
+        assert detector.samples_seen == 0
+        assert detector.statistic == 0.0
+
+    def test_validates_parameters(self):
+        with pytest.raises(AdaptationError):
+            PageHinkleyDetector(delta=-0.1)
+        with pytest.raises(AdaptationError):
+            PageHinkleyDetector(threshold=0.0)
+        with pytest.raises(AdaptationError):
+            PageHinkleyDetector(min_samples=0)
+
+
+class TestResidualTracker:
+    def test_tracks_mean_and_spread(self):
+        tracker = ResidualTracker(alpha=0.05)
+        rng = np.random.default_rng(1)
+        for value in rng.normal(0.7, 0.2, 3000):
+            tracker.update(value)
+        assert tracker.mean == pytest.approx(0.7, abs=0.1)
+        assert tracker.std == pytest.approx(0.2, abs=0.1)
+        assert tracker.abs_mean == pytest.approx(0.7, abs=0.1)
+
+    def test_first_sample_initializes(self):
+        tracker = ResidualTracker()
+        tracker.update(-2.0)
+        assert tracker.mean == -2.0
+        assert tracker.abs_mean == 2.0
+        assert tracker.std == 0.0
+
+    def test_reset(self):
+        tracker = ResidualTracker()
+        tracker.update(1.0)
+        tracker.reset()
+        assert tracker.count == 0
+        assert tracker.mean == 0.0
+
+    def test_validates_alpha(self):
+        with pytest.raises(AdaptationError):
+            ResidualTracker(alpha=0.0)
+
+
+class TestMisclassificationMonitor:
+    def make(self, **kwargs):
+        defaults = dict(window=50, rate_threshold=0.5, min_observations=10)
+        defaults.update(kwargs)
+        return MisclassificationMonitor(
+            PerformanceModel.paper_primary(), **defaults
+        )
+
+    def test_correct_classifications_never_fire(self):
+        monitor = self.make()
+        model = PerformanceModel.paper_primary()
+        # Core-bound signature (below threshold), IPC ratio ~1 on a
+        # frequency drop: exactly what Eq. 3 predicts.
+        for _ in range(40):
+            assert not monitor.observe(
+                dcu_per_ipc=0.3,
+                from_mhz=2000.0,
+                to_mhz=1000.0,
+                observed_ipc_ratio=1.0,
+            )
+        assert monitor.misclassification_rate == 0.0
+        # Memory-bound signature scaling like (f/f')^e also agrees.
+        ratio = (2000.0 / 1000.0) ** model.memory_exponent
+        for _ in range(40):
+            assert not monitor.observe(
+                dcu_per_ipc=5.0,
+                from_mhz=2000.0,
+                to_mhz=1000.0,
+                observed_ipc_ratio=ratio,
+            )
+        assert monitor.misclassification_rate == 0.0
+
+    def test_systematic_misclassification_fires(self):
+        monitor = self.make()
+        model = PerformanceModel.paper_primary()
+        # Signature says core-bound, but the observed scaling matches
+        # the memory-bound prediction: the threshold has drifted.
+        ratio = (2000.0 / 1000.0) ** model.memory_exponent
+        fired = False
+        for _ in range(20):
+            fired = monitor.observe(
+                dcu_per_ipc=0.3,
+                from_mhz=2000.0,
+                to_mhz=1000.0,
+                observed_ipc_ratio=ratio,
+            )
+        assert fired
+        assert monitor.misclassification_rate == 1.0
+
+    def test_equal_frequency_rejected(self):
+        monitor = self.make()
+        with pytest.raises(AdaptationError, match="equal-frequency"):
+            monitor.observe(0.3, 2000.0, 2000.0, 1.0)
+
+    def test_reset_clears_window(self):
+        monitor = self.make()
+        monitor.observe(0.3, 2000.0, 1000.0, 1.0)
+        assert monitor.observations == 1
+        monitor.reset()
+        assert monitor.observations == 0
+        assert monitor.misclassification_rate == 0.0

@@ -1,0 +1,157 @@
+"""Tests for the versioned model registry."""
+
+import json
+
+import pytest
+
+from repro.adaptation.registry import ModelRegistry
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.power import LinearPowerModel, PStateCoefficients
+from repro.errors import AdaptationError
+
+
+def tweaked_model(delta: float) -> LinearPowerModel:
+    base = LinearPowerModel.paper_model()
+    return LinearPowerModel(
+        {
+            freq: PStateCoefficients(
+                alpha=base.alpha(freq) + delta, beta=base.beta(freq)
+            )
+            for freq in base.frequencies_mhz
+        }
+    )
+
+
+class TestRegistration:
+    def test_versions_are_monotonic_and_activated(self):
+        registry = ModelRegistry()
+        v1 = registry.register(LinearPowerModel.paper_model())
+        v2 = registry.register(tweaked_model(0.5))
+        assert (v1.version, v2.version) == (1, 2)
+        assert registry.active_version == 2
+        assert len(registry) == 2
+
+    def test_register_without_activate(self):
+        registry = ModelRegistry()
+        registry.register(LinearPowerModel.paper_model())
+        registry.register(tweaked_model(0.5), activate=False)
+        assert registry.active_version == 1
+
+    def test_provenance_attached(self):
+        registry = ModelRegistry()
+        version = registry.register(
+            LinearPowerModel.paper_model(),
+            provenance={"source": "offline_baseline"},
+            created_at_s=1.25,
+        )
+        assert version.provenance["source"] == "offline_baseline"
+        assert version.created_at_s == 1.25
+        # Provenance is embedded in the serialized model document too.
+        assert (
+            json.loads(version.document)["provenance"]["source"]
+            == "offline_baseline"
+        )
+
+    def test_rejects_non_power_models(self):
+        registry = ModelRegistry()
+        with pytest.raises(AdaptationError, match="cannot register"):
+            registry.register(PerformanceModel.paper_primary())
+
+    def test_loaded_model_estimates_match(self):
+        registry = ModelRegistry()
+        model = tweaked_model(0.3)
+        version = registry.register(model)
+        assert version.load().estimate(2000.0, 1.2) == pytest.approx(
+            model.estimate(2000.0, 1.2)
+        )
+
+
+class TestActivation:
+    def test_activate_and_rollback(self):
+        registry = ModelRegistry()
+        registry.register(LinearPowerModel.paper_model())
+        registry.register(tweaked_model(0.5))
+        restored = registry.rollback()
+        assert restored.version == 1
+        assert registry.active_version == 1
+
+    def test_rollback_needs_history(self):
+        registry = ModelRegistry()
+        registry.register(LinearPowerModel.paper_model())
+        with pytest.raises(AdaptationError, match="roll back"):
+            registry.rollback()
+
+    def test_unknown_version_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(AdaptationError, match="no registered model"):
+            registry.activate(7)
+
+    def test_empty_registry_has_no_active_model(self):
+        registry = ModelRegistry()
+        assert registry.active_version is None
+        assert registry.active is None
+        with pytest.raises(AdaptationError, match="no active model"):
+            registry.active_model()
+
+
+class TestPersistence:
+    def make_registry(self) -> ModelRegistry:
+        registry = ModelRegistry()
+        registry.register(
+            LinearPowerModel.paper_model(),
+            provenance={"source": "offline_baseline"},
+        )
+        registry.register(
+            tweaked_model(0.5),
+            provenance={"source": "rls_recalibration", "tick": 321},
+            created_at_s=3.21,
+        )
+        registry.rollback()
+        return registry
+
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = self.make_registry()
+        path = tmp_path / "registry.json"
+        original.save(path)
+        restored = ModelRegistry.load(path)
+        assert len(restored) == 2
+        assert restored.active_version == 1
+        assert restored.get(2).provenance["tick"] == 321
+        assert restored.get(2).created_at_s == 3.21
+        assert restored.active_model() == LinearPowerModel.paper_model()
+
+    def test_new_registrations_continue_numbering(self, tmp_path):
+        original = self.make_registry()
+        path = tmp_path / "registry.json"
+        original.save(path)
+        restored = ModelRegistry.load(path)
+        version = restored.register(tweaked_model(1.0))
+        assert version.version == 3
+
+    def test_rejects_garbage(self):
+        with pytest.raises(AdaptationError, match="not valid registry"):
+            ModelRegistry.from_json("{nope")
+        with pytest.raises(AdaptationError, match="JSON object"):
+            ModelRegistry.from_json("[1]")
+
+    def test_rejects_wrong_kind(self):
+        doc = json.loads(self.make_registry().to_json())
+        doc["kind"] = "something_else"
+        with pytest.raises(AdaptationError, match="model_registry"):
+            ModelRegistry.from_json(json.dumps(doc))
+
+    def test_rejects_unknown_format(self):
+        doc = json.loads(self.make_registry().to_json())
+        doc["format"] = 99
+        with pytest.raises(AdaptationError, match="unsupported"):
+            ModelRegistry.from_json(json.dumps(doc))
+
+    def test_rejects_dangling_activation(self):
+        doc = json.loads(self.make_registry().to_json())
+        doc["activation_history"].append(42)
+        with pytest.raises(AdaptationError, match="unknown version"):
+            ModelRegistry.from_json(json.dumps(doc))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AdaptationError, match="cannot read"):
+            ModelRegistry.load(tmp_path / "absent.json")

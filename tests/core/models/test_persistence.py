@@ -1,5 +1,7 @@
 """Tests for model JSON persistence."""
 
+import json
+
 import pytest
 
 from repro.core.models.component_power import (
@@ -8,8 +10,11 @@ from repro.core.models.component_power import (
 )
 from repro.core.models.performance import PerformanceModel
 from repro.core.models.persistence import (
+    FORMAT_VERSION,
     component_model_from_json,
     component_model_to_json,
+    model_from_json,
+    model_provenance,
     performance_model_from_json,
     performance_model_to_json,
     power_model_from_json,
@@ -45,11 +50,63 @@ class TestPowerModel:
             power_model_from_json("[1, 2]")
 
     def test_rejects_future_format(self):
-        text = power_model_to_json(LinearPowerModel.paper_model()).replace(
-            '"format": 1', '"format": 99'
-        )
+        doc = json.loads(power_model_to_json(LinearPowerModel.paper_model()))
+        doc["format"] = 99
         with pytest.raises(ModelError, match="unsupported model format"):
-            power_model_from_json(text)
+            power_model_from_json(json.dumps(doc))
+
+
+class TestFormatVersions:
+    def test_writers_emit_v2(self):
+        doc = json.loads(power_model_to_json(LinearPowerModel.paper_model()))
+        assert doc["format"] == FORMAT_VERSION == 2
+
+    def test_v1_documents_still_load(self):
+        # A pre-provenance document, exactly as the v1 writer emitted it.
+        doc = json.loads(power_model_to_json(LinearPowerModel.paper_model()))
+        doc["format"] = 1
+        doc.pop("provenance", None)
+        restored = power_model_from_json(json.dumps(doc))
+        assert restored == LinearPowerModel.paper_model()
+
+    def test_v1_provenance_is_empty(self):
+        doc = json.loads(power_model_to_json(LinearPowerModel.paper_model()))
+        doc["format"] = 1
+        assert model_provenance(json.dumps(doc)) == {}
+
+    def test_provenance_roundtrip(self):
+        provenance = {"source": "rls_recalibration", "tick": 42}
+        text = power_model_to_json(
+            LinearPowerModel.paper_model(), provenance=provenance
+        )
+        assert model_provenance(text) == provenance
+        assert power_model_from_json(text) == LinearPowerModel.paper_model()
+
+    def test_provenance_on_other_kinds(self):
+        text = performance_model_to_json(
+            PerformanceModel.paper_primary(), provenance={"source": "paper"}
+        )
+        assert model_provenance(text) == {"source": "paper"}
+        assert (
+            performance_model_from_json(text)
+            == PerformanceModel.paper_primary()
+        )
+
+    def test_omitted_provenance_not_written(self):
+        doc = json.loads(power_model_to_json(LinearPowerModel.paper_model()))
+        assert "provenance" not in doc
+
+    def test_generic_loader_dispatches_on_kind(self):
+        power = power_model_to_json(LinearPowerModel.paper_model())
+        perf = performance_model_to_json(PerformanceModel.paper_primary())
+        assert isinstance(model_from_json(power), LinearPowerModel)
+        assert isinstance(model_from_json(perf), PerformanceModel)
+
+    def test_generic_loader_rejects_unknown_kind(self):
+        doc = json.loads(power_model_to_json(LinearPowerModel.paper_model()))
+        doc["kind"] = "mystery_model"
+        with pytest.raises(ModelError, match="unknown model kind"):
+            model_from_json(json.dumps(doc))
 
 
 class TestPerformanceModel:

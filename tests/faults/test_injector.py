@@ -217,3 +217,65 @@ class TestFaultySpeedStep:
         )
         with pytest.raises(InjectedTransitionError):
             driver.set_frequency(machine.config.table.slowest.frequency_mhz)
+
+
+class TestMeterDrift:
+    def _metered(self, meter_faults, samples=30, watts=10.0, seed=0):
+        import numpy as np
+
+        injector = FaultInjector(FaultPlan(seed=7, meter=meter_faults))
+        meter = injector.wrap_meter(
+            PowerMeter(interval_s=0.01, rng=np.random.default_rng(seed))
+        )
+        for _ in range(samples):
+            meter.accumulate(watts, 0.01)
+        meter.flush()
+        return meter, injector
+
+    def test_gain_applied_exactly_from_onset(self):
+        faults = MeterFaults(
+            drift_rate_per_s=0.5, drift_start_s=0.1, drift_max_gain=0.2
+        )
+        drifted, _ = self._metered(faults, samples=60)
+        clean, _ = self._metered(MeterFaults(), samples=60)
+        assert len(drifted.samples) == len(clean.samples)
+        for bad, good in zip(drifted.samples, clean.samples):
+            expected = good.watts * faults.drift_gain(good.time_s)
+            assert bad.watts == pytest.approx(expected, rel=1e-12)
+        # Pre-onset samples are untouched; the last is saturated at +20%.
+        assert drifted.samples[0].watts == clean.samples[0].watts
+        assert drifted.samples[-1].watts == pytest.approx(
+            clean.samples[-1].watts * 1.2, rel=1e-12
+        )
+
+    def test_drift_onset_recorded_once(self):
+        # Drift is continuous, so only its *onset* counts as an injected
+        # fault -- not one event per corrupted sample.
+        _, injector = self._metered(
+            MeterFaults(drift_rate_per_s=0.5, drift_start_s=0.1)
+        )
+        assert injector.injected == {"meter.drift": 1}
+
+    def test_drift_consumes_no_randomness(self):
+        """The dropout/spike sequence is identical with drift on or off."""
+        transient = MeterFaults(dropout_prob=0.3)
+        with_drift = MeterFaults(
+            dropout_prob=0.3, drift_rate_per_s=0.5, drift_start_s=0.05
+        )
+        plain, _ = self._metered(transient, samples=100)
+        drifted, _ = self._metered(with_drift, samples=100)
+        dropped_plain = [
+            i for i, s in enumerate(plain.samples) if s.watts == 0.0
+        ]
+        dropped_drifted = [
+            i for i, s in enumerate(drifted.samples) if s.watts == 0.0
+        ]
+        assert dropped_plain == dropped_drifted
+        assert dropped_plain  # the fault actually fired
+
+    def test_true_watts_untouched_by_drift(self):
+        drifted, _ = self._metered(
+            MeterFaults(drift_rate_per_s=0.5, drift_start_s=0.0)
+        )
+        for sample in drifted.samples:
+            assert sample.true_watts == pytest.approx(10.0)

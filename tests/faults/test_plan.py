@@ -118,3 +118,51 @@ class TestLoadFaultPlan:
         plan = load_fault_plan(spec)
         assert plan.seed == 5
         assert plan.transition.fail_prob == pytest.approx(0.25)
+
+
+class TestMeterDrift:
+    def test_gain_is_identity_before_onset(self):
+        meter = MeterFaults(drift_rate_per_s=0.05, drift_start_s=1.0)
+        assert meter.drift_gain(0.0) == 1.0
+        assert meter.drift_gain(1.0) == 1.0
+
+    def test_gain_ramps_linearly_then_saturates(self):
+        meter = MeterFaults(
+            drift_rate_per_s=0.05, drift_start_s=1.0, drift_max_gain=0.2
+        )
+        assert meter.drift_gain(2.0) == pytest.approx(1.05)
+        assert meter.drift_gain(3.0) == pytest.approx(1.10)
+        # 0.05/s saturates at +20% after 4 s of drift.
+        assert meter.drift_gain(5.0) == pytest.approx(1.20)
+        assert meter.drift_gain(500.0) == pytest.approx(1.20)
+
+    def test_drift_enabled_needs_rate_and_headroom(self):
+        assert not MeterFaults().drift_enabled
+        assert not MeterFaults(drift_rate_per_s=0.05, drift_max_gain=0.0).drift_enabled
+        assert MeterFaults(drift_rate_per_s=0.05).drift_enabled
+        # Drift alone makes the section (and hence a plan) active.
+        assert MeterFaults(drift_rate_per_s=0.05).any_enabled
+        assert FaultPlan(meter=MeterFaults(drift_rate_per_s=0.05)).active
+
+    def test_disabled_drift_gain_is_identity(self):
+        meter = MeterFaults(drift_rate_per_s=0.0)
+        assert meter.drift_gain(10.0) == 1.0
+
+    def test_drift_fields_validated(self):
+        with pytest.raises(FaultPlanError, match="drift_rate_per_s"):
+            MeterFaults(drift_rate_per_s=-0.1)
+        with pytest.raises(FaultPlanError, match="drift_start_s"):
+            MeterFaults(drift_start_s=-1.0)
+        with pytest.raises(FaultPlanError, match="drift_max_gain"):
+            MeterFaults(drift_max_gain=-0.5)
+
+    def test_drift_round_trips_through_dict(self):
+        plan = FaultPlan(
+            seed=4,
+            meter=MeterFaults(
+                drift_rate_per_s=0.04, drift_start_s=1.5, drift_max_gain=0.3
+            ),
+        )
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert restored.meter.drift_gain(2.5) == pytest.approx(1.04)

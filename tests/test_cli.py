@@ -227,3 +227,101 @@ def test_faults_report_on_missing_directory_fails(tmp_path, capsys):
     code = main(["faults-report", str(tmp_path / "nope")])
     assert code == 1
     assert "error:" in capsys.readouterr().err
+
+
+class TestAdaptationCLI:
+    DRIFT_SPEC = {
+        "seed": 0,
+        "meter": {
+            "drift_rate_per_s": 0.04,
+            "drift_start_s": 1.0,
+            "drift_max_gain": 0.35,
+        },
+    }
+
+    def _write_drift(self, tmp_path):
+        import json
+
+        spec = tmp_path / "drift.json"
+        spec.write_text(json.dumps(self.DRIFT_SPEC))
+        return spec
+
+    def test_adapt_prints_summary(self, tmp_path, capsys):
+        spec = self._write_drift(tmp_path)
+        code = main(
+            ["run", "FMA-256KB", "--governor", "pm", "--limit", "13.5",
+             "--scale", "32", "--use-paper-model", "--adapt",
+             "--faults", str(spec)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptation   :" in out
+        assert "drift detections" in out
+
+    def test_adapt_is_inert_on_governors_without_a_model(self, capsys):
+        code = main(
+            ["run", "gzip", "--governor", "dbs", "--scale", "0.05",
+             "--adapt"]
+        )
+        assert code == 0
+        assert "not engaged" in capsys.readouterr().out
+
+    def test_registry_requires_adapt(self, tmp_path, capsys):
+        code = main(
+            ["run", "gzip", "--scale", "0.05",
+             "--registry", str(tmp_path / "r.json")]
+        )
+        assert code == 1
+        assert "--registry requires --adapt" in capsys.readouterr().err
+
+    def test_registry_saved_and_loadable(self, tmp_path, capsys):
+        from repro.adaptation import ModelRegistry
+
+        registry_path = tmp_path / "registry.json"
+        code = main(
+            ["run", "gzip", "--governor", "pm", "--limit", "14.5",
+             "--scale", "0.05", "--use-paper-model", "--adapt",
+             "--registry", str(registry_path)]
+        )
+        assert code == 0
+        assert "model registry saved" in capsys.readouterr().out
+        registry = ModelRegistry.load(registry_path)
+        assert len(registry) >= 1
+        assert registry.get(1).provenance["source"] == "offline_baseline"
+
+    def test_adaptation_report_round_trip(self, tmp_path, capsys):
+        spec = self._write_drift(tmp_path)
+        directory = tmp_path / "tel"
+        assert main(
+            ["run", "FMA-256KB", "--governor", "pm", "--limit", "13.5",
+             "--scale", "32", "--use-paper-model", "--adapt",
+             "--faults", str(spec), "--telemetry", str(directory)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["adaptation-report", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "drift detections" in out
+        assert "recalibrations" in out
+
+    def test_adaptation_report_without_activity(self, tmp_path, capsys):
+        directory = tmp_path / "tel"
+        assert main(
+            ["run", "gzip", "--scale", "0.05", "--telemetry",
+             str(directory)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["adaptation-report", str(directory)]) == 0
+        assert "no model-adaptation activity" in capsys.readouterr().out
+
+    def test_adaptation_report_on_missing_directory_fails(
+        self, tmp_path, capsys
+    ):
+        code = main(["adaptation-report", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_drift(self, capsys):
+        assert main(["experiment", "drift"]) == 0
+        out = capsys.readouterr().out
+        assert "frozen" in out and "adaptive" in out
+        assert "verdict:" in out
