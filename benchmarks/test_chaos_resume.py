@@ -1,0 +1,29 @@
+"""Chaos drill: SIGKILL checkpointed runs at random ticks, resume, compare.
+
+The acceptance bar for crash-safe resume: across >= 5 randomized kill
+points, every resumed run's RunResult digest (float-exact samples and
+trace hashes) matches the uninterrupted reference bit for bit.  The
+full cycle table is archived as ``BENCH_chaos.json`` so regressions in
+the determinism guarantee show up as a diff, not just a red test.
+"""
+
+import json
+
+from conftest import publish
+
+from repro.experiments import chaos_resume
+
+
+def test_chaos_kill_resume(benchmark, results_dir):
+    # The drill manages its own scale: each child must run long enough
+    # (~100 ticks) to be killable mid-flight at a randomized tick.
+    result = benchmark.pedantic(chaos_resume.run, rounds=1, iterations=1)
+    publish(results_dir, "chaos_resume", chaos_resume.render(result))
+
+    (results_dir / "BENCH_chaos.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert result["kills"] >= 5
+    assert result["all_identical"] is True
+    assert all(c["identical"] for c in result["cycles"])

@@ -26,6 +26,8 @@ __version__ = "1.0.0"
 from repro.acpi import PState, PStateTable, pentium_m_755_table
 from repro.errors import (
     AdaptationError,
+    CheckpointError,
+    DeadlineExceeded,
     DriverError,
     ExperimentError,
     FaultError,
@@ -35,6 +37,7 @@ from repro.errors import (
     MSRError,
     MeasurementError,
     ModelError,
+    NoSnapshotError,
     NodeCrashError,
     PMUError,
     PStateError,
@@ -44,6 +47,7 @@ from repro.errors import (
     ResilienceError,
     SampleDropped,
     SensorFault,
+    SupervisionError,
     TelemetryError,
     TrainingError,
     TransitionError,
@@ -84,8 +88,17 @@ from repro.core import (
     StaticClocking,
     project_dpc,
 )
+from repro.checkpoint import (
+    ExperimentCheckpointSession,
+    RunCheckpointer,
+    RunJournal,
+    checkpointing,
+    resume_run,
+    run_result_digest,
+)
 from repro.platform.machine import Machine, MachineConfig
 from repro.measurement import PowerMeter
+from repro.supervise import RetryPolicy, Supervisor
 from repro.telemetry import NullRecorder, TelemetryRecorder
 from repro.workloads import Workload, default_registry, get_workload
 
@@ -156,6 +169,18 @@ __all__ = [
     "ResilienceError",
     "WatchdogError",
     "RecoveryExhaustedError",
+    "CheckpointError",
+    "NoSnapshotError",
+    "SupervisionError",
+    "DeadlineExceeded",
+    "RunJournal",
+    "RunCheckpointer",
+    "ExperimentCheckpointSession",
+    "checkpointing",
+    "resume_run",
+    "run_result_digest",
+    "RetryPolicy",
+    "Supervisor",
     "quickstart_pm",
     "quickstart_ps",
 ]

@@ -243,9 +243,14 @@ class ModelRegistry:
         return registry
 
     def save(self, path: str | os.PathLike) -> None:
-        """Write the registry document to ``path``."""
-        with open(os.fspath(path), "w") as handle:
-            handle.write(self.to_json())
+        """Write the registry document to ``path`` atomically.
+
+        A crash mid-save must never leave a half-written document: the
+        registry is the audit trail a resumed run reloads.
+        """
+        from repro.ioutils import atomic_write_text
+
+        atomic_write_text(os.fspath(path), self.to_json())
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "ModelRegistry":

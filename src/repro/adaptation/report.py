@@ -29,6 +29,8 @@ class AdaptationReport:
     rollbacks: List[dict] = field(default_factory=list)
     residual_histogram: dict = field(default_factory=dict)
     skipped_lines: int = 0
+    #: True when the final event line was torn mid-write (killed run).
+    truncated_tail: bool = False
 
     @property
     def final_version(self) -> int | None:
@@ -63,8 +65,10 @@ def load_adaptation_report(
             f"{directory} has no {EVENTS_FILENAME}; was it written with "
             "--telemetry?"
         )
-    events, skipped = load_events(events_path)
-    report = AdaptationReport(directory=directory, skipped_lines=skipped)
+    events, skipped, truncated = load_events(events_path)
+    report = AdaptationReport(
+        directory=directory, skipped_lines=skipped, truncated_tail=truncated
+    )
     for event in events:
         kind = event.get("kind")
         if kind == "model_drift_detected":
@@ -148,4 +152,6 @@ def render_adaptation_report(directory: str | os.PathLike) -> str:
         lines.append(f"residual samples observed: {count}")
     if report.skipped_lines:
         lines.append(f"skipped {report.skipped_lines} malformed event lines")
+    if report.truncated_tail:
+        lines.append("final event line torn mid-write (killed run); ignored")
     return "\n".join(lines)

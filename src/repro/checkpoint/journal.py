@@ -1,0 +1,274 @@
+"""The run journal: one directory holding a manifest + checkpoint WAL.
+
+Layout::
+
+    DIR/
+      manifest.json   # format version, what is being checkpointed (spec)
+      run.journal     # write-ahead log of checkpoint records
+
+The manifest is written atomically before the first tick, so a resume
+always knows *what* was running even if the process died before the
+first checkpoint record became durable (the CLI uses the embedded spec
+to restart such a run from scratch).  Checkpoint records are appended
+with flush + fsync; a record is only trusted after its CRC validates,
+so a SIGKILL mid-append costs at most the work since the previous
+checkpoint.
+
+Journals are size-bounded: once the WAL grows past ``max_bytes`` it is
+compacted -- rewritten atomically to hold only the newest record --
+because older checkpoints are superseded the moment a newer one is
+durable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import BinaryIO
+
+from repro.checkpoint.format import (
+    HEADER_SIZE,
+    JOURNAL_FORMAT_VERSION,
+    SUPPORTED_JOURNAL_FORMATS,
+    JournalRecord,
+    append_record,
+    iter_records,
+    new_journal_bytes,
+    read_header,
+    write_header,
+)
+from repro.errors import CheckpointError
+from repro.ioutils import atomic_write_text, fsync_directory
+
+MANIFEST_FILENAME = "manifest.json"
+JOURNAL_FILENAME = "run.journal"
+
+#: Default cap on the WAL before compaction rewrites it.
+DEFAULT_MAX_JOURNAL_BYTES = 64 * 1024 * 1024
+
+
+def write_manifest(directory: str | os.PathLike, manifest: dict) -> None:
+    """Atomically write ``manifest.json`` into ``directory``."""
+    atomic_write_text(
+        os.path.join(os.fspath(directory), MANIFEST_FILENAME),
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def read_manifest(directory: str | os.PathLike) -> dict:
+    """Read and validate ``manifest.json`` from ``directory``."""
+    path = os.path.join(os.fspath(directory), MANIFEST_FILENAME)
+    try:
+        with open(path) as handle:
+            manifest = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read journal manifest {path}: {error}"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"journal manifest {path} is not valid JSON: {error}"
+        ) from None
+    if not isinstance(manifest, dict):
+        raise CheckpointError(f"journal manifest {path} must be an object")
+    if manifest.get("format") not in SUPPORTED_JOURNAL_FORMATS:
+        raise CheckpointError(
+            f"unsupported journal manifest format "
+            f"{manifest.get('format')!r}; this build reads "
+            f"{SUPPORTED_JOURNAL_FORMATS}"
+        )
+    return manifest
+
+
+class RunJournal:
+    """Checkpoint WAL for one run, living in one directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        manifest: dict,
+        max_bytes: int = DEFAULT_MAX_JOURNAL_BYTES,
+        filename: str = JOURNAL_FILENAME,
+    ):
+        self.directory = directory
+        self.manifest = manifest
+        self.max_bytes = max_bytes
+        self.filename = filename
+        self._handle: BinaryIO | None = None
+        self._size = 0
+        #: Tick of the last record this process appended (or resumed at).
+        self.last_tick: int | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | os.PathLike,
+        kind: str,
+        spec: dict | None = None,
+        interval_ticks: int = 250,
+        max_bytes: int = DEFAULT_MAX_JOURNAL_BYTES,
+        filename: str = JOURNAL_FILENAME,
+    ) -> "RunJournal":
+        """Start a fresh journal (truncating any previous one in DIR)."""
+        if interval_ticks < 1:
+            raise CheckpointError(
+                f"checkpoint interval must be >= 1 tick, got {interval_ticks}"
+            )
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        manifest = {
+            "format": JOURNAL_FORMAT_VERSION,
+            "kind": kind,
+            "interval_ticks": interval_ticks,
+            "spec": dict(spec or {}),
+        }
+        write_manifest(directory, manifest)
+        journal = cls(directory, manifest, max_bytes=max_bytes, filename=filename)
+        handle = open(journal.journal_path, "wb")
+        write_header(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+        fsync_directory(directory)
+        journal._handle = handle
+        journal._size = HEADER_SIZE
+        return journal
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | os.PathLike,
+        filename: str = JOURNAL_FILENAME,
+    ) -> "RunJournal":
+        """Open an existing journal directory (read-only until resumed)."""
+        directory = os.fspath(directory)
+        if not os.path.isdir(directory):
+            raise CheckpointError(f"no such journal directory: {directory}")
+        manifest = read_manifest(directory)
+        return cls(directory, manifest, filename=filename)
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, self.filename)
+
+    @property
+    def interval_ticks(self) -> int:
+        """Checkpoint cadence recorded at creation."""
+        return int(self.manifest.get("interval_ticks", 250))
+
+    @property
+    def kind(self) -> str:
+        return str(self.manifest.get("kind", "?"))
+
+    @property
+    def spec(self) -> dict:
+        """The creator-supplied description of what is checkpointed."""
+        spec = self.manifest.get("spec", {})
+        return dict(spec) if isinstance(spec, dict) else {}
+
+    # -- reading ---------------------------------------------------------------
+
+    def records(self) -> list[JournalRecord]:
+        """All valid records on disk (empty for a missing/virgin WAL)."""
+        if not os.path.exists(self.journal_path):
+            return []
+        with open(self.journal_path, "rb") as handle:
+            read_header(handle)
+            return list(iter_records(handle))
+
+    def latest(self) -> JournalRecord | None:
+        """The newest valid checkpoint record, or None."""
+        records = self.records()
+        return records[-1] if records else None
+
+    # -- appending -------------------------------------------------------------
+
+    def open_for_append(self) -> JournalRecord | None:
+        """Prepare the WAL for appending after a crash.
+
+        Scans the existing file, truncates any torn tail away, and
+        positions the write handle after the last valid record.
+        Returns that record (the resume point), or None when the WAL
+        holds no usable checkpoint (resume must restart from scratch).
+        """
+        if self._handle is not None:
+            raise CheckpointError("journal already open for append")
+        if not os.path.exists(self.journal_path):
+            handle = open(self.journal_path, "wb")
+            write_header(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._handle = handle
+            self._size = HEADER_SIZE
+            return None
+        handle = open(self.journal_path, "r+b")
+        try:
+            read_header(handle)
+            last: JournalRecord | None = None
+            for record in iter_records(handle):
+                last = record
+            end = last.end_offset if last is not None else HEADER_SIZE
+            handle.seek(end)
+            handle.truncate(end)
+            handle.flush()
+            os.fsync(handle.fileno())
+        except BaseException:
+            handle.close()
+            raise
+        self._handle = handle
+        self._size = end
+        self.last_tick = last.tick if last is not None else None
+        return last
+
+    def append(self, tick: int, payload: bytes) -> int:
+        """Durably append one checkpoint record; returns bytes written.
+
+        The record is flushed and fsynced before returning, so once
+        this call completes a crash can only lose *later* work.
+        Compaction triggers when the WAL would exceed ``max_bytes``.
+        """
+        if self._handle is None:
+            raise CheckpointError(
+                "journal not open for writing; use create() or "
+                "open_for_append()"
+            )
+        record_size = len(payload) + 16
+        if self._size > HEADER_SIZE and self._size + record_size > self.max_bytes:
+            self._compact(tick, payload)
+            self.last_tick = tick
+            return record_size
+        written = append_record(self._handle, tick, payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._size += written
+        self.last_tick = tick
+        return written
+
+    def _compact(self, tick: int, payload: bytes) -> None:
+        """Atomically replace the WAL with header + just this record."""
+        image = new_journal_bytes([(tick, payload)])
+        self._handle.close()
+        self._handle = None
+        tmp = self.journal_path + ".compact"
+        with open(tmp, "wb") as handle:
+            handle.write(image)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.journal_path)
+        fsync_directory(self.directory)
+        self._handle = open(self.journal_path, "r+b")
+        self._handle.seek(0, os.SEEK_END)
+        self._size = len(image)
+
+    def close(self) -> None:
+        """Close the write handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""Resume an interrupted run from its journal, bit-identically.
+
+:func:`resume_run` reconstructs the exact loop state of the last
+durable checkpoint -- machine clock and RNG streams, governor
+hysteresis, workload cursor, fault-injector stream positions,
+adaptation/probation state, accumulated trace and meter samples, and
+(when telemetry was on) the metrics registry -- reattaches the
+process-local pieces (telemetry recorder, injector clock), and drives
+the same :func:`~repro.core.controller._run_loop` to completion.
+
+The guarantee: an interrupted-then-resumed run returns a
+:class:`~repro.core.controller.RunResult` bit-identical to the
+uninterrupted run's, and its final metrics registry holds identical
+counter/gauge/histogram values.  Telemetry *event streams* (JSONL/CSV
+exports) are process-local logs and are split across the two processes
+rather than replayed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.checkpoint.journal import RunJournal
+from repro.checkpoint.snapshot import RunCheckpointer, decode_snapshot
+from repro.core.controller import RunResult, _run_loop
+from repro.errors import CheckpointError, NoSnapshotError
+from repro.telemetry.bus import RunResumed
+from repro.telemetry.recorder import TelemetryRecorder
+
+
+def load_run_state(directory: str | os.PathLike):
+    """Decode the newest snapshot in ``directory`` without running it.
+
+    Returns ``(state, metrics)``; raises :class:`NoSnapshotError` when
+    the journal holds no usable record.
+    """
+    journal = RunJournal.open(directory)
+    record = journal.latest()
+    if record is None:
+        raise NoSnapshotError(
+            f"journal {journal.directory} holds no usable checkpoint; "
+            "restart the run from its manifest spec"
+        )
+    return decode_snapshot(record.payload)
+
+
+def resume_run(
+    directory: str | os.PathLike,
+    telemetry: TelemetryRecorder | None = None,
+) -> tuple[RunResult, object]:
+    """Continue the interrupted run journaled in ``directory``.
+
+    Returns ``(result, state)``: the completed run's result and the
+    restored :class:`~repro.core.controller._RunState` (callers use the
+    state to reach the restored adaptation manager / fault injector for
+    reporting).  Checkpointing continues into the same journal, so the
+    resumed run itself stays resumable.  Raises
+    :class:`NoSnapshotError` when no checkpoint is durable yet.
+    """
+    journal = RunJournal.open(directory)
+    if journal.kind != "run":
+        raise CheckpointError(
+            f"journal {journal.directory} checkpoints a "
+            f"{journal.kind!r}, not a single run"
+        )
+    record = journal.open_for_append()
+    if record is None:
+        journal.close()
+        raise NoSnapshotError(
+            f"journal {journal.directory} holds no usable checkpoint; "
+            "restart the run from its manifest spec"
+        )
+    try:
+        state, metrics = decode_snapshot(record.payload)
+        tel = telemetry
+        if tel is not None and tel.enabled and metrics is not None:
+            # The registry travels inside the checkpoint so resumed
+            # counters/histograms continue from their exact values.
+            tel.metrics = metrics
+        state.rebind_telemetry(tel)
+        if tel is not None and tel.enabled:
+            tel.emit(
+                RunResumed(
+                    time_s=state.machine.now_s,
+                    tick=record.tick,
+                    workload=state.workload_name,
+                    governor=state.governor.name,
+                )
+            )
+        result = _run_loop(
+            state, tel, checkpointer=RunCheckpointer(journal), resumed=True
+        )
+    finally:
+        journal.close()
+    return result, state

@@ -1,0 +1,100 @@
+"""Snapshot payloads: the bytes inside each journal record.
+
+A snapshot is one :mod:`pickle` of the controller's complete
+:class:`~repro.core.controller._RunState` graph plus (when telemetry is
+on) the metrics registry.  Pickling the whole graph in one shot is what
+makes resume *exact*: shared references -- the machine's power sink is
+the meter's bound ``accumulate`` method, the fault wrappers alias the
+injector's per-subsystem RNG streams -- come back as the same shared
+objects, and numpy ``Generator`` state round-trips bit-for-bit.
+
+Payloads carry their own version, independent of the container format
+(:mod:`repro.checkpoint.format`): the container can stay at v1 forever
+while snapshot contents evolve with the codebase.  Snapshots are *not* a
+cross-version interchange format -- they are read back by the same code
+that wrote them (that is all crash recovery needs).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.errors import CheckpointError
+from repro.telemetry.bus import CheckpointWritten
+
+#: Snapshot payload schema version written by this code.
+PAYLOAD_VERSION = 1
+
+#: Payload versions this reader understands.
+SUPPORTED_PAYLOAD_VERSIONS = (1,)
+
+
+def encode_snapshot(state: Any, metrics: Any = None) -> bytes:
+    """Serialize one checkpoint payload (state graph + metrics registry)."""
+    return pickle.dumps(
+        {
+            "payload_version": PAYLOAD_VERSION,
+            "state": state,
+            "metrics": metrics,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_snapshot(payload: bytes) -> tuple[Any, Any]:
+    """Deserialize a checkpoint payload; returns ``(state, metrics)``."""
+    try:
+        obj = pickle.loads(payload)
+    except Exception as error:  # noqa: BLE001 - any unpickling failure
+        raise CheckpointError(
+            f"checkpoint payload is unreadable: "
+            f"{type(error).__name__}: {error}"
+        ) from None
+    if not isinstance(obj, dict) or "payload_version" not in obj:
+        raise CheckpointError("checkpoint payload has no version marker")
+    version = obj["payload_version"]
+    if version not in SUPPORTED_PAYLOAD_VERSIONS:
+        raise CheckpointError(
+            f"unsupported checkpoint payload version {version}; this "
+            f"build reads {SUPPORTED_PAYLOAD_VERSIONS}"
+        )
+    return obj["state"], obj["metrics"]
+
+
+class RunCheckpointer:
+    """Periodically snapshots a live run into a :class:`RunJournal`.
+
+    Handed to :meth:`PowerManagementController.run`; the loop calls
+    :meth:`save` every :attr:`interval_ticks` ticks.  Writing a
+    checkpoint consumes no randomness and mutates nothing, so a
+    checkpointed run is bit-identical to an uncheckpointed one.
+    """
+
+    def __init__(self, journal):
+        self.journal = journal
+        self.checkpoints_written = 0
+
+    @property
+    def interval_ticks(self) -> int:
+        """Ticks between checkpoints (from the journal manifest)."""
+        return self.journal.interval_ticks
+
+    def save(self, tick: int, state: Any, tel=None) -> int:
+        """Durably journal one snapshot; returns bytes written."""
+        metrics = (
+            tel.metrics if (tel is not None and tel.enabled) else None
+        )
+        written = self.journal.append(
+            tick, encode_snapshot(state, metrics)
+        )
+        self.checkpoints_written += 1
+        if tel is not None and tel.enabled:
+            tel.emit(
+                CheckpointWritten(
+                    time_s=state.machine.now_s,
+                    tick=tick,
+                    bytes_written=written,
+                )
+            )
+        return written

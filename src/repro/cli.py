@@ -69,7 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available workloads")
 
     run = sub.add_parser("run", help="run a workload under a governor")
-    run.add_argument("workload", help="workload name (see 'list')")
+    run.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload name (see 'list'); omitted with --resume",
+    )
     run.add_argument(
         "--governor",
         choices=("pm", "ps", "fixed", "dbs", "adaptive-pm", "edp"),
@@ -123,6 +126,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --adapt: save the run's versioned model registry "
         "(baseline + every recalibration, with provenance) to FILE",
     )
+    run.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal crash-safe checkpoints of the run into DIR "
+        "(resumable with --resume DIR)",
+    )
+    run.add_argument(
+        "--checkpoint-interval", type=int, default=250, metavar="N",
+        help="checkpoint every N ticks (default 250 = every 2.5 "
+        "simulated seconds)",
+    )
+    run.add_argument(
+        "--resume", metavar="DIR",
+        help="resume an interrupted run from its checkpoint journal; "
+        "the finished result is bit-identical to an uninterrupted run",
+    )
+    run.add_argument(
+        "--result-json", metavar="FILE.json",
+        help="write a float-exact digest of the RunResult to FILE "
+        "(what the chaos harness compares across processes)",
+    )
 
     train = sub.add_parser(
         "train", help="train the models on MS-Loops and compare to Table II"
@@ -137,10 +160,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "id",
+        nargs="?",
+        default=None,
         choices=sorted(_EXPERIMENTS),
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate; omitted with --resume",
     )
     experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal every completed run (and checkpoint the in-flight "
+        "one) into DIR, resumable with --resume DIR",
+    )
+    experiment.add_argument(
+        "--checkpoint-interval", type=int, default=250, metavar="N",
+        help="checkpoint the in-flight run every N ticks (default 250)",
+    )
+    experiment.add_argument(
+        "--resume", metavar="DIR",
+        help="resume an interrupted experiment: archived runs replay "
+        "from the journal, the interrupted run resumes mid-loop",
+    )
     experiment.add_argument(
         "--telemetry", metavar="DIR",
         help="instrument every run of the experiment and export the "
@@ -317,8 +356,86 @@ def _print_adaptation_summary(manager) -> None:
           f"v{summary['active_version']} active)")
 
 
+#: CLI args a checkpoint journal records so a run that died before its
+#: first durable snapshot can be restarted from the manifest alone.
+_RUN_SPEC_KEYS = (
+    "workload", "governor", "limit", "floor", "frequency", "scale",
+    "seed", "model", "use_paper_model", "adapt", "faults",
+)
+
+
+def _run_spec(args) -> dict:
+    return {key: getattr(args, key) for key in _RUN_SPEC_KEYS}
+
+
+def _write_result_json(result: RunResult, path: str) -> None:
+    import json
+
+    from repro.checkpoint import run_result_digest
+    from repro.ioutils import atomic_write_text
+
+    atomic_write_text(
+        path,
+        json.dumps(run_result_digest(result), indent=2, sort_keys=True)
+        + "\n",
+    )
+
+
+def _cmd_run_resume(args) -> int:
+    from repro.checkpoint import read_manifest, resume_run
+    from repro.errors import NoSnapshotError
+
+    recorder, sink = _make_telemetry(args.telemetry)
+    try:
+        result, state = resume_run(args.resume, telemetry=recorder)
+    except NoSnapshotError:
+        # Died before the first checkpoint became durable: restart the
+        # whole run from the CLI spec embedded in the manifest,
+        # checkpointing into the same journal directory.
+        spec = read_manifest(args.resume).get("spec", {})
+        print(
+            "no durable checkpoint yet; restarting from the manifest spec",
+            file=sys.stderr,
+        )
+        for key in _RUN_SPEC_KEYS:
+            if key in spec:
+                setattr(args, key, spec[key])
+        args.checkpoint, args.resume = args.resume, None
+        return _cmd_run(args)
+    spec = read_manifest(args.resume).get("spec", {})
+    args.governor = spec.get("governor", args.governor or "pm")
+    args.limit = float(spec.get("limit", 14.5))
+    _print_summary(result, args)
+    if state.injector is not None:
+        _print_fault_summary(state.injector, result)
+    if state.adapting:
+        _print_adaptation_summary(state.adapt)
+        if args.registry:
+            state.adapt.registry.save(args.registry)
+            print(f"model registry saved to {args.registry}")
+    if args.trace:
+        _export_trace(result, args.trace)
+        print(f"trace written to {args.trace}")
+    if args.result_json:
+        _write_result_json(result, args.result_json)
+        print(f"result digest written to {args.result_json}")
+    if sink is not None:
+        sink.finalize(recorder)
+        print(f"telemetry written to {sink.path}")
+    return 0
+
+
 def _cmd_run(args) -> int:
     _validate_telemetry_path(args.telemetry)
+    if args.resume and args.checkpoint:
+        raise ReproError("--resume and --checkpoint are mutually exclusive")
+    if args.resume and args.workload:
+        raise ReproError("--resume takes its workload from the journal; "
+                         "do not pass one")
+    if args.resume:
+        return _cmd_run_resume(args)
+    if not args.workload:
+        raise ReproError("workload is required (unless resuming)")
     fault_plan = _load_faults_arg(args.faults)
     if args.registry and not args.adapt:
         raise ReproError("--registry requires --adapt")
@@ -348,7 +465,23 @@ def _cmd_run(args) -> int:
         injector=injector,
         adaptation=adaptation,
     )
-    result = controller.run(workload)
+    journal = None
+    checkpointer = None
+    if args.checkpoint:
+        from repro.checkpoint import RunCheckpointer, RunJournal
+
+        journal = RunJournal.create(
+            args.checkpoint,
+            kind="run",
+            spec=_run_spec(args),
+            interval_ticks=args.checkpoint_interval,
+        )
+        checkpointer = RunCheckpointer(journal)
+    try:
+        result = controller.run(workload, checkpointer=checkpointer)
+    finally:
+        if journal is not None:
+            journal.close()
     _print_summary(result, args)
     if injector is not None:
         _print_fault_summary(injector, result)
@@ -360,6 +493,9 @@ def _cmd_run(args) -> int:
     if args.trace:
         _export_trace(result, args.trace)
         print(f"trace written to {args.trace}")
+    if args.result_json:
+        _write_result_json(result, args.result_json)
+        print(f"result digest written to {args.result_json}")
     if sink is not None:
         sink.finalize(recorder)
         print(f"telemetry written to {sink.path}")
@@ -456,16 +592,25 @@ _EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
     "characterization": _experiment_runner("characterization"),
     "hierarchy": _experiment_runner("hierarchy_probe"),
     "drift": _experiment_runner("adaptation_drift"),
+    "chaos": _experiment_runner("chaos_resume"),
 }
 
 
 def _cmd_experiment(args) -> int:
     _validate_telemetry_path(getattr(args, "telemetry", None))
+    if args.resume and args.checkpoint:
+        raise ReproError("--resume and --checkpoint are mutually exclusive")
+    if args.resume and args.id:
+        raise ReproError("--resume takes the experiment id from the "
+                         "journal; do not pass one")
+    if not args.resume and not args.id:
+        raise ReproError("experiment id is required (unless resuming)")
     fault_plan = _load_faults_arg(getattr(args, "faults", None))
     recorder, sink = _make_telemetry(getattr(args, "telemetry", None))
 
     from contextlib import ExitStack
 
+    session = None
     with ExitStack() as stack:
         if recorder is not None:
             from repro.telemetry import recording
@@ -483,8 +628,46 @@ def _cmd_experiment(args) -> int:
             # Ambient config: every run_governed inside the experiment
             # builds its own fresh manager from it.
             stack.enter_context(adapting(AdaptationConfig()))
+        if args.checkpoint:
+            from repro.checkpoint import (
+                ExperimentCheckpointSession,
+                checkpointing,
+            )
+
+            session = ExperimentCheckpointSession.create(
+                args.checkpoint,
+                experiment=args.id,
+                spec={"scale": args.scale},
+                interval_ticks=args.checkpoint_interval,
+                telemetry=recorder,
+            )
+        elif args.resume:
+            from repro.checkpoint import (
+                ExperimentCheckpointSession,
+                checkpointing,
+            )
+
+            session = ExperimentCheckpointSession.open(
+                args.resume, telemetry=recorder
+            )
+            args.id = session.experiment
+            if args.id not in _EXPERIMENTS:
+                raise ReproError(
+                    f"journal {args.resume} checkpoints unknown "
+                    f"experiment {args.id!r}"
+                )
+            if args.scale is None:
+                args.scale = session.spec.get("scale")
+        if session is not None:
+            # Ambient session: every run_governed claims a slot --
+            # archived slots replay, the interrupted one resumes.
+            stack.enter_context(session)
+            stack.enter_context(checkpointing(session))
         text = _EXPERIMENTS[args.id](args.scale)
     print(text)
+    if session is not None and session.replayed:
+        print(f"(replayed {session.replayed} archived runs from "
+              f"{session.directory})", file=sys.stderr)
     if sink is not None:
         sink.finalize(recorder)
         print(f"telemetry written to {sink.path}")

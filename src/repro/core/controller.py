@@ -203,6 +203,17 @@ class _ResilienceRuntime:
         self._temp_repeats = 0
         self._temp_masked = False
 
+    def bind_telemetry(self, tel: TelemetryRecorder | None) -> None:
+        """Reattach a recorder (used after checkpoint restore)."""
+        self._tel = tel if (tel is not None and tel.enabled) else None
+
+    def __getstate__(self):
+        # The recorder is process state (open exporter handles) and is
+        # rebound on resume; everything else round-trips exactly.
+        state = self.__dict__.copy()
+        state["_tel"] = None
+        return state
+
     def _recover(self, subsystem: str, action: str, attempts: int = 0) -> None:
         key = f"{subsystem}.{action}"
         self.recoveries[key] = self.recoveries.get(key, 0) + 1
@@ -382,8 +393,17 @@ class PowerManagementController:
         initial_pstate: PState | None = None,
         schedule: ConstraintSchedule | None = None,
         max_seconds: float = 600.0,
+        checkpointer=None,
     ) -> RunResult:
-        """Run ``workload`` to completion under the governor."""
+        """Run ``workload`` to completion under the governor.
+
+        ``checkpointer`` (duck-typed: ``interval_ticks`` attribute plus
+        ``save(tick, state, tel)``) enables crash-safe execution: the
+        loop's complete state is durably journaled every
+        ``interval_ticks`` ticks and :func:`repro.checkpoint.resume_run`
+        continues an interrupted run bit-identically.  With the default
+        ``None`` the loop is exactly the uncheckpointed one.
+        """
         machine = self.machine
         governor = self.governor
         governor.reset()
@@ -392,7 +412,6 @@ class PowerManagementController:
         # Governors needing more events than the two counters declare
         # event_groups and get a multiplexed sampler (one group per tick).
         tel = self._telemetry
-        instrumented = tel is not None and tel.enabled
         groups = getattr(governor, "event_groups", None)
         if groups:
             sampler = MultiplexedCounterSampler(
@@ -415,231 +434,356 @@ class PowerManagementController:
             if self._resilience is not None
             else None
         )
-        hardened = rt is not None
         adapt = self._adaptation
         adapting = adapt is not None and adapt.engage(
             governor, tel, now_s=machine.now_s
         )
-        # Temperature is only observed when someone consumes it; the
-        # plain fast path must not pay for the hardened one.
-        track_temp = (
-            hardened or injecting or instrumented or self._keep_trace
-        )
         sampler.start()
         self.meter.mark(f"{workload.name}:start")
 
-        delivered = 0
-        residency: Dict[float, float] = {}
-        trace: List[TraceRow] = []
-        instructions = 0.0
-        true_energy = 0.0
-        sample_index = len(self.meter.samples)
+        state = _RunState(
+            machine=machine,
+            governor=governor,
+            meter=self.meter,
+            sampler=sampler,
+            driver=driver,
+            schedule=schedule,
+            rt=rt,
+            injector=injector if injecting else None,
+            adapt=adapt,
+            workload_name=workload.name,
+            max_seconds=max_seconds,
+            keep_trace=self._keep_trace,
+            injecting=injecting,
+            adapting=adapting,
+            sample_index=len(self.meter.samples),
+        )
+        return _run_loop(state, tel, checkpointer=checkpointer)
 
-        if instrumented:
-            metrics = tel.metrics
-            ticks_counter = metrics.counter("controller.ticks")
-            transitions_counter = metrics.counter("controller.transitions")
-            violations_counter = metrics.counter("controller.limit_violations")
-            power_hist = metrics.histogram(
-                "power.measured_w", POWER_BUCKETS_W
-            )
-            error_hist = metrics.histogram(
-                "projection.error_w", PROJECTION_ERROR_BUCKETS_W
-            )
-            residency_counters: Dict[float, object] = {}
-            can_estimate = hasattr(governor, "estimate_power")
-            last_estimate_w: float | None = None
+
+@dataclass
+class _RunState:
+    """The complete picklable state of one in-flight run.
+
+    One pickle of this object is one checkpoint: every object carrying
+    loop state -- machine, meter, sampler, driver, governor, resilience
+    runtime, fault injector, adaptation manager, constraint schedule and
+    the loop accumulators -- is reachable from here, so shared
+    references (the machine's power sink is the meter's bound
+    ``accumulate``, the fault wrappers alias the injector's RNG streams)
+    survive the round-trip intact.  Process-local attachments (telemetry
+    recorders, the injector's clock closure) are stripped by the
+    components' own ``__getstate__`` hooks and reattached via
+    :meth:`rebind_telemetry`.
+    """
+
+    machine: Machine
+    governor: Governor
+    meter: PowerMeter
+    sampler: object
+    driver: object
+    schedule: ConstraintSchedule | None
+    rt: _ResilienceRuntime | None
+    injector: "FaultInjector | None"
+    adapt: "AdaptationManager | None"
+    workload_name: str
+    max_seconds: float
+    keep_trace: bool
+    injecting: bool
+    adapting: bool
+    sample_index: int
+    delivered: int = 0
+    instructions: float = 0.0
+    true_energy: float = 0.0
+    tick_index: int = 0
+    last_estimate_w: float | None = None
+    residency: Dict[float, float] = field(default_factory=dict)
+    trace: List[TraceRow] = field(default_factory=list)
+
+    def rebind_telemetry(self, tel: TelemetryRecorder | None) -> None:
+        """Reattach a process-local recorder and clock after restore."""
+        if hasattr(self.sampler, "bind_telemetry"):
+            self.sampler.bind_telemetry(tel)
+        if self.rt is not None:
+            self.rt.bind_telemetry(tel)
+        if self.injector is not None:
+            self.injector.bind_telemetry(tel)
+            machine = self.machine
+            self.injector.set_clock(lambda: machine.now_s)
+        if self.adapt is not None and self.adapting:
+            self.adapt.bind_telemetry(tel)
+
+
+def _run_loop(st: _RunState, tel, checkpointer=None, resumed=False) -> RunResult:
+    """Drive ``st`` to completion; the single loop for fresh and resumed runs.
+
+    Must stay operation-for-operation identical to the historical inline
+    loop: RNG draws, float accumulation order and telemetry side effects
+    may not change, or checkpointed runs stop being bit-identical to
+    uncheckpointed ones.
+    """
+    machine = st.machine
+    governor = st.governor
+    meter = st.meter
+    sampler = st.sampler
+    driver = st.driver
+    schedule = st.schedule
+    rt = st.rt
+    injector = st.injector
+    adapt = st.adapt
+    workload_name = st.workload_name
+    max_seconds = st.max_seconds
+    hardened = rt is not None
+    injecting = st.injecting
+    adapting = st.adapting
+    keep_trace = st.keep_trace
+    instrumented = tel is not None and tel.enabled
+    # Temperature is only observed when someone consumes it; the
+    # plain fast path must not pay for the hardened one.
+    track_temp = hardened or injecting or instrumented or keep_trace
+
+    delivered = st.delivered
+    residency = st.residency
+    trace = st.trace
+    instructions = st.instructions
+    true_energy = st.true_energy
+    sample_index = st.sample_index
+    tick_index = st.tick_index
+    last_estimate_w = st.last_estimate_w
+
+    if instrumented:
+        metrics = tel.metrics
+        # Get-or-create by name: on a resumed run these handles come out
+        # of the restored registry with their accumulated values intact.
+        ticks_counter = metrics.counter("controller.ticks")
+        transitions_counter = metrics.counter("controller.transitions")
+        violations_counter = metrics.counter("controller.limit_violations")
+        power_hist = metrics.histogram(
+            "power.measured_w", POWER_BUCKETS_W
+        )
+        error_hist = metrics.histogram(
+            "projection.error_w", PROJECTION_ERROR_BUCKETS_W
+        )
+        residency_counters: Dict[float, object] = {}
+        can_estimate = hasattr(governor, "estimate_power")
+        if not resumed:
             tel.emit(
                 RunStarted(
                     time_s=machine.now_s,
-                    workload=workload.name,
+                    workload=workload_name,
                     governor=governor.name,
                 )
             )
 
-        while not machine.finished:
-            if machine.now_s > max_seconds:
-                raise ExperimentError(
-                    f"{workload.name} under {governor.name} exceeded "
-                    f"{max_seconds}s of simulated time"
-                )
-            if schedule is not None:
-                for change in schedule.due(machine.now_s, delivered):
-                    change.apply(governor)
-                    delivered += 1
-                    if instrumented:
-                        tel.emit(
-                            ConstraintChanged(
-                                time_s=machine.now_s, label=change.label
-                            )
-                        )
+    if checkpointer is not None:
+        interval = checkpointer.interval_ticks
+        # A fresh run checkpoints immediately (tick 0) so even a kill
+        # during the first interval is resumable; a resumed run's state
+        # is already durable, so its next checkpoint is one interval out.
+        next_checkpoint = tick_index if tick_index == 0 and not resumed else (
+            tick_index + interval
+        )
 
-            if instrumented:
-                with tel.span("execute"):
-                    record = machine.step()
-                with tel.span("sample"):
-                    counter_sample = (
-                        rt.acquire_sample(sampler, record.duration_s)
-                        if hardened
-                        else sampler.sample(record.duration_s)
+    while not machine.finished:
+        if machine.now_s > max_seconds:
+            raise ExperimentError(
+                f"{workload_name} under {governor.name} exceeded "
+                f"{max_seconds}s of simulated time"
+            )
+        if checkpointer is not None and tick_index >= next_checkpoint:
+            st.delivered = delivered
+            st.instructions = instructions
+            st.true_energy = true_energy
+            st.tick_index = tick_index
+            st.last_estimate_w = last_estimate_w
+            checkpointer.save(tick_index, st, tel)
+            next_checkpoint = tick_index + interval
+        if schedule is not None:
+            for change in schedule.due(machine.now_s, delivered):
+                change.apply(governor)
+                delivered += 1
+                if instrumented:
+                    tel.emit(
+                        ConstraintChanged(
+                            time_s=machine.now_s, label=change.label
+                        )
                     )
-            else:
+
+        if instrumented:
+            with tel.span("execute"):
                 record = machine.step()
+            with tel.span("sample"):
                 counter_sample = (
                     rt.acquire_sample(sampler, record.duration_s)
                     if hardened
                     else sampler.sample(record.duration_s)
                 )
-            instructions += record.instructions
-            true_energy += record.energy_j
-            freq = record.pstate.frequency_mhz
-            residency[freq] = residency.get(freq, 0.0) + record.duration_s
-
-            # Measured-power feedback for adaptive governors (the meter
-            # closes samples in lockstep with 10 ms ticks).
-            measured = (
-                self.meter.samples[-1].watts
-                if len(self.meter.samples) > sample_index
-                else record.mean_power_w
+        else:
+            record = machine.step()
+            counter_sample = (
+                rt.acquire_sample(sampler, record.duration_s)
+                if hardened
+                else sampler.sample(record.duration_s)
             )
+        instructions += record.instructions
+        true_energy += record.energy_j
+        freq = record.pstate.frequency_mhz
+        residency[freq] = residency.get(freq, 0.0) + record.duration_s
+
+        # Measured-power feedback for adaptive governors (the meter
+        # closes samples in lockstep with 10 ms ticks).
+        measured = (
+            meter.samples[-1].watts
+            if len(meter.samples) > sample_index
+            else record.mean_power_w
+        )
+        if hardened:
+            measured = rt.filter_power(measured)
+
+        if track_temp:
+            temperature = record.temperature_c
+            if injecting:
+                temperature = injector.observe_temperature(
+                    temperature, machine.now_s
+                )
             if hardened:
-                measured = rt.filter_power(measured)
+                temperature = rt.observe_temperature(temperature)
 
-            if track_temp:
-                temperature = record.temperature_c
-                if injecting:
-                    temperature = injector.observe_temperature(
-                        temperature, machine.now_s
-                    )
-                if hardened:
-                    temperature = rt.observe_temperature(temperature)
-
-            current = machine.current_pstate
-            if hardened and (rt.degraded or counter_sample is None):
-                # Fail-safe governor (closed-loop control abandoned) or
-                # no good sample yet (hold rather than guess).
-                target = rt.safe_pstate if rt.degraded else current
-            elif instrumented:
-                with tel.span("decide"):
-                    target = governor.decide(counter_sample, current)
-            else:
+        current = machine.current_pstate
+        if hardened and (rt.degraded or counter_sample is None):
+            # Fail-safe governor (closed-loop control abandoned) or
+            # no good sample yet (hold rather than guess).
+            target = rt.safe_pstate if rt.degraded else current
+        elif instrumented:
+            with tel.span("decide"):
                 target = governor.decide(counter_sample, current)
-            if target != current:
-                if instrumented:
-                    with tel.span("actuate"):
-                        changed = self._actuate(rt, driver, target)
-                elif hardened:
-                    rt.actuate(driver, target)
-                else:
-                    driver.set_pstate(target)
-            elif instrumented:
-                changed = False
-            if hasattr(governor, "observe_power"):
-                governor.observe_power(measured)
-            # Online adaptation: fold the interval that just executed
-            # into the shadow score / RLS fit.  Any model swap decided
-            # here takes effect at the *next* control decision.
-            if adapting and counter_sample is not None:
-                adapt.observe(counter_sample, current, measured, machine.now_s)
-
+        else:
+            target = governor.decide(counter_sample, current)
+        if target != current:
             if instrumented:
-                ticks_counter.inc()
-                freq_counter = residency_counters.get(freq)
-                if freq_counter is None:
-                    freq_counter = residency_counters[freq] = metrics.counter(
-                        f"pstate.residency_s.{freq:.0f}"
+                with tel.span("actuate"):
+                    changed = PowerManagementController._actuate(
+                        rt, driver, target
                     )
-                freq_counter.inc(record.duration_s)
-                power_hist.observe(measured)
-                limit = getattr(governor, "power_limit_w", None)
-                if limit is not None and measured > limit:
-                    violations_counter.inc()
-                # The estimate made last tick predicted this tick's power.
-                if last_estimate_w is not None:
-                    error_hist.observe(last_estimate_w - measured)
-                tel.emit(
-                    DecisionMade(
-                        time_s=machine.now_s,
-                        governor=governor.name,
-                        current_mhz=current.frequency_mhz,
-                        target_mhz=target.frequency_mhz,
-                    )
-                )
-                if changed:
-                    transitions_counter.inc()
-                    tel.emit(
-                        PStateTransition(
-                            time_s=machine.now_s,
-                            from_mhz=current.frequency_mhz,
-                            to_mhz=target.frequency_mhz,
-                        )
-                    )
-                if can_estimate and counter_sample is not None:
-                    last_estimate_w = governor.estimate_power(
-                        counter_sample, current, target
-                    )
-                tel.emit(
-                    TickCompleted(
-                        time_s=machine.now_s,
-                        frequency_mhz=freq,
-                        measured_power_w=measured,
-                        true_power_w=record.mean_power_w,
-                        instructions=record.instructions,
-                        duty=record.duty,
-                        temperature_c=temperature,
-                    )
-                )
+            elif hardened:
+                rt.actuate(driver, target)
+            else:
+                driver.set_pstate(target)
+        elif instrumented:
+            changed = False
+        if hasattr(governor, "observe_power"):
+            governor.observe_power(measured)
+        # Online adaptation: fold the interval that just executed
+        # into the shadow score / RLS fit.  Any model swap decided
+        # here takes effect at the *next* control decision.
+        if adapting and counter_sample is not None:
+            adapt.observe(counter_sample, current, measured, machine.now_s)
 
-            if self._keep_trace:
-                trace.append(
-                    TraceRow(
-                        time_s=machine.now_s,
-                        frequency_mhz=freq,
-                        measured_power_w=measured,
-                        true_power_w=record.mean_power_w,
-                        instructions=record.instructions,
-                        rates=(
-                            dict(counter_sample.rates)
-                            if counter_sample is not None
-                            else {}
-                        ),
-                        duty=record.duty,
-                        temperature_c=temperature,
-                    )
-                )
-
-        self.meter.flush()
-        self.meter.mark(f"{workload.name}:end")
-        samples = self.meter.samples_between(
-            f"{workload.name}:start", f"{workload.name}:end"
-        )
-        measured_energy = self.meter.energy_j(samples)
         if instrumented:
-            metrics.gauge("run.duration_s").set(machine.now_s)
-            metrics.gauge("run.instructions").set(instructions)
-            metrics.gauge("run.measured_energy_j").set(measured_energy)
+            ticks_counter.inc()
+            freq_counter = residency_counters.get(freq)
+            if freq_counter is None:
+                freq_counter = residency_counters[freq] = metrics.counter(
+                    f"pstate.residency_s.{freq:.0f}"
+                )
+            freq_counter.inc(record.duration_s)
+            power_hist.observe(measured)
+            limit = getattr(governor, "power_limit_w", None)
+            if limit is not None and measured > limit:
+                violations_counter.inc()
+            # The estimate made last tick predicted this tick's power.
+            if last_estimate_w is not None:
+                error_hist.observe(last_estimate_w - measured)
             tel.emit(
-                RunFinished(
+                DecisionMade(
                     time_s=machine.now_s,
-                    workload=workload.name,
                     governor=governor.name,
-                    duration_s=machine.now_s,
-                    instructions=instructions,
-                    measured_energy_j=measured_energy,
-                    transitions=machine.dvfs.transition_count,
+                    current_mhz=current.frequency_mhz,
+                    target_mhz=target.frequency_mhz,
                 )
             )
-        return RunResult(
-            workload=workload.name,
-            governor=governor.name,
-            duration_s=machine.now_s,
-            instructions=instructions,
-            measured_energy_j=measured_energy,
-            true_energy_j=true_energy,
-            samples=samples,
-            trace=tuple(trace),
-            residency_s=residency,
-            transitions=machine.dvfs.transition_count,
-            degraded=rt.degraded if rt is not None else False,
-            recoveries=dict(rt.recoveries) if rt is not None else {},
+            if changed:
+                transitions_counter.inc()
+                tel.emit(
+                    PStateTransition(
+                        time_s=machine.now_s,
+                        from_mhz=current.frequency_mhz,
+                        to_mhz=target.frequency_mhz,
+                    )
+                )
+            if can_estimate and counter_sample is not None:
+                last_estimate_w = governor.estimate_power(
+                    counter_sample, current, target
+                )
+            tel.emit(
+                TickCompleted(
+                    time_s=machine.now_s,
+                    frequency_mhz=freq,
+                    measured_power_w=measured,
+                    true_power_w=record.mean_power_w,
+                    instructions=record.instructions,
+                    duty=record.duty,
+                    temperature_c=temperature,
+                )
+            )
+
+        if keep_trace:
+            trace.append(
+                TraceRow(
+                    time_s=machine.now_s,
+                    frequency_mhz=freq,
+                    measured_power_w=measured,
+                    true_power_w=record.mean_power_w,
+                    instructions=record.instructions,
+                    rates=(
+                        dict(counter_sample.rates)
+                        if counter_sample is not None
+                        else {}
+                    ),
+                    duty=record.duty,
+                    temperature_c=temperature,
+                )
+            )
+        tick_index += 1
+
+    st.delivered = delivered
+    st.instructions = instructions
+    st.true_energy = true_energy
+    st.tick_index = tick_index
+    st.last_estimate_w = last_estimate_w
+
+    meter.flush()
+    meter.mark(f"{workload_name}:end")
+    samples = meter.samples_between(
+        f"{workload_name}:start", f"{workload_name}:end"
+    )
+    measured_energy = meter.energy_j(samples)
+    if instrumented:
+        metrics.gauge("run.duration_s").set(machine.now_s)
+        metrics.gauge("run.instructions").set(instructions)
+        metrics.gauge("run.measured_energy_j").set(measured_energy)
+        tel.emit(
+            RunFinished(
+                time_s=machine.now_s,
+                workload=workload_name,
+                governor=governor.name,
+                duration_s=machine.now_s,
+                instructions=instructions,
+                measured_energy_j=measured_energy,
+                transitions=machine.dvfs.transition_count,
+            )
         )
+    return RunResult(
+        workload=workload_name,
+        governor=governor.name,
+        duration_s=machine.now_s,
+        instructions=instructions,
+        measured_energy_j=measured_energy,
+        true_energy_j=true_energy,
+        samples=samples,
+        trace=tuple(trace),
+        residency_s=residency,
+        transitions=machine.dvfs.transition_count,
+        degraded=rt.degraded if rt is not None else False,
+        recoveries=dict(rt.recoveries) if rt is not None else {},
+    )

@@ -25,6 +25,26 @@ class ScheduledChange:
     label: str = ""
 
 
+@dataclass(frozen=True)
+class _SetPowerLimit:
+    """Picklable "set the PM power limit" action (checkpointable)."""
+
+    watts: float
+
+    def __call__(self, governor) -> None:
+        governor.set_power_limit(self.watts)
+
+
+@dataclass(frozen=True)
+class _SetPerformanceFloor:
+    """Picklable "set the PS performance floor" action (checkpointable)."""
+
+    floor: float
+
+    def __call__(self, governor) -> None:
+        governor.set_floor(self.floor)
+
+
 @dataclass
 class ConstraintSchedule:
     """An ordered queue of runtime constraint changes."""
@@ -38,7 +58,7 @@ class ConstraintSchedule:
         self.changes.append(
             ScheduledChange(
                 time_s,
-                lambda governor: governor.set_power_limit(watts),
+                _SetPowerLimit(watts),
                 label=f"power_limit={watts}W",
             )
         )
@@ -51,7 +71,7 @@ class ConstraintSchedule:
         self.changes.append(
             ScheduledChange(
                 time_s,
-                lambda governor: governor.set_floor(floor),
+                _SetPerformanceFloor(floor),
                 label=f"floor={floor}",
             )
         )

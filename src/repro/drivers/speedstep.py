@@ -63,7 +63,9 @@ class SpeedStepDriver:
             IA32_PERF_STATUS,
             initial=encode_pstate(dvfs.current),
             writable=False,
-            read_hook=lambda: encode_pstate(self._dvfs.current),
+            # Bound method, not a lambda: the hook must survive the
+            # checkpoint pickle along with the rest of the machine graph.
+            read_hook=self._read_perf_status,
         )
         msr.map_register(
             IA32_PERF_CTL,
@@ -95,6 +97,9 @@ class SpeedStepDriver:
     def set_frequency(self, frequency_mhz: float) -> TransitionResult:
         """Request the table p-state at exactly ``frequency_mhz``."""
         return self.set_pstate(self._dvfs.table.by_frequency(frequency_mhz))
+
+    def _read_perf_status(self) -> int:
+        return encode_pstate(self._dvfs.current)
 
     def _on_perf_ctl_write(self, word: int) -> None:
         target = decode_pstate(word, self._dvfs.table)

@@ -123,3 +123,25 @@ class WatchdogError(RecoveryError):
 class RecoveryExhaustedError(RecoveryError):
     """Raised when every recovery path (retries, then the fail-safe
     p-state) has been exhausted and the loop cannot continue safely."""
+
+
+class CheckpointError(ReproError):
+    """Raised by the durability layer (:mod:`repro.checkpoint`) for
+    unusable journals: bad magic, unsupported format versions, mismatched
+    manifests, or resuming a directory that holds no usable snapshot."""
+
+
+class NoSnapshotError(CheckpointError):
+    """A journal directory is valid but holds no usable snapshot yet
+    (the process died before the first checkpoint became durable).
+    Callers fall back to restarting the run from the journal's
+    manifest spec."""
+
+
+class SupervisionError(ReproError):
+    """Raised by the supervisor (:mod:`repro.supervise`) for invalid
+    retry policies or when a supervised call exhausts its attempts."""
+
+
+class DeadlineExceeded(SupervisionError):
+    """A supervised call ran past its wall-clock deadline."""

@@ -1,0 +1,250 @@
+"""Chaos drill: SIGKILL a checkpointed run, resume it, compare results.
+
+The crash-safety claim (README "Crash safety & resume") is only worth
+its documentation if it survives a *real* kill: a child ``repro-power
+run --checkpoint`` process killed with SIGKILL at an arbitrary point --
+no atexit handlers, no flushing, nothing graceful -- must, after
+``--resume``, finish with a :class:`~repro.core.controller.RunResult`
+bit-identical to an uninterrupted run's.
+
+The harness:
+
+1. runs the workload once, uninterrupted, in a child process and keeps
+   its float-exact digest (``--result-json``) as the reference;
+2. for each of ``kills`` cycles, starts a fresh checkpointed child,
+   polls the journal's durable records, and SIGKILLs the child once the
+   newest checkpoint reaches a randomized target tick;
+3. resumes each murdered run with ``--resume`` and compares the
+   resumed digest (including the SHA-256 over the raw IEEE-754 sample
+   and trace series) against the reference.
+
+Child processes run under a :class:`~repro.supervise.Supervisor`
+deadline so a wedged child fails the experiment instead of hanging it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.checkpoint.format import read_records
+from repro.checkpoint.journal import JOURNAL_FILENAME
+from repro.errors import DeadlineExceeded, ExperimentError
+from repro.experiments.runner import ExperimentConfig
+from repro.supervise import RetryPolicy, Supervisor
+
+#: Workload the drill runs (long enough for many checkpoints at scale).
+DEFAULT_WORKLOAD = "ammp"
+
+#: Checkpoint cadence for the children: dense, so randomized kill
+#: targets land between many durable records.
+DEFAULT_INTERVAL_TICKS = 7
+
+#: Kill/resume cycles.
+DEFAULT_KILLS = 5
+
+#: Wall-clock budget per child process.
+DEFAULT_CHILD_DEADLINE_S = 300.0
+
+
+@dataclass(frozen=True)
+class KillCycle:
+    """Outcome of one SIGKILL + resume cycle."""
+
+    target_tick: int
+    #: Tick of the newest durable checkpoint when the kill landed
+    #: (-1 when the child finished before the kill could land).
+    killed_after_tick: int
+    #: True when the child was actually SIGKILLed mid-run.
+    killed: bool
+    #: True when the resumed digest matches the uninterrupted one.
+    identical: bool
+
+
+def _python_cmd(extra: Sequence[str]) -> list[str]:
+    return [sys.executable, "-m", "repro", "run", *extra]
+
+
+def _run_flags(config: ExperimentConfig) -> list[str]:
+    return [
+        DEFAULT_WORKLOAD,
+        "--scale", str(config.scale),
+        "--seed", str(config.seed),
+        "--use-paper-model",
+        "--governor", "pm",
+    ]
+
+
+def _read_digest(path: str) -> Mapping[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _wait_and_kill(
+    proc: subprocess.Popen,
+    journal_path: str,
+    target_tick: int,
+    deadline_s: float,
+) -> tuple[bool, int]:
+    """Poll the journal; SIGKILL ``proc`` once ``target_tick`` is durable.
+
+    Returns ``(killed, newest_durable_tick)``.  The kill is a raw
+    SIGKILL -- the child gets no chance to flush or clean up, which is
+    the whole point.
+    """
+    start = time.monotonic()
+    newest = -1
+    while proc.poll() is None:
+        if time.monotonic() - start > deadline_s:
+            proc.kill()
+            proc.wait()
+            raise DeadlineExceeded(
+                f"chaos child ran past {deadline_s:.0f}s before reaching "
+                f"tick {target_tick}"
+            )
+        if os.path.exists(journal_path):
+            records = read_records(journal_path)
+            if records:
+                newest = records[-1].tick
+                if newest >= target_tick:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    proc.wait()
+                    return True, newest
+        time.sleep(0.005)
+    proc.wait()
+    return False, newest
+
+
+def run(config: ExperimentConfig | None = None) -> Mapping[str, Any]:
+    """Execute the kill/resume drill; returns the comparison data."""
+    config = config or ExperimentConfig(scale=0.6)
+    kills = DEFAULT_KILLS
+    rng = np.random.default_rng(config.seed + 1)
+    supervisor = Supervisor(
+        RetryPolicy(max_attempts=1, deadline_s=DEFAULT_CHILD_DEADLINE_S * 4)
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        # 1. The uninterrupted reference run (checkpointing on, so the
+        #    reference exercises the identical code path).
+        ref_dir = os.path.join(workdir, "reference")
+        ref_json = os.path.join(workdir, "reference.json")
+        supervisor.run_subprocess(
+            _python_cmd(
+                _run_flags(config)
+                + ["--checkpoint", ref_dir,
+                   "--checkpoint-interval", str(DEFAULT_INTERVAL_TICKS),
+                   "--result-json", ref_json]
+            ),
+            label="chaos-reference",
+            timeout_s=DEFAULT_CHILD_DEADLINE_S,
+        )
+        reference = _read_digest(ref_json)
+        total_ticks = int(reference["n_samples"])
+        if total_ticks < 3 * DEFAULT_INTERVAL_TICKS:
+            raise ExperimentError(
+                f"reference run too short ({total_ticks} ticks) to place "
+                f"randomized kills; raise --scale"
+            )
+
+        # 2. Kill/resume cycles at randomized checkpoint depths.
+        cycles: list[KillCycle] = []
+        for index in range(kills):
+            target = int(
+                rng.integers(1, max(2, total_ticks - DEFAULT_INTERVAL_TICKS))
+            )
+            run_dir = os.path.join(workdir, f"kill-{index}")
+            out_json = os.path.join(workdir, f"kill-{index}.json")
+            proc = subprocess.Popen(
+                _python_cmd(
+                    _run_flags(config)
+                    + ["--checkpoint", run_dir,
+                       "--checkpoint-interval", str(DEFAULT_INTERVAL_TICKS),
+                       "--result-json", out_json]
+                ),
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            killed, newest = _wait_and_kill(
+                proc,
+                os.path.join(run_dir, JOURNAL_FILENAME),
+                target,
+                DEFAULT_CHILD_DEADLINE_S,
+            )
+            # 3. Resume (works for a killed child; also validates that
+            #    resuming a journal whose run completed reproduces the
+            #    same result).
+            supervisor.run_subprocess(
+                _python_cmd(
+                    ["--resume", run_dir, "--result-json", out_json]
+                ),
+                label=f"chaos-resume-{index}",
+                timeout_s=DEFAULT_CHILD_DEADLINE_S,
+            )
+            resumed = _read_digest(out_json)
+            cycles.append(
+                KillCycle(
+                    target_tick=target,
+                    killed_after_tick=newest,
+                    killed=killed,
+                    identical=resumed == reference,
+                )
+            )
+        return {
+            "workload": DEFAULT_WORKLOAD,
+            "scale": config.scale,
+            "seed": config.seed,
+            "interval_ticks": DEFAULT_INTERVAL_TICKS,
+            "total_ticks": total_ticks,
+            "reference_samples_sha256": reference["samples_sha256"],
+            "cycles": [vars(c) for c in cycles],
+            "kills": sum(1 for c in cycles if c.killed),
+            "identical": sum(1 for c in cycles if c.identical),
+            "all_identical": all(c.identical for c in cycles),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def render(data: Mapping[str, Any]) -> str:
+    """Human-readable digest of the drill."""
+    lines = [
+        "chaos kill/resume drill",
+        "=======================",
+        "",
+        f"workload {data['workload']} (scale {data['scale']}, seed "
+        f"{data['seed']}), {data['total_ticks']} ticks, checkpoint "
+        f"every {data['interval_ticks']} ticks",
+        f"reference samples sha256: {data['reference_samples_sha256'][:16]}...",
+        "",
+        f"{'cycle':>5} {'target tick':>12} {'killed after':>13} "
+        f"{'killed':>7} {'identical':>10}",
+    ]
+    for index, cycle in enumerate(data["cycles"]):
+        lines.append(
+            f"{index:>5} {cycle['target_tick']:>12} "
+            f"{cycle['killed_after_tick']:>13} "
+            f"{str(cycle['killed']):>7} {str(cycle['identical']):>10}"
+        )
+    lines.append("")
+    lines.append(
+        f"{data['kills']}/{len(data['cycles'])} children SIGKILLed "
+        f"mid-run; {data['identical']}/{len(data['cycles'])} resumed "
+        f"bit-identical"
+    )
+    lines.append(
+        "PASS: every resumed run matches the uninterrupted reference"
+        if data["all_identical"]
+        else "FAIL: at least one resumed run diverged from the reference"
+    )
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ from typing import Callable, Mapping
 from repro.acpi.pstates import PStateTable, pentium_m_755_table
 from repro.adaptation.context import current_adaptation_config
 from repro.adaptation.manager import AdaptationConfig, AdaptationManager
+from repro.checkpoint.context import current_checkpoint_session
 from repro.core.controller import PowerManagementController, RunResult
 from repro.core.governors.base import Governor
 from repro.core.governors.unconstrained import FixedFrequency
@@ -103,6 +104,21 @@ def run_governed(
     no-op otherwise.
     """
     tel = telemetry if telemetry is not None else current_recorder()
+    session = current_checkpoint_session()
+    if session is not None:
+        # Crash-safe experiment execution: completed slots replay from
+        # the archive, an interrupted slot resumes from its journal, and
+        # fresh slots run with periodic checkpointing.  run_governed is
+        # called in deterministic order, so slot indices line up across
+        # the original and every resumed invocation.
+        slot = session.claim()
+        cached = session.archived(slot)
+        if cached is not None:
+            return cached
+        resumed = session.resume_slot(slot, tel)
+        if resumed is not None:
+            session.finish_slot(slot, resumed, telemetry=tel)
+            return resumed
     plan = fault_plan if fault_plan is not None else current_fault_plan()
     adapt = (
         adaptation if adaptation is not None else current_adaptation_config()
@@ -132,20 +148,33 @@ def run_governed(
         if initial_frequency_mhz is not None
         else None
     )
+    checkpointer = (
+        session.start_slot(slot, workload.name, governor.name)
+        if session is not None
+        else None
+    )
     if tel is not None and tel.enabled:
         with tel.span("run"):
-            return controller.run(
+            result = controller.run(
                 workload.scaled(config.scale),
                 initial_pstate=initial,
                 schedule=schedule,
                 max_seconds=config.max_seconds,
+                checkpointer=checkpointer,
             )
-    return controller.run(
-        workload.scaled(config.scale),
-        initial_pstate=initial,
-        schedule=schedule,
-        max_seconds=config.max_seconds,
-    )
+    else:
+        result = controller.run(
+            workload.scaled(config.scale),
+            initial_pstate=initial,
+            schedule=schedule,
+            max_seconds=config.max_seconds,
+            checkpointer=checkpointer,
+        )
+    if session is not None:
+        session.finish_slot(
+            slot, result, telemetry=tel, checkpointer=checkpointer
+        )
+    return result
 
 
 def run_fixed(

@@ -29,6 +29,8 @@ class FaultsReport:
     crashes: List[dict] = field(default_factory=list)
     restarts: List[dict] = field(default_factory=list)
     skipped_lines: int = 0
+    #: True when the final event line was torn mid-write (killed run).
+    truncated_tail: bool = False
 
     @property
     def total_injected(self) -> int:
@@ -52,8 +54,10 @@ def load_faults_report(directory: str | os.PathLike) -> FaultsReport:
             f"{directory} has no {EVENTS_FILENAME}; was it written with "
             "--telemetry?"
         )
-    events, skipped = load_events(events_path)
-    report = FaultsReport(directory=directory, skipped_lines=skipped)
+    events, skipped, truncated = load_events(events_path)
+    report = FaultsReport(
+        directory=directory, skipped_lines=skipped, truncated_tail=truncated
+    )
     injected: dict[str, int] = {}
     recovered: dict[str, int] = {}
     for event in events:
@@ -115,4 +119,6 @@ def render_faults_report(directory: str | os.PathLike) -> str:
         )
     if report.skipped_lines:
         lines.append(f"skipped {report.skipped_lines} malformed event lines")
+    if report.truncated_tail:
+        lines.append("final event line torn mid-write (killed run); ignored")
     return "\n".join(lines)

@@ -26,6 +26,7 @@ terminates.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
@@ -162,6 +163,41 @@ class _Node:
         self.restart_at_s = None
         return True
 
+    #: What a node checkpoint captures.  Crash bookkeeping (``crashed``,
+    #: ``crashes``, ``restart_at_s``) is deliberately excluded: a
+    #: restore must not erase the record of the crash it recovers from.
+    _SNAPSHOT_FIELDS = (
+        "machine",
+        "meter",
+        "sampler",
+        "governor",
+        "instructions",
+        "last_dpc",
+        "finish_time_s",
+    )
+
+    def snapshot(self) -> bytes:
+        """Serialize the node's execution state (one pickle graph).
+
+        Machine, meter, sampler, and governor are pickled *together* so
+        shared references (the machine's power sink is the meter's
+        bound ``accumulate``; the sampler reads the machine's PMU)
+        survive intact, RNG streams included.
+        """
+        state = {f: getattr(self, f) for f in self._SNAPSHOT_FIELDS}
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore(self, blob: bytes) -> None:
+        """Roll execution state back to a :meth:`snapshot`.
+
+        Work done since the snapshot is lost -- that is the realistic
+        crash-restart semantics -- and the RNG streams continue from
+        the *saved* state, so the replayed stretch does not re-suffer
+        the identical fault sequence that killed the node.
+        """
+        for field_name, value in pickle.loads(blob).items():
+            setattr(self, field_name, value)
+
     def tick(self) -> float:
         """Advance one tick; returns measured power for the tick."""
         record = self.machine.step()
@@ -203,17 +239,25 @@ class FleetController:
         seed: int = 0,
         telemetry: TelemetryRecorder | None = None,
         injector: "FaultInjector | None" = None,
+        checkpoint_interval_s: float | None = None,
     ):
         if total_budget_w <= 0:
             raise ExperimentError("fleet budget must be positive")
         if not workloads:
             raise ExperimentError("fleet needs at least one node")
+        if checkpoint_interval_s is not None and checkpoint_interval_s <= 0:
+            raise ExperimentError(
+                "fleet checkpoint interval must be positive"
+            )
         self._model = model
         self._budget = total_budget_w
         self._allocator = allocator
         self._period = reallocation_period_s
         self._telemetry = telemetry
         self._injector = injector
+        self._checkpoint_interval_s = checkpoint_interval_s
+        #: Latest per-node snapshot (in-memory; populated during run()).
+        self._snapshots: dict[str, bytes] = {}
         self._nodes = [
             _Node(name, workload, model, total_budget_w / len(workloads),
                   seed + 17 * i)
@@ -232,6 +276,13 @@ class FleetController:
         changed = False
         for node in self._nodes:
             if node.maybe_restart(now):
+                blob = self._snapshots.get(node.name)
+                if blob is not None:
+                    # Restart from the last checkpoint: work since then
+                    # is redone, and the node's RNG streams continue
+                    # from the saved state instead of replaying the
+                    # exact fault sequence that took it down.
+                    node.restore(blob)
                 changed = True
                 if instrumented:
                     downtime = now - (node.crashed_at_s or now)
@@ -281,6 +332,9 @@ class FleetController:
         if injecting:
             injector.bind_telemetry(tel)
         force_reallocation = False
+        interval = self._checkpoint_interval_s
+        self._snapshots = {}
+        next_checkpoint = 0.0
         if instrumented:
             reallocations_counter = tel.metrics.counter("fleet.reallocations")
             active_gauge = tel.metrics.gauge("fleet.active_nodes")
@@ -288,6 +342,14 @@ class FleetController:
         while any(n.runnable for n in self._nodes):
             if now > max_seconds:
                 raise ExperimentError("fleet exceeded its time budget")
+
+            if interval is not None and now >= next_checkpoint - 1e-12:
+                # Snapshot before faults fire this tick, so a crash at
+                # a checkpoint instant restores the pre-crash state.
+                for node in self._nodes:
+                    if not node.crashed and not node.finished:
+                        self._snapshots[node.name] = node.snapshot()
+                next_checkpoint += interval
 
             if injecting:
                 force_reallocation |= self._step_node_faults(now, instrumented)

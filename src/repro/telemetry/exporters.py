@@ -27,6 +27,7 @@ import os
 from typing import IO, Iterable
 
 from repro.errors import TelemetryError
+from repro.ioutils import atomic_write_text
 from repro.telemetry.bus import TelemetryEvent, TickCompleted
 from repro.telemetry.recorder import TelemetryRecorder
 
@@ -248,8 +249,11 @@ class TelemetryDirectory:
         self.trace.close()
         if recorder is None:
             return
-        with open(os.path.join(self.path, METRICS_FILENAME), "w") as handle:
-            json.dump(recorder.snapshot(), handle, indent=2)
-            handle.write("\n")
+        # Atomic: a consumer polling the directory (or a kill landing
+        # mid-finalize) must never observe a half-written metrics.json.
+        atomic_write_text(
+            os.path.join(self.path, METRICS_FILENAME),
+            json.dumps(recorder.snapshot(), indent=2) + "\n",
+        )
         with open(os.path.join(self.path, SUMMARY_FILENAME), "w") as handle:
             handle.write(render_run_summary(recorder))

@@ -35,6 +35,10 @@ class TelemetryReport:
     spans: dict = field(default_factory=dict)
     #: Malformed/truncated JSONL lines skipped while loading the log.
     skipped_lines: int = 0
+    #: True when the final event/trace line was torn mid-write (the
+    #: expected signature of a SIGKILL'd run), as opposed to interior
+    #: corruption counted in ``skipped_lines``.
+    truncated_tail: bool = False
 
     @property
     def event_counts(self) -> Mapping[str, int]:
@@ -64,35 +68,45 @@ class TelemetryReport:
         return total / len(self.trace_rows)
 
 
-def load_events(path: str | os.PathLike) -> tuple[List[dict], int]:
+def load_events(path: str | os.PathLike) -> tuple[List[dict], int, bool]:
     """Parse a JSONL event log, tolerating damage.
 
     A journal from a crashed or killed run is routinely truncated
     mid-line, and a corrupted disk can garble arbitrary lines; neither
-    should make the *report* fail.  Malformed and non-object lines are
-    skipped and counted; returns ``(events, skipped_line_count)``.
+    should make the *report* fail.  Returns ``(events,
+    skipped_line_count, truncated_tail)``: a malformed *final* line
+    with no trailing newline is the expected tear of a SIGKILL'd run
+    and is reported as ``truncated_tail`` rather than counted with the
+    interior damage in ``skipped_line_count``.
     """
     events: List[dict] = []
     skipped = 0
+    truncated_tail = False
     try:
-        handle = open(path, errors="replace")
+        with open(path, "rb") as handle:
+            data = handle.read()
     except OSError as error:
         raise TelemetryError(f"cannot read event log {path}: {error}") from None
-    with handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError:
+    text = data.decode(errors="replace")
+    complete_tail = text.endswith("\n")
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1 and not complete_tail:
+                truncated_tail = True
+            else:
                 skipped += 1
-                continue
-            if not isinstance(event, dict):
-                skipped += 1
-                continue
-            events.append(event)
-    return events, skipped
+            continue
+        if not isinstance(event, dict):
+            skipped += 1
+            continue
+        events.append(event)
+    return events, skipped, truncated_tail
 
 
 def load_report(directory: str | os.PathLike) -> TelemetryReport:
@@ -107,12 +121,26 @@ def load_report(directory: str | os.PathLike) -> TelemetryReport:
             "--telemetry?"
         )
     report = TelemetryReport(directory=directory)
-    report.events, report.skipped_lines = load_events(events_path)
+    report.events, report.skipped_lines, report.truncated_tail = load_events(
+        events_path
+    )
 
     trace_path = os.path.join(directory, TRACE_FILENAME)
     if os.path.exists(trace_path):
         with open(trace_path, newline="") as handle:
-            report.trace_rows = list(csv.DictReader(handle))
+            rows = list(csv.DictReader(handle))
+        # A kill can also tear the final CSV row mid-write; DictReader
+        # fills its missing columns with None, which would crash the
+        # float() parses downstream.  (temperature_c is legitimately
+        # empty on unhardened runs, so it does not count as damage.)
+        if rows and any(
+            value is None or value == ""
+            for column, value in rows[-1].items()
+            if column is not None and column != "temperature_c"
+        ):
+            rows.pop()
+            report.truncated_tail = True
+        report.trace_rows = rows
 
     metrics_path = os.path.join(directory, METRICS_FILENAME)
     if os.path.exists(metrics_path):
@@ -144,6 +172,10 @@ def render_report(directory: str | os.PathLike) -> str:
     if report.skipped_lines:
         lines.append(
             f"  (skipped {report.skipped_lines} malformed journal lines)"
+        )
+    if report.truncated_tail:
+        lines.append(
+            "  (final line torn mid-write -- run was killed; ignored)"
         )
     lines.append("")
 

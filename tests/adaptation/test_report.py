@@ -1,0 +1,39 @@
+"""Adaptation/faults reports must survive journals torn by SIGKILL."""
+
+from __future__ import annotations
+
+from repro.adaptation.report import (
+    load_adaptation_report,
+    render_adaptation_report,
+)
+from repro.faults.report import load_faults_report, render_faults_report
+
+
+def test_adaptation_report_tolerates_torn_tail(tmp_path):
+    d = tmp_path / "killed"
+    d.mkdir()
+    (d / "events.jsonl").write_text(
+        '{"kind": "model_recalibrated", "time_s": 0.1, "version": 2}\n'
+        '{"kind": "model_drift_detected", "time_s": 0.2'  # torn, no \n
+    )
+    report = load_adaptation_report(d)
+    assert report.truncated_tail is True
+    assert report.skipped_lines == 0
+    assert len(report.recalibrations) == 1
+    assert report.drift_detections == []
+    assert "torn mid-write" in render_adaptation_report(d)
+
+
+def test_faults_report_tolerates_torn_tail(tmp_path):
+    d = tmp_path / "killed"
+    d.mkdir()
+    (d / "events.jsonl").write_text(
+        '{"kind": "fault_injected", "subsystem": "meter", '
+        '"fault": "spike", "time_s": 0.1}\n'
+        '{"kind": "fault_injected", "subsys'  # torn, no \n
+    )
+    report = load_faults_report(d)
+    assert report.truncated_tail is True
+    assert report.skipped_lines == 0
+    assert report.injected == {"meter.spike": 1}
+    assert "torn mid-write" in render_faults_report(d)

@@ -1,0 +1,57 @@
+"""Backward compatibility of the on-disk journal format.
+
+The fixtures under ``data/`` are **frozen** v1 container images with
+synthetic (non-pickle) payloads, generated when format version 1
+shipped.  They must stay byte-for-byte as committed: if a future format
+bump cannot read them, that bump must ship a migration (and new
+fixtures), not silently orphan old journals.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.checkpoint.format import (
+    JOURNAL_FORMAT_VERSION,
+    SUPPORTED_JOURNAL_FORMATS,
+    read_header,
+    read_records,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+EXPECTED = [
+    (0, b"format-v1 fixture record 0"),
+    (25, b"format-v1 fixture record 1"),
+    (50, b"format-v1 fixture record 2"),
+]
+
+
+def test_v1_is_still_supported():
+    assert 1 in SUPPORTED_JOURNAL_FORMATS
+    assert JOURNAL_FORMAT_VERSION in SUPPORTED_JOURNAL_FORMATS
+
+
+def test_reads_frozen_v1_fixture():
+    path = os.path.join(DATA_DIR, "v1_synthetic.journal")
+    with open(path, "rb") as handle:
+        assert read_header(handle) == 1
+    records = read_records(path)
+    assert [(r.tick, r.payload) for r in records] == EXPECTED
+
+
+def test_reads_frozen_v1_torn_tail_fixture():
+    # A fixture frozen with a half-written fourth record: readers must
+    # recover exactly the durable prefix, forever.
+    path = os.path.join(DATA_DIR, "v1_torn_tail.journal")
+    records = read_records(path)
+    assert [(r.tick, r.payload) for r in records] == EXPECTED
+
+
+def test_fixture_has_not_been_regenerated():
+    # Guard the freeze itself: the fixture's exact byte size is part of
+    # the contract (8-byte header + 3 records of 16 + 26 bytes).
+    path = os.path.join(DATA_DIR, "v1_synthetic.journal")
+    assert os.path.getsize(path) == 8 + 3 * (16 + 26)
+    with open(path, "rb") as handle:
+        assert handle.read(4) == b"RPWJ"

@@ -1,0 +1,153 @@
+"""The headline guarantee: kill anywhere, resume, finish bit-identical.
+
+These tests simulate the kill in-process by truncating the journal at
+(and past) durable record boundaries, then resume and compare
+float-exact digests against an uninterrupted run -- including the
+instrumented variant where telemetry, fault injection, and online
+adaptation are all live.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.adaptation.manager import AdaptationConfig, AdaptationManager
+from repro.checkpoint import (
+    RunCheckpointer,
+    RunJournal,
+    resume_run,
+    run_result_digest,
+)
+from repro.checkpoint.resume import load_run_state
+from repro.core.controller import PowerManagementController
+from repro.core.models.power import LinearPowerModel
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.resilience import ResilienceConfig
+from repro.errors import CheckpointError, NoSnapshotError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, MeterFaults, SampleFaults
+from repro.platform.machine import Machine, MachineConfig
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.workloads.registry import default_registry
+
+WORKLOAD = "ammp"
+SCALE = 0.6
+INTERVAL = 10
+
+PLAN = FaultPlan(
+    seed=3,
+    sample=SampleFaults(drop_prob=0.05, duplicate_prob=0.03,
+                        garble_prob=0.02),
+    meter=MeterFaults(dropout_prob=0.05, spike_prob=0.03,
+                      drift_rate_per_s=0.02, drift_start_s=0.2),
+)
+
+
+def _workload():
+    return default_registry().get(WORKLOAD).scaled(SCALE)
+
+
+def _controller(telemetry=None, hostile=False, seed=11):
+    machine = Machine(MachineConfig(seed=seed))
+    governor = PerformanceMaximizer(
+        machine.config.table, LinearPowerModel.paper_model(), 14.5
+    )
+    kwargs = {}
+    if hostile:
+        kwargs = dict(
+            keep_trace=True,
+            resilience=ResilienceConfig(),
+            injector=FaultInjector(PLAN, telemetry=telemetry),
+            adaptation=AdaptationManager(AdaptationConfig()),
+        )
+    return PowerManagementController(
+        machine, governor, telemetry=telemetry, **kwargs
+    )
+
+
+def _checkpointed_run(directory, telemetry=None, hostile=False):
+    journal = RunJournal.create(directory, kind="run",
+                                interval_ticks=INTERVAL)
+    checkpointer = RunCheckpointer(journal)
+    try:
+        result = _controller(telemetry, hostile=hostile).run(
+            _workload(), checkpointer=checkpointer
+        )
+    finally:
+        journal.close()
+    return result, checkpointer
+
+
+def _truncate(directory, offset):
+    with open(directory / "run.journal", "r+b") as handle:
+        handle.truncate(offset)
+
+
+def test_checkpointing_does_not_perturb_the_run(tmp_path):
+    baseline = _controller().run(_workload())
+    checkpointed, checkpointer = _checkpointed_run(tmp_path / "j")
+    assert checkpointer.checkpoints_written > 3
+    assert run_result_digest(checkpointed) == run_result_digest(baseline)
+
+
+def test_resume_from_every_checkpoint_is_bit_identical(tmp_path):
+    baseline_digest = run_result_digest(_controller().run(_workload()))
+    source = tmp_path / "j"
+    _checkpointed_run(source)
+    records = RunJournal.open(source).records()
+    assert len(records) > 3
+    for index, record in enumerate(records):
+        copy = tmp_path / f"cut-{index}"
+        shutil.copytree(source, copy)
+        # Mid-record garbage past the durable prefix = torn tail.
+        torn = 7 if index + 1 < len(records) else 0
+        _truncate(copy, record.end_offset + torn)
+        result, state = resume_run(copy)
+        assert run_result_digest(result) == baseline_digest
+        assert state.tick_index > record.tick
+
+
+def test_instrumented_hostile_resume_matches_metrics(tmp_path):
+    tel_base = TelemetryRecorder()
+    baseline = _controller(tel_base, hostile=True).run(_workload())
+    baseline_digest = run_result_digest(baseline)
+    baseline_metrics = tel_base.metrics.snapshot()
+
+    source = tmp_path / "j"
+    tel_full = TelemetryRecorder()
+    _checkpointed_run(source, telemetry=tel_full, hostile=True)
+    assert tel_full.metrics.snapshot() == baseline_metrics
+
+    records = RunJournal.open(source).records()
+    middle = records[len(records) // 2]
+    copy = tmp_path / "cut"
+    shutil.copytree(source, copy)
+    _truncate(copy, middle.end_offset + 5)
+    tel_resumed = TelemetryRecorder()
+    result, _state = resume_run(copy, telemetry=tel_resumed)
+    assert run_result_digest(result) == baseline_digest
+    # The restored registry plus the replayed tail reproduces the
+    # uninterrupted run's final metrics exactly.
+    assert tel_resumed.metrics.snapshot() == baseline_metrics
+
+
+def test_resume_virgin_journal_raises_no_snapshot(tmp_path):
+    RunJournal.create(tmp_path / "j", kind="run").close()
+    with pytest.raises(NoSnapshotError):
+        resume_run(tmp_path / "j")
+
+
+def test_resume_rejects_experiment_journal(tmp_path):
+    RunJournal.create(tmp_path / "j", kind="experiment").close()
+    with pytest.raises(CheckpointError, match="experiment"):
+        resume_run(tmp_path / "j")
+
+
+def test_load_run_state_exposes_loop_position(tmp_path):
+    _checkpointed_run(tmp_path / "j")
+    state, _metrics = load_run_state(tmp_path / "j")
+    assert state.workload_name == WORKLOAD
+    assert state.tick_index > 0
+    assert state.machine.now_s == pytest.approx(state.tick_index * 0.01)

@@ -1,0 +1,80 @@
+"""CI chaos smoke: SIGKILL real child runs, resume, demand bit-identity.
+
+Spawns actual ``python -m repro`` subprocesses and kills them with
+SIGKILL at randomized ticks, so it is slower than the unit suite and
+gated behind ``REPRO_CHAOS_SMOKE=1`` (a dedicated CI matrix entry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.checkpoint.format import read_records
+from repro.experiments import chaos_resume
+from repro.experiments.runner import ExperimentConfig
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS_SMOKE"),
+    reason="set REPRO_CHAOS_SMOKE=1 to run the chaos kill-resume drill",
+)
+
+ENV = dict(os.environ, PYTHONPATH="src")
+
+
+def test_chaos_kill_resume_drill():
+    """Every SIGKILLed-and-resumed run matches the uninterrupted one."""
+    result = chaos_resume.run(ExperimentConfig(scale=0.6, seed=0))
+    assert result["kills"] >= 1
+    assert result["all_identical"] is True
+    assert "PASS" in chaos_resume.render(result)
+
+
+def test_experiment_session_survives_sigkill(tmp_path):
+    """SIGKILL a checkpointed experiment session, resume, same stdout."""
+    base = [sys.executable, "-m", "repro", "experiment"]
+    flags = ["fig6", "--scale", "0.3"]
+
+    reference = subprocess.run(
+        [*base, *flags], capture_output=True, text=True, env=ENV,
+        check=True, timeout=600,
+    ).stdout
+
+    session_dir = tmp_path / "session"
+    victim = subprocess.Popen(
+        [*base, *flags, "--checkpoint", str(session_dir)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=ENV,
+    )
+    # Kill as soon as at least one slot has been durably archived, so
+    # the resume genuinely replays a partial session.  If the session
+    # wins the race and finishes first, resume still replays it all.
+    journal = session_dir / "results.journal"
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline and victim.poll() is None:
+        if journal.exists() and read_records(journal):
+            victim.send_signal(signal.SIGKILL)
+            break
+        time.sleep(0.005)
+    victim.wait(timeout=60)
+
+    resumed = subprocess.run(
+        [*base, "--resume", str(session_dir)],
+        capture_output=True, text=True, env=ENV, timeout=600,
+    )
+    assert resumed.returncode == 0
+    assert resumed.stdout == reference
+    assert "replayed" in resumed.stderr
+
+
+def test_chaos_result_shape_is_archivable():
+    """The chaos payload is JSON-serialisable for BENCH_* archiving."""
+    result = chaos_resume.run(ExperimentConfig(scale=0.6, seed=1))
+    encoded = json.loads(json.dumps(result))
+    assert encoded["reference_samples_sha256"]
+    assert len(encoded["cycles"]) == result["kills"]

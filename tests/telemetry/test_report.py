@@ -84,6 +84,56 @@ class TestLoadReport:
         assert report.skipped_lines == 3
         assert report.event_counts == {"tick": 1, "decision": 1}
 
+    def test_torn_final_line_is_truncated_tail_not_damage(self, tmp_path):
+        # The signature of a SIGKILLed run: the last line is a partial
+        # JSON object with no trailing newline.  That is expected, not
+        # interior corruption, so it must not count as a skipped line.
+        d = tmp_path / "killed"
+        d.mkdir()
+        (d / "events.jsonl").write_text(
+            '{"kind": "tick"}\n'
+            '{"kind": "tick"}\n'
+            '{"kind": "tick", "time_s": 0.0'  # torn mid-write, no \n
+        )
+        report = load_report(d)
+        assert report.truncated_tail is True
+        assert report.skipped_lines == 0
+        assert report.event_counts == {"tick": 2}
+        assert "torn mid-write" in render_report(d)
+
+    def test_interior_damage_still_counts_as_skipped(self, tmp_path):
+        # Same partial-object text, but followed by valid lines: that is
+        # real corruption, not a kill signature.
+        d = tmp_path / "corrupt"
+        d.mkdir()
+        (d / "events.jsonl").write_text(
+            '{"kind": "tick"}\n'
+            '{"kind": "tick", "time_s": 0.0\n'
+            '{"kind": "tick"}\n'
+        )
+        report = load_report(d)
+        assert report.truncated_tail is False
+        assert report.skipped_lines == 1
+        assert report.event_counts == {"tick": 2}
+
+    def test_torn_final_trace_row_is_dropped(self, tmp_path):
+        # A trace.csv row cut off mid-write must be dropped instead of
+        # poisoning the power aggregates with Nones.
+        d = tmp_path / "torntrace"
+        d.mkdir()
+        (d / "events.jsonl").write_text('{"kind": "tick"}\n')
+        (d / "trace.csv").write_text(
+            "time_s,frequency_mhz,measured_power_w,true_power_w,"
+            "instructions,duty,temperature_c\n"
+            "0.01,1800.0,14.0,14.0,2e7,1.0,\n"
+            "0.02,1800.0,15.0,15.0,2e7,1.0,\n"
+            "0.03,1800.0,16."  # torn mid-field
+        )
+        report = load_report(d)
+        assert report.truncated_tail is True
+        assert report.tick_count == 2
+        assert report.mean_measured_power_w == pytest.approx(14.5)
+
     def test_corrupt_metrics_snapshot_degrades(self, tmp_path):
         d = tmp_path / "halfmetrics"
         d.mkdir()

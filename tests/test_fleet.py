@@ -277,3 +277,66 @@ class TestFleetReallocationEdgeCases:
         # One reallocation per started 100 ms period.
         expected = int(result.makespan_s / 0.1) + 1
         assert len(reallocations) == pytest.approx(expected, abs=1)
+
+
+class TestFleetCheckpointing:
+    """Periodic node snapshots and restart-from-checkpoint recovery."""
+
+    def _result_fingerprint(self, result):
+        return (
+            result.makespan_s,
+            result.power_series,
+            {n: (r.duration_s, r.instructions, r.energy_j, r.crashes)
+             for n, r in result.nodes.items()},
+        )
+
+    def test_default_is_exact_no_op(self):
+        workloads = {
+            "a": get_workload("crafty").scaled(0.1),
+            "b": get_workload("swim").scaled(0.1),
+        }
+        plain = FleetController(
+            workloads, MODEL, total_budget_w=26.0,
+            allocator=DemandProportional(),
+        ).run()
+        unchanged = FleetController(
+            workloads, MODEL, total_budget_w=26.0,
+            allocator=DemandProportional(),
+        ).run()
+        assert (self._result_fingerprint(plain)
+                == self._result_fingerprint(unchanged))
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ExperimentError, match="checkpoint interval"):
+            FleetController(
+                {"a": get_workload("crafty").scaled(0.05)}, MODEL,
+                total_budget_w=26.0, allocator=DemandProportional(),
+                checkpoint_interval_s=0.0,
+            )
+
+    def test_restart_restores_from_snapshot(self):
+        # With checkpointing on, a crashed node resumes from its last
+        # snapshot and redoes the work lost since then, so the fleet
+        # still completes everything -- typically no faster than the
+        # same crashy fleet without snapshots would have.
+        from repro.faults import FaultInjector, FaultPlan, NodeFaults
+
+        workloads = {
+            "a": get_workload("crafty").scaled(0.4),
+            "b": get_workload("swim").scaled(0.4),
+        }
+        plan = FaultPlan(
+            seed=5, node=NodeFaults(crash_prob=0.05, restart_delay_s=0.05)
+        )
+        fleet = FleetController(
+            workloads, MODEL, total_budget_w=26.0,
+            allocator=DemandProportional(),
+            injector=FaultInjector(plan),
+            checkpoint_interval_s=0.1,
+        )
+        result = fleet.run(max_seconds=600.0)
+        assert sum(n.crashes for n in result.nodes.values()) >= 1
+        assert result.total_instructions == pytest.approx(
+            sum(w.total_instructions for w in workloads.values()), rel=1e-6
+        )
+        assert result.makespan_s > 0

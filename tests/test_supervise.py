@@ -1,0 +1,165 @@
+"""Supervisor tests: bounded retry, backoff, jitter, deadlines.
+
+Clock and sleep are injected fakes, so every test runs instantly and
+the backoff schedule is asserted exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.errors import DeadlineExceeded, SupervisionError
+from repro.supervise import RetryPolicy, Supervisor
+from repro.telemetry.recorder import TelemetryRecorder
+
+
+class FakeTime:
+    """A controllable monotonic clock whose sleep advances it."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def _supervisor(policy=None, telemetry=None, seed=0):
+    fake = FakeTime()
+    return Supervisor(policy, telemetry=telemetry, sleep=fake.sleep,
+                      clock=fake.clock, seed=seed), fake
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, value="ok"):
+        self.remaining = failures
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise RuntimeError(f"transient #{self.calls}")
+        return self.value
+
+
+def test_policy_validation():
+    with pytest.raises(SupervisionError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(SupervisionError):
+        RetryPolicy(backoff_s=-1)
+    with pytest.raises(SupervisionError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(SupervisionError):
+        RetryPolicy(jitter_fraction=2.0)
+    with pytest.raises(SupervisionError):
+        RetryPolicy(deadline_s=0)
+
+
+def test_delay_schedule_is_exponential():
+    policy = RetryPolicy(backoff_s=0.1, backoff_factor=2.0,
+                         jitter_fraction=0.0)
+    assert policy.delay_for_attempt(1) == pytest.approx(0.1)
+    assert policy.delay_for_attempt(2) == pytest.approx(0.2)
+    assert policy.delay_for_attempt(3) == pytest.approx(0.4)
+    # Jitter scales the delay, bounded by the fraction.
+    jittery = RetryPolicy(backoff_s=0.1, jitter_fraction=0.5)
+    assert jittery.delay_for_attempt(1, jitter=1.0) == pytest.approx(0.15)
+    assert jittery.delay_for_attempt(1, jitter=-1.0) == pytest.approx(0.05)
+
+
+def test_call_succeeds_after_transient_failures():
+    supervisor, fake = _supervisor(RetryPolicy(max_attempts=3))
+    flaky = Flaky(failures=2)
+    assert supervisor.call(flaky, label="flaky") == "ok"
+    assert flaky.calls == 3
+    assert supervisor.retries == 2
+    assert len(fake.sleeps) == 2
+    assert fake.sleeps[1] > fake.sleeps[0]  # exponential growth
+
+
+def test_call_exhausts_attempts_and_raises_last_error():
+    supervisor, _fake = _supervisor(RetryPolicy(max_attempts=3))
+    flaky = Flaky(failures=99)
+    with pytest.raises(RuntimeError, match="transient #3"):
+        supervisor.call(flaky, label="doomed")
+    assert flaky.calls == 3
+
+
+def test_jitter_is_deterministic_per_seed():
+    sup_a, fake_a = _supervisor(RetryPolicy(max_attempts=4), seed=7)
+    sup_b, fake_b = _supervisor(RetryPolicy(max_attempts=4), seed=7)
+    sup_c, fake_c = _supervisor(RetryPolicy(max_attempts=4), seed=8)
+    for supervisor in (sup_a, sup_b, sup_c):
+        with pytest.raises(RuntimeError):
+            supervisor.call(Flaky(failures=99))
+    assert fake_a.sleeps == fake_b.sleeps
+    assert fake_a.sleeps != fake_c.sleeps
+
+
+def test_deadline_abandons_instead_of_backing_off():
+    policy = RetryPolicy(max_attempts=10, backoff_s=5.0, deadline_s=8.0,
+                         jitter_fraction=0.0)
+    supervisor, fake = _supervisor(policy)
+    flaky = Flaky(failures=99)
+    with pytest.raises(DeadlineExceeded):
+        supervisor.call(flaky, label="slow")
+    # First failure backs off 5 s (inside the budget); the second
+    # backoff (10 s) would overrun the 8 s deadline, so it abandons.
+    assert flaky.calls == 2
+    assert fake.sleeps == [5.0]
+
+
+def test_deadline_exceeded_is_never_retried():
+    supervisor, _fake = _supervisor(RetryPolicy(max_attempts=5))
+    calls = []
+
+    def fails_hard():
+        calls.append(1)
+        raise DeadlineExceeded("child overran")
+
+    with pytest.raises(DeadlineExceeded):
+        supervisor.call(fails_hard)
+    assert len(calls) == 1
+
+
+def test_retry_emits_telemetry_events():
+    recorder = TelemetryRecorder()
+    seen = []
+    recorder.bus.subscribe(seen.append)
+    supervisor, _fake = _supervisor(
+        RetryPolicy(max_attempts=3), telemetry=recorder
+    )
+    supervisor.call(Flaky(failures=2), label="drill")
+    retries = [e for e in seen if e.kind == "retry_scheduled"]
+    assert [e.attempt for e in retries] == [1, 2]
+    assert all(e.label == "drill" for e in retries)
+    assert all("transient" in e.error for e in retries)
+
+
+def test_run_subprocess_success():
+    supervisor = Supervisor(RetryPolicy(max_attempts=1))
+    proc = supervisor.run_subprocess(
+        [sys.executable, "-c", "print(6*7)"], label="calc"
+    )
+    assert proc.returncode == 0
+    assert proc.stdout.strip() == "42"
+
+
+def test_run_subprocess_timeout_raises_deadline():
+    supervisor = Supervisor(RetryPolicy(max_attempts=1))
+    with pytest.raises(DeadlineExceeded):
+        supervisor.run_subprocess(
+            [sys.executable, "-c", "import time; time.sleep(30)"],
+            label="sleeper",
+            timeout_s=0.5,
+        )
