@@ -96,6 +96,16 @@ from repro.checkpoint import (
     resume_run,
     run_result_digest,
 )
+from repro.exec import (
+    ExecSession,
+    ExperimentConfig,
+    GovernorSpec,
+    ParallelRunner,
+    RunCell,
+    RunPlan,
+    execute_cells,
+    open_session,
+)
 from repro.platform.machine import Machine, MachineConfig
 from repro.measurement import PowerMeter
 from repro.supervise import RetryPolicy, Supervisor
@@ -181,6 +191,16 @@ __all__ = [
     "run_result_digest",
     "RetryPolicy",
     "Supervisor",
+    # The execution engine: declarative plans, one session entry point,
+    # deterministic parallel fan-out.
+    "ExperimentConfig",
+    "GovernorSpec",
+    "RunCell",
+    "RunPlan",
+    "ExecSession",
+    "ParallelRunner",
+    "execute_cells",
+    "open_session",
     "quickstart_pm",
     "quickstart_ps",
 ]

@@ -34,6 +34,11 @@ against the hardened controller, and ``--adapt`` to turn on online
 model adaptation (recursive calibration + drift detection + versioned
 model registry) for PM-family governors.  All flags are validated up
 front, before any simulation work starts.
+
+Parallel execution: ``experiment --workers N`` fans the experiment's
+sweeps out over N worker processes (per-cell results are bit-identical
+to serial execution), and ``run --plan FILE.json [--workers N]``
+executes a serialized :class:`~repro.exec.RunPlan` batch.
 """
 
 from __future__ import annotations
@@ -43,16 +48,10 @@ import os
 import sys
 from typing import Callable, Mapping
 
-from repro.core.controller import PowerManagementController, RunResult
-from repro.core.governors.adaptive_pm import AdaptivePerformanceMaximizer
-from repro.core.governors.demand_based import DemandBasedSwitching
-from repro.core.governors.performance_maximizer import PerformanceMaximizer
-from repro.core.governors.powersave import PowerSave
-from repro.core.governors.unconstrained import FixedFrequency
-from repro.core.models.performance import PerformanceModel
+from repro.core.controller import RunResult
 from repro.core.models.power import LinearPowerModel, PAPER_TABLE_II
 from repro.errors import ReproError
-from repro.platform.machine import Machine, MachineConfig
+from repro.exec.plan import ExperimentConfig, GovernorSpec, RunCell
 from repro.workloads.registry import default_registry
 
 
@@ -146,6 +145,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a float-exact digest of the RunResult to FILE "
         "(what the chaos harness compares across processes)",
     )
+    run.add_argument(
+        "--plan", metavar="FILE.json",
+        help="execute a serialized RunPlan batch instead of a single "
+        "workload (see repro.exec.RunPlan.to_json)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="with --plan: fan the plan's cells out over N worker "
+        "processes (results are bit-identical to serial)",
+    )
 
     train = sub.add_parser(
         "train", help="train the models on MS-Loops and compare to Table II"
@@ -194,6 +203,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--adapt", action="store_true",
         help="enable online model adaptation for every PM-family "
         "governed run of the experiment",
+    )
+    experiment.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan the experiment's sweeps out over N worker processes; "
+        "per-cell results are bit-identical to serial execution",
     )
 
     telemetry_report = sub.add_parser(
@@ -251,41 +265,45 @@ def _cmd_list() -> int:
     return 0
 
 
-def _resolve_power_model(args) -> LinearPowerModel:
+def _args_power_model(args) -> str | LinearPowerModel:
+    """The ``GovernorSpec.power_model`` the run flags describe."""
     if getattr(args, "model", None):
         from repro.core.models.persistence import power_model_from_json
 
         with open(args.model) as handle:
             return power_model_from_json(handle.read())
     if args.use_paper_model:
-        return LinearPowerModel.paper_model()
-    return _trained_model(args.seed)
+        return "paper"
+    return "trained"
 
 
-def _make_governor(args, table):
-    if args.governor == "pm":
-        return PerformanceMaximizer(table, _resolve_power_model(args), args.limit)
-    if args.governor == "adaptive-pm":
-        return AdaptivePerformanceMaximizer(
-            table, _resolve_power_model(args), args.limit
-        )
+def _args_governor_spec(args) -> GovernorSpec:
+    """Map the ``run`` flags onto a declarative :class:`GovernorSpec`.
+
+    This is the single spec builder both the fresh-run and the
+    restart-from-manifest paths go through (the manifest spec rewrites
+    ``args`` and re-enters ``_cmd_run``).
+    """
     if args.governor == "ps":
-        return PowerSave(table, PerformanceModel.paper_primary(), args.floor)
+        return GovernorSpec.ps(args.floor)
     if args.governor == "dbs":
-        return DemandBasedSwitching(table)
+        return GovernorSpec.dbs()
+    if args.governor == "fixed":
+        return GovernorSpec.fixed(args.frequency)
+    power_model = _args_power_model(args)
+    if power_model == "trained":
+        # Train (and cache) up front so the progress note lands before
+        # the run starts, exactly like the pre-RunPlan CLI did.
+        _trained_model(args.seed)
+    if args.governor == "adaptive-pm":
+        return GovernorSpec.adaptive_pm(args.limit, power_model=power_model)
     if args.governor == "edp":
-        from repro.core.governors.energy_efficiency import (
-            EnergyDelayOptimizer,
-        )
-
-        return EnergyDelayOptimizer(
-            table, _resolve_power_model(args), PerformanceModel.paper_primary()
-        )
-    return FixedFrequency(table, args.frequency)
+        return GovernorSpec.edp(power_model=power_model)
+    return GovernorSpec.pm(args.limit, power_model=power_model)
 
 
 def _trained_model(seed: int) -> LinearPowerModel:
-    from repro.experiments.runner import trained_power_model
+    from repro.exec.cache import trained_power_model
 
     print("training power model on MS-Loops...", file=sys.stderr)
     return trained_power_model(seed=seed)
@@ -381,6 +399,28 @@ def _write_result_json(result: RunResult, path: str) -> None:
     )
 
 
+def _finish_run(result, args, injector, adaptation, recorder, sink) -> int:
+    """Shared post-run reporting for fresh and resumed runs."""
+    _print_summary(result, args)
+    if injector is not None:
+        _print_fault_summary(injector, result)
+    if adaptation is not None:
+        _print_adaptation_summary(adaptation)
+        if args.registry:
+            adaptation.registry.save(args.registry)
+            print(f"model registry saved to {args.registry}")
+    if args.trace:
+        _export_trace(result, args.trace)
+        print(f"trace written to {args.trace}")
+    if args.result_json:
+        _write_result_json(result, args.result_json)
+        print(f"result digest written to {args.result_json}")
+    if sink is not None:
+        sink.finalize(recorder)
+        print(f"telemetry written to {sink.path}")
+    return 0
+
+
 def _cmd_run_resume(args) -> int:
     from repro.checkpoint import read_manifest, resume_run
     from repro.errors import NoSnapshotError
@@ -405,28 +445,50 @@ def _cmd_run_resume(args) -> int:
     spec = read_manifest(args.resume).get("spec", {})
     args.governor = spec.get("governor", args.governor or "pm")
     args.limit = float(spec.get("limit", 14.5))
-    _print_summary(result, args)
-    if state.injector is not None:
-        _print_fault_summary(state.injector, result)
-    if state.adapting:
-        _print_adaptation_summary(state.adapt)
-        if args.registry:
-            state.adapt.registry.save(args.registry)
-            print(f"model registry saved to {args.registry}")
-    if args.trace:
-        _export_trace(result, args.trace)
-        print(f"trace written to {args.trace}")
-    if args.result_json:
-        _write_result_json(result, args.result_json)
-        print(f"result digest written to {args.result_json}")
-    if sink is not None:
-        sink.finalize(recorder)
-        print(f"telemetry written to {sink.path}")
+    return _finish_run(
+        result,
+        args,
+        state.injector,
+        state.adapt if state.adapting else None,
+        recorder,
+        sink,
+    )
+
+
+def _cmd_run_plan(args) -> int:
+    """Execute a serialized RunPlan batch (``run --plan FILE.json``)."""
+    from repro.exec.plan import RunPlan
+    from repro.exec.session import open_session
+
+    for flag in ("resume", "checkpoint", "faults", "workload"):
+        if getattr(args, flag, None):
+            raise ReproError(f"--plan cannot be combined with "
+                             f"{'a workload' if flag == 'workload' else '--' + flag}")
+    with open(args.plan) as handle:
+        plan = RunPlan.from_json(handle.read())
+    with open_session(
+        workers=args.workers, telemetry_dir=args.telemetry
+    ) as session:
+        results = session.run_plan(plan)
+    mode = (
+        f"{args.workers} workers" if args.workers >= 1 else "serial"
+    )
+    print(f"plan: {len(plan)} cells ({mode})")
+    for cell, result in zip(plan.cells, results):
+        print(
+            f"  {cell.label:32} {result.duration_s:8.3f} s  "
+            f"{result.mean_power_w:6.2f} W  "
+            f"{result.measured_energy_j:8.2f} J"
+        )
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
     return 0
 
 
 def _cmd_run(args) -> int:
     _validate_telemetry_path(args.telemetry)
+    if args.plan:
+        return _cmd_run_plan(args)
     if args.resume and args.checkpoint:
         raise ReproError("--resume and --checkpoint are mutually exclusive")
     if args.resume and args.workload:
@@ -439,31 +501,26 @@ def _cmd_run(args) -> int:
     fault_plan = _load_faults_arg(args.faults)
     if args.registry and not args.adapt:
         raise ReproError("--registry requires --adapt")
-    workload = default_registry().get(args.workload).scaled(args.scale)
-    machine = Machine(MachineConfig(seed=args.seed))
-    governor = _make_governor(args, machine.config.table)
-    recorder, sink = _make_telemetry(args.telemetry)
-    injector = None
-    resilience = None
-    if fault_plan is not None and fault_plan.active:
-        from repro.core.resilience import ResilienceConfig
-        from repro.faults import FaultInjector
+    from repro.exec.core import prepare_cell
 
-        injector = FaultInjector(fault_plan, telemetry=recorder)
-        resilience = ResilienceConfig()
+    default_registry().get(args.workload)  # fail fast on unknown names
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, keep_trace=bool(args.trace)
+    )
+    cell = RunCell(workload=args.workload, governor=_args_governor_spec(args))
+    recorder, sink = _make_telemetry(args.telemetry)
     adaptation = None
     if args.adapt:
         from repro.adaptation import AdaptationManager
 
         adaptation = AdaptationManager()
-    controller = PowerManagementController(
-        machine,
-        governor,
-        keep_trace=bool(args.trace),
+    prepared = prepare_cell(
+        cell,
+        config,
         telemetry=recorder,
-        resilience=resilience,
-        injector=injector,
+        fault_plan=fault_plan,
         adaptation=adaptation,
+        use_ambient=False,
     )
     journal = None
     checkpointer = None
@@ -478,28 +535,13 @@ def _cmd_run(args) -> int:
         )
         checkpointer = RunCheckpointer(journal)
     try:
-        result = controller.run(workload, checkpointer=checkpointer)
+        result = prepared.execute(checkpointer)
     finally:
         if journal is not None:
             journal.close()
-    _print_summary(result, args)
-    if injector is not None:
-        _print_fault_summary(injector, result)
-    if adaptation is not None:
-        _print_adaptation_summary(adaptation)
-        if args.registry:
-            adaptation.registry.save(args.registry)
-            print(f"model registry saved to {args.registry}")
-    if args.trace:
-        _export_trace(result, args.trace)
-        print(f"trace written to {args.trace}")
-    if args.result_json:
-        _write_result_json(result, args.result_json)
-        print(f"result digest written to {args.result_json}")
-    if sink is not None:
-        sink.finalize(recorder)
-        print(f"telemetry written to {sink.path}")
-    return 0
+    return _finish_run(
+        result, args, prepared.injector, adaptation, recorder, sink
+    )
 
 
 def _print_summary(result: RunResult, args) -> None:
@@ -606,12 +648,29 @@ def _cmd_experiment(args) -> int:
     if not args.resume and not args.id:
         raise ReproError("experiment id is required (unless resuming)")
     fault_plan = _load_faults_arg(getattr(args, "faults", None))
+    workers = getattr(args, "workers", 0) or 0
+    if workers < 0:
+        raise ReproError("--workers must be >= 0")
     recorder, sink = _make_telemetry(getattr(args, "telemetry", None))
 
     from contextlib import ExitStack
 
     session = None
     with ExitStack() as stack:
+        if workers:
+            from repro.exec.session import ExecSession, executing
+
+            # Ambient execution session: every suite sweep built by the
+            # experiment modules (execute_cells) fans out over the pool;
+            # per-cell results are bit-identical to serial execution.
+            stack.enter_context(
+                executing(
+                    ExecSession(
+                        workers=workers,
+                        telemetry_dir=getattr(args, "telemetry", None),
+                    )
+                )
+            )
         if recorder is not None:
             from repro.telemetry import recording
 
@@ -670,6 +729,16 @@ def _cmd_experiment(args) -> int:
               f"{session.directory})", file=sys.stderr)
     if sink is not None:
         sink.finalize(recorder)
+        if workers:
+            from repro.telemetry.merge import merge_worker_directories
+
+            report = merge_worker_directories(sink.path)
+            if report.workers:
+                print(
+                    f"merged telemetry from {report.workers} worker "
+                    f"director{'y' if report.workers == 1 else 'ies'}",
+                    file=sys.stderr,
+                )
         print(f"telemetry written to {sink.path}")
     return 0
 

@@ -1,0 +1,70 @@
+"""Execution engine: declarative run plans, serial or parallel.
+
+Public surface:
+
+* :class:`~repro.exec.plan.RunPlan` / :class:`~repro.exec.plan.RunCell`
+  / :class:`~repro.exec.plan.GovernorSpec` -- experiments as data;
+* :func:`~repro.exec.session.open_session` -- the single composable
+  entry point (telemetry, faults, adaptation, checkpointing, workers);
+* :class:`~repro.exec.runner.ParallelRunner` -- the work-stealing
+  process pool behind ``workers>=1``;
+* :func:`~repro.exec.core.execute_cell` -- the one code path every
+  cell runs through, in every process.
+"""
+
+from repro.exec.core import PreparedCell, execute_cell, prepare_cell
+from repro.exec.cache import (
+    clear_caches,
+    export_caches,
+    install_caches,
+    prime_for_plan,
+    trained_power_model,
+    worst_case_power_table,
+)
+from repro.exec.plan import (
+    GOVERNOR_KINDS,
+    PLAN_FORMAT_VERSION,
+    ExperimentConfig,
+    GovernorFactory,
+    GovernorSpec,
+    RunCell,
+    RunPlan,
+    as_governor_spec,
+)
+from repro.exec.runner import ParallelRunner, default_mp_context
+from repro.exec.session import (
+    ExecSession,
+    current_session,
+    execute_cells,
+    executing,
+    open_session,
+    set_session,
+)
+
+__all__ = [
+    "GOVERNOR_KINDS",
+    "PLAN_FORMAT_VERSION",
+    "ExecSession",
+    "ExperimentConfig",
+    "GovernorFactory",
+    "GovernorSpec",
+    "ParallelRunner",
+    "PreparedCell",
+    "RunCell",
+    "RunPlan",
+    "as_governor_spec",
+    "clear_caches",
+    "current_session",
+    "default_mp_context",
+    "execute_cell",
+    "execute_cells",
+    "executing",
+    "export_caches",
+    "install_caches",
+    "open_session",
+    "prepare_cell",
+    "prime_for_plan",
+    "set_session",
+    "trained_power_model",
+    "worst_case_power_table",
+]

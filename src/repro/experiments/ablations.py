@@ -18,11 +18,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.report import TextTable
-from repro.core.governors.adaptive_pm import AdaptivePerformanceMaximizer
-from repro.core.governors.demand_based import DemandBasedSwitching
-from repro.core.governors.performance_maximizer import PerformanceMaximizer
-from repro.core.governors.powersave import PowerSave
-from repro.core.models.performance import PerformanceModel
+from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import (
     energy_savings,
     performance_reduction,
@@ -31,7 +27,6 @@ from repro.experiments.runner import (
     ExperimentConfig,
     run_fixed,
     run_governed,
-    trained_power_model,
 )
 from repro.workloads.registry import get_workload
 
@@ -72,15 +67,12 @@ def hysteresis_ablation(
     a little performance for far fewer violations.
     """
     config = config or ExperimentConfig(scale=1.0)
-    model = trained_power_model(seed=config.seed)
     workload = get_workload(workload_name)
     rows = []
     for window in windows:
         result = run_governed(
             workload,
-            lambda table, w=window: PerformanceMaximizer(
-                table, model, limit_w, raise_window=w
-            ),
+            GovernorSpec.pm(limit_w, raise_window=window),
             config,
         )
         rows.append(_row(f"raise_window={window}", result, limit_w))
@@ -95,15 +87,12 @@ def guardband_ablation(
 ) -> tuple[AblationRow, ...]:
     """Sweep the estimate guardband: violations vs lost performance."""
     config = config or ExperimentConfig(scale=1.0)
-    model = trained_power_model(seed=config.seed)
     workload = get_workload(workload_name)
     rows = []
     for guardband in guardbands:
         result = run_governed(
             workload,
-            lambda table, g=guardband: PerformanceMaximizer(
-                table, model, limit_w, guardband_w=g
-            ),
+            GovernorSpec.pm(limit_w, guardband_w=guardband),
             config,
         )
         rows.append(_row(f"guardband={guardband}W", result, limit_w))
@@ -121,17 +110,10 @@ def adaptive_pm_ablation(
     adapting model coefficients online should cut galgel's violations.
     """
     config = config or ExperimentConfig(scale=1.0)
-    model = trained_power_model(seed=config.seed)
     workload = get_workload(workload_name)
-    static = run_governed(
-        workload,
-        lambda table: PerformanceMaximizer(table, model, limit_w),
-        config,
-    )
+    static = run_governed(workload, GovernorSpec.pm(limit_w), config)
     adaptive = run_governed(
-        workload,
-        lambda table: AdaptivePerformanceMaximizer(table, model, limit_w),
-        config,
+        workload, GovernorSpec.adaptive_pm(limit_w), config
     )
     return {
         "static_model": _row("static model PM", static, limit_w),
@@ -158,14 +140,8 @@ def dbs_ablation(
     config = config or ExperimentConfig(scale=0.5)
     workload = get_workload(workload_name)
     fullspeed = run_fixed(workload, 2000.0, config)
-    ps = run_governed(
-        workload,
-        lambda table: PowerSave(table, PerformanceModel.paper_primary(), floor),
-        config,
-    )
-    dbs = run_governed(
-        workload, lambda table: DemandBasedSwitching(table), config
-    )
+    ps = run_governed(workload, GovernorSpec.ps(floor), config)
+    dbs = run_governed(workload, GovernorSpec.dbs(), config)
     return DbsComparison(
         ps_savings=energy_savings(ps, fullspeed),
         ps_reduction=performance_reduction(ps, fullspeed),

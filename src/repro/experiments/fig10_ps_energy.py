@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.report import TextTable
-from repro.core.governors.powersave import PowerSave
 from repro.core.models.performance import PerformanceModel
+from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import energy_savings, suite_energy_savings
 from repro.experiments.runner import ExperimentConfig
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
@@ -57,7 +57,7 @@ def run(
     allbench: dict[float, float] = {}
     for floor in floors:
         governed = run_suite_governed(
-            lambda table, f=floor: PowerSave(table, model, f), config
+            GovernorSpec.ps(floor, performance_model=model), config
         )
         savings[floor] = {
             name: energy_savings(governed[name], fullspeed[name])

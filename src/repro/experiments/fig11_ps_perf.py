@@ -17,8 +17,8 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.report import TextTable
-from repro.core.governors.powersave import PowerSave
 from repro.core.models.performance import PerformanceModel
+from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import performance_reduction
 from repro.experiments.runner import ExperimentConfig
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
@@ -66,7 +66,7 @@ def run(
         out: dict[float, dict[str, float]] = {}
         for floor in floors:
             governed = run_suite_governed(
-                lambda table, f=floor: PowerSave(table, model, f), config
+                GovernorSpec.ps(floor, performance_model=model), config
             )
             out[floor] = {
                 name: performance_reduction(governed[name], fullspeed[name])

@@ -17,12 +17,11 @@ from typing import Mapping
 
 from repro.analysis.report import TextTable, format_series
 from repro.core.controller import RunResult
-from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.exec.plan import GovernorSpec
 from repro.experiments.runner import (
     ExperimentConfig,
     run_fixed,
     run_governed,
-    trained_power_model,
 )
 from repro.workloads.registry import get_workload
 
@@ -45,15 +44,10 @@ class Fig5Result:
 def run(config: ExperimentConfig | None = None) -> Fig5Result:
     """Regenerate Fig. 5's three ammp runs (full traces kept)."""
     config = config or ExperimentConfig(scale=1.0, keep_trace=True)
-    model = trained_power_model(seed=config.seed)
     workload = get_workload("ammp")
     unconstrained = run_fixed(workload, 2000.0, config)
     limited = {
-        limit: run_governed(
-            workload,
-            lambda table, lim=limit: PerformanceMaximizer(table, model, lim),
-            config,
-        )
+        limit: run_governed(workload, GovernorSpec.pm(limit), config)
         for limit in LIMITS_W
     }
     return Fig5Result(unconstrained=unconstrained, limited=limited)

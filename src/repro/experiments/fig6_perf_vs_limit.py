@@ -20,12 +20,11 @@ from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.analysis.report import TextTable
 from repro.core.controller import RunResult
-from repro.core.governors.performance_maximizer import PerformanceMaximizer
 from repro.core.governors.static import static_frequency_for_limit
+from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import suite_normalized_performance
 from repro.experiments.runner import (
     ExperimentConfig,
-    trained_power_model,
     worst_case_power_table,
 )
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
@@ -65,7 +64,6 @@ def run(
 ) -> Fig6Result:
     """Regenerate Fig. 6 (plus the §IV-A2 violation analysis)."""
     config = config or ExperimentConfig(scale=0.25)
-    model = trained_power_model(seed=config.seed)
     worst_case = worst_case_power_table(seed=config.seed)
 
     unconstrained = run_suite_fixed(2000.0, config)
@@ -83,10 +81,7 @@ def run(
     static_perf: Dict[float, float] = {}
     violations: Dict[Tuple[float, str], float] = {}
     for limit in limits:
-        governed = run_suite_governed(
-            lambda table, lim=limit: PerformanceMaximizer(table, model, lim),
-            config,
-        )
+        governed = run_suite_governed(GovernorSpec.pm(limit), config)
         order = list(governed)
         dynamic_perf[limit] = suite_normalized_performance(
             [governed[n] for n in order], [unconstrained[n] for n in order]

@@ -18,12 +18,11 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.report import TextTable
-from repro.core.governors.performance_maximizer import PerformanceMaximizer
 from repro.core.governors.static import static_frequency_for_limit
+from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import achieved_speedup_fraction, speedup
 from repro.experiments.runner import (
     ExperimentConfig,
-    trained_power_model,
     worst_case_power_table,
 )
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
@@ -58,15 +57,12 @@ class Fig7Result:
 def run(config: ExperimentConfig | None = None) -> Fig7Result:
     """Regenerate Fig. 7's bars at the 17.5 W limit."""
     config = config or ExperimentConfig(scale=0.25)
-    model = trained_power_model(seed=config.seed)
     worst_case = worst_case_power_table(seed=config.seed)
     static_freq = static_frequency_for_limit(LIMIT_W, worst_case)
 
     static_runs = run_suite_fixed(static_freq, config)
     unconstrained_runs = run_suite_fixed(2000.0, config)
-    pm_runs = run_suite_governed(
-        lambda table: PerformanceMaximizer(table, model, LIMIT_W), config
-    )
+    pm_runs = run_suite_governed(GovernorSpec.pm(LIMIT_W), config)
 
     names = list(pm_runs)
     pm_speedups = {

@@ -13,8 +13,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import TextTable, format_series
 from repro.core.controller import RunResult
-from repro.core.governors.powersave import PowerSave
-from repro.core.models.performance import PerformanceModel
+from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import energy_savings, performance_reduction
 from repro.experiments.runner import ExperimentConfig, run_fixed, run_governed
 from repro.workloads.registry import get_workload
@@ -46,13 +45,7 @@ def run(config: ExperimentConfig | None = None) -> Fig8Result:
     config = config or ExperimentConfig(scale=1.0, keep_trace=True)
     workload = get_workload("ammp")
     fullspeed = run_fixed(workload, 2000.0, config)
-    powersave = run_governed(
-        workload,
-        lambda table: PowerSave(
-            table, PerformanceModel.paper_primary(), FLOOR
-        ),
-        config,
-    )
+    powersave = run_governed(workload, GovernorSpec.ps(FLOOR), config)
     return Fig8Result(powersave=powersave, fullspeed=fullspeed)
 
 

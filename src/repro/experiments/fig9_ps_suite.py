@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence, Tuple
 
 from repro.analysis.report import TextTable
-from repro.core.governors.powersave import PowerSave
 from repro.core.models.performance import PerformanceModel
+from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import (
     suite_energy_savings,
     suite_performance_reduction,
@@ -59,7 +59,7 @@ def run(
     savings: dict[float, float] = {}
     for floor in floors:
         governed = run_suite_governed(
-            lambda table, f=floor: PowerSave(table, model, f), config
+            GovernorSpec.ps(floor, performance_model=model), config
         )
         reduction[floor] = suite_performance_reduction(
             [governed[n] for n in order], [fullspeed[n] for n in order]

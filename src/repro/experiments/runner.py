@@ -6,69 +6,57 @@ times and reporting data from the run with the median execution time"
 (§IV).  :func:`median_run` implements that; single-run mode (``runs=1``)
 is the fast default for benchmarks since the simulator's variance is
 small and seeded.
+
+.. deprecated::
+    The execution machinery itself moved to :mod:`repro.exec`:
+    :class:`~repro.exec.ExperimentConfig` and the model caches are
+    re-exported from their new home, and :func:`run_governed` /
+    :func:`run_fixed` are now thin shims over
+    :func:`repro.exec.execute_cell`.  New code should describe runs
+    declaratively (:class:`~repro.exec.GovernorSpec`,
+    :class:`~repro.exec.RunCell`) and execute them through
+    :func:`repro.exec.open_session` -- that is the API that
+    parallelises.  These shims are kept so existing callers and tests
+    keep working unchanged; behaviour (including digests) is identical.
 """
 
 from __future__ import annotations
 
-import functools
-from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping
-
-from repro.acpi.pstates import PStateTable, pentium_m_755_table
-from repro.adaptation.context import current_adaptation_config
 from repro.adaptation.manager import AdaptationConfig, AdaptationManager
-from repro.checkpoint.context import current_checkpoint_session
-from repro.core.controller import PowerManagementController, RunResult
-from repro.core.governors.base import Governor
-from repro.core.governors.unconstrained import FixedFrequency
+from repro.core.controller import RunResult
 from repro.core.limits import ConstraintSchedule
-from repro.core.models.power import LinearPowerModel
-from repro.core.models.training import collect_training_data, fit_power_model
 from repro.core.resilience import ResilienceConfig
 from repro.errors import ExperimentError
-from repro.faults.context import current_fault_plan
-from repro.faults.injector import FaultInjector
+from repro.exec.cache import trained_power_model, worst_case_power_table
+from repro.exec.core import execute_cell
+from repro.exec.plan import (
+    ExperimentConfig,
+    GovernorFactory,
+    GovernorSpec,
+    RunCell,
+    as_governor_spec,
+)
+from repro.exec.session import execute_cells
 from repro.faults.plan import FaultPlan
-from repro.platform.machine import Machine, MachineConfig
-from repro.telemetry.recorder import TelemetryRecorder, current_recorder
+from repro.telemetry.recorder import TelemetryRecorder
 from repro.workloads.base import Workload
-from repro.workloads.microbenchmarks import worst_case_workload
 from repro.workloads.registry import default_registry
 
-#: A governor factory: given the p-state table, build a fresh governor.
-GovernorFactory = Callable[[PStateTable], Governor]
-
-
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Common experiment knobs.
-
-    ``scale`` multiplies workload instruction budgets (1.0 = the full
-    synthetic budgets; smaller = faster runs with identical rates and
-    phase structure).  ``runs`` is the paper's repetition count (3 with
-    median selection; 1 for quick sweeps).
-    """
-
-    scale: float = 0.5
-    runs: int = 1
-    seed: int = 0
-    keep_trace: bool = False
-    max_seconds: float = 600.0
-    machine: MachineConfig = field(default_factory=MachineConfig)
-
-    def machine_config(self, seed_offset: int = 0) -> MachineConfig:
-        """Machine config with the experiment seed applied."""
-        return replace(self.machine, seed=self.seed + seed_offset)
-
-    @property
-    def table(self) -> PStateTable:
-        """The platform p-state table."""
-        return self.machine.table
+__all__ = [
+    "ExperimentConfig",
+    "GovernorFactory",
+    "median_run",
+    "run_fixed",
+    "run_governed",
+    "spec_suite",
+    "trained_power_model",
+    "worst_case_power_table",
+]
 
 
 def run_governed(
     workload: Workload,
-    governor_factory: GovernorFactory,
+    governor_factory: GovernorFactory | GovernorSpec,
     config: ExperimentConfig,
     schedule: ConstraintSchedule | None = None,
     seed_offset: int = 0,
@@ -80,101 +68,35 @@ def run_governed(
 ) -> RunResult:
     """One (workload, governor) run on a fresh machine.
 
+    .. deprecated:: thin shim over :func:`repro.exec.execute_cell`;
+       prefer ``open_session().run(workload, spec, config)``.
+
     ``telemetry`` instruments the run; when omitted the process-local
     recorder installed with :func:`repro.telemetry.recording` (if any)
-    is used, so the CLI can observe whole experiment modules without
-    threading a recorder through every driver.  Each configured run is
-    wrapped in a root ``run`` span.
-
-    ``fault_plan`` drills the run's failure paths; when omitted the
-    process-local plan installed with :func:`repro.faults.injecting`
-    (if any) is used.  An active plan gets a *fresh* seeded injector per
-    run (so repetitions see identical fault sequences) and implies a
-    default :class:`ResilienceConfig` unless one is supplied --
-    injecting faults into an unhardened loop would just crash it.
-    ``resilience`` alone hardens the loop without injecting anything.
-
-    ``adaptation`` turns on online model adaptation; when omitted the
-    process-local config installed with :func:`repro.adaptation.
-    adapting` (if any) is used.  A config gets a *fresh*
-    :class:`AdaptationManager` per run, so repetitions never share
-    learned state; pass a prebuilt manager instead to inspect its
-    registry and summary after the run.  The manager engages only on
-    governors that expose the model-swap interface and is a guaranteed
-    no-op otherwise.
+    is used.  ``fault_plan`` / ``adaptation`` likewise fall back to
+    their ambient contexts (:func:`repro.faults.injecting`,
+    :func:`repro.adaptation.adapting`), an active fault plan gets a
+    fresh seeded injector per run and implies a default
+    :class:`ResilienceConfig`, and an ambient checkpoint session
+    (:func:`repro.checkpoint.checkpointing`) makes the run crash-safe
+    -- all exactly as before the :mod:`repro.exec` refactor, because
+    this *is* the same code path.
     """
-    tel = telemetry if telemetry is not None else current_recorder()
-    session = current_checkpoint_session()
-    if session is not None:
-        # Crash-safe experiment execution: completed slots replay from
-        # the archive, an interrupted slot resumes from its journal, and
-        # fresh slots run with periodic checkpointing.  run_governed is
-        # called in deterministic order, so slot indices line up across
-        # the original and every resumed invocation.
-        slot = session.claim()
-        cached = session.archived(slot)
-        if cached is not None:
-            return cached
-        resumed = session.resume_slot(slot, tel)
-        if resumed is not None:
-            session.finish_slot(slot, resumed, telemetry=tel)
-            return resumed
-    plan = fault_plan if fault_plan is not None else current_fault_plan()
-    adapt = (
-        adaptation if adaptation is not None else current_adaptation_config()
+    cell = RunCell(
+        workload=workload,
+        governor=as_governor_spec(governor_factory),
+        seed_offset=seed_offset,
+        schedule=schedule,
+        initial_frequency_mhz=initial_frequency_mhz,
     )
-    if adapt is not None and not isinstance(adapt, AdaptationManager):
-        adapt = AdaptationManager(adapt)
-    injector = (
-        FaultInjector(plan, telemetry=tel)
-        if plan is not None and plan.active
-        else None
-    )
-    if injector is not None and resilience is None:
-        resilience = ResilienceConfig()
-    machine = Machine(config.machine_config(seed_offset))
-    governor = governor_factory(machine.config.table)
-    controller = PowerManagementController(
-        machine,
-        governor,
-        keep_trace=config.keep_trace,
-        telemetry=tel,
+    return execute_cell(
+        cell,
+        config,
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+        adaptation=adaptation,
         resilience=resilience,
-        injector=injector,
-        adaptation=adapt,
     )
-    initial = (
-        machine.config.table.by_frequency(initial_frequency_mhz)
-        if initial_frequency_mhz is not None
-        else None
-    )
-    checkpointer = (
-        session.start_slot(slot, workload.name, governor.name)
-        if session is not None
-        else None
-    )
-    if tel is not None and tel.enabled:
-        with tel.span("run"):
-            result = controller.run(
-                workload.scaled(config.scale),
-                initial_pstate=initial,
-                schedule=schedule,
-                max_seconds=config.max_seconds,
-                checkpointer=checkpointer,
-            )
-    else:
-        result = controller.run(
-            workload.scaled(config.scale),
-            initial_pstate=initial,
-            schedule=schedule,
-            max_seconds=config.max_seconds,
-            checkpointer=checkpointer,
-        )
-    if session is not None:
-        session.finish_slot(
-            slot, result, telemetry=tel, checkpointer=checkpointer
-        )
-    return result
 
 
 def run_fixed(
@@ -191,7 +113,7 @@ def run_fixed(
     """
     return run_governed(
         workload,
-        lambda table: FixedFrequency(table, frequency_mhz),
+        GovernorSpec.fixed(frequency_mhz),
         config,
         seed_offset=seed_offset,
         initial_frequency_mhz=frequency_mhz,
@@ -201,60 +123,47 @@ def run_fixed(
 
 def median_run(
     workload: Workload,
-    governor_factory: GovernorFactory,
+    governor_factory: GovernorFactory | GovernorSpec,
     config: ExperimentConfig,
     schedule: ConstraintSchedule | None = None,
     telemetry: TelemetryRecorder | None = None,
 ) -> RunResult:
-    """The paper's protocol: ``config.runs`` repetitions, median by time."""
+    """The paper's protocol: ``config.runs`` repetitions, median by time.
+
+    Repetitions are independent cells (seed offsets 100*i), so under a
+    parallel :func:`repro.exec.open_session` they fan out over workers;
+    the median pick happens on the collected results either way.
+    """
     if config.runs < 1:
         raise ExperimentError("need at least one run")
-    results = [
-        run_governed(
-            workload,
-            governor_factory,
-            config,
-            schedule=schedule,
+    spec = as_governor_spec(governor_factory)
+    cells = [
+        RunCell(
+            workload=workload,
+            governor=spec,
             seed_offset=100 * i,
-            telemetry=telemetry,
+            schedule=schedule,
+            group=workload.name,
+            rep=i,
         )
         for i in range(config.runs)
     ]
-    results.sort(key=lambda r: r.duration_s)
-    return results[len(results) // 2]
+    if telemetry is not None:
+        # An explicit recorder bypasses the session seam (ambient
+        # recorders flow through execute_cells unchanged).
+        results = [
+            execute_cell(cell, config, telemetry=telemetry)
+            for cell in cells
+        ]
+    else:
+        results = execute_cells(cells, config)
+    return pick_median(results)
 
 
-@functools.lru_cache(maxsize=4)
-def trained_power_model(seed: int = 0) -> LinearPowerModel:
-    """The power model trained on MS-Loops (cached per process).
-
-    Experiments use the *trained* model by default -- the paper trains
-    on the microbenchmarks, then manages SPEC with the result.  The
-    published Table II coefficients remain available via
-    :meth:`LinearPowerModel.paper_model` for comparisons.
-    """
-    points = collect_training_data(config=MachineConfig(seed=seed))
-    return fit_power_model(points)
-
-
-@functools.lru_cache(maxsize=4)
-def worst_case_power_table(
-    scale: float = 3.0, seed: int = 0
-) -> Mapping[float, float]:
-    """Measured FMA-256KB power per p-state (regenerates Table III).
-
-    This is the worst-case characterization static clocking provisions
-    against; it is *measured* (run on the simulated rig), not computed
-    from model constants.
-    """
-    table = pentium_m_755_table()
-    workload = worst_case_workload()
-    config = ExperimentConfig(scale=scale, seed=seed)
-    out: dict[float, float] = {}
-    for pstate in table:
-        result = run_fixed(workload, pstate.frequency_mhz, config)
-        out[pstate.frequency_mhz] = result.mean_power_w
-    return out
+def pick_median(results: list[RunResult]) -> RunResult:
+    """The median-duration result (paper §IV's selection rule)."""
+    ordered = sorted(results, key=lambda r: r.duration_s)
+    return ordered[len(ordered) // 2]
 
 
 def spec_suite(config: ExperimentConfig) -> tuple[Workload, ...]:

@@ -1,15 +1,26 @@
-"""SPEC-suite sweep helpers shared by the figure experiments."""
+"""SPEC-suite sweep helpers shared by the figure experiments.
+
+Both drivers are *plan builders*: they expand the sweep into a flat
+list of :class:`~repro.exec.RunCell` and hand it to
+:func:`repro.exec.execute_cells`, so an :func:`repro.exec.open_session`
+with ``workers=N`` above them (e.g. the CLI's ``experiment --workers``)
+fans the whole suite out over a process pool.  Cell order matches the
+historical serial call order, which keeps checkpoint slot numbering --
+and therefore resume compatibility -- identical.
+"""
 
 from __future__ import annotations
 
 from typing import Dict
 
 from repro.core.controller import RunResult
+from repro.errors import ExperimentError
+from repro.exec.plan import GovernorSpec, RunCell, as_governor_spec
+from repro.exec.session import execute_cells
 from repro.experiments.runner import (
     ExperimentConfig,
     GovernorFactory,
-    median_run,
-    run_fixed,
+    pick_median,
 )
 from repro.workloads.registry import default_registry
 
@@ -18,23 +29,52 @@ def run_suite_fixed(
     frequency_mhz: float, config: ExperimentConfig
 ) -> Dict[str, RunResult]:
     """Every SPEC benchmark pinned at one frequency."""
-    results: Dict[str, RunResult] = {}
-    for workload in default_registry().spec_suite():
-        results[workload.name] = run_fixed(workload, frequency_mhz, config)
-    return results
+    workloads = default_registry().spec_suite()
+    cells = [
+        RunCell(
+            workload=workload,
+            governor=GovernorSpec.fixed(frequency_mhz),
+            initial_frequency_mhz=frequency_mhz,
+            group=workload.name,
+        )
+        for workload in workloads
+    ]
+    results = execute_cells(cells, config)
+    return {w.name: r for w, r in zip(workloads, results)}
 
 
 def run_suite_governed(
-    governor_factory: GovernorFactory, config: ExperimentConfig
+    governor_factory: GovernorFactory | GovernorSpec,
+    config: ExperimentConfig,
 ) -> Dict[str, RunResult]:
     """Every SPEC benchmark under a fresh governor instance.
 
     Uses the paper's median-of-``config.runs`` protocol per benchmark.
+    The full benchmark x repetition cross product is one flat cell list
+    (so a 4-worker session keeps every worker busy across benchmark
+    boundaries); the median pick per benchmark happens afterwards.
     """
-    results: Dict[str, RunResult] = {}
-    for workload in default_registry().spec_suite():
-        results[workload.name] = median_run(workload, governor_factory, config)
-    return results
+    if config.runs < 1:
+        raise ExperimentError("need at least one run")
+    spec = as_governor_spec(governor_factory)
+    workloads = default_registry().spec_suite()
+    cells = [
+        RunCell(
+            workload=workload,
+            governor=spec,
+            seed_offset=100 * rep,
+            group=workload.name,
+            rep=rep,
+        )
+        for workload in workloads
+        for rep in range(config.runs)
+    ]
+    results = execute_cells(cells, config)
+    out: Dict[str, RunResult] = {}
+    for index, workload in enumerate(workloads):
+        reps = results[index * config.runs:(index + 1) * config.runs]
+        out[workload.name] = pick_median(reps)
+    return out
 
 
 def suite_order(results: Dict[str, RunResult]) -> tuple[str, ...]:

@@ -1,0 +1,266 @@
+"""Merge per-worker telemetry directories into their parent directory.
+
+Parallel execution gives every worker process its own full
+:class:`~repro.telemetry.exporters.TelemetryDirectory` under
+``<root>/worker-NN/`` (concurrent writers cannot share one JSONL
+handle).  :func:`merge_worker_directories` folds those back into the
+top-level ``events.jsonl`` / ``trace.csv`` / ``metrics.json`` /
+``summary.txt`` so every downstream consumer -- ``telemetry-report``,
+the report loaders, ad-hoc scripts -- reads a parallel campaign exactly
+like a serial one.  The worker subdirectories are left in place for
+per-worker debugging.
+
+Merge semantics per artifact:
+
+* events/trace: concatenation, parent first then workers in directory
+  order (cross-worker event interleaving is not reconstructed; per-cell
+  ordering is preserved, which is what the aggregators key on);
+* counters, histogram buckets, span counts/totals: summed;
+* gauges: last writer wins (they are point-in-time values; the merged
+  file is only meaningful for gauges every worker sets identically);
+* histogram/span min/max: the extremes across workers.
+
+The merge is tolerant of missing pieces -- a worker killed mid-campaign
+leaves no ``metrics.json``, which simply contributes nothing.
+"""
+
+from __future__ import annotations
+
+import csv
+import fnmatch
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Mapping
+
+from repro.ioutils import atomic_write_text
+from repro.telemetry.exporters import (
+    EVENTS_FILENAME,
+    METRICS_FILENAME,
+    SUMMARY_FILENAME,
+    TRACE_FIELDS,
+    TRACE_FILENAME,
+)
+
+#: Subdirectory pattern the parallel runner uses for worker sinks.
+WORKER_DIR_PATTERN = "worker-*"
+
+
+@dataclass
+class MergeReport:
+    """What one merge pass ingested (returned for logs and tests)."""
+
+    root: str
+    worker_dirs: List[str] = field(default_factory=list)
+    events: int = 0
+    trace_rows: int = 0
+
+    @property
+    def workers(self) -> int:
+        """Number of worker directories merged."""
+        return len(self.worker_dirs)
+
+
+def _empty_snapshot() -> dict:
+    return {
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "spans": {},
+    }
+
+
+def _merge_histogram(into: dict, h: Mapping) -> None:
+    if into.get("buckets") != list(h.get("buckets", [])):
+        # Incompatible layouts (shouldn't happen between identical
+        # workers); keep the first seen rather than corrupt the sums.
+        return
+    into["bucket_counts"] = [
+        a + b for a, b in zip(into["bucket_counts"], h["bucket_counts"])
+    ]
+    into["count"] += h["count"]
+    into["sum"] += h["sum"]
+    into["mean"] = into["sum"] / into["count"] if into["count"] else 0.0
+    for key, pick in (("min", min), ("max", max)):
+        ours, theirs = into.get(key), h.get(key)
+        if ours is None:
+            into[key] = theirs
+        elif theirs is not None:
+            into[key] = pick(ours, theirs)
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Combine recorder snapshots (``{"metrics": ..., "spans": ...}``)."""
+    merged = _empty_snapshot()
+    counters = merged["metrics"]["counters"]
+    gauges = merged["metrics"]["gauges"]
+    histograms = merged["metrics"]["histograms"]
+    spans = merged["spans"]
+    for snap in snapshots:
+        metrics = snap.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        gauges.update(metrics.get("gauges", {}))
+        for name, h in metrics.get("histograms", {}).items():
+            if name in histograms:
+                _merge_histogram(histograms[name], h)
+            else:
+                histograms[name] = json.loads(json.dumps(h))
+        for path, s in snap.get("spans", {}).items():
+            into = spans.get(path)
+            if into is None:
+                spans[path] = json.loads(json.dumps(s))
+                continue
+            into["count"] += s["count"]
+            into["total_s"] += s["total_s"]
+            into["mean_s"] = (
+                into["total_s"] / into["count"] if into["count"] else 0.0
+            )
+            for key, pick in (("min_s", min), ("max_s", max)):
+                ours, theirs = into.get(key), s.get(key)
+                if ours is None:
+                    into[key] = theirs
+                elif theirs is not None:
+                    into[key] = pick(ours, theirs)
+    # Keep deterministic ordering, like the live registries do.
+    merged["metrics"]["counters"] = dict(sorted(counters.items()))
+    merged["metrics"]["gauges"] = dict(sorted(gauges.items()))
+    merged["metrics"]["histograms"] = dict(sorted(histograms.items()))
+    merged["spans"] = dict(sorted(spans.items()))
+    return merged
+
+
+def _render_merged_summary(snapshot: Mapping, report: MergeReport) -> str:
+    """A ``summary.txt`` for the merged campaign (from snapshot data)."""
+    metrics = snapshot.get("metrics", {})
+    lines = [
+        "merged run summary",
+        "==================",
+        "",
+        f"worker directories merged: {report.workers}",
+        f"events: {report.events}   trace rows: {report.trace_rows}",
+        "",
+    ]
+    counters = metrics.get("counters", {})
+    residency = {
+        name.rsplit(".", 1)[-1]: value
+        for name, value in counters.items()
+        if name.startswith("pstate.residency_s.")
+    }
+    plain = {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith("pstate.residency_s.")
+    }
+    if plain:
+        lines.append("counters:")
+        for name, value in plain.items():
+            lines.append(f"  {name:32} {value:.6g}")
+        lines.append("")
+    if residency:
+        total = sum(residency.values())
+        lines.append("p-state residency:")
+        for freq in sorted(residency, key=float):
+            seconds = residency[freq]
+            share = seconds / total if total else 0.0
+            lines.append(f"  {freq:>5} MHz  {seconds:8.3f} s  ({share:.1%})")
+        lines.append(f"  {'total':>9}  {total:8.3f} s")
+        lines.append("")
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("spans (wall clock, summed across workers):")
+        for path, s in spans.items():
+            lines.append(
+                f"  {path:32} count {s['count']:>6}  "
+                f"total {s['total_s']:.3f} s"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _read_lines(path: str) -> List[str]:
+    if not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        return [line for line in handle.read().splitlines() if line]
+
+
+def _read_trace_rows(path: str) -> List[List[str]]:
+    if not os.path.exists(path):
+        return []
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    return [row for row in rows[1:] if row]
+
+
+def find_worker_directories(
+    root: str | os.PathLike, pattern: str = WORKER_DIR_PATTERN
+) -> List[str]:
+    """Worker telemetry subdirectories under ``root``, sorted by name."""
+    root = os.fspath(root)
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        os.path.join(root, entry)
+        for entry in os.listdir(root)
+        if fnmatch.fnmatch(entry, pattern)
+        and os.path.isdir(os.path.join(root, entry))
+    )
+
+
+def merge_worker_directories(
+    root: str | os.PathLike, pattern: str = WORKER_DIR_PATTERN
+) -> MergeReport:
+    """Fold every ``<root>/worker-NN/`` directory into ``<root>``'s files.
+
+    The top-level files are rewritten as parent content + worker
+    content, so run this exactly once per campaign (a second pass would
+    double-count the workers); ``open_session`` calls it once, on
+    session close.  No-op (empty report) when there are no worker
+    directories.
+    """
+    root = os.fspath(root)
+    report = MergeReport(root=root)
+    report.worker_dirs = find_worker_directories(root, pattern)
+    if not report.worker_dirs:
+        return report
+
+    sources = [root] + report.worker_dirs
+
+    events: List[str] = []
+    for source in sources:
+        events.extend(_read_lines(os.path.join(source, EVENTS_FILENAME)))
+    atomic_write_text(
+        os.path.join(root, EVENTS_FILENAME),
+        ("\n".join(events) + "\n") if events else "",
+    )
+    report.events = len(events)
+
+    rows: List[List[str]] = []
+    for source in sources:
+        rows.extend(_read_trace_rows(os.path.join(source, TRACE_FILENAME)))
+    out: List[str] = [",".join(TRACE_FIELDS)]
+    out.extend(",".join(row) for row in rows)
+    atomic_write_text(
+        os.path.join(root, TRACE_FILENAME), "\n".join(out) + "\n"
+    )
+    report.trace_rows = len(rows)
+
+    snapshots: List[Mapping] = []
+    for source in sources:
+        path = os.path.join(source, METRICS_FILENAME)
+        if not os.path.exists(path):
+            continue
+        try:
+            with open(path) as handle:
+                snapshots.append(json.load(handle))
+        except (OSError, json.JSONDecodeError):
+            continue  # a killed worker may leave a torn file behind
+    merged = merge_snapshots(snapshots)
+    atomic_write_text(
+        os.path.join(root, METRICS_FILENAME),
+        json.dumps(merged, indent=2) + "\n",
+    )
+    atomic_write_text(
+        os.path.join(root, SUMMARY_FILENAME),
+        _render_merged_summary(merged, report) + "\n",
+    )
+    return report

@@ -1,0 +1,76 @@
+"""CLI surface of the execution engine: ``run --plan`` and ``--workers``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.exec.plan import ExperimentConfig, GovernorSpec, RunCell, RunPlan
+
+
+def _plan_file(tmp_path, workers_cells=2):
+    cells = (
+        RunCell(workload="ammp", governor=GovernorSpec.fixed(1600.0)),
+        RunCell(workload="mcf", governor=GovernorSpec.ps(0.8)),
+    )[:workers_cells]
+    plan = RunPlan(config=ExperimentConfig(scale=0.05, seed=2), cells=cells)
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    return path
+
+
+def test_run_plan_serial(tmp_path, capsys):
+    path = _plan_file(tmp_path)
+    assert main(["run", "--plan", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "ammp" in out and "mcf" in out
+
+
+def test_run_plan_parallel_matches_serial(tmp_path, capsys):
+    path = _plan_file(tmp_path)
+    assert main(["run", "--plan", str(path)]) == 0
+    serial = capsys.readouterr().out.splitlines()
+    assert main(["run", "--plan", str(path), "--workers", "2"]) == 0
+    parallel = capsys.readouterr().out.splitlines()
+    # The header names the worker count; every per-cell line must match.
+    assert parallel[1:] == serial[1:]
+
+
+def test_run_plan_rejects_workload_argument(tmp_path, capsys):
+    path = _plan_file(tmp_path)
+    assert main(["run", "ammp", "--plan", str(path)]) == 1
+    assert "--plan" in capsys.readouterr().err
+
+
+def test_run_plan_rejects_checkpoint_options(tmp_path, capsys):
+    path = _plan_file(tmp_path)
+    assert main(["run", "--plan", str(path), "--checkpoint",
+                 str(tmp_path / "ckpt")]) == 1
+    assert "--plan" in capsys.readouterr().err
+
+
+def test_run_plan_rejects_bad_json(tmp_path, capsys):
+    path = tmp_path / "plan.json"
+    path.write_text("{broken")
+    assert main(["run", "--plan", str(path)]) == 1
+    assert "malformed" in capsys.readouterr().err
+
+
+def test_experiment_workers_merges_telemetry(tmp_path, capsys):
+    out_dir = tmp_path / "telemetry"
+    assert main([
+        "experiment", "fig1", "--scale", "0.05",
+        "--workers", "2", "--telemetry", str(out_dir),
+    ]) == 0
+    capsys.readouterr()
+    assert (out_dir / "metrics.json").exists()
+    workers = [p for p in out_dir.iterdir()
+               if p.is_dir() and p.name.startswith("worker-")]
+    assert workers
+    merged = json.loads((out_dir / "metrics.json").read_text())
+    assert merged["metrics"]["counters"]
+
+
+def test_experiment_rejects_negative_workers(capsys):
+    assert main(["experiment", "fig1", "--workers", "-1"]) == 1
+    assert "--workers" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""RunPlan / GovernorSpec / RunCell: construction and serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adaptation.manager import AdaptationConfig
+from repro.core.governors.performance_maximizer import PerformanceMaximizer
+from repro.core.governors.powersave import PowerSave
+from repro.core.models.power import LinearPowerModel
+from repro.errors import ExperimentError
+from repro.exec.plan import (
+    PLAN_FORMAT_VERSION,
+    ExperimentConfig,
+    GovernorSpec,
+    RunCell,
+    RunPlan,
+    as_governor_spec,
+)
+from repro.faults.plan import FaultPlan, SampleFaults
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ExperimentError, match="unknown governor kind"):
+        GovernorSpec(kind="turbo")
+
+
+def test_unknown_model_source_rejected():
+    with pytest.raises(ExperimentError, match="power_model"):
+        GovernorSpec(kind="pm", power_limit_w=14.5, power_model="magic")
+
+
+def test_factory_needs_callable():
+    with pytest.raises(ExperimentError, match="factory"):
+        GovernorSpec(kind="factory")
+
+
+def test_spec_builds_governors(table):
+    pm = GovernorSpec.pm(14.5, power_model="paper").build(table)
+    assert isinstance(pm, PerformanceMaximizer)
+    ps = GovernorSpec.ps(0.8).build(table)
+    assert isinstance(ps, PowerSave)
+
+
+def test_spec_round_trip():
+    spec = GovernorSpec.pm(
+        13.5, power_model="paper", raise_window=5, guardband_w=0.25
+    )
+    clone = GovernorSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+
+
+def test_inline_model_round_trip(table):
+    spec = GovernorSpec.pm(14.5, power_model=LinearPowerModel.paper_model())
+    clone = GovernorSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert isinstance(clone.power_model, LinearPowerModel)
+    assert clone.resolve_power_model(0).estimate(
+        table.fastest, 1.0
+    ) == pytest.approx(
+        spec.resolve_power_model(0).estimate(table.fastest, 1.0)
+    )
+
+
+def test_factory_spec_refuses_json(table):
+    spec = GovernorSpec.from_factory(lambda t: PowerSave(
+        t, None, 0.8
+    ))
+    with pytest.raises(ExperimentError, match="serialize"):
+        spec.to_dict()
+
+
+def test_as_governor_spec_wraps_callables(table):
+    spec = as_governor_spec(lambda t: GovernorSpec.ps(0.8).build(t))
+    assert spec.kind == "factory"
+    assert isinstance(spec.build(table), PowerSave)
+    passthrough = GovernorSpec.dbs()
+    assert as_governor_spec(passthrough) is passthrough
+
+
+def test_plan_round_trip():
+    plan = RunPlan(
+        config=ExperimentConfig(scale=0.1, runs=3, seed=7, keep_trace=True),
+        cells=(
+            RunCell(workload="ammp", governor=GovernorSpec.pm(
+                14.5, power_model="paper"
+            ), seed_offset=100, group="ammp", rep=1),
+            RunCell(workload="mcf", governor=GovernorSpec.fixed(1600.0)),
+        ),
+        fault_plan=FaultPlan(seed=3, sample=SampleFaults(drop_prob=0.01)),
+        adaptation=AdaptationConfig(cooldown_ticks=99),
+    )
+    clone = RunPlan.from_json(plan.to_json())
+    assert clone.config == plan.config
+    assert clone.cells == plan.cells
+    assert clone.fault_plan == plan.fault_plan
+    assert clone.adaptation == plan.adaptation
+    assert clone.resilience is None
+
+
+def test_plan_cell_seed():
+    plan = RunPlan.single(
+        "ammp", GovernorSpec.dbs(), ExperimentConfig(seed=5),
+        seed_offset=200,
+    )
+    assert plan.cell_seed(plan.cells[0]) == 205
+
+
+def test_sweep_cross_product():
+    plan = RunPlan.sweep(
+        ["ammp", "mcf"],
+        [GovernorSpec.pm(14.5), GovernorSpec.ps(0.8)],
+        seeds=(0, 100),
+    )
+    assert len(plan) == 8
+    assert {cell.group for cell in plan.cells} == {"ammp", "mcf"}
+    assert {cell.seed_offset for cell in plan.cells} == {0, 100}
+
+
+def test_plan_rejects_future_format():
+    plan = RunPlan.single("ammp", GovernorSpec.dbs())
+    data = plan.to_dict()
+    data["format"] = PLAN_FORMAT_VERSION + 1
+    with pytest.raises(ExperimentError, match="format"):
+        RunPlan.from_dict(data)
+
+
+def test_plan_rejects_malformed_json():
+    with pytest.raises(ExperimentError, match="malformed"):
+        RunPlan.from_json("{not json")
+    with pytest.raises(ExperimentError, match="mapping"):
+        RunPlan.from_dict(["nope"])
+
+
+def test_workload_objects_resolve(tiny_core_workload):
+    cell = RunCell(
+        workload=tiny_core_workload, governor=GovernorSpec.fixed(2000.0)
+    )
+    assert cell.workload_name == "tiny-core"
+    assert cell.resolve_workload() is tiny_core_workload
+    with pytest.raises(ExperimentError, match="serialize"):
+        cell.to_dict()

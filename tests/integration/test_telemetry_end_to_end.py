@@ -96,11 +96,14 @@ def test_histogram_counts_match_tick_count(events, metrics):
 
 
 def test_spans_cover_the_control_loop(metrics):
+    # The CLI routes through the execution engine, so the controller's
+    # per-phase spans sit under the engine's root ``run`` span.
     spans = metrics["spans"]
     ticks = metrics["metrics"]["counters"]["controller.ticks"]
+    assert spans["run"]["count"] == 1
     for phase in ("execute", "sample", "decide"):
-        assert spans[phase]["count"] == ticks
-        assert spans[phase]["total_s"] > 0
+        assert spans[f"run/{phase}"]["count"] == ticks
+        assert spans[f"run/{phase}"]["total_s"] > 0
 
 
 def test_summary_is_human_readable(telemetry_dir):

@@ -41,6 +41,13 @@ PUBLIC_MODULES = (
     "repro.faults.injector",
     "repro.faults.context",
     "repro.faults.report",
+    "repro.exec",
+    "repro.exec.plan",
+    "repro.exec.core",
+    "repro.exec.cache",
+    "repro.exec.session",
+    "repro.exec.runner",
+    "repro.telemetry.merge",
 )
 
 
