@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: replay a foreign ``perf stat`` log on the paper's platform.
+
+An operator captured ``perf stat -I 100 -x,`` on a 2.4 GHz production
+web server (the checked-in ``data/web_perf_stat.csv``) and wants to
+know how the paper's governors would have handled that workload.  The
+flow:
+
+1. ingest the raw log into a CounterTrace (with a diagnostics report),
+2. calibrate it to the Pentium M counter envelope -- the foreign
+   2.4 GHz clock snaps to the nearest supported p-state,
+3. characterize it through the Eq. 3 memory-/core-bound classifier,
+4. replay it under candidate governors and compare.
+"""
+
+import os
+
+from repro import (
+    FixedFrequency,
+    Machine,
+    MachineConfig,
+    PerformanceModel,
+    PowerManagementController,
+    PowerSave,
+)
+from repro.traces import (
+    calibrate_trace,
+    characterize_trace,
+    ingest_file,
+)
+from repro.workloads.traces import workload_from_trace
+
+LOG = os.path.join(os.path.dirname(__file__), "data", "web_perf_stat.csv")
+
+
+def run(workload, make_governor, seed=0):
+    machine = Machine(MachineConfig(seed=seed))
+    controller = PowerManagementController(
+        machine, make_governor(machine.config.table)
+    )
+    return controller.run(workload)
+
+
+def main() -> None:
+    # 1. ingest the raw perf-stat log.
+    trace, report = ingest_file(LOG, name="web-prod")
+    print(report.render())
+    print()
+
+    # 2. calibrate to the platform envelope (2400 -> 2000 MHz, etc.).
+    calibrated, calibration = calibrate_trace(trace)
+    print(calibration.render())
+    print()
+
+    # 3. classify: is last week's workload memory- or core-bound?
+    character = characterize_trace(calibrated)
+    kind = "memory-bound" if character.memory_bound else "core-bound"
+    print(f"{character.name}: {kind} "
+          f"(DCU/IPC {character.dcu_per_ipc:.2f}, "
+          f"{character.memory_time_fraction:.0%} of time memory-bound)\n")
+
+    # 4. replay under candidate governors.
+    replay = workload_from_trace(calibrated)
+    baseline = run(replay, lambda t: FixedFrequency(t, 2000.0))
+    print(f"{'candidate':>12} {'time s':>8} {'energy J':>9} {'perf':>6}")
+    for floor in (0.9, 0.8):
+        candidate = run(
+            replay,
+            lambda t, f=floor: PowerSave(
+                t, PerformanceModel.paper_primary(), f
+            ),
+        )
+        perf = baseline.duration_s / candidate.duration_s
+        print(f"{f'PS {floor:.0%}':>12} {candidate.duration_s:8.3f} "
+              f"{candidate.measured_energy_j:9.2f} {perf:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -110,7 +110,20 @@ from repro.platform.machine import Machine, MachineConfig
 from repro.measurement import PowerMeter
 from repro.supervise import RetryPolicy, Supervisor
 from repro.telemetry import NullRecorder, TelemetryRecorder
+from repro.traces import (
+    calibrate_trace,
+    characterize_trace,
+    corpus_trace,
+    generate_corpus,
+    ingest_file,
+)
 from repro.workloads import Workload, default_registry, get_workload
+from repro.workloads.registry import resolve_workload_spec
+from repro.workloads.traces import (
+    CounterTrace,
+    record_trace,
+    workload_from_trace,
+)
 
 __all__ = [
     "__version__",
@@ -201,6 +214,17 @@ __all__ = [
     "ParallelRunner",
     "execute_cells",
     "open_session",
+    # Trace-driven workloads: counter logs and the scenario corpus as
+    # first-class workload inputs.
+    "CounterTrace",
+    "calibrate_trace",
+    "characterize_trace",
+    "corpus_trace",
+    "generate_corpus",
+    "ingest_file",
+    "record_trace",
+    "resolve_workload_spec",
+    "workload_from_trace",
     "quickstart_pm",
     "quickstart_ps",
 ]

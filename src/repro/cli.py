@@ -7,7 +7,17 @@ Subcommands
     Show every available workload with its category.
 ``run``
     Run one workload under a governor and print a summary (optionally
-    exporting the per-tick trace as CSV).
+    exporting the per-tick trace as CSV).  Besides registry names the
+    workload may be a ``trace:FILE.csv`` or ``corpus:NAME[@SEED]``
+    spec (also accepted via ``--workload``): the counter trace is
+    loaded (or generated), calibrated into the platform envelope, and
+    replayed under the chosen governor.
+``trace``
+    Trace subsystem: ``trace ingest`` parses a perf-stat or
+    WattWatcher-style interval log into a replayable counter-trace
+    CSV, ``trace generate`` writes the deterministic scenario corpus,
+    and ``trace characterize`` runs traces through the Eq. 3
+    memory-/core-bound classifier with frequency-sensitivity analysis.
 ``train``
     Re-derive the power/performance models from MS-Loops and print the
     Table II comparison.
@@ -70,7 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a workload under a governor")
     run.add_argument(
         "workload", nargs="?", default=None,
-        help="workload name (see 'list'); omitted with --resume",
+        help="workload name (see 'list'), trace:FILE.csv, or "
+        "corpus:NAME[@SEED]; omitted with --resume",
+    )
+    run.add_argument(
+        "--workload", dest="workload_opt", metavar="SPEC", default=None,
+        help="alternative to the positional workload (same forms)",
     )
     run.add_argument(
         "--governor",
@@ -236,6 +251,82 @@ def _build_parser() -> argparse.ArgumentParser:
     adaptation_report.add_argument(
         "directory",
         help="directory produced by run/experiment --telemetry --adapt",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="ingest, generate, and characterize counter traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    ingest = trace_sub.add_parser(
+        "ingest",
+        help="parse a perf-stat/WattWatcher interval log into a "
+        "replayable counter-trace CSV",
+    )
+    ingest.add_argument(
+        "source", help="interval counter log (perf stat -I output or a "
+        "counter-per-column CSV)",
+    )
+    ingest.add_argument(
+        "--out", required=True, metavar="FILE.csv",
+        help="where to write the calibrated counter-trace CSV",
+    )
+    ingest.add_argument(
+        "--name", default=None,
+        help="trace name (default: the source file's stem)",
+    )
+    ingest.add_argument(
+        "--format", choices=("auto", "perf", "perf-csv", "wattwatcher"),
+        default="auto", help="input format (default: auto-detect)",
+    )
+    ingest.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="force the sampling interval length instead of deriving "
+        "it from timestamps",
+    )
+    ingest.add_argument(
+        "--nominal-mhz", type=float, default=None, metavar="MHZ",
+        help="clock to assume when the log has no cycle counter",
+    )
+    ingest.add_argument(
+        "--decode-ratio", type=float, default=None, metavar="RATIO",
+        help="decode ratio (DPC/IPC) to assume when the log has no "
+        "decode counter (default: the derived platform ratio)",
+    )
+    ingest.add_argument(
+        "--cumulative", action="store_true",
+        help="treat counter columns as cumulative (running totals) "
+        "instead of auto-detecting",
+    )
+    ingest.add_argument(
+        "--no-calibrate", action="store_true",
+        help="keep the raw counters instead of snapping them into the "
+        "platform envelope",
+    )
+
+    generate = trace_sub.add_parser(
+        "generate",
+        help="write the deterministic scenario corpus as trace CSVs",
+    )
+    generate.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory to write <scenario>.trace.csv files into",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+
+    characterize = trace_sub.add_parser(
+        "characterize",
+        help="classify traces (Eq. 3 memory-/core-bound) with "
+        "frequency-sensitivity analysis",
+    )
+    characterize.add_argument(
+        "paths", nargs="+",
+        help="trace CSV files and/or directories of them",
+    )
+    characterize.add_argument(
+        "--json", metavar="FILE.json", default=None,
+        help="also write the characterization as a JSON document",
     )
 
     report = sub.add_parser(
@@ -485,8 +576,20 @@ def _cmd_run_plan(args) -> int:
     return 0
 
 
+def _resolve_workload_arg(args) -> None:
+    """Merge the positional workload and ``--workload`` into one value."""
+    if getattr(args, "workload_opt", None):
+        if args.workload and args.workload != args.workload_opt:
+            raise ReproError(
+                "both a positional workload and --workload were given; "
+                "pass one"
+            )
+        args.workload = args.workload_opt
+
+
 def _cmd_run(args) -> int:
     _validate_telemetry_path(args.telemetry)
+    _resolve_workload_arg(args)
     if args.plan:
         return _cmd_run_plan(args)
     if args.resume and args.checkpoint:
@@ -502,8 +605,17 @@ def _cmd_run(args) -> int:
     if args.registry and not args.adapt:
         raise ReproError("--registry requires --adapt")
     from repro.exec.core import prepare_cell
+    from repro.workloads.registry import is_workload_spec
 
-    default_registry().get(args.workload)  # fail fast on unknown names
+    # Fail fast on unknown names / unreadable trace files, before any
+    # training or simulation starts.  Spec resolution also warms the
+    # per-process trace-workload cache the cell will hit again.
+    if is_workload_spec(args.workload):
+        from repro.exec.cache import spec_workload
+
+        spec_workload(args.workload)
+    else:
+        default_registry().get(args.workload)
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, keep_trace=bool(args.trace)
     )
@@ -608,8 +720,6 @@ def _experiment_runner(module_name: str) -> Callable[[float | None], str]:
     def run_it(scale: float | None) -> str:
         import importlib
 
-        from repro.experiments.runner import ExperimentConfig
-
         module = importlib.import_module(f"repro.experiments.{module_name}")
         config = ExperimentConfig(scale=scale) if scale else None
         return module.render(module.run(config))
@@ -632,6 +742,7 @@ _EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
     "table4": _experiment_runner("table4_static_freq"),
     "accuracy": _experiment_runner("model_accuracy"),
     "characterization": _experiment_runner("characterization"),
+    "corpus": _experiment_runner("corpus_characterization"),
     "hierarchy": _experiment_runner("hierarchy_probe"),
     "drift": _experiment_runner("adaptation_drift"),
     "chaos": _experiment_runner("chaos_resume"),
@@ -764,6 +875,88 @@ def _cmd_adaptation_report(args) -> int:
     return 0
 
 
+def _trace_csv_paths(paths: list[str]) -> list[str]:
+    """Expand files/directories into an ordered list of trace CSVs."""
+    from repro.errors import WorkloadError
+
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            entries = sorted(
+                entry for entry in os.listdir(path)
+                if entry.endswith(".csv")
+            )
+            if not entries:
+                raise WorkloadError(
+                    f"no trace CSVs (*.csv) in directory {path}"
+                )
+            out.extend(os.path.join(path, entry) for entry in entries)
+        else:
+            out.append(path)
+    return out
+
+
+def _cmd_trace_ingest(args) -> int:
+    from repro.traces import calibrate_trace, ingest_file
+
+    trace, report = ingest_file(
+        args.source,
+        name=args.name,
+        fmt=args.format,
+        interval_s=args.interval,
+        nominal_mhz=args.nominal_mhz,
+        decode_ratio=args.decode_ratio,
+        cumulative=True if args.cumulative else None,
+    )
+    print(report.render())
+    if not args.no_calibrate:
+        trace, calibration = calibrate_trace(trace)
+        print(calibration.render())
+    trace.to_path(args.out)
+    print(f"trace written to {args.out} "
+          f"({len(trace)} intervals, {trace.duration_s:.1f} s)")
+    return 0
+
+
+def _cmd_trace_generate(args) -> int:
+    from repro.traces import CORPUS_FAMILIES, write_corpus
+
+    paths = write_corpus(args.out, seed=args.seed)
+    for name, path in paths.items():
+        print(f"  {name:20} -> {path}")
+    families = ", ".join(sorted(CORPUS_FAMILIES))
+    print(f"{len(paths)} traces in {len(CORPUS_FAMILIES)} families "
+          f"({families}) written to {args.out}")
+    return 0
+
+
+def _cmd_trace_characterize(args) -> int:
+    from repro.traces import characterization_json, characterize_traces
+    from repro.traces.characterize import render_characterization
+    from repro.workloads.traces import CounterTrace
+
+    traces = [
+        CounterTrace.from_path(path)
+        for path in _trace_csv_paths(args.paths)
+    ]
+    rows = characterize_traces(traces)
+    print(render_characterization(rows))
+    if args.json:
+        from repro.ioutils import atomic_write_text
+
+        atomic_write_text(args.json, characterization_json(rows) + "\n")
+        print(f"characterization JSON written to {args.json}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.trace_command == "ingest":
+        return _cmd_trace_ingest(args)
+    if args.trace_command == "generate":
+        return _cmd_trace_generate(args)
+    return _cmd_trace_characterize(args)
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report_all import generate
 
@@ -794,6 +987,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_faults_report(args)
         if args.command == "adaptation-report":
             return _cmd_adaptation_report(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "report":
             return _cmd_report(args)
     except ReproError as error:

@@ -18,16 +18,53 @@ once per campaign rather than once per cell.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Mapping
 
 from repro.core.models.power import LinearPowerModel
 from repro.platform.machine import MachineConfig
+from repro.workloads.base import Workload
 
 #: Trained power model per experiment seed.
 _MODELS: Dict[int, LinearPowerModel] = {}
 
 #: Measured worst-case power table per (scale, seed).
 _WORST_CASE: Dict[tuple[float, int], Mapping[float, float]] = {}
+
+#: Resolved trace/corpus spec workloads.  File-backed specs key on the
+#: file's identity (mtime + size) too, so editing a trace CSV between
+#: runs invalidates the cached inversion.
+_TRACE_WORKLOADS: Dict[tuple, Workload] = {}
+
+
+def _spec_key(spec: str) -> tuple:
+    kind, _, rest = spec.partition(":")
+    if kind == "trace":
+        try:
+            stat = os.stat(rest)
+        except OSError:
+            # Let resolution raise the pointed WorkloadError.
+            return (spec,)
+        return (spec, stat.st_mtime_ns, stat.st_size)
+    return (spec,)
+
+
+def spec_workload(spec: str) -> Workload:
+    """Resolve a ``trace:``/``corpus:`` spec, cached per process.
+
+    Loading a trace CSV and inverting it into phases is pure but not
+    free; sweeps reference the same spec in many cells, so the resolved
+    :class:`Workload` is cached exactly like trained power models --
+    per process, inherited by forked workers, shipped to spawned ones
+    via :func:`export_caches`.
+    """
+    key = _spec_key(spec)
+    workload = _TRACE_WORKLOADS.get(key)
+    if workload is None:
+        from repro.workloads.registry import resolve_workload_spec
+
+        workload = _TRACE_WORKLOADS[key] = resolve_workload_spec(spec)
+    return workload
 
 
 def trained_power_model(seed: int = 0) -> LinearPowerModel:
@@ -96,6 +133,11 @@ def prime_for_plan(plan) -> None:
     )
     if needs_trained:
         trained_power_model(seed=plan.config.seed)
+    from repro.workloads.registry import is_workload_spec
+
+    for cell in plan.cells:
+        if is_workload_spec(cell.workload):
+            spec_workload(cell.workload)
 
 
 def export_caches() -> dict:
@@ -103,6 +145,7 @@ def export_caches() -> dict:
     return {
         "models": dict(_MODELS),
         "worst_case": dict(_WORST_CASE),
+        "trace_workloads": dict(_TRACE_WORKLOADS),
     }
 
 
@@ -110,9 +153,11 @@ def install_caches(payload: Mapping) -> None:
     """Merge a parent-process snapshot into this process's caches."""
     _MODELS.update(payload.get("models", {}))
     _WORST_CASE.update(payload.get("worst_case", {}))
+    _TRACE_WORKLOADS.update(payload.get("trace_workloads", {}))
 
 
 def clear_caches() -> None:
     """Drop every cached artifact (tests only)."""
     _MODELS.clear()
     _WORST_CASE.clear()
+    _TRACE_WORKLOADS.clear()

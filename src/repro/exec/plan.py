@@ -378,11 +378,22 @@ class RunCell:
         return f"{tag}/rep{self.rep}" if self.rep else tag
 
     def resolve_workload(self) -> Workload:
-        """The cell's workload object (by registry lookup when a name)."""
+        """The cell's workload object.
+
+        Strings resolve either as registry names or as ``trace:PATH`` /
+        ``corpus:NAME[@SEED]`` specs; spec resolution goes through the
+        per-process cache (:func:`repro.exec.cache.spec_workload`) so a
+        sweep loads and inverts each trace once, and the spec itself --
+        being a plain string -- rides through plan JSON untouched.
+        """
         if isinstance(self.workload, Workload):
             return self.workload
-        from repro.workloads.registry import get_workload
+        from repro.workloads.registry import get_workload, is_workload_spec
 
+        if is_workload_spec(self.workload):
+            from repro.exec.cache import spec_workload
+
+            return spec_workload(self.workload)
         return get_workload(self.workload)
 
     def to_dict(self) -> dict:

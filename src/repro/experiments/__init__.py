@@ -15,8 +15,8 @@ Shared machinery:
 * :mod:`repro.experiments.suite` -- SPEC-suite sweeps.
 """
 
+from repro.exec.plan import ExperimentConfig
 from repro.experiments.runner import (
-    ExperimentConfig,
     run_fixed,
     run_governed,
     median_run,

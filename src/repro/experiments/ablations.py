@@ -23,11 +23,8 @@ from repro.experiments.metrics import (
     energy_savings,
     performance_reduction,
 )
-from repro.experiments.runner import (
-    ExperimentConfig,
-    run_fixed,
-    run_governed,
-)
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import run_fixed, run_governed
 from repro.workloads.registry import get_workload
 
 

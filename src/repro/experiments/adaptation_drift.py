@@ -32,11 +32,8 @@ from repro.adaptation.manager import AdaptationConfig, AdaptationManager
 from repro.analysis.report import TextTable
 from repro.core.controller import RunResult
 from repro.core.governors.performance_maximizer import PerformanceMaximizer
-from repro.experiments.runner import (
-    ExperimentConfig,
-    run_governed,
-    trained_power_model,
-)
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import run_governed, trained_power_model
 from repro.faults.plan import FaultPlan, MeterFaults
 from repro.workloads.microbenchmarks import worst_case_workload
 

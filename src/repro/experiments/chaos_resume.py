@@ -40,7 +40,7 @@ import numpy as np
 from repro.checkpoint.format import read_records
 from repro.checkpoint.journal import JOURNAL_FILENAME
 from repro.errors import DeadlineExceeded, ExperimentError
-from repro.experiments.runner import ExperimentConfig
+from repro.exec.plan import ExperimentConfig
 from repro.supervise import RetryPolicy, Supervisor
 
 #: Workload the drill runs (long enough for many checkpoints at scale).

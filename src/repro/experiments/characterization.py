@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.report import TextTable
-from repro.experiments.runner import ExperimentConfig
+from repro.exec.plan import ExperimentConfig
 from repro.platform.calibration import (
     WorkloadSignature,
     ps_choice_for_signature,

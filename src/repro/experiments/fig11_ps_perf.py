@@ -20,7 +20,7 @@ from repro.analysis.report import TextTable
 from repro.core.models.performance import PerformanceModel
 from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import performance_reduction
-from repro.experiments.runner import ExperimentConfig
+from repro.exec.plan import ExperimentConfig
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
 from repro.experiments.fig9_ps_suite import FLOORS
 

@@ -15,7 +15,7 @@ from typing import Dict
 
 from repro.analysis.report import TextTable
 from repro.analysis.stats import SeriesSummary, summarize
-from repro.experiments.runner import ExperimentConfig
+from repro.exec.plan import ExperimentConfig
 from repro.experiments.suite import run_suite_fixed
 
 

@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.analysis.report import TextTable
-from repro.experiments.runner import ExperimentConfig, run_fixed
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import run_fixed
 from repro.workloads.registry import get_workload
 
 #: The paper's three exemplars and three p-states.

@@ -18,11 +18,8 @@ from typing import Mapping
 from repro.analysis.report import TextTable, format_series
 from repro.core.controller import RunResult
 from repro.exec.plan import GovernorSpec
-from repro.experiments.runner import (
-    ExperimentConfig,
-    run_fixed,
-    run_governed,
-)
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import run_fixed, run_governed
 from repro.workloads.registry import get_workload
 
 #: The two power limits shown in the paper's figure.

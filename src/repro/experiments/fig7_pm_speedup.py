@@ -21,10 +21,8 @@ from repro.analysis.report import TextTable
 from repro.core.governors.static import static_frequency_for_limit
 from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import achieved_speedup_fraction, speedup
-from repro.experiments.runner import (
-    ExperimentConfig,
-    worst_case_power_table,
-)
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import worst_case_power_table
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
 
 #: The limit the paper's Fig. 7 is drawn at.

@@ -15,7 +15,8 @@ from repro.analysis.report import TextTable, format_series
 from repro.core.controller import RunResult
 from repro.exec.plan import GovernorSpec
 from repro.experiments.metrics import energy_savings, performance_reduction
-from repro.experiments.runner import ExperimentConfig, run_fixed, run_governed
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import run_fixed, run_governed
 from repro.workloads.registry import get_workload
 
 #: The floor shown in the paper's figure.

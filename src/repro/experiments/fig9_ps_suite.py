@@ -21,7 +21,7 @@ from repro.experiments.metrics import (
     suite_energy_savings,
     suite_performance_reduction,
 )
-from repro.experiments.runner import ExperimentConfig
+from repro.exec.plan import ExperimentConfig
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
 
 #: The paper's four floors.

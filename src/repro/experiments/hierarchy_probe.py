@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.report import TextTable
-from repro.experiments.runner import ExperimentConfig, run_fixed
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import run_fixed
 from repro.platform.caches import PENTIUM_M_755_GEOMETRY
 from repro.units import KIB, MIB
 from repro.workloads.microbenchmarks import build_microbenchmark, get_loop_spec

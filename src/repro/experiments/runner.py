@@ -29,6 +29,11 @@ from repro.core.resilience import ResilienceConfig
 from repro.errors import ExperimentError
 from repro.exec.cache import trained_power_model, worst_case_power_table
 from repro.exec.core import execute_cell
+
+# Deprecated aliases: the canonical ExperimentConfig (and the other
+# plan types) live in repro.exec.plan; these re-exports keep legacy
+# ``from repro.experiments.runner import ExperimentConfig`` working.
+# It is the same class object, so isinstance checks cannot diverge.
 from repro.exec.plan import (
     ExperimentConfig,
     GovernorFactory,

@@ -17,11 +17,8 @@ from repro.core.controller import RunResult
 from repro.errors import ExperimentError
 from repro.exec.plan import GovernorSpec, RunCell, as_governor_spec
 from repro.exec.session import execute_cells
-from repro.experiments.runner import (
-    ExperimentConfig,
-    GovernorFactory,
-    pick_median,
-)
+from repro.exec.plan import ExperimentConfig, GovernorFactory
+from repro.experiments.runner import pick_median
 from repro.workloads.registry import default_registry
 
 

@@ -17,7 +17,7 @@ from repro.core.models.training import (
     collect_training_data,
     fit_power_model,
 )
-from repro.experiments.runner import ExperimentConfig
+from repro.exec.plan import ExperimentConfig
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.report import TextTable
-from repro.experiments.runner import ExperimentConfig, run_fixed
+from repro.exec.plan import ExperimentConfig
+from repro.experiments.runner import run_fixed
 from repro.workloads.microbenchmarks import worst_case_workload
 
 #: The paper's Table III (FMA-256KB measured power, watts).

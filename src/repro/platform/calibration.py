@@ -15,7 +15,11 @@ from typing import Mapping
 
 from repro.acpi.pstates import PStateTable, pentium_m_755_table
 from repro.platform.caches import MemoryTiming, PENTIUM_M_755_TIMING
-from repro.platform.pipeline import resolve_rates
+from repro.platform.pipeline import (
+    DCU_OUTSTANDING_CAP,
+    DECODE_WIDTH,
+    resolve_rates,
+)
 from repro.platform.power import (
     PENTIUM_M_755_POWER,
     PowerModelConstants,
@@ -113,6 +117,107 @@ def suite_signatures(
 
         workloads = {w.name: w for w in default_registry().spec_suite()}
     return {name: workload_signature(w) for name, w in workloads.items()}
+
+
+#: Per-process cache for :func:`reference_decode_ratio` (keyed by the
+#: timing constants, the only input that changes the answer).
+_DECODE_RATIO_CACHE: dict[MemoryTiming, float] = {}
+
+
+def reference_decode_ratio(
+    table: PStateTable | None = None,
+    timing: MemoryTiming = PENTIUM_M_755_TIMING,
+) -> float:
+    """The platform's typical decode ratio (DPC/IPC), derived, not assumed.
+
+    Time-weighted mean over the MS-Loops training set at P0 -- the same
+    workloads the paper trains its models on.  Used wherever a recorded
+    or ingested counter stream carries only one of IPC/DPC and the other
+    must be reconstructed; deriving it here keeps that fallback tied to
+    the simulated platform instead of hard-coding Pentium M folklore.
+    """
+    cached = _DECODE_RATIO_CACHE.get(timing)
+    if cached is not None and table is None:
+        return cached
+    resolved_table = table if table is not None else pentium_m_755_table()
+    top = resolved_table.fastest
+    from repro.workloads.microbenchmarks import ms_loops
+
+    ipc_time = 0.0
+    dpc_time = 0.0
+    for workload in ms_loops():
+        for phase in workload.phases:
+            rates = resolve_rates(phase, top, timing)
+            t = phase.instructions / rates.ips
+            ipc_time += rates.ipc * t
+            dpc_time += rates.dpc * t
+    ratio = dpc_time / ipc_time
+    if table is None:
+        _DECODE_RATIO_CACHE[timing] = ratio
+    return ratio
+
+
+@dataclass(frozen=True)
+class CounterEnvelope:
+    """The platform's valid counter-signature ranges.
+
+    Foreign traces (perf logs from other machines) are rescaled into
+    this envelope before replay so the inverted phases stay inside the
+    simulator's model assumptions.  All bounds are *derived* from the
+    pipeline model and the p-state table, never hand-entered.
+    """
+
+    frequencies_mhz: tuple[float, ...]
+    ipc_max: float
+    decode_ratio_min: float
+    decode_ratio_max: float
+    dcu_max: float
+    reference_decode_ratio: float
+
+    def nearest_frequency(self, frequency_mhz: float) -> float:
+        """The p-state frequency closest to ``frequency_mhz``."""
+        return min(
+            self.frequencies_mhz,
+            key=lambda f: abs(f - frequency_mhz),
+        )
+
+
+#: Per-process cache for :func:`counter_envelope` with default arguments.
+_ENVELOPE_CACHE: dict[MemoryTiming, CounterEnvelope] = {}
+
+
+def counter_envelope(
+    table: PStateTable | None = None,
+    timing: MemoryTiming = PENTIUM_M_755_TIMING,
+) -> CounterEnvelope:
+    """The valid envelope a replayable counter trace must live in.
+
+    * frequencies: the p-state table (replay snaps to the nearest state);
+    * IPC <= the decode width (retirement cannot outrun decode);
+    * decode ratio in [1, DECODE_WIDTH / min-replayable-IPC] -- every
+      retired instruction was decoded, and DPC itself is capped by the
+      decode width;
+    * DCU occupancy <= the fill-buffer cap the PMU model enforces.
+    """
+    cached = _ENVELOPE_CACHE.get(timing)
+    if cached is not None and table is None:
+        return cached
+    resolved_table = table if table is not None else pentium_m_755_table()
+    envelope = CounterEnvelope(
+        frequencies_mhz=tuple(
+            pstate.frequency_mhz for pstate in resolved_table
+        ),
+        ipc_max=DECODE_WIDTH,
+        decode_ratio_min=1.0,
+        decode_ratio_max=DECODE_WIDTH,
+        dcu_max=DCU_OUTSTANDING_CAP,
+        reference_decode_ratio=reference_decode_ratio(
+            resolved_table, timing
+        ),
+    )
+    if table is None:
+        _ENVELOPE_CACHE[timing] = envelope
+    return envelope
 
 
 def ps_choice_for_signature(

@@ -61,7 +61,16 @@ _OCCUPANCY_CAP = 0.98
 #: 1.0 instead would make the paper's DCU/IPC >= 1.21 memory classifier
 #: unreachable for any workload with IPC above 0.82, which contradicts
 #: the large DCU/IPC ratios the paper's threshold implies.
-_DCU_OUTSTANDING_CAP = 4.0
+#: Public: the trace-calibration envelope clamps foreign counter logs to
+#: this same bound.
+DCU_OUTSTANDING_CAP = 4.0
+_DCU_OUTSTANDING_CAP = DCU_OUTSTANDING_CAP
+
+#: Decode-bandwidth cap in instructions per cycle (the Dothan front end
+#: decodes at most three x86 instructions per cycle).  Bounds both the
+#: modelled DPC rate and -- since decode_ratio >= 1 -- achievable IPC;
+#: the trace-calibration envelope derives its rate ceilings from it.
+DECODE_WIDTH = 3.0
 
 #: Fraction of dirty lines written back per DRAM line fetched, used for
 #: bus-traffic accounting (typical for the SPEC mix).
@@ -169,8 +178,11 @@ def resolve_rates(
     stall_fraction = max(0.0, (cpi - cpi_core) / cpi)
     resource_stall_pc = min(_OCCUPANCY_CAP, 0.75 * stall_fraction)
 
-    dpc = min(3.0, phase.decode_ratio * ipc * jitter**0.25)
-    uops_pc = min(3.0, 1.25 * phase.decode_ratio / max(phase.decode_ratio, 1.0) * ipc * 1.1)
+    dpc = min(DECODE_WIDTH, phase.decode_ratio * ipc * jitter**0.25)
+    uops_pc = min(
+        DECODE_WIDTH,
+        1.25 * phase.decode_ratio / max(phase.decode_ratio, 1.0) * ipc * 1.1,
+    )
 
     mem_refs_pc = (0.35 + phase.store_ratio) * ipc
     dcu_lines_in_pc = phase.l1_mpi * ipc

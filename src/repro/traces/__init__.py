@@ -1,0 +1,65 @@
+"""Trace-driven workloads: external counter logs as first-class inputs.
+
+The paper's governors only ever see performance-counter streams, so any
+interval counter log -- a ``perf stat -I`` capture, a WattWatcher-style
+marshalled CSV, a recorded simulator run -- is a complete workload
+description.  This subsystem turns such logs into governed workloads:
+
+* :mod:`repro.traces.ingest` parses foreign interval logs (perf-stat
+  CSV/text, WattWatcher-style counter CSVs; flexible event/column
+  mapping, cumulative or per-interval counts, variable interval
+  lengths) into :class:`~repro.workloads.traces.CounterTrace`, with a
+  diagnostics report of everything it skipped or assumed;
+* :mod:`repro.traces.calibrate` rescales a foreign trace into the
+  platform's valid counter envelope (p-state frequency table,
+  decode-ratio and DCU-occupancy ranges derived from the pipeline
+  model), reporting exactly what was clipped;
+* :mod:`repro.traces.corpus` generates a seeded, deterministic scenario
+  corpus -- bursty web serving, batch ETL, inference serving,
+  idle-heavy desktop -- so governors are evaluated on realistic
+  scenarios beyond the 26 synthetic SPEC models;
+* :mod:`repro.traces.characterize` places every trace on the paper's
+  memory-bound/core-bound map (Eq. 3) with frequency-sensitivity
+  analysis, as a text table and JSON.
+
+Traces resolve as workloads through ``trace:PATH`` and ``corpus:NAME``
+specs (:func:`repro.workloads.registry.resolve_workload_spec`), run in
+:class:`~repro.exec.RunPlan` cells, and are driven from the CLI via
+``repro-power trace ingest|generate|characterize`` and
+``repro-power run trace:FILE``.
+"""
+
+from repro.traces.calibrate import CalibrationReport, calibrate_trace
+from repro.traces.characterize import (
+    TraceCharacterization,
+    characterization_json,
+    characterize_trace,
+    characterize_traces,
+    render_characterization,
+)
+from repro.traces.corpus import (
+    CORPUS_FAMILIES,
+    corpus_names,
+    corpus_trace,
+    generate_corpus,
+    write_corpus,
+)
+from repro.traces.ingest import IngestReport, ingest_file, ingest_text
+
+__all__ = [
+    "CORPUS_FAMILIES",
+    "CalibrationReport",
+    "IngestReport",
+    "TraceCharacterization",
+    "calibrate_trace",
+    "characterization_json",
+    "characterize_trace",
+    "characterize_traces",
+    "corpus_names",
+    "corpus_trace",
+    "generate_corpus",
+    "ingest_file",
+    "ingest_text",
+    "render_characterization",
+    "write_corpus",
+]

@@ -1,0 +1,145 @@
+"""Trace calibration: rescale foreign counter streams into the platform.
+
+A log captured on another machine carries frequencies not in the
+Pentium M p-state table and rates the simulated pipeline cannot
+produce (IPC above the decode width, DCU occupancies above the
+fill-buffer bound, decode ratios below one).  Replaying such a trace
+verbatim would push the phase inversion outside the simulator's valid
+envelope and silently distort the workload.
+
+:func:`calibrate_trace` therefore snaps every interval into the
+platform's :class:`~repro.platform.calibration.CounterEnvelope`
+(frequency table plus rate bounds, all derived from the pipeline
+model) and returns, alongside the calibrated trace, a
+:class:`CalibrationReport` that itemizes every frequency remap and
+every clipped rate -- nothing is adjusted silently.  Traces recorded
+on the platform itself pass through untouched (``report.clean``),
+which is what keeps record -> replay fidelity exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.platform.calibration import CounterEnvelope, counter_envelope
+from repro.workloads.traces import CounterTrace, TraceInterval
+
+
+@dataclass
+class CalibrationReport:
+    """What calibration changed, per field, with magnitudes."""
+
+    trace_name: str
+    intervals: int
+    frequency_remaps: Counter = field(default_factory=Counter)
+    clipped: Counter = field(default_factory=Counter)
+    #: Largest relative adjustment per field, e.g. ``{"ipc": 0.4}``
+    #: meaning some interval's IPC was cut by 40%.
+    max_clip: dict[str, float] = field(default_factory=dict)
+    touched: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the trace was already inside the envelope."""
+        return not self.frequency_remaps and not self.clipped
+
+    def _note_clip(self, which: str, original: float, clamped: float) -> None:
+        if clamped == original:
+            return
+        self.clipped[which] += 1
+        scale = max(abs(original), abs(clamped), 1e-12)
+        relative = abs(original - clamped) / scale
+        self.max_clip[which] = max(self.max_clip.get(which, 0.0), relative)
+
+    def render(self) -> str:
+        lines = [
+            f"calibration of {self.trace_name!r}: "
+            f"{self.touched}/{self.intervals} intervals adjusted"
+            + ("" if self.touched else " (already in envelope)")
+        ]
+        # Jittery foreign clocks produce one remap key per distinct
+        # source frequency; collapse each target's sources to a range
+        # once they stop fitting on a few lines.
+        by_target: dict[str, list[tuple[float, int]]] = {}
+        for remap, count in sorted(self.frequency_remaps.items()):
+            source, target = remap.split("->", 1)
+            by_target.setdefault(target, []).append((float(source), count))
+        for target, sources in sorted(by_target.items()):
+            if len(sources) <= 3:
+                for source, count in sorted(sources):
+                    lines.append(
+                        f"  frequency {source:.0f}->{target}: "
+                        f"{count} intervals"
+                    )
+            else:
+                total = sum(count for _source, count in sources)
+                low = min(source for source, _count in sources)
+                high = max(source for source, _count in sources)
+                lines.append(
+                    f"  frequency {low:.0f}-{high:.0f}->{target}: "
+                    f"{total} intervals"
+                )
+        for which, count in sorted(self.clipped.items()):
+            lines.append(
+                f"  {which} clipped on {count} intervals "
+                f"(max {self.max_clip[which]:.1%} change)"
+            )
+        return "\n".join(lines)
+
+
+def calibrate_trace(
+    trace: CounterTrace,
+    envelope: CounterEnvelope | None = None,
+) -> tuple[CounterTrace, CalibrationReport]:
+    """Snap ``trace`` into the platform envelope, reporting every change.
+
+    Per interval: the frequency moves to the nearest p-state; IPC is
+    capped at the decode width; the decode ratio DPC/IPC is clamped to
+    the platform's [1, width] band (with DPC itself never exceeding the
+    decode width); DCU occupancy is clamped to the fill-buffer bound.
+    Interval lengths are never changed -- time is the one thing a
+    foreign log owns outright.
+    """
+    envelope = envelope or counter_envelope()
+    report = CalibrationReport(trace_name=trace.name, intervals=len(trace))
+    calibrated: list[TraceInterval] = []
+    for interval in trace:
+        frequency = envelope.nearest_frequency(interval.frequency_mhz)
+        if frequency != interval.frequency_mhz:
+            report.frequency_remaps[
+                f"{interval.frequency_mhz:.0f}->{frequency:.0f} MHz"
+            ] += 1
+        ipc = min(interval.ipc, envelope.ipc_max)
+        report._note_clip("ipc", interval.ipc, ipc)
+        dpc_low = ipc * envelope.decode_ratio_min
+        dpc_high = min(ipc * envelope.decode_ratio_max, envelope.ipc_max)
+        dpc = min(max(interval.dpc, dpc_low), max(dpc_low, dpc_high))
+        report._note_clip("decode_ratio", interval.dpc, dpc)
+        dcu = min(interval.dcu, envelope.dcu_max)
+        report._note_clip("dcu", interval.dcu, dcu)
+        touched = (
+            frequency != interval.frequency_mhz
+            or ipc != interval.ipc
+            or dpc != interval.dpc
+            or dcu != interval.dcu
+        )
+        if touched:
+            report.touched += 1
+            calibrated.append(
+                TraceInterval(
+                    interval_s=interval.interval_s,
+                    frequency_mhz=frequency,
+                    ipc=ipc,
+                    dpc=dpc,
+                    dcu=dcu,
+                )
+            )
+        else:
+            calibrated.append(interval)
+    meta = trace.meta
+    if report.touched:
+        meta["calibrated"] = (
+            f"{report.touched}/{report.intervals} intervals adjusted"
+        )
+    return CounterTrace(trace.name, calibrated, meta), report

@@ -1,0 +1,156 @@
+"""Characterize traces on the paper's memory-/core-bound map.
+
+Every trace -- ingested, generated, or recorded -- gets the same
+treatment the SPEC suite gets in ``experiments/characterization.py``:
+its reconstructed workload is pushed through the analytic pipeline
+model for Eq. 3 classification (DCU/IPC against the 1.21 threshold)
+and frequency-sensitivity figures, and the raw counter stream is
+summarized directly (time-weighted means, memory-bound time fraction).
+Output is a text table and a deterministic JSON document, so the
+characterization doubles as a regression artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.analysis.report import TextTable
+from repro.platform.calibration import (
+    DCU_IPC_THRESHOLD,
+    WorkloadSignature,
+    ps_choice_for_signature,
+    workload_signature,
+)
+from repro.workloads.traces import CounterTrace, workload_from_trace
+
+
+@dataclass(frozen=True)
+class TraceCharacterization:
+    """One trace's position on the paper's workload map.
+
+    ``signature`` carries the analytic figures (Eq. 3 class, frequency
+    scaling, mean power) of the trace's reconstructed workload; the
+    remaining fields summarize the raw counter stream itself.
+    """
+
+    name: str
+    family: str
+    intervals: int
+    phases: int
+    duration_s: float
+    mean_ipc: float
+    mean_dpc: float
+    dcu_per_ipc: float
+    #: Time fraction spent above the Eq. 3 threshold interval-by-interval
+    #: (phase-level view; the signature's class is the average view).
+    memory_time_fraction: float
+    signature: WorkloadSignature
+
+    @property
+    def memory_bound(self) -> bool:
+        """Eq. 3's verdict on the trace as a whole."""
+        return self.signature.classified_memory_bound
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (deterministic key order via dumps)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "intervals": self.intervals,
+            "phases": self.phases,
+            "duration_s": round(self.duration_s, 6),
+            "mean_ipc": round(self.mean_ipc, 6),
+            "mean_dpc": round(self.mean_dpc, 6),
+            "dcu_per_ipc": round(self.dcu_per_ipc, 6),
+            "memory_bound": self.memory_bound,
+            "memory_time_fraction": round(self.memory_time_fraction, 6),
+            "mean_power_w": round(self.signature.mean_power_w, 6),
+            "scaling": {
+                f"{freq:.0f}": round(value, 6)
+                for freq, value in sorted(self.signature.scaling.items())
+            },
+            "ps_choice_mhz_at_80pct": ps_choice_for_signature(
+                self.signature, 0.8
+            ),
+        }
+
+
+def characterize_trace(trace: CounterTrace) -> TraceCharacterization:
+    """Run one trace through the Eq. 3 classifier and sensitivity model."""
+    workload = workload_from_trace(trace)
+    signature = workload_signature(workload)
+    total_time = trace.duration_s
+    mean_ipc = sum(i.ipc * i.interval_s for i in trace) / total_time
+    mean_dpc = sum(i.dpc * i.interval_s for i in trace) / total_time
+    mean_dcu = sum(i.dcu * i.interval_s for i in trace) / total_time
+    memory_time = sum(
+        i.interval_s
+        for i in trace
+        if i.dcu / max(i.ipc, 1e-6) >= DCU_IPC_THRESHOLD
+    )
+    return TraceCharacterization(
+        name=trace.name,
+        family=trace.meta.get("family", "-"),
+        intervals=len(trace),
+        phases=len(workload.phases),
+        duration_s=total_time,
+        mean_ipc=mean_ipc,
+        mean_dpc=mean_dpc,
+        dcu_per_ipc=mean_dcu / max(mean_ipc, 1e-6),
+        memory_time_fraction=memory_time / total_time,
+        signature=signature,
+    )
+
+
+def characterize_traces(
+    traces: Iterable[CounterTrace],
+) -> tuple[TraceCharacterization, ...]:
+    """Characterize a batch, ordered by frequency sensitivity (the
+    Fig. 7 ordering: most sensitive first)."""
+    rows = [characterize_trace(trace) for trace in traces]
+    rows.sort(key=lambda c: (-c.signature.scaling[1800.0], c.name))
+    return tuple(rows)
+
+
+def render_characterization(
+    rows: Iterable[TraceCharacterization],
+) -> str:
+    """The characterization table, one trace per row."""
+    table = TextTable(
+        ["trace", "family", "ivals", "phases", "dur s", "IPC",
+         "DCU/IPC", "class", "mem t%", "perf@1800", "perf@800",
+         "PS@80%"]
+    )
+    rows = list(rows)
+    for c in rows:
+        table.add_row(
+            c.name, c.family, c.intervals, c.phases,
+            f"{c.duration_s:.1f}", c.mean_ipc, c.dcu_per_ipc,
+            "mem" if c.memory_bound else "core",
+            f"{100.0 * c.memory_time_fraction:.0f}",
+            c.signature.scaling[1800.0], c.signature.scaling[800.0],
+            f"{ps_choice_for_signature(c.signature, 0.8):.0f}",
+        )
+    memory = ", ".join(sorted(c.name for c in rows if c.memory_bound))
+    return (
+        "Trace characterization on the simulated Pentium M 755 "
+        "(Eq. 3 classifier, analytic frequency sensitivity)\n"
+        + table.render()
+        + f"\nEq. 3 memory class: {memory or '(none)'}"
+    )
+
+
+def characterization_json(
+    rows: Iterable[TraceCharacterization],
+    extra: Mapping[str, object] | None = None,
+) -> str:
+    """Deterministic JSON document for a characterization batch."""
+    document: dict[str, object] = {
+        "threshold_dcu_per_ipc": DCU_IPC_THRESHOLD,
+        "traces": [c.as_dict() for c in rows],
+    }
+    if extra:
+        document.update(extra)
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,558 @@
+"""Counter-log ingestion: foreign interval logs -> :class:`CounterTrace`.
+
+Two log shapes are understood, both per-interval counter captures:
+
+* **perf-stat style** -- ``perf stat -I <ms>`` output, either the
+  ``-x,`` CSV form (``time,count,unit,event,...``) or the default
+  whitespace-aligned text form (``time  count  event``).  Rows sharing
+  one timestamp form one interval; interval lengths come from the
+  timestamp deltas, so variable-length intervals are handled naturally.
+* **WattWatcher style** -- a marshalled counter CSV with one row per
+  interval and one column per event (the shape WattWatcher's
+  ``marshal_perf`` emits), with a ``timestamp``/``time`` column or a
+  per-row ``interval``/``interval_s`` column.
+
+Counters may be per-interval deltas (perf's native output) or
+cumulative counts (some marshallers); cumulative streams are detected
+and differenced automatically, or forced with ``cumulative=True/False``.
+
+Event/column names map onto four roles -- ``instructions``, ``cycles``,
+``decoded``, ``dcu`` -- through :data:`DEFAULT_EVENT_ROLES`, extensible
+per call with ``event_roles={...}``.  Whatever could not be parsed,
+had to be skipped, or had to be assumed lands in the returned
+:class:`IngestReport`, never in silence.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads.traces import CounterTrace, TraceInterval
+
+#: Built-in event/column-name -> role mapping.  Keys are normalized
+#: (lowercased, ``-`` -> ``_``); values are the four counter roles plus
+#: the time/frequency helper columns.
+DEFAULT_EVENT_ROLES: Mapping[str, str] = {
+    # retired instructions
+    "instructions": "instructions",
+    "inst_retired": "instructions",
+    "inst_retired.any": "instructions",
+    "instructions_retired": "instructions",
+    # unhalted core cycles
+    "cycles": "cycles",
+    "cpu_cycles": "cycles",
+    "cpu_clk_unhalted": "cycles",
+    "cpu_clk_unhalted.core": "cycles",
+    "cpu_clk_unhalted.thread": "cycles",
+    # decoded instructions (the paper's DPC input)
+    "inst_decoded": "decoded",
+    "inst_decoded.dec0": "decoded",
+    "uops_issued.any": "decoded",
+    "instructions_decoded": "decoded",
+    # outstanding-L1-miss occupancy (the paper's DCU input)
+    "dcu_miss_outstanding": "dcu",
+    "l1d_pend_miss.pending": "dcu",
+    "cycle_activity.stalls_l1d_miss": "dcu",
+    # helper columns (WattWatcher-style CSVs)
+    "time": "time",
+    "timestamp": "time",
+    "time_s": "time",
+    "interval": "interval",
+    "interval_s": "interval",
+    "frequency_mhz": "frequency_mhz",
+    "freq_mhz": "frequency_mhz",
+}
+
+#: Counter roles that carry event counts (as opposed to time/frequency).
+_COUNT_ROLES = ("instructions", "cycles", "decoded", "dcu")
+
+#: perf prints these placeholders when a counter could not be read.
+_UNCOUNTED = ("<not counted>", "<not supported>")
+
+
+@dataclass
+class IngestReport:
+    """Diagnostics from one ingestion: what was read, skipped, assumed."""
+
+    source: str
+    format: str
+    rows_read: int = 0
+    intervals: int = 0
+    cumulative: bool = False
+    skipped: Counter = field(default_factory=Counter)
+    assumptions: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def assume(self, note: str) -> None:
+        if note not in self.assumptions:
+            self.assumptions.append(note)
+
+    def warn(self, note: str) -> None:
+        if note not in self.warnings:
+            self.warnings.append(note)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was skipped, assumed, or warned about."""
+        return not self.skipped and not self.assumptions and not self.warnings
+
+    def render(self) -> str:
+        lines = [
+            f"ingested {self.source}: format={self.format} "
+            f"rows={self.rows_read} intervals={self.intervals}"
+            + (" (cumulative counters, auto-differenced)"
+               if self.cumulative else "")
+        ]
+        for reason, count in sorted(self.skipped.items()):
+            lines.append(f"  skipped {count}: {reason}")
+        for note in self.assumptions:
+            lines.append(f"  assumed: {note}")
+        for note in self.warnings:
+            lines.append(f"  warning: {note}")
+        return "\n".join(lines)
+
+
+def _normalize(name: str) -> str:
+    return name.strip().strip('"').lower().replace("-", "_")
+
+
+def _roles(event_roles: Mapping[str, str] | None) -> dict[str, str]:
+    roles = dict(DEFAULT_EVENT_ROLES)
+    for key, value in (event_roles or {}).items():
+        if value not in (*_COUNT_ROLES, "time", "interval", "frequency_mhz"):
+            raise WorkloadError(
+                f"unknown counter role {value!r} for event {key!r}; "
+                f"expected one of {_COUNT_ROLES + ('time', 'interval', 'frequency_mhz')}"
+            )
+        roles[_normalize(key)] = value
+    return roles
+
+
+def _parse_count(text: str) -> float | None:
+    """A perf count field as float, or None for '<not counted>' forms."""
+    cleaned = text.strip().strip('"')
+    if not cleaned or cleaned in _UNCOUNTED or cleaned.startswith("<"):
+        return None
+    return float(cleaned.replace(",", ""))
+
+
+# -- format detection ---------------------------------------------------------
+
+
+def detect_format(text: str) -> str:
+    """Guess the log format: ``perf-csv``, ``perf``, or ``wattwatcher``.
+
+    WattWatcher-style files lead with a header row of column names; perf
+    logs lead with a numeric timestamp.  The perf CSV form (``-x,``) has
+    the timestamp as a clean comma-separated field; in the whitespace
+    form, splitting on commas leaves spaces inside the first fragment
+    (the thousands separators live in the *count* column).
+    """
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        first = re.split(r"[,\s]+", stripped, maxsplit=1)[0]
+        try:
+            float(first)
+        except ValueError:
+            return "wattwatcher"
+        fields = stripped.split(",")
+        if len(fields) >= 4 and not re.search(r"\s", fields[0].strip()):
+            try:
+                float(fields[0])
+                return "perf-csv"
+            except ValueError:
+                pass
+        return "perf"
+    raise WorkloadError("log has no data lines; cannot detect format")
+
+
+# -- perf-stat parsing --------------------------------------------------------
+
+
+def _perf_rows(
+    text: str, csv_form: bool, report: IngestReport
+) -> list[tuple[float, str, float | None]]:
+    """(time, event, count) tuples from a perf-stat interval log."""
+    rows: list[tuple[float, str, float | None]] = []
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        is_last = index == len(lines) - 1
+        try:
+            if csv_form:
+                fields = stripped.split(",")
+                time_s = float(fields[0])
+                count = _parse_count(fields[1])
+                named = [
+                    f.strip() for f in fields[2:]
+                    if re.search(r"[a-zA-Z]", f)
+                ]
+                if not named:
+                    raise ValueError("no event name field")
+                event = named[0]
+            else:
+                fields = stripped.split()
+                time_s = float(fields[0])
+                if fields[1].startswith("<"):
+                    count, event = None, fields[-1]
+                else:
+                    count = _parse_count(fields[1])
+                    event = fields[2]
+        except (ValueError, IndexError):
+            reason = (
+                "torn final line" if is_last else "unparsable line"
+            )
+            report.skipped[reason] += 1
+            continue
+        report.rows_read += 1
+        if count is None:
+            report.skipped["counter not counted"] += 1
+            continue
+        rows.append((time_s, _normalize(event), count))
+    return rows
+
+
+def _perf_intervals(
+    rows: Sequence[tuple[float, str, float]],
+    roles: Mapping[str, str],
+    report: IngestReport,
+) -> list[tuple[float, dict[str, float]]]:
+    """Group perf rows by timestamp into (interval_s, role counts)."""
+    by_time: dict[float, dict[str, float]] = {}
+    order: list[float] = []
+    unmapped: set[str] = set()
+    for time_s, event, count in rows:
+        role = roles.get(event)
+        if role is None:
+            unmapped.add(event)
+            continue
+        if time_s not in by_time:
+            by_time[time_s] = {}
+            order.append(time_s)
+        by_time[time_s][role] = by_time[time_s].get(role, 0.0) + count
+    for event in sorted(unmapped):
+        report.warn(f"event {event!r} has no role mapping; ignored")
+    intervals = []
+    previous = 0.0
+    for time_s in order:
+        length = time_s - previous
+        previous = time_s
+        if length <= 0:
+            report.skipped["non-positive interval"] += 1
+            continue
+        intervals.append((length, by_time[time_s]))
+    return intervals
+
+
+# -- wattwatcher parsing ------------------------------------------------------
+
+
+def _wattwatcher_intervals(
+    text: str,
+    roles: Mapping[str, str],
+    report: IngestReport,
+    interval_s: float | None,
+) -> list[tuple[float, dict[str, float]]]:
+    """(interval_s, role counts) rows from a counter-per-column CSV."""
+    lines = [
+        line for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise WorkloadError("log has no data lines")
+    header = [_normalize(cell) for cell in lines[0].split(",")]
+    mapped = {
+        index: roles[name] for index, name in enumerate(header)
+        if name in roles
+    }
+    for name in header:
+        if name not in roles:
+            report.warn(f"column {name!r} has no role mapping; ignored")
+    if not any(role in _COUNT_ROLES for role in mapped.values()):
+        raise WorkloadError(
+            f"no counter column recognized in header {header}; "
+            "map columns with event_roles={'column': 'role'}"
+        )
+    rows: list[dict[str, float]] = []
+    for index, line in enumerate(lines[1:], start=1):
+        cells = line.split(",")
+        is_last = index == len(lines) - 1
+        try:
+            row = {
+                role: _parse_count(cells[col])
+                for col, role in mapped.items()
+            }
+        except (ValueError, IndexError):
+            report.skipped[
+                "torn final line" if is_last else "unparsable line"
+            ] += 1
+            continue
+        if any(value is None for value in row.values()):
+            report.rows_read += 1
+            report.skipped["counter not counted"] += 1
+            continue
+        report.rows_read += 1
+        rows.append(row)  # type: ignore[arg-type]
+    # Interval lengths: an explicit interval column wins; otherwise the
+    # time column's deltas.  Timestamps may be elapsed-since-start
+    # (perf-style: the first stamp is the first interval's length) or
+    # absolute (epoch-style); the first row's length falls back to the
+    # gap to the second row when the first stamp is clearly not a
+    # plausible interval.
+    times = [row.get("time") for row in rows]
+    first_delta = (
+        times[1] - times[0]
+        if len(times) >= 2 and times[0] is not None and times[1] is not None
+        else None
+    )
+    intervals = []
+    previous_time: float | None = None
+    for row in rows:
+        if "interval" in row:
+            length = row["interval"]
+        elif "time" in row:
+            if previous_time is None:
+                stamp = row["time"]
+                if first_delta is not None and first_delta > 0 and not (
+                    0 < stamp <= 2.0 * first_delta
+                ):
+                    length = first_delta
+                elif stamp > 0:
+                    length = stamp
+                else:
+                    length = interval_s or 0.0
+            else:
+                length = row["time"] - previous_time
+            previous_time = row["time"]
+        elif interval_s is not None:
+            length = interval_s
+        else:
+            raise WorkloadError(
+                "log has no time/interval column; pass interval_s "
+                "(the sampling period in seconds)"
+            )
+        counts = {
+            role: value for role, value in row.items()
+            if role in _COUNT_ROLES or role == "frequency_mhz"
+        }
+        if length <= 0:
+            report.skipped["non-positive interval"] += 1
+            continue
+        intervals.append((length, counts))
+    return intervals
+
+
+# -- cumulative detection -----------------------------------------------------
+
+
+def _maybe_difference(
+    intervals: list[tuple[float, dict[str, float]]],
+    cumulative: bool | None,
+    report: IngestReport,
+) -> list[tuple[float, dict[str, float]]]:
+    """Difference cumulative counter streams into per-interval deltas.
+
+    Auto-detection (``cumulative=None``): every counter role must be
+    non-decreasing across the whole log *and* grow severalfold from the
+    first interval -- a steady per-interval stream is flat, a cumulative
+    one grows linearly, so the ratio test separates them reliably for
+    logs of more than a few intervals.
+    """
+    count_rows = [counts for _, counts in intervals]
+    if len(count_rows) < 2:
+        return intervals
+    if cumulative is None:
+        detected = True
+        for role in _COUNT_ROLES:
+            series = [c[role] for c in count_rows if role in c]
+            if len(series) < 4:
+                detected = detected and not series
+                continue
+            nondecreasing = all(b >= a for a, b in zip(series, series[1:]))
+            first = next((v for v in series if v > 0), 0.0)
+            grows = first > 0 and series[-1] >= 3.0 * first
+            detected = detected and nondecreasing and grows
+        cumulative = detected and any(
+            role in count_rows[0] for role in _COUNT_ROLES
+        )
+    if not cumulative:
+        return intervals
+    report.cumulative = True
+    out = []
+    previous: dict[str, float] = {}
+    for length, counts in intervals:
+        delta = dict(counts)
+        for role in _COUNT_ROLES:
+            if role in counts:
+                delta[role] = counts[role] - previous.get(role, 0.0)
+                previous[role] = counts[role]
+        out.append((length, delta))
+    return out
+
+
+# -- rate conversion ----------------------------------------------------------
+
+
+def _to_trace(
+    name: str,
+    intervals: list[tuple[float, dict[str, float]]],
+    report: IngestReport,
+    nominal_mhz: float | None,
+    decode_ratio: float | None,
+) -> CounterTrace:
+    if not intervals:
+        raise WorkloadError(
+            f"{report.source}: no usable intervals "
+            f"({dict(report.skipped) or 'empty log'})"
+        )
+    if nominal_mhz is None:
+        from repro.platform.calibration import counter_envelope
+
+        nominal_mhz = max(counter_envelope().frequencies_mhz)
+    if decode_ratio is None:
+        from repro.platform.calibration import reference_decode_ratio
+
+        decode_ratio = reference_decode_ratio()
+    out = []
+    dcu_missing = 0
+    for length, counts in intervals:
+        cycles = counts.get("cycles")
+        if cycles is not None and cycles > 0:
+            frequency_mhz = cycles / length / 1e6
+        else:
+            frequency_mhz = counts.get("frequency_mhz", nominal_mhz)
+            if "frequency_mhz" not in counts:
+                report.assume(
+                    f"no cycles counter or frequency column; assuming "
+                    f"{frequency_mhz:.0f} MHz"
+                )
+            cycles = frequency_mhz * 1e6 * length
+        if cycles <= 0:
+            report.skipped["zero-cycle interval"] += 1
+            continue
+        instructions = counts.get("instructions")
+        decoded = counts.get("decoded")
+        if instructions is None and decoded is None:
+            report.skipped["interval without instruction counts"] += 1
+            continue
+        if instructions is None:
+            instructions = decoded / decode_ratio
+            report.assume(
+                f"no retired-instruction counter; deriving IPC from the "
+                f"decode stream at ratio {decode_ratio:.3f}"
+            )
+        if decoded is None:
+            decoded = instructions * decode_ratio
+            report.assume(
+                f"no decode counter; deriving DPC at the platform "
+                f"reference ratio {decode_ratio:.3f}"
+            )
+        dcu_counts = counts.get("dcu")
+        if dcu_counts is None:
+            dcu_counts = 0.0
+            dcu_missing += 1
+        out.append(
+            TraceInterval(
+                interval_s=length,
+                frequency_mhz=frequency_mhz,
+                ipc=max(0.0, instructions / cycles),
+                dpc=max(0.0, decoded / cycles),
+                dcu=max(0.0, dcu_counts / cycles),
+            )
+        )
+    if not out:
+        raise WorkloadError(
+            f"{report.source}: no usable intervals ({dict(report.skipped)})"
+        )
+    if dcu_missing == len(out):
+        report.warn(
+            "no DCU/outstanding-miss event mapped; the Eq. 3 "
+            "classifier will see this trace as core-bound"
+        )
+    elif dcu_missing:
+        report.warn(
+            f"DCU counter missing in {dcu_missing} of {len(out)} "
+            f"intervals; those intervals read as core-bound"
+        )
+    report.intervals = len(out)
+    meta = {
+        "source": report.source,
+        "source_format": report.format,
+    }
+    if report.cumulative:
+        meta["cumulative_counters"] = "true"
+    for index, note in enumerate(report.assumptions):
+        meta[f"assumption_{index}"] = note
+    return CounterTrace(name, out, meta)
+
+
+# -- public entry points ------------------------------------------------------
+
+
+def ingest_text(
+    text: str,
+    name: str,
+    fmt: str = "auto",
+    event_roles: Mapping[str, str] | None = None,
+    interval_s: float | None = None,
+    nominal_mhz: float | None = None,
+    decode_ratio: float | None = None,
+    cumulative: bool | None = None,
+    source: str = "<text>",
+) -> tuple[CounterTrace, IngestReport]:
+    """Parse an interval counter log into a trace plus diagnostics.
+
+    Parameters mirror the knobs the formats need: ``fmt`` selects or
+    auto-detects the log shape; ``event_roles`` extends the built-in
+    event/column mapping; ``interval_s`` supplies the sampling period
+    for logs without a time column; ``nominal_mhz`` the frequency for
+    logs without a cycles counter; ``decode_ratio`` overrides the
+    derived platform ratio used when only one of the retired/decoded
+    streams is present; ``cumulative`` forces or suppresses
+    cumulative-counter differencing (default: auto-detect).
+    """
+    if fmt not in ("auto", "perf", "perf-csv", "wattwatcher"):
+        raise WorkloadError(
+            f"unknown log format {fmt!r}; expected auto, perf, perf-csv "
+            "or wattwatcher"
+        )
+    if fmt == "auto":
+        fmt = detect_format(text)
+    report = IngestReport(source=source, format=fmt)
+    roles = _roles(event_roles)
+    if fmt in ("perf", "perf-csv"):
+        rows = _perf_rows(text, fmt == "perf-csv", report)
+        intervals = _perf_intervals(rows, roles, report)
+    else:
+        intervals = _wattwatcher_intervals(text, roles, report, interval_s)
+    intervals = _maybe_difference(intervals, cumulative, report)
+    trace = _to_trace(name, intervals, report, nominal_mhz, decode_ratio)
+    return trace, report
+
+
+def ingest_file(
+    path: str,
+    name: str | None = None,
+    **kwargs,
+) -> tuple[CounterTrace, IngestReport]:
+    """Ingest a counter log file (see :func:`ingest_text` for knobs)."""
+    if not os.path.exists(path):
+        raise WorkloadError(f"counter log not found: {path}")
+    if os.path.isdir(path):
+        raise WorkloadError(f"counter log is a directory: {path}")
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        text = handle.read()
+    if not text.strip():
+        raise WorkloadError(f"counter log is empty: {path}")
+    if name is None:
+        name = os.path.basename(path).split(".")[0]
+    return ingest_text(text, name, source=path, **kwargs)

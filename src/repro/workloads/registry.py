@@ -77,3 +77,66 @@ def default_registry() -> WorkloadRegistry:
 def get_workload(name: str) -> Workload:
     """Convenience lookup into :func:`default_registry`."""
     return default_registry().get(name)
+
+
+#: Spec prefixes :func:`resolve_workload_spec` understands beyond plain
+#: registry names.
+_SPEC_KINDS = ("trace", "corpus")
+
+
+def is_workload_spec(spec: object) -> bool:
+    """Whether ``spec`` is a ``trace:``/``corpus:`` workload spec string.
+
+    Registry names never contain a colon, so the prefix is unambiguous.
+    """
+    return (
+        isinstance(spec, str) and spec.partition(":")[0] in _SPEC_KINDS
+    )
+
+
+def resolve_workload_spec(spec: str) -> Workload:
+    """Resolve a workload reference string into a :class:`Workload`.
+
+    Three forms are accepted:
+
+    * ``trace:PATH`` -- load the counter-trace CSV at ``PATH``, snap it
+      into the platform envelope, and replay it
+      (:func:`repro.workloads.traces.workload_from_trace`);
+    * ``corpus:NAME`` or ``corpus:NAME@SEED`` -- generate the named
+      scenario from the deterministic corpus
+      (:func:`repro.traces.corpus.corpus_trace`), default seed 0;
+    * anything else -- a plain registry name.
+
+    This resolves from scratch every call; the execution engine routes
+    through :func:`repro.exec.cache.spec_workload` so a sweep loads and
+    inverts each trace once per process, like trained models.
+    """
+    kind, sep, rest = spec.partition(":")
+    if not sep or kind not in _SPEC_KINDS:
+        return default_registry().get(spec)
+    if not rest:
+        raise WorkloadError(
+            f"workload spec {spec!r} is missing its argument "
+            f"(expected trace:PATH or corpus:NAME[@SEED])"
+        )
+    # Deferred: repro.traces sits above this module in the layering.
+    from repro.traces.calibrate import calibrate_trace
+    from repro.workloads.traces import CounterTrace, workload_from_trace
+
+    if kind == "trace":
+        trace = CounterTrace.from_path(rest)
+        calibrated, _report = calibrate_trace(trace)
+        return workload_from_trace(calibrated)
+    name, at, seed_text = rest.partition("@")
+    seed = 0
+    if at:
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise WorkloadError(
+                f"corpus spec {spec!r} has a non-integer seed "
+                f"{seed_text!r}"
+            ) from None
+    from repro.traces.corpus import corpus_trace
+
+    return workload_from_trace(corpus_trace(name, seed))

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import csv
 import io
+import os
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.controller import RunResult
 from repro.errors import WorkloadError
@@ -56,13 +57,25 @@ class TraceInterval:
 
 
 class CounterTrace:
-    """An ordered sequence of recorded intervals."""
+    """An ordered sequence of recorded intervals.
 
-    def __init__(self, name: str, intervals: Sequence[TraceInterval]):
+    ``meta`` carries provenance as string key/value pairs (source log,
+    scenario family, assumed ratios).  It rides along in the CSV form as
+    leading ``# key: value`` comment lines, so a persisted trace keeps
+    its provenance without a sidecar file.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        intervals: Sequence[TraceInterval],
+        meta: Mapping[str, str] | None = None,
+    ):
         if not intervals:
             raise WorkloadError("trace has no intervals")
         self.name = name
         self._intervals = tuple(intervals)
+        self._meta = {str(k): str(v) for k, v in (meta or {}).items()}
 
     def __len__(self) -> int:
         return len(self._intervals)
@@ -75,15 +88,32 @@ class CounterTrace:
         return self._intervals
 
     @property
+    def meta(self) -> dict[str, str]:
+        """Provenance metadata (copy; mutate via :meth:`with_meta`)."""
+        return dict(self._meta)
+
+    def with_meta(self, **entries: str) -> "CounterTrace":
+        """A copy of this trace with ``entries`` merged into its metadata."""
+        merged = dict(self._meta)
+        merged.update({k: str(v) for k, v in entries.items()})
+        return CounterTrace(self.name, self._intervals, merged)
+
+    @property
     def total_instructions(self) -> float:
         return sum(interval.instructions for interval in self._intervals)
+
+    @property
+    def duration_s(self) -> float:
+        return sum(interval.interval_s for interval in self._intervals)
 
     # -- persistence ----------------------------------------------------------
 
     def to_csv(self) -> str:
         """Serialize to CSV text (schema: interval_s, frequency_mhz,
-        ipc, dpc, dcu)."""
+        ipc, dpc, dcu), metadata as leading ``#`` comment lines."""
         buffer = io.StringIO()
+        for key in sorted(self._meta):
+            buffer.write(f"# {key}: {self._meta[key]}\n")
         writer = csv.writer(buffer)
         writer.writerow(_FIELDS)
         for i in self._intervals:
@@ -96,34 +126,99 @@ class CounterTrace:
     @classmethod
     def from_csv(cls, name: str, text: str) -> "CounterTrace":
         """Parse a trace from CSV text (inverse of :meth:`to_csv`)."""
-        reader = csv.DictReader(io.StringIO(text))
+        meta: dict[str, str] = {}
+        lines = []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                key, sep, value = line.lstrip("# ").partition(":")
+                if sep:
+                    meta[key.strip()] = value.strip()
+                continue
+            lines.append(line)
+        reader = csv.DictReader(io.StringIO("\n".join(lines)))
         missing = set(_FIELDS) - set(reader.fieldnames or ())
         if missing:
             raise WorkloadError(f"trace CSV missing columns: {sorted(missing)}")
-        intervals = [
-            TraceInterval(
-                interval_s=float(row["interval_s"]),
-                frequency_mhz=float(row["frequency_mhz"]),
-                ipc=float(row["ipc"]),
-                dpc=float(row["dpc"]),
-                dcu=float(row["dcu"]),
+        intervals = []
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                intervals.append(
+                    TraceInterval(
+                        interval_s=float(row["interval_s"]),
+                        frequency_mhz=float(row["frequency_mhz"]),
+                        ipc=float(row["ipc"]),
+                        dpc=float(row["dpc"]),
+                        dcu=float(row["dcu"]),
+                    )
+                )
+            except (TypeError, ValueError):
+                bad = {k: row.get(k) for k in _FIELDS}
+                raise WorkloadError(
+                    f"trace {name!r}: row {row_number} has a non-numeric "
+                    f"or missing cell: {bad}"
+                ) from None
+        if not intervals:
+            raise WorkloadError(
+                f"trace {name!r}: CSV body has a header but no interval rows"
             )
-            for row in reader
-        ]
-        return cls(name, intervals)
+        return cls(name, intervals, meta)
+
+    @classmethod
+    def from_path(cls, path: str, name: str | None = None) -> "CounterTrace":
+        """Load a trace from a CSV file written with :meth:`to_path`.
+
+        The default name is the file's stem (``web-steady.trace.csv`` ->
+        ``web-steady``).  Raises :class:`WorkloadError` with a pointed
+        message for a missing file, an empty body, or non-numeric cells.
+        """
+        if not os.path.exists(path):
+            raise WorkloadError(f"trace file not found: {path}")
+        if os.path.isdir(path):
+            raise WorkloadError(
+                f"trace path is a directory, not a CSV file: {path}"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if not text.strip():
+            raise WorkloadError(f"trace file is empty: {path}")
+        if name is None:
+            name = os.path.basename(path).split(".")[0]
+        return cls.from_csv(name, text)
+
+    def to_path(self, path: str) -> None:
+        """Atomically write this trace as CSV to ``path``."""
+        from repro.ioutils import atomic_write_text
+
+        atomic_write_text(path, self.to_csv())
 
 
-def record_trace(result: RunResult, name: str | None = None) -> CounterTrace:
+def record_trace(
+    result: RunResult,
+    name: str | None = None,
+    decode_ratio: float | None = None,
+) -> CounterTrace:
     """Build a trace from a governed run's per-tick rows.
 
     Requires the run to have been made with ``keep_trace=True`` and a
-    governor monitoring at least ``INST_RETIRED`` (IPC); DPC and DCU
-    fall back to model-typical ratios when unmonitored.
+    governor monitoring at least ``INST_RETIRED`` (IPC); when only one
+    of IPC/DPC was monitored the other is reconstructed through
+    ``decode_ratio``, which defaults to the *derived* platform ratio
+    (:func:`repro.platform.calibration.reference_decode_ratio`, the
+    MS-Loops time-weighted mean at P0) rather than an assumed constant.
+    Any such reconstruction is recorded in the trace metadata
+    (``assumed_decode_ratio``) so downstream consumers can see it.
     """
     if not result.trace:
         raise WorkloadError(
             "run has no trace rows; rerun with keep_trace=True"
         )
+    if decode_ratio is not None and decode_ratio < 1.0:
+        raise WorkloadError(
+            f"decode_ratio must be >= 1 (every retired instruction was "
+            f"decoded), got {decode_ratio}"
+        )
+    meta = {"source": f"run:{result.workload}", "governor": result.governor}
+    ratio = decode_ratio
     intervals = []
     previous_time = 0.0
     for row in result.trace:
@@ -133,10 +228,16 @@ def record_trace(result: RunResult, name: str | None = None) -> CounterTrace:
             raise WorkloadError(
                 "trace rows carry neither IPC nor DPC; cannot record"
             )
-        if ipc is None:
-            ipc = dpc / 1.3  # typical decode ratio
-        if dpc is None:
-            dpc = ipc * 1.3
+        if ipc is None or dpc is None:
+            if ratio is None:
+                from repro.platform.calibration import reference_decode_ratio
+
+                ratio = reference_decode_ratio()
+            meta["assumed_decode_ratio"] = f"{ratio:.6f}"
+            if ipc is None:
+                ipc = dpc / ratio
+            else:
+                dpc = ipc * ratio
         interval = row.time_s - previous_time
         previous_time = row.time_s
         if interval <= 0:
@@ -150,7 +251,7 @@ def record_trace(result: RunResult, name: str | None = None) -> CounterTrace:
                 dcu=row.rates.get(Event.DCU_MISS_OUTSTANDING, 0.0),
             )
         )
-    return CounterTrace(name or f"{result.workload}-trace", intervals)
+    return CounterTrace(name or f"{result.workload}-trace", intervals, meta)
 
 
 def workload_from_trace(

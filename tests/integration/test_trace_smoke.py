@@ -1,0 +1,101 @@
+"""CI trace smoke: corpus generation, characterization, and governed
+replay of one trace per family with deterministic digests.
+
+Runs the full trace-subsystem surface end to end -- slower than the
+unit suite, so gated behind ``REPRO_TRACE_SMOKE=1`` (a dedicated CI
+matrix entry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_TRACE_SMOKE"),
+    reason="set REPRO_TRACE_SMOKE=1 to run the trace subsystem smoke",
+)
+
+ENV = dict(os.environ, PYTHONPATH="src")
+
+#: One representative scenario per corpus family.
+FAMILY_PICKS = (
+    "web-flash-crowd", "etl-scan-heavy", "infer-streaming",
+    "desktop-editing",
+)
+
+
+def repro(*argv: str, cwd: str | None = None) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=ENV,
+        cwd=cwd or os.getcwd(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_generate_characterize_and_replay(tmp_path):
+    corpus_dir = tmp_path / "corpus"
+    out = repro("trace", "generate", "--out", str(corpus_dir))
+    assert "12 traces in 4 families" in out
+
+    json_path = tmp_path / "characterization.json"
+    out = repro(
+        "trace", "characterize", str(corpus_dir), "--json", str(json_path)
+    )
+    assert "Eq. 3 memory class:" in out
+    document = json.loads(json_path.read_text())
+    assert len(document["traces"]) >= 12
+    assert {t["family"] for t in document["traces"]} == {
+        "web", "etl", "inference", "desktop"
+    }
+
+    # One governed replay per family under PM, digest-checked across
+    # two independent processes (bit-identical determinism).
+    for name in FAMILY_PICKS:
+        trace_path = corpus_dir / f"{name}.trace.csv"
+        digests = []
+        for attempt in ("a", "b"):
+            digest_path = tmp_path / f"{name}-{attempt}.json"
+            repro(
+                "run", "--workload", f"trace:{trace_path}",
+                "--governor", "pm", "--limit", "14.5",
+                "--use-paper-model", "--scale", "1.0",
+                "--result-json", str(digest_path),
+            )
+            digests.append(digest_path.read_text())
+        assert digests[0] == digests[1], f"{name}: digests diverge"
+
+
+def test_ingested_perf_log_replays(tmp_path):
+    log = tmp_path / "perf.log"
+    lines = []
+    for i in range(1, 21):
+        stamp = 0.1 * i
+        phase_ipc = 1.6e8 if (i // 5) % 2 == 0 else 6e7
+        lines.append(f"{stamp:.6f},{phase_ipc:.0f},,instructions,,,,")
+        lines.append(f"{stamp:.6f},{1e8:.0f},,cycles,,,,")
+        lines.append(f"{stamp:.6f},{3e7 * (i % 3):.0f},,l1d_pend_miss.pending,,,,")
+    log.write_text("\n".join(lines) + "\n")
+
+    trace_csv = tmp_path / "ingested.trace.csv"
+    out = repro(
+        "trace", "ingest", str(log), "--out", str(trace_csv),
+        "--name", "perf-smoke",
+    )
+    assert "format=perf-csv" in out
+    assert trace_csv.exists()
+
+    out = repro(
+        "run", "--workload", f"trace:{trace_csv}",
+        "--governor", "ps", "--scale", "1.0",
+    )
+    assert "PowerSave" in out

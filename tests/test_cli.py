@@ -325,3 +325,98 @@ class TestAdaptationCLI:
         out = capsys.readouterr().out
         assert "frozen" in out and "adaptive" in out
         assert "verdict:" in out
+
+
+class TestTraceSubcommands:
+    WATTWATCHER = (
+        "timestamp,instructions,cycles,l1d_pend_miss.pending\n"
+        "0.5,1200000000,1000000000,500000000\n"
+        "1.0,1100000000,1000000000,600000000\n"
+        "1.5,300000000,1000000000,2400000000\n"
+    )
+
+    def test_generate_and_characterize(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["trace", "generate", "--out", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "12 traces in 4 families" in out
+        json_path = tmp_path / "char.json"
+        assert main(
+            ["trace", "characterize", str(corpus), "--json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 3 memory class:" in out
+        assert "etl-scan-heavy" in out
+        import json as json_module
+
+        document = json_module.loads(json_path.read_text())
+        assert len(document["traces"]) == 12
+
+    def test_ingest_writes_calibrated_trace(self, tmp_path, capsys):
+        log = tmp_path / "counters.csv"
+        log.write_text(self.WATTWATCHER)
+        out_csv = tmp_path / "out.trace.csv"
+        assert main(
+            ["trace", "ingest", str(log), "--out", str(out_csv)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "format=wattwatcher" in out
+        assert "trace written to" in out
+        from repro.workloads.traces import CounterTrace
+
+        trace = CounterTrace.from_path(str(out_csv))
+        assert len(trace) == 3
+
+    def test_ingest_missing_log_fails(self, tmp_path, capsys):
+        code = main(
+            ["trace", "ingest", str(tmp_path / "nope.csv"),
+             "--out", str(tmp_path / "out.csv")]
+        )
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_characterize_empty_directory_fails(self, tmp_path, capsys):
+        code = main(["trace", "characterize", str(tmp_path)])
+        assert code == 1
+        assert "no trace CSVs" in capsys.readouterr().err
+
+    def test_run_corpus_spec(self, capsys):
+        assert main(
+            ["run", "corpus:desktop-media", "--governor", "dbs",
+             "--scale", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "desktop-media" in out
+
+    def test_run_workload_flag_with_trace_spec(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["trace", "generate", "--out", str(corpus)]) == 0
+        capsys.readouterr()
+        trace_path = corpus / "web-api-mixed.trace.csv"
+        assert main(
+            ["run", "--workload", f"trace:{trace_path}",
+             "--governor", "fixed", "--frequency", "1200",
+             "--scale", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "web-api-mixed" in out
+        assert "1200 MHz" in out
+
+    def test_run_rejects_two_workloads(self, capsys):
+        code = main(
+            ["run", "swim", "--workload", "corpus:web-diurnal",
+             "--scale", "0.05"]
+        )
+        assert code == 1
+        assert "pass one" in capsys.readouterr().err
+
+    def test_run_bad_trace_spec_fails_fast(self, capsys):
+        code = main(["run", "trace:/does/not/exist.csv"])
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_experiment_corpus(self, capsys):
+        assert main(["experiment", "corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "families:" in out
+        assert "Eq. 3 memory class:" in out

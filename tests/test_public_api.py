@@ -48,6 +48,11 @@ PUBLIC_MODULES = (
     "repro.exec.session",
     "repro.exec.runner",
     "repro.telemetry.merge",
+    "repro.traces",
+    "repro.traces.ingest",
+    "repro.traces.calibrate",
+    "repro.traces.corpus",
+    "repro.traces.characterize",
 )
 
 

@@ -1,0 +1,92 @@
+"""Tests for trace calibration into the platform counter envelope."""
+
+import pytest
+
+from repro.platform.calibration import counter_envelope
+from repro.traces import calibrate_trace
+from repro.workloads.traces import CounterTrace, TraceInterval
+
+
+def make_trace(*intervals):
+    return CounterTrace("t", list(intervals))
+
+
+class TestEnvelope:
+    def test_derived_from_platform(self):
+        envelope = counter_envelope()
+        assert envelope.ipc_max == pytest.approx(3.0)
+        assert envelope.dcu_max == pytest.approx(4.0)
+        assert envelope.decode_ratio_min == 1.0
+        assert 2000.0 in envelope.frequencies_mhz
+        assert len(envelope.frequencies_mhz) == 8
+        assert 1.0 <= envelope.reference_decode_ratio <= 1.5
+
+    def test_nearest_frequency(self):
+        envelope = counter_envelope()
+        assert envelope.nearest_frequency(2400.0) == 2000.0
+        assert envelope.nearest_frequency(601.0) == 600.0
+        assert envelope.nearest_frequency(1350.0) in (1300.0, 1400.0)
+
+
+class TestCalibrate:
+    def test_in_envelope_trace_passes_through(self):
+        trace = make_trace(
+            TraceInterval(0.1, 2000.0, 1.2, 1.5, 0.5),
+            TraceInterval(0.1, 800.0, 0.4, 0.5, 2.0),
+        )
+        calibrated, report = calibrate_trace(trace)
+        assert report.clean
+        assert report.touched == 0
+        assert calibrated.intervals == trace.intervals
+        assert "calibrated" not in calibrated.meta
+
+    def test_foreign_frequency_snaps_to_pstate(self):
+        trace = make_trace(TraceInterval(0.1, 3600.0, 1.0, 1.2, 0.0))
+        calibrated, report = calibrate_trace(trace)
+        assert calibrated.intervals[0].frequency_mhz == 2000.0
+        assert report.frequency_remaps["3600->2000 MHz"] == 1
+        assert not report.clean
+
+    def test_ipc_above_decode_width_clipped(self):
+        trace = make_trace(TraceInterval(0.1, 2000.0, 4.5, 5.0, 0.0))
+        calibrated, report = calibrate_trace(trace)
+        assert calibrated.intervals[0].ipc == pytest.approx(3.0)
+        assert report.clipped["ipc"] == 1
+        assert report.max_clip["ipc"] == pytest.approx(1.5 / 4.5)
+
+    def test_dcu_above_fill_buffer_cap_clipped(self):
+        trace = make_trace(TraceInterval(0.1, 2000.0, 0.5, 0.6, 9.0))
+        calibrated, report = calibrate_trace(trace)
+        assert calibrated.intervals[0].dcu == pytest.approx(4.0)
+        assert report.clipped["dcu"] == 1
+
+    def test_decode_ratio_below_one_raised(self):
+        # DPC below IPC is impossible on this pipeline (every retired
+        # instruction was decoded); calibration lifts DPC to parity.
+        trace = make_trace(TraceInterval(0.1, 2000.0, 1.0, 0.5, 0.0))
+        calibrated, report = calibrate_trace(trace)
+        assert calibrated.intervals[0].dpc == pytest.approx(1.0)
+        assert report.clipped["decode_ratio"] == 1
+
+    def test_calibration_recorded_in_meta(self):
+        trace = make_trace(
+            TraceInterval(0.1, 3600.0, 1.0, 1.2, 0.0),
+            TraceInterval(0.1, 2000.0, 1.0, 1.2, 0.0),
+        )
+        calibrated, report = calibrate_trace(trace)
+        assert report.touched == 1
+        assert calibrated.meta["calibrated"] == "1/2 intervals adjusted"
+
+    def test_render_lists_changes(self):
+        trace = make_trace(TraceInterval(0.1, 3600.0, 4.0, 5.0, 9.0))
+        _calibrated, report = calibrate_trace(trace)
+        text = report.render()
+        assert "1/1 intervals adjusted" in text
+        assert "3600->2000 MHz" in text
+        assert "ipc clipped" in text
+        assert "dcu clipped" in text
+
+    def test_clean_render_says_so(self):
+        trace = make_trace(TraceInterval(0.1, 2000.0, 1.0, 1.2, 0.5))
+        _calibrated, report = calibrate_trace(trace)
+        assert "already in envelope" in report.render()

@@ -1,0 +1,93 @@
+"""Tests for the deterministic scenario corpus."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces import (
+    CORPUS_FAMILIES,
+    calibrate_trace,
+    corpus_names,
+    corpus_trace,
+    generate_corpus,
+    write_corpus,
+)
+from repro.workloads.traces import CounterTrace
+
+
+class TestShape:
+    def test_at_least_twelve_scenarios_in_four_families(self):
+        assert len(corpus_names()) >= 12
+        assert len(CORPUS_FAMILIES) == 4
+        assert set(CORPUS_FAMILIES) == {"web", "etl", "inference", "desktop"}
+        for family, names in CORPUS_FAMILIES.items():
+            assert len(names) >= 3, family
+
+    def test_generate_corpus_covers_all_names(self):
+        corpus = generate_corpus()
+        assert set(corpus) == set(corpus_names())
+
+    def test_traces_document_their_phase_structure(self):
+        for trace in generate_corpus().values():
+            meta = trace.meta
+            assert meta["family"] in CORPUS_FAMILIES
+            assert meta["source"].startswith("corpus:")
+            assert len(meta["scenario"]) > 20  # a real description
+
+    def test_every_trace_is_inside_the_platform_envelope(self):
+        for trace in generate_corpus().values():
+            _calibrated, report = calibrate_trace(trace)
+            assert report.clean, f"{trace.name}: {report.render()}"
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        assert (
+            corpus_trace("web-diurnal", 7).to_csv()
+            == corpus_trace("web-diurnal", 7).to_csv()
+        )
+
+    def test_different_seed_differs(self):
+        assert (
+            corpus_trace("web-diurnal", 0).to_csv()
+            != corpus_trace("web-diurnal", 1).to_csv()
+        )
+
+    def test_scenarios_are_independent_of_generation_order(self):
+        a = generate_corpus()["etl-shuffle"].to_csv()
+        b = corpus_trace("etl-shuffle").to_csv()
+        assert a == b
+
+    def test_nonzero_seed_shows_in_name(self):
+        assert corpus_trace("infer-batch").name == "infer-batch"
+        assert corpus_trace("infer-batch", 3).name == "infer-batch@3"
+
+
+class TestErrors:
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(WorkloadError, match="web-diurnal"):
+            corpus_trace("no-such-scenario")
+
+
+class TestWriteCorpus:
+    def test_files_round_trip(self, tmp_path):
+        paths = write_corpus(str(tmp_path / "corpus"))
+        assert len(paths) == len(corpus_names())
+        for name, path in paths.items():
+            loaded = CounterTrace.from_path(path)
+            assert loaded.name == name
+            assert loaded.meta["family"] == CORPUS_FAMILIES_OF[name]
+
+    def test_reruns_are_bit_identical(self, tmp_path):
+        paths = write_corpus(str(tmp_path / "a"))
+        again = write_corpus(str(tmp_path / "b"))
+        for name in paths:
+            with open(paths[name]) as first, open(again[name]) as second:
+                assert first.read() == second.read()
+
+
+#: name -> family reverse index, for assertions.
+CORPUS_FAMILIES_OF = {
+    name: family
+    for family, names in CORPUS_FAMILIES.items()
+    for name in names
+}

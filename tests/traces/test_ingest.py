@@ -1,0 +1,226 @@
+"""Tests for counter-log ingestion (perf-stat and WattWatcher shapes)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces import ingest_file, ingest_text
+from repro.traces.ingest import detect_format
+
+PERF_CSV = """\
+# started on Thu Aug  7 2026
+     0.100123,123456789,,instructions,100123000,100.00,1.23,insn per cycle
+     0.100123,100000000,,cycles,100123000,100.00,,
+     0.100123,140000000,,inst_decoded,100123000,100.00,,
+     0.200246,98765432,,instructions,100123000,100.00,0.99,insn per cycle
+     0.200246,100000000,,cycles,100123000,100.00,,
+     0.200246,130000000,,inst_decoded,100123000,100.00,,
+"""
+
+PERF_TEXT = """\
+#           time             counts unit events
+     0.100000000        123,456,789      instructions
+     0.100000000        100,000,000      cycles
+     0.300000000        222,222,222      instructions
+     0.300000000        200,000,000      cycles
+"""
+
+WATTWATCHER = """\
+timestamp,instructions,cycles,l1d_pend_miss.pending
+0.5,1200000000,1000000000,500000000
+1.0,1100000000,1000000000,600000000
+1.5,300000000,1000000000,2400000000
+"""
+
+
+class TestDetectFormat:
+    def test_perf_csv(self):
+        assert detect_format(PERF_CSV) == "perf-csv"
+
+    def test_perf_text(self):
+        assert detect_format(PERF_TEXT) == "perf"
+
+    def test_wattwatcher(self):
+        assert detect_format(WATTWATCHER) == "wattwatcher"
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError, match="no data lines"):
+            detect_format("# only comments\n")
+
+
+class TestPerfIngest:
+    def test_csv_form(self):
+        trace, report = ingest_text(PERF_CSV, name="t")
+        assert report.format == "perf-csv"
+        assert len(trace) == 2
+        first = trace.intervals[0]
+        assert first.interval_s == pytest.approx(0.100123)
+        # frequency derived from the cycles counter
+        assert first.frequency_mhz == pytest.approx(
+            100e6 / 0.100123 / 1e6, rel=1e-6
+        )
+        assert first.ipc == pytest.approx(1.23456789)
+        assert first.dpc == pytest.approx(1.4)
+
+    def test_text_form_with_thousands_separators(self):
+        trace, report = ingest_text(PERF_TEXT, name="t")
+        assert report.format == "perf"
+        assert len(trace) == 2
+        # variable interval lengths from timestamp deltas (0.1, then 0.2)
+        assert trace.intervals[0].interval_s == pytest.approx(0.1)
+        assert trace.intervals[1].interval_s == pytest.approx(0.2)
+        assert trace.intervals[0].ipc == pytest.approx(1.23456789)
+
+    def test_not_counted_rows_skipped(self):
+        text = PERF_CSV + "     0.300369,<not counted>,,instructions,,,,\n"
+        trace, report = ingest_text(text, name="t")
+        assert len(trace) == 2
+        assert report.skipped["counter not counted"] == 1
+
+    def test_torn_final_line_skipped_with_reason(self):
+        # A capture killed mid-write: the final line stops after the
+        # count field, before the event name.
+        torn = PERF_CSV + "     0.300369,987"
+        trace, report = ingest_text(torn, name="t")
+        assert report.skipped["torn final line"] == 1
+        assert len(trace) == 2  # the torn row belonged to interval 2
+        assert not report.clean
+
+    def test_unmapped_event_warns(self):
+        text = PERF_CSV + "     0.100123,5,,branch_misses,,,,\n"
+        _trace, report = ingest_text(text, name="t")
+        assert any("branch_misses" in w for w in report.warnings)
+
+    def test_missing_decode_counter_assumes_platform_ratio(self):
+        trace, report = ingest_text(PERF_TEXT, name="t")
+        assert any("decode" in a for a in report.assumptions)
+        ratio = trace.intervals[0].dpc / trace.intervals[0].ipc
+        assert 1.0 <= ratio <= 1.5
+        assert "assumption_0" in trace.meta
+
+
+class TestWattWatcherIngest:
+    def test_counter_per_column(self):
+        trace, report = ingest_text(WATTWATCHER, name="t")
+        assert report.format == "wattwatcher"
+        assert len(trace) == 3
+        assert trace.intervals[0].interval_s == pytest.approx(0.5)
+        assert trace.intervals[0].ipc == pytest.approx(1.2)
+        assert trace.intervals[2].dcu == pytest.approx(2.4)
+
+    def test_header_variants_normalized(self):
+        text = (
+            "Timestamp,INSTRUCTIONS,CPU-CYCLES,DCU-MISS-OUTSTANDING\n"
+            "0.5,1000000000,1000000000,100000000\n"
+            "1.0,1000000000,1000000000,100000000\n"
+        )
+        trace, _report = ingest_text(text, name="t")
+        assert trace.intervals[0].ipc == pytest.approx(1.0)
+        assert trace.intervals[0].dcu == pytest.approx(0.1)
+
+    def test_cumulative_counters_auto_differenced(self):
+        rows = ["time,instructions,cycles"]
+        for i in range(1, 7):
+            rows.append(f"{i * 0.5},{i * 1000000000},{i * 1000000000}")
+        trace, report = ingest_text("\n".join(rows), name="t")
+        assert report.cumulative
+        assert trace.meta["cumulative_counters"] == "true"
+        # After differencing every interval carries the same delta.
+        for interval in trace:
+            assert interval.ipc == pytest.approx(1.0)
+
+    def test_cumulative_can_be_forced_off(self):
+        rows = ["time,instructions,cycles"]
+        for i in range(1, 7):
+            rows.append(f"{i * 0.5},{i * 1000000000},{i * 1000000000}")
+        _trace, report = ingest_text(
+            "\n".join(rows), name="t", cumulative=False
+        )
+        assert not report.cumulative
+
+    def test_absolute_timestamps_use_second_row_delta(self):
+        text = (
+            "timestamp,instructions,cycles\n"
+            "1722470400.0,1000000000,1000000000\n"
+            "1722470400.5,1000000000,1000000000\n"
+            "1722470401.0,1000000000,1000000000\n"
+        )
+        trace, _report = ingest_text(text, name="t")
+        for interval in trace:
+            assert interval.interval_s == pytest.approx(0.5)
+
+    def test_no_counter_column_rejected(self):
+        with pytest.raises(WorkloadError, match="no counter column"):
+            ingest_text("time,foo\n0.5,1\n", name="t")
+
+    def test_interval_column_wins(self):
+        text = (
+            "interval_s,instructions,cycles\n"
+            "0.25,250000000,250000000\n"
+            "0.75,750000000,750000000\n"
+        )
+        trace, _report = ingest_text(text, name="t", cumulative=False)
+        assert trace.intervals[0].interval_s == pytest.approx(0.25)
+        assert trace.intervals[1].interval_s == pytest.approx(0.75)
+
+    def test_no_time_column_needs_interval_s(self):
+        text = "instructions,cycles\n1000,1000\n2000,2000\n"
+        with pytest.raises(WorkloadError, match="interval_s"):
+            ingest_text(text, name="t")
+        trace, _report = ingest_text(
+            text, name="t", interval_s=0.1, cumulative=False
+        )
+        assert trace.intervals[0].interval_s == pytest.approx(0.1)
+
+
+class TestKnobs:
+    def test_custom_event_roles(self):
+        text = "time,my_insn,my_cyc\n0.5,1000000000,1000000000\n" \
+               "1.0,1000000000,1000000000\n"
+        trace, _report = ingest_text(
+            text,
+            name="t",
+            event_roles={"my_insn": "instructions", "my_cyc": "cycles"},
+            cumulative=False,
+        )
+        assert trace.intervals[0].ipc == pytest.approx(1.0)
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown counter role"):
+            ingest_text(WATTWATCHER, name="t", event_roles={"x": "nope"})
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown log format"):
+            ingest_text(WATTWATCHER, name="t", fmt="xml")
+
+    def test_nominal_mhz_used_without_cycles(self):
+        text = "time,instructions\n0.5,600000000\n1.0,600000000\n"
+        trace, report = ingest_text(
+            text, name="t", nominal_mhz=1200.0, cumulative=False
+        )
+        assert trace.intervals[0].frequency_mhz == pytest.approx(1200.0)
+        assert trace.intervals[0].ipc == pytest.approx(1.0)
+        assert any("1200" in a for a in report.assumptions)
+
+
+class TestIngestFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(WATTWATCHER)
+        trace, report = ingest_file(str(path))
+        assert trace.name == "log"
+        assert report.source == str(path)
+        assert trace.meta["source"] == str(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not found"):
+            ingest_file(str(tmp_path / "absent.csv"))
+
+    def test_directory_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="directory"):
+            ingest_file(str(tmp_path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("  \n")
+        with pytest.raises(WorkloadError, match="empty"):
+            ingest_file(str(path))

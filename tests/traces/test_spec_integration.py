@@ -1,0 +1,141 @@
+"""trace:/corpus: workload specs through the registry, cache, and exec."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import run_result_digest
+from repro.errors import WorkloadError
+from repro.exec.cache import clear_caches, export_caches, install_caches, spec_workload
+from repro.exec.core import execute_cell
+from repro.exec.plan import ExperimentConfig, GovernorSpec, RunCell, RunPlan
+from repro.traces import corpus_trace
+from repro.workloads.base import Workload
+from repro.workloads.registry import is_workload_spec, resolve_workload_spec
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestSpecParsing:
+    def test_is_workload_spec(self):
+        assert is_workload_spec("trace:/tmp/x.csv")
+        assert is_workload_spec("corpus:web-diurnal")
+        assert not is_workload_spec("swim")
+        assert not is_workload_spec(None)
+
+    def test_plain_names_resolve_through_registry(self):
+        workload = resolve_workload_spec("swim")
+        assert workload.name == "swim"
+
+    def test_corpus_spec_resolves(self):
+        workload = resolve_workload_spec("corpus:etl-shuffle")
+        assert isinstance(workload, Workload)
+        assert workload.category == "trace"
+        assert workload.name == "etl-shuffle"
+
+    def test_corpus_spec_with_seed(self):
+        a = resolve_workload_spec("corpus:etl-shuffle@0")
+        b = resolve_workload_spec("corpus:etl-shuffle@5")
+        assert a.total_instructions != b.total_instructions
+
+    def test_trace_spec_resolves_from_file(self, tmp_path):
+        path = tmp_path / "x.trace.csv"
+        corpus_trace("desktop-media").to_path(str(path))
+        workload = resolve_workload_spec(f"trace:{path}")
+        assert workload.category == "trace"
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(WorkloadError, match="missing its argument"):
+            resolve_workload_spec("trace:")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(WorkloadError, match="non-integer seed"):
+            resolve_workload_spec("corpus:web-diurnal@x")
+
+    def test_missing_trace_file_pointed_error(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not found"):
+            resolve_workload_spec(f"trace:{tmp_path}/absent.csv")
+
+
+class TestSpecCache:
+    def test_corpus_specs_cached_per_process(self):
+        first = spec_workload("corpus:web-diurnal")
+        assert spec_workload("corpus:web-diurnal") is first
+
+    def test_file_edit_invalidates(self, tmp_path):
+        import os
+
+        path = tmp_path / "x.trace.csv"
+        corpus_trace("desktop-media").to_path(str(path))
+        first = spec_workload(f"trace:{path}")
+        corpus_trace("desktop-media", 1).to_path(str(path))
+        # Guarantee a different mtime even on coarse filesystems.
+        os.utime(path, ns=(1, 1))
+        second = spec_workload(f"trace:{path}")
+        assert second is not first
+
+    def test_export_install_round_trip(self):
+        workload = spec_workload("corpus:infer-batch")
+        payload = export_caches()
+        clear_caches()
+        install_caches(payload)
+        assert spec_workload("corpus:infer-batch") is workload
+
+
+class TestExecution:
+    def test_corpus_cell_digest_bit_identical(self):
+        config = ExperimentConfig(scale=1.0)
+        cell = RunCell(
+            workload="corpus:web-api-mixed", governor=GovernorSpec.dbs()
+        )
+        first = run_result_digest(execute_cell(cell, config))
+        clear_caches()
+        second = run_result_digest(execute_cell(cell, config))
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_trace_cell_executes(self, tmp_path):
+        path = tmp_path / "x.trace.csv"
+        corpus_trace("desktop-media").to_path(str(path))
+        config = ExperimentConfig(scale=1.0)
+        cell = RunCell(
+            workload=f"trace:{path}", governor=GovernorSpec.fixed(1400.0)
+        )
+        result = execute_cell(cell, config)
+        assert result.workload == "x"
+        assert result.duration_s > 0
+
+    def test_spec_cells_ride_through_plan_json(self):
+        plan = RunPlan.sweep(
+            ["corpus:etl-shuffle", "swim"],
+            [GovernorSpec.ps(0.8)],
+            ExperimentConfig(scale=1.0),
+        )
+        parsed = RunPlan.from_json(plan.to_json())
+        assert parsed.cells[0].workload == "corpus:etl-shuffle"
+        assert parsed.cells[0].resolve_workload().category == "trace"
+
+    def test_sweep_over_governors_replays_one_trace(self, tmp_path):
+        """The acceptance shape: one trace under several governors."""
+        path = tmp_path / "x.trace.csv"
+        corpus_trace("web-flash-crowd").to_path(str(path))
+        plan = RunPlan.sweep(
+            [f"trace:{path}"],
+            [
+                GovernorSpec.pm(14.5, power_model="paper"),
+                GovernorSpec.ps(0.8),
+                GovernorSpec.dbs(),
+                GovernorSpec.fixed(1000.0),
+            ],
+            ExperimentConfig(scale=1.0),
+        )
+        results = [execute_cell(cell, plan.config) for cell in plan.cells]
+        assert len({r.governor for r in results}) == 4
+        for result in results:
+            assert result.instructions > 0

@@ -16,6 +16,25 @@ from repro.workloads.traces import (
 )
 
 
+class _StubRow:
+    """A minimal trace-row stand-in (time_s, frequency_mhz, rates)."""
+
+    def __init__(self, time_s, frequency_mhz, rates):
+        self.time_s = time_s
+        self.frequency_mhz = frequency_mhz
+        self.rates = rates
+
+
+class _StubResult:
+    """A minimal RunResult stand-in for record_trace unit tests."""
+
+    workload = "stub"
+    governor = "StubGovernor"
+
+    def __init__(self, rows):
+        self.trace = rows
+
+
 def run_traced(workload, governor_factory, seed=0):
     machine = Machine(MachineConfig(seed=seed))
     governor = governor_factory(machine.config.table)
@@ -56,6 +75,76 @@ class TestTraceContainer:
         assert interval.instructions == pytest.approx(2e7)
 
 
+class TestMeta:
+    def test_meta_survives_csv_round_trip(self):
+        trace = CounterTrace(
+            "t",
+            [TraceInterval(0.01, 2000.0, 1.0, 1.3, 0.2)],
+            meta={"source": "corpus:t", "family": "web"},
+        )
+        parsed = CounterTrace.from_csv("t", trace.to_csv())
+        assert parsed.meta == {"source": "corpus:t", "family": "web"}
+
+    def test_with_meta_merges_without_mutating(self):
+        trace = CounterTrace(
+            "t", [TraceInterval(0.01, 2000.0, 1.0, 1.3, 0.2)],
+            meta={"a": "1"},
+        )
+        merged = trace.with_meta(b="2")
+        assert merged.meta == {"a": "1", "b": "2"}
+        assert trace.meta == {"a": "1"}
+
+    def test_empty_meta_emits_no_comments(self):
+        trace = CounterTrace("t", [TraceInterval(0.01, 2000.0, 1.0, 1.3, 0.2)])
+        assert not trace.to_csv().startswith("#")
+
+
+class TestPersistence:
+    def test_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "web-steady.trace.csv")
+        trace = CounterTrace(
+            "web-steady",
+            [TraceInterval(0.01, 2000.0, 1.0, 1.3, 0.2)],
+            meta={"family": "web"},
+        )
+        trace.to_path(path)
+        loaded = CounterTrace.from_path(path)
+        assert loaded.name == "web-steady"  # stem, not filename
+        assert loaded.meta["family"] == "web"
+        assert loaded.intervals == trace.intervals
+
+    def test_missing_file_message_names_path(self, tmp_path):
+        path = str(tmp_path / "absent.csv")
+        with pytest.raises(WorkloadError, match="trace file not found"):
+            CounterTrace.from_path(path)
+
+    def test_directory_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="directory"):
+            CounterTrace.from_path(str(tmp_path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n  \n")
+        with pytest.raises(WorkloadError, match="trace file is empty"):
+            CounterTrace.from_path(str(path))
+
+    def test_header_only_body_rejected(self, tmp_path):
+        path = tmp_path / "hollow.csv"
+        path.write_text("interval_s,frequency_mhz,ipc,dpc,dcu\n")
+        with pytest.raises(WorkloadError, match="no interval rows"):
+            CounterTrace.from_path(str(path))
+
+    def test_non_numeric_cell_names_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "interval_s,frequency_mhz,ipc,dpc,dcu\n"
+            "0.01,2000.0,1.0,1.3,0.2\n"
+            "0.01,2000.0,oops,1.3,0.2\n"
+        )
+        with pytest.raises(WorkloadError, match="row 3.*oops"):
+            CounterTrace.from_path(str(path))
+
+
 class TestRecord:
     def test_records_ps_run(self, two_phase_workload):
         result = run_traced(
@@ -67,6 +156,52 @@ class TestRecord:
         assert trace.total_instructions == pytest.approx(
             result.instructions, rel=0.05
         )
+
+    def test_records_provenance_metadata(self, two_phase_workload):
+        result = run_traced(
+            two_phase_workload, lambda t: FixedFrequency(t, 2000.0)
+        )
+        trace = record_trace(result)
+        assert trace.meta["source"] == f"run:{result.workload}"
+        assert trace.meta["governor"] == result.governor
+
+    def test_decode_ratio_fallback_derived_and_recorded(self):
+        """IPC-only rows get DPC from the *derived* platform ratio (not
+        a hard-coded constant), and the assumption lands in metadata."""
+        from repro.platform.calibration import reference_decode_ratio
+        from repro.platform.events import Event
+
+        result = _StubResult(
+            [
+                _StubRow(0.1, 2000.0, {Event.INST_RETIRED: 1.0}),
+                _StubRow(0.2, 2000.0, {Event.INST_RETIRED: 0.8}),
+            ]
+        )
+        trace = record_trace(result)
+        ratio = reference_decode_ratio()
+        assert float(trace.meta["assumed_decode_ratio"]) == pytest.approx(
+            ratio, abs=1e-6
+        )
+        assert trace.intervals[0].dpc == pytest.approx(1.0 * ratio)
+
+    def test_explicit_decode_ratio_wins(self):
+        from repro.platform.events import Event
+
+        result = _StubResult(
+            [_StubRow(0.1, 2000.0, {Event.INST_RETIRED: 1.0})]
+        )
+        trace = record_trace(result, decode_ratio=1.25)
+        assert trace.intervals[0].dpc == pytest.approx(1.25)
+        assert trace.meta["assumed_decode_ratio"] == "1.250000"
+
+    def test_decode_ratio_below_one_rejected(self):
+        from repro.platform.events import Event
+
+        result = _StubResult(
+            [_StubRow(0.1, 2000.0, {Event.INST_RETIRED: 1.0})]
+        )
+        with pytest.raises(WorkloadError, match="decode_ratio must be >= 1"):
+            record_trace(result, decode_ratio=0.9)
 
     def test_requires_trace_rows(self, tiny_core_workload):
         machine = Machine(MachineConfig(seed=0))
@@ -117,6 +252,30 @@ class TestReplay:
         assert replay.duration_s == pytest.approx(
             original.duration_s, rel=0.10
         )
+
+    def test_record_replay_rerecord_fidelity(self, two_phase_workload):
+        """Counter signatures survive a full record->replay->re-record
+        round trip: time-weighted IPC/DPC/DCU within tolerance."""
+        original = run_traced(
+            two_phase_workload, lambda t: FixedFrequency(t, 2000.0)
+        )
+        first = record_trace(original)
+        replay = run_traced(
+            workload_from_trace(first), lambda t: FixedFrequency(t, 2000.0)
+        )
+        second = record_trace(replay)
+
+        def signature(trace):
+            total = sum(i.interval_s for i in trace)
+            return tuple(
+                sum(getattr(i, field) * i.interval_s for i in trace) / total
+                for field in ("ipc", "dpc", "dcu")
+            )
+
+        for a, b, field in zip(
+            signature(first), signature(second), ("ipc", "dpc", "dcu")
+        ):
+            assert b == pytest.approx(a, rel=0.10, abs=0.02), field
 
     def test_memory_bound_trace_replays_memory_bound(self):
         trace = CounterTrace(
