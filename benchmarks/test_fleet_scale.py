@@ -1,0 +1,39 @@
+"""Fleet-scale capping benchmark: churn, outage, partition, SIGKILL.
+
+The acceptance bar for the hierarchical budget tree: a 1k-node (CI;
+10k at REPRO_BENCH_SCALE>=4) cluster under diurnal + flash-crowd
+corpus traffic with seeded churn, one whole-rack outage, and one
+partition window keeps the fleet budget-violation fraction at <= 1%,
+and a coordinator SIGKILLed mid-run resumes from its durable
+checkpoints bit-identical with the bound intact.  The metrics --
+nodes x ticks/sec, violation fraction, reallocation latency -- are
+archived as ``BENCH_fleet.json`` so throughput and robustness
+regressions show up as diffs, not just red tests.
+"""
+
+import json
+
+from conftest import bench_scale, publish
+
+from repro.experiments import fleet_capping
+from repro.experiments.runner import ExperimentConfig
+
+
+def test_fleet_capping_scale(benchmark, results_dir):
+    config = ExperimentConfig(scale=bench_scale(1.0), seed=0)
+    data = benchmark.pedantic(
+        fleet_capping.run, args=(config,), rounds=1, iterations=1
+    )
+    publish(results_dir, "fleet_capping", fleet_capping.render(data))
+
+    (results_dir / "BENCH_fleet.json").write_text(
+        json.dumps(dict(data), indent=2, sort_keys=True) + "\n"
+    )
+
+    assert data["violation_fraction"] <= data["violation_bound"]
+    assert data["nodes_x_ticks_per_s"] > 0
+    assert data["crashes"] > 0 and data["outage_ticks"] > 0
+    assert data["chaos"]["killed"] is True
+    assert data["chaos"]["identical"] is True
+    assert (data["chaos"]["violation_fraction"]
+            <= data["violation_bound"])

@@ -1,0 +1,289 @@
+"""Fleet-scale capping drill: churn, outage, partition -- and a kill.
+
+The hierarchical fleet's headline claim is *robustness*: a 1k-node (CI)
+to 10k-node (full-scale) cluster under diurnal + flash-crowd traffic
+from the scenario corpus, with seeded node churn, one whole-rack
+outage, and one coordinator-side partition, must keep the fleet-level
+budget-violation fraction at or below 1% -- and keep it there even
+when the coordinator itself is SIGKILLed mid-run and resumed from its
+durable checkpoints.
+
+The experiment has two phases:
+
+1. **Scale run** (in-process): the scenario end-to-end at full node
+   count, reporting nodes x ticks/sec, the budget-violation fraction,
+   reallocation latency percentiles, and churn/degradation counters.
+2. **Chaos run** (subprocess): a smaller checkpointed fleet run as a
+   ``repro-power fleet-sim`` child, killed with SIGKILL once its
+   manifest shows a durable mid-run checkpoint, resumed with
+   ``--resume``, and compared digest-for-digest against an
+   uninterrupted reference -- bit-identical, violation bound intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Mapping
+
+from repro.errors import DeadlineExceeded, ExperimentError
+from repro.exec.plan import ExperimentConfig
+from repro.fleet.cluster import (
+    FleetSpec,
+    fleet_result_digest,
+    run_fleet,
+)
+from repro.fleet.scenario import FleetScenario
+from repro.supervise import RetryPolicy, Supervisor
+
+#: The robustness bound the experiment enforces.
+MAX_VIOLATION_FRACTION = 0.01
+
+#: Full-scale node count (scale >= 4); CI runs 1000 x scale.
+FULL_SCALE_NODES = 10_000
+
+#: Chaos child size: small enough that three subprocess runs stay
+#: inside a CI budget, large enough for a multi-rack tree.
+CHAOS_NODES = 256
+CHAOS_TICKS = 150
+CHAOS_INTERVAL_TICKS = 25
+
+#: Wall-clock budget per chaos child.
+CHILD_DEADLINE_S = 300.0
+
+
+def _node_count(scale: float) -> int:
+    if scale >= 4.0:
+        return FULL_SCALE_NODES
+    return max(64, int(round(1000 * scale)))
+
+
+def _tick_count(scale: float) -> int:
+    return max(120, min(720, int(round(360 * min(scale, 2.0)))))
+
+
+def build_spec(config: ExperimentConfig) -> FleetSpec:
+    """The scenario the scale run executes (churn + outage on)."""
+    return FleetSpec(
+        nodes=_node_count(config.scale),
+        seed=config.seed,
+        scenario=FleetScenario(ticks=_tick_count(config.scale)),
+    )
+
+
+def _fleet_sim_cmd(extra: list[str]) -> list[str]:
+    return [sys.executable, "-m", "repro", "fleet-sim", *extra]
+
+
+def _wait_and_kill(
+    proc: subprocess.Popen,
+    manifest_path: str,
+    target_tick: int,
+    deadline_s: float,
+) -> tuple[bool, int]:
+    """SIGKILL ``proc`` once its newest durable checkpoint >= target.
+
+    Returns ``(killed, newest_durable_tick)``; raw SIGKILL, no grace.
+    """
+    start = time.monotonic()
+    newest = -1
+    while proc.poll() is None:
+        if time.monotonic() - start > deadline_s:
+            proc.kill()
+            proc.wait()
+            raise DeadlineExceeded(
+                f"fleet chaos child ran past {deadline_s:.0f}s before "
+                f"reaching tick {target_tick}"
+            )
+        if os.path.exists(manifest_path):
+            try:
+                with open(manifest_path) as handle:
+                    newest = int(json.load(handle).get("tick", -1))
+            except (OSError, ValueError):
+                pass  # mid-replace; atomic rename makes this transient
+            if newest >= target_tick:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait()
+                return True, newest
+        time.sleep(0.005)
+    proc.wait()
+    return False, newest
+
+
+def _chaos_drill(config: ExperimentConfig,
+                 workdir: str) -> Mapping[str, Any]:
+    """Kill the coordinator mid-run, resume, compare digests."""
+    spec = FleetSpec(
+        nodes=CHAOS_NODES,
+        seed=config.seed,
+        scenario=FleetScenario(ticks=CHAOS_TICKS),
+        checkpoint_interval_ticks=CHAOS_INTERVAL_TICKS,
+    )
+    spec_path = os.path.join(workdir, "chaos-spec.json")
+    with open(spec_path, "w") as handle:
+        handle.write(spec.to_json())
+    supervisor = Supervisor(
+        RetryPolicy(max_attempts=1, deadline_s=CHILD_DEADLINE_S * 4)
+    )
+
+    # Uninterrupted reference (checkpointing on: same code path).
+    ref_json = os.path.join(workdir, "reference.json")
+    supervisor.run_subprocess(
+        _fleet_sim_cmd([
+            "--spec", spec_path,
+            "--checkpoint", os.path.join(workdir, "reference-ck"),
+            "--result-json", ref_json,
+        ]),
+        label="fleet-chaos-reference",
+        timeout_s=CHILD_DEADLINE_S,
+    )
+    with open(ref_json) as handle:
+        reference = json.load(handle)
+
+    # The victim: killed at the second durable checkpoint, deep enough
+    # that churn, the outage window, and stale episodes are in flight.
+    run_dir = os.path.join(workdir, "victim-ck")
+    out_json = os.path.join(workdir, "victim.json")
+    proc = subprocess.Popen(
+        _fleet_sim_cmd([
+            "--spec", spec_path,
+            "--checkpoint", run_dir,
+            "--result-json", out_json,
+        ]),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    killed, newest = _wait_and_kill(
+        proc,
+        os.path.join(run_dir, "manifest.json"),
+        target_tick=2 * CHAOS_INTERVAL_TICKS,
+        deadline_s=CHILD_DEADLINE_S,
+    )
+    supervisor.run_subprocess(
+        _fleet_sim_cmd(["--resume", run_dir, "--result-json", out_json]),
+        label="fleet-chaos-resume",
+        timeout_s=CHILD_DEADLINE_S,
+    )
+    with open(out_json) as handle:
+        resumed = json.load(handle)
+    return {
+        "nodes": CHAOS_NODES,
+        "ticks": CHAOS_TICKS,
+        "interval_ticks": CHAOS_INTERVAL_TICKS,
+        "killed": killed,
+        "killed_after_tick": newest,
+        "identical": resumed == reference,
+        "violation_fraction": resumed["violation_fraction"],
+        "reference_power_sha256": reference["power_sha256"],
+    }
+
+
+def run(config: ExperimentConfig | None = None) -> Mapping[str, Any]:
+    """Scale run + chaos drill; returns the combined data."""
+    config = config or ExperimentConfig(scale=1.0)
+    spec = build_spec(config)
+    result = run_fleet(spec)
+    digest = fleet_result_digest(result)
+    violation = result.budget_violation_fraction()
+    if violation > MAX_VIOLATION_FRACTION:
+        raise ExperimentError(
+            f"budget-violation fraction {violation:.2%} exceeds the "
+            f"{MAX_VIOLATION_FRACTION:.0%} bound at "
+            f"{spec.nodes} nodes"
+        )
+    workdir = tempfile.mkdtemp(prefix="repro-fleet-chaos-")
+    try:
+        chaos = _chaos_drill(config, workdir)
+    finally:
+        import shutil
+
+        shutil.rmtree(workdir, ignore_errors=True)
+    if not chaos["killed"]:
+        raise ExperimentError(
+            "fleet chaos child finished before the SIGKILL landed; "
+            "lower the kill target or raise the tick count"
+        )
+    if not chaos["identical"]:
+        raise ExperimentError(
+            "resumed fleet run diverged from the uninterrupted "
+            "reference (checkpoint state is incomplete)"
+        )
+    if chaos["violation_fraction"] > MAX_VIOLATION_FRACTION:
+        raise ExperimentError(
+            f"post-resume violation fraction "
+            f"{chaos['violation_fraction']:.2%} exceeds the "
+            f"{MAX_VIOLATION_FRACTION:.0%} bound"
+        )
+    return {
+        "nodes": spec.nodes,
+        "ticks": spec.scenario.ticks,
+        "budget_w": spec.budget_w,
+        "violation_fraction": violation,
+        "violation_bound": MAX_VIOLATION_FRACTION,
+        "mean_fleet_power_w": result.mean_fleet_power_w,
+        "demand_satisfaction": result.demand_satisfaction,
+        "crashes": result.crashes,
+        "restarts": result.restarts,
+        "finishes": result.finishes,
+        "stale_episodes": result.stale_episodes,
+        "infeasible_events": result.infeasible_events,
+        "outage_ticks": result.outage_ticks,
+        "degraded_ticks": result.degraded_ticks,
+        "reallocations": result.reallocations,
+        "subtree_reallocations": result.subtree_reallocations,
+        "realloc_latency_mean_s": result.realloc_latency_mean_s,
+        "realloc_latency_p99_s": result.realloc_latency_p99_s,
+        "realloc_latency_max_s": result.realloc_latency_max_s,
+        "wall_s": result.wall_s,
+        "nodes_x_ticks_per_s": result.nodes_x_ticks_per_s,
+        "digest": digest,
+        "chaos": chaos,
+    }
+
+
+def render(data: Mapping[str, Any]) -> str:
+    chaos = data["chaos"]
+    lines = [
+        "Fleet power capping under churn "
+        "(hierarchical budget tree)",
+        "=" * 58,
+        f"fleet            : {data['nodes']} nodes x "
+        f"{data['ticks']} ticks",
+        f"budget           : {data['budget_w']:.0f} W "
+        f"(mean draw {data['mean_fleet_power_w']:.0f} W)",
+        f"violations       : {data['violation_fraction']:.2%} of "
+        f"windows (bound {data['violation_bound']:.0%})",
+        f"demand met       : {data['demand_satisfaction']:.1%} of "
+        f"uncapped demand",
+        f"churn            : {data['crashes']} crashes, "
+        f"{data['restarts']} restarts, {data['finishes']} finishes",
+        f"telemetry        : {data['stale_episodes']} stale episodes, "
+        f"{data['infeasible_events']} infeasible clamps",
+        f"degradation      : {data['outage_ticks']} outage ticks, "
+        f"{data['degraded_ticks']} partition-degraded ticks",
+        f"reallocation     : {data['reallocations']} passes, "
+        f"{data['subtree_reallocations']} subtree re-divisions",
+        f"realloc latency  : mean "
+        f"{data['realloc_latency_mean_s'] * 1e3:.2f} ms, p99 "
+        f"{data['realloc_latency_p99_s'] * 1e3:.2f} ms, max "
+        f"{data['realloc_latency_max_s'] * 1e3:.2f} ms",
+        f"throughput       : {data['nodes_x_ticks_per_s']:,.0f} "
+        f"node-ticks/s ({data['wall_s']:.2f} s wall)",
+        "",
+        "Chaos drill (coordinator SIGKILL + resume)",
+        "-" * 58,
+        f"child            : {chaos['nodes']} nodes x "
+        f"{chaos['ticks']} ticks, checkpoint every "
+        f"{chaos['interval_ticks']}",
+        f"killed           : after durable tick "
+        f"{chaos['killed_after_tick']}",
+        f"resume identical : {chaos['identical']}",
+        f"violations       : {chaos['violation_fraction']:.2%} "
+        f"(bound {data['violation_bound']:.0%})",
+    ]
+    return "\n".join(lines)

@@ -3,14 +3,21 @@
 The paper motivates PerformanceMaximizer with "(i) controlling multiple
 components with shared power supply/cooling resources" and cites Felter
 et al.'s performance-conserving power shifting (its reference [7]).
-This subpackage composes those pieces: several simulated machines, each
-under its own PM instance, with a coordinator that periodically
-redistributes a *total* power budget among them according to an
-allocation policy.
+This subpackage composes those pieces at two scales:
 
 * :mod:`repro.fleet.budget`     -- allocation policies (equal share,
-  demand-proportional water-filling),
-* :mod:`repro.fleet.controller` -- the lock-step fleet run loop.
+  demand-proportional water-filling) with per-child floors and an
+  oversubscription clamp,
+* :mod:`repro.fleet.controller` -- the lock-step fleet run loop (a few
+  full machines, paper-fidelity),
+* :mod:`repro.fleet.hierarchy`  -- the cluster -> rack -> chassis ->
+  node budget tree with event-driven reallocation,
+* :mod:`repro.fleet.store`      -- array-backed node state scaling to
+  10k nodes,
+* :mod:`repro.fleet.scenario`   -- fleet traffic (diurnal, flash
+  crowd, churn, outage, partition) priced from the scenario corpus,
+* :mod:`repro.fleet.cluster`    -- the churn-tolerant hierarchical
+  coordinator with durable checkpoint/resume.
 """
 
 from repro.fleet.budget import (
@@ -19,7 +26,16 @@ from repro.fleet.budget import (
     EqualShare,
     NodeDemand,
 )
+from repro.fleet.cluster import (
+    ClusterResult,
+    FleetSpec,
+    HierarchicalFleetController,
+    run_fleet,
+)
 from repro.fleet.controller import FleetController, FleetResult, NodeResult
+from repro.fleet.hierarchy import BudgetTree, Topology
+from repro.fleet.scenario import FleetScenario, ScenarioEngine
+from repro.fleet.store import NodeState, NodeStore
 
 __all__ = [
     "BudgetAllocator",
@@ -29,4 +45,14 @@ __all__ = [
     "FleetController",
     "FleetResult",
     "NodeResult",
+    "Topology",
+    "BudgetTree",
+    "NodeState",
+    "NodeStore",
+    "FleetScenario",
+    "ScenarioEngine",
+    "FleetSpec",
+    "ClusterResult",
+    "HierarchicalFleetController",
+    "run_fleet",
 ]

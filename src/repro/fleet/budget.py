@@ -7,17 +7,30 @@ counters, not on privileged knowledge).
 
 Two policies:
 
-* :class:`EqualShare` -- the static strawman: budget / live nodes each,
-  regardless of need.  A memory-bound node wastes headroom a compute-
-  bound neighbour could have used.
+* :class:`EqualShare` -- the static strawman: floors first, then the
+  remaining budget split evenly among live nodes regardless of need.  A
+  memory-bound node wastes headroom a compute-bound neighbour could
+  have used.
 * :class:`DemandProportional` -- water-filling: satisfy everyone's
   demand if possible; otherwise grant proportionally to demand, never
   granting more than demand while surplus remains (the Felter-style
   performance-conserving shift).
 
-Every allocation respects two invariants (property-tested): grants sum
-to at most the total budget, and no node receives less than the floor
-needed to run at the lowest p-state.
+Every allocation respects two invariants (property-tested):
+
+1. grants sum to **at most the total budget** -- always, even when the
+   per-node floors do not fit.  A budget tree whose levels may overrun
+   their caps cannot promise anything about the root.
+2. every active node receives at least its floor, **or** the grants are
+   flagged :attr:`Grants.infeasible` and scaled to fit the budget --
+   the oversubscription guard clamps rather than raises, and the caller
+   (the fleet coordinator) decides whether to shed nodes or ride it out.
+
+The same allocators run at every interior level of the hierarchical
+budget tree (:mod:`repro.fleet.hierarchy`): there a "node" is a rack or
+chassis, and :attr:`NodeDemand.floor_w` carries the subtree's aggregate
+floor (floor-per-node times live nodes) instead of the single-machine
+default.
 """
 
 from __future__ import annotations
@@ -35,17 +48,41 @@ MIN_GRANT_W = 4.0
 
 @dataclass(frozen=True)
 class NodeDemand:
-    """One node's standing in an allocation round."""
+    """One node's (or subtree's) standing in an allocation round."""
 
     name: str
     #: Estimated power at full speed for the current workload (W).
     demand_w: float
     #: Whether the node still has work (finished nodes get nothing).
     active: bool = True
+    #: Per-child floor override.  ``None`` means :data:`MIN_GRANT_W`;
+    #: interior tree levels pass the subtree's aggregate floor here.
+    floor_w: float | None = None
 
     def __post_init__(self) -> None:
         if self.demand_w < 0:
             raise GovernorError("demand cannot be negative")
+        if self.floor_w is not None and self.floor_w < 0:
+            raise GovernorError("floor cannot be negative")
+
+    @property
+    def effective_floor_w(self) -> float:
+        """The floor this child is owed (default :data:`MIN_GRANT_W`)."""
+        return MIN_GRANT_W if self.floor_w is None else self.floor_w
+
+
+class Grants(dict):
+    """Per-node power grants with an infeasibility flag.
+
+    A plain ``dict`` (name -> watts) everywhere it is consumed, plus
+    :attr:`infeasible`: True when the budget could not cover every
+    active node's floor and the grants were *clamped* to fit the budget
+    instead of silently overrunning it.
+    """
+
+    def __init__(self, grants=(), infeasible: bool = False):
+        super().__init__(grants)
+        self.infeasible = infeasible
 
 
 class BudgetAllocator(abc.ABC):
@@ -54,7 +91,7 @@ class BudgetAllocator(abc.ABC):
     @abc.abstractmethod
     def allocate(
         self, total_budget_w: float, demands: Sequence[NodeDemand]
-    ) -> Mapping[str, float]:
+    ) -> Grants:
         """Return per-node power grants (W), keyed by node name."""
 
     @staticmethod
@@ -67,28 +104,63 @@ class BudgetAllocator(abc.ABC):
         if len(set(names)) != len(names):
             raise GovernorError(f"duplicate node names: {names}")
 
+    @staticmethod
+    def _floors_or_clamp(
+        total_budget_w: float, active: Sequence[NodeDemand]
+    ) -> tuple[Grants | None, float]:
+        """Grant every floor, or clamp proportionally when they don't fit.
+
+        Returns ``(clamped_grants, remaining)``: when the floors fit,
+        ``clamped_grants`` is None and ``remaining`` is the budget left
+        after the floors; when they don't, ``clamped_grants`` is the
+        final infeasible allocation (scaled to sum exactly to the
+        budget) and the caller must return it unchanged.
+        """
+        floor_total = sum(d.effective_floor_w for d in active)
+        if floor_total <= total_budget_w + 1e-12:
+            return None, total_budget_w - floor_total
+        # Oversubscribed: floor x live-nodes exceeds the budget.  Scale
+        # every floor down by the same factor so the sum hits the
+        # budget exactly, and surface the infeasibility to the caller.
+        if floor_total <= 0:
+            scale = 0.0
+        else:
+            scale = total_budget_w / floor_total
+        grants = Grants(infeasible=True)
+        for demand in active:
+            grants[demand.name] = demand.effective_floor_w * scale
+        return grants, 0.0
+
 
 class EqualShare(BudgetAllocator):
-    """Budget / active-nodes each; inactive nodes get zero."""
+    """Floors first, then an equal split; inactive nodes get zero."""
 
     def allocate(
         self, total_budget_w: float, demands: Sequence[NodeDemand]
-    ) -> Mapping[str, float]:
+    ) -> Grants:
         self._check(total_budget_w, demands)
         active = [d for d in demands if d.active]
-        grants = {d.name: 0.0 for d in demands}
+        grants = Grants({d.name: 0.0 for d in demands})
         if not active:
             return grants
-        share = total_budget_w / len(active)
+        clamped, remaining = self._floors_or_clamp(total_budget_w, active)
+        if clamped is not None:
+            clamped.update(
+                {d.name: clamped.get(d.name, 0.0) for d in demands}
+            )
+            return clamped
+        bonus = remaining / len(active)
         for demand in active:
-            grants[demand.name] = max(share, MIN_GRANT_W)
+            grants[demand.name] = demand.effective_floor_w + bonus
         return grants
 
 
 class DemandProportional(BudgetAllocator):
     """Water-filling by demand with a per-node floor.
 
-    1. every active node gets the floor (:data:`MIN_GRANT_W`);
+    1. every active node gets its floor (:data:`MIN_GRANT_W` unless the
+       demand carries a subtree floor) -- or, when the floors exceed the
+       budget, a proportionally clamped share flagged infeasible;
     2. remaining budget is granted up to demand, proportionally to the
        unmet demand, iterating so no node exceeds its demand while
        another is still short (classic water-filling);
@@ -98,16 +170,20 @@ class DemandProportional(BudgetAllocator):
 
     def allocate(
         self, total_budget_w: float, demands: Sequence[NodeDemand]
-    ) -> Mapping[str, float]:
+    ) -> Grants:
         self._check(total_budget_w, demands)
-        grants = {d.name: 0.0 for d in demands}
+        grants = Grants({d.name: 0.0 for d in demands})
         active = [d for d in demands if d.active]
         if not active:
             return grants
-
+        clamped, remaining = self._floors_or_clamp(total_budget_w, active)
+        if clamped is not None:
+            clamped.update(
+                {d.name: clamped.get(d.name, 0.0) for d in demands}
+            )
+            return clamped
         for demand in active:
-            grants[demand.name] = MIN_GRANT_W
-        remaining = total_budget_w - MIN_GRANT_W * len(active)
+            grants[demand.name] = demand.effective_floor_w
         if remaining <= 0:
             return grants
 

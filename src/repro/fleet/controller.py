@@ -37,10 +37,11 @@ from repro.core.models.power import LinearPowerModel
 from repro.core.models.projection import project_dpc
 from repro.core.sampling import CounterSampler
 from repro.errors import ExperimentError
-from repro.fleet.budget import BudgetAllocator, NodeDemand
+from repro.fleet.budget import BudgetAllocator, MIN_GRANT_W, NodeDemand
 from repro.measurement.power_meter import PowerMeter
 from repro.platform.machine import Machine, MachineConfig
 from repro.telemetry.bus import (
+    BudgetInfeasible,
     BudgetReallocated,
     FaultRecovered,
     NodeCrashed,
@@ -77,6 +78,13 @@ class FleetResult:
     #: (time, total measured fleet power) per tick.
     power_series: tuple[tuple[float, float], ...]
     makespan_s: float
+    #: True when the run ended without completing its mission: the time
+    #: budget expired (lock-step fleet) or the coordinator spent part of
+    #: the run in partition-degraded mode (hierarchical fleet).
+    degraded: bool = False
+    #: Ticks spent operating degraded: unreachable subtrees frozen at
+    #: last-granted caps minus the safety margin.
+    degraded_ticks: int = 0
 
     @property
     def total_instructions(self) -> float:
@@ -213,8 +221,15 @@ class _Node:
             return self.meter.samples[-1].watts
         return record.mean_power_w
 
-    def demand(self, model: LinearPowerModel) -> NodeDemand:
-        """Estimated full-speed power need from the node's own counters."""
+    def demand(
+        self, model: LinearPowerModel, headroom_w: float = 0.5
+    ) -> NodeDemand:
+        """Estimated full-speed power need from the node's own counters.
+
+        ``headroom_w`` is added on top of the Eq. 4/Eq. 2 estimate as a
+        burst allowance (the estimate is a projection of the *last*
+        interval; workloads like galgel overshoot it).
+        """
         if self.finished or self.crashed:
             return NodeDemand(self.name, 0.0, active=False)
         table = self.machine.config.table
@@ -223,7 +238,7 @@ class _Node:
             self.last_dpc, current.frequency_mhz, table.fastest.frequency_mhz
         )
         estimate = model.estimate(table.fastest, dpc_at_top)
-        return NodeDemand(self.name, estimate + 0.5, active=True)
+        return NodeDemand(self.name, estimate + headroom_w, active=True)
 
 
 class FleetController:
@@ -240,6 +255,7 @@ class FleetController:
         telemetry: TelemetryRecorder | None = None,
         injector: "FaultInjector | None" = None,
         checkpoint_interval_s: float | None = None,
+        demand_headroom_w: float = 0.5,
     ):
         if total_budget_w <= 0:
             raise ExperimentError("fleet budget must be positive")
@@ -249,6 +265,8 @@ class FleetController:
             raise ExperimentError(
                 "fleet checkpoint interval must be positive"
             )
+        if demand_headroom_w < 0:
+            raise ExperimentError("demand headroom must be non-negative")
         self._model = model
         self._budget = total_budget_w
         self._allocator = allocator
@@ -256,6 +274,10 @@ class FleetController:
         self._telemetry = telemetry
         self._injector = injector
         self._checkpoint_interval_s = checkpoint_interval_s
+        self._headroom_w = demand_headroom_w
+        #: Crashes whose budget share has not yet been re-divided; the
+        #: reallocation that actually moves the budget reports them.
+        self._pending_redistributions = 0
         #: Latest per-node snapshot (in-memory; populated during run()).
         self._snapshots: dict[str, bytes] = {}
         self._nodes = [
@@ -302,6 +324,11 @@ class FleetController:
             if injector.node_crashes(node.name, now):
                 node.crash(now, injector.node_restart_delay_s)
                 changed = True
+                # The dead node's share has not moved anywhere yet; the
+                # forced reallocation this triggers emits the
+                # ``redistribute`` recovery once the budget actually
+                # shifts to the survivors.
+                self._pending_redistributions += 1
                 if instrumented:
                     tel.emit(
                         NodeCrashed(
@@ -310,17 +337,15 @@ class FleetController:
                             restart_at_s=node.restart_at_s,
                         )
                     )
-                    tel.emit(
-                        FaultRecovered(
-                            time_s=now,
-                            subsystem="fleet",
-                            action="redistribute",
-                        )
-                    )
         return changed
 
     def run(self, max_seconds: float = 600.0) -> FleetResult:
-        """Run until every node finishes; returns fleet-level results."""
+        """Run until every node finishes; returns fleet-level results.
+
+        A run that exhausts ``max_seconds`` is not discarded: the loop
+        stops and the partial result comes back flagged ``degraded`` --
+        unfinished nodes report the work they *did* complete.
+        """
         power_series: list[tuple[float, float]] = []
         now = 0.0
         next_reallocation = 0.0
@@ -335,13 +360,15 @@ class FleetController:
         interval = self._checkpoint_interval_s
         self._snapshots = {}
         next_checkpoint = 0.0
+        timed_out = False
         if instrumented:
             reallocations_counter = tel.metrics.counter("fleet.reallocations")
             active_gauge = tel.metrics.gauge("fleet.active_nodes")
 
         while any(n.runnable for n in self._nodes):
             if now > max_seconds:
-                raise ExperimentError("fleet exceeded its time budget")
+                timed_out = True
+                break
 
             if interval is not None and now >= next_checkpoint - 1e-12:
                 # Snapshot before faults fire this tick, so a crash at
@@ -355,7 +382,10 @@ class FleetController:
                 force_reallocation |= self._step_node_faults(now, instrumented)
 
             if force_reallocation or now >= next_reallocation - 1e-12:
-                demands = [n.demand(self._model) for n in self._nodes]
+                demands = [
+                    n.demand(self._model, self._headroom_w)
+                    for n in self._nodes
+                ]
                 grants = self._allocator.allocate(self._budget, demands)
                 for node in self._nodes:
                     grant = grants[node.name]
@@ -364,6 +394,8 @@ class FleetController:
                 if now >= next_reallocation - 1e-12:
                     next_reallocation += self._period
                 force_reallocation = False
+                redistributed = self._pending_redistributions
+                self._pending_redistributions = 0
                 if instrumented:
                     active = sum(1 for d in demands if d.active)
                     reallocations_counter.inc()
@@ -375,8 +407,29 @@ class FleetController:
                             demands_w={d.name: d.demand_w for d in demands},
                             grants_w=dict(grants),
                             active_nodes=active,
+                            headroom_w=self._headroom_w,
                         )
                     )
+                    # Crashed nodes' shares actually moved in *this*
+                    # allocation round: report the redistribution now.
+                    for _ in range(redistributed):
+                        tel.emit(
+                            FaultRecovered(
+                                time_s=now,
+                                subsystem="fleet",
+                                action="redistribute",
+                            )
+                        )
+                    if getattr(grants, "infeasible", False):
+                        tel.emit(
+                            BudgetInfeasible(
+                                time_s=now,
+                                subtree="fleet",
+                                cap_w=self._budget,
+                                floor_w=MIN_GRANT_W,
+                                live_nodes=active,
+                            )
+                        )
 
             total = 0.0
             for node in self._nodes:
@@ -414,4 +467,5 @@ class FleetController:
             nodes=nodes,
             power_series=tuple(power_series),
             makespan_s=now,
+            degraded=timed_out,
         )

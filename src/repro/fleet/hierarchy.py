@@ -1,0 +1,479 @@
+"""Hierarchical budget tree: cluster -> rack -> chassis -> node.
+
+The paper's power-shifting situation (i) scales past a handful of
+machines only as a *tree*: a cluster cap divided among racks, each rack
+cap among its chassis, each chassis cap among its nodes -- exactly how
+RAPL-style capping stacks deploy.  Each interior level runs a
+:class:`~repro.fleet.budget.BudgetAllocator` over its children (a child
+is a rack or chassis whose demand is the bottom-up aggregate of its
+subtree and whose floor is floor-per-node times live nodes); the leaf
+level is a vectorized water-fill over the chassis's node slice.
+
+Two invariants hold at every level, checkable at any time with
+:meth:`BudgetTree.check_invariants`:
+
+1. the grants of every subtree's children sum to at most the subtree's
+   cap (so the root never overruns the cluster budget);
+2. every live child receives at least its floor, or the level's grants
+   were clamped proportionally and the infeasibility surfaced (the
+   oversubscription guard clamps rather than raises).
+
+Reallocation is **event-driven**: callers pass the set of dirty
+subtrees (touched by crash / finish / restart / demand-delta / outage
+events) and only those levels re-run their allocator; an untouched
+subtree keeps its caps bit-for-bit.  A whole-rack outage therefore
+shifts the rack's share to its sibling racks in a single cluster-level
+event instead of waiting for a polling sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.fleet.budget import BudgetAllocator, MIN_GRANT_W, NodeDemand
+
+#: Cap changes below this are noise, not events (W).
+_CAP_EPSILON_W = 1e-6
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A regular cluster -> rack -> chassis -> node shape.
+
+    ``n_nodes`` may be less than the tree's capacity (the last chassis
+    is then partially filled and trailing chassis may be empty); node
+    ``i`` lives in chassis ``i // nodes_per_chassis``.
+    """
+
+    racks: int
+    chassis_per_rack: int
+    nodes_per_chassis: int
+    n_nodes: int = 0  # 0 = full capacity
+
+    def __post_init__(self) -> None:
+        if min(self.racks, self.chassis_per_rack,
+               self.nodes_per_chassis) < 1:
+            raise ExperimentError("topology dimensions must be >= 1")
+        if self.n_nodes == 0:
+            object.__setattr__(self, "n_nodes", self.capacity)
+        if not 0 < self.n_nodes <= self.capacity:
+            raise ExperimentError(
+                f"n_nodes {self.n_nodes} outside 1..{self.capacity} "
+                f"(tree capacity)"
+            )
+
+    @property
+    def capacity(self) -> int:
+        return self.racks * self.chassis_per_rack * self.nodes_per_chassis
+
+    @property
+    def n_chassis(self) -> int:
+        return self.racks * self.chassis_per_rack
+
+    @cached_property
+    def chassis_of_node(self) -> np.ndarray:
+        return np.arange(self.n_nodes) // self.nodes_per_chassis
+
+    @cached_property
+    def rack_of_chassis(self) -> np.ndarray:
+        return np.arange(self.n_chassis) // self.chassis_per_rack
+
+    @cached_property
+    def rack_of_node(self) -> np.ndarray:
+        return self.chassis_of_node // self.chassis_per_rack
+
+    def chassis_slice(self, chassis: int) -> slice:
+        """Node ids of one chassis (contiguous by construction).
+
+        Trailing chassis past ``n_nodes`` yield empty slices.
+        """
+        start = min(chassis * self.nodes_per_chassis, self.n_nodes)
+        return slice(start, min(start + self.nodes_per_chassis,
+                                self.n_nodes))
+
+    def rack_chassis_slice(self, rack: int) -> slice:
+        """Chassis ids of one rack (contiguous by construction)."""
+        start = rack * self.chassis_per_rack
+        return slice(start, start + self.chassis_per_rack)
+
+    def rack_node_slice(self, rack: int) -> slice:
+        """Node ids of one rack (empty for racks past ``n_nodes``)."""
+        per_rack = self.chassis_per_rack * self.nodes_per_chassis
+        start = min(rack * per_rack, self.n_nodes)
+        return slice(start, min(start + per_rack, self.n_nodes))
+
+    def rack_name(self, rack: int) -> str:
+        return f"rack-{rack:02d}"
+
+    def chassis_name(self, chassis: int) -> str:
+        rack, local = divmod(chassis, self.chassis_per_rack)
+        return f"rack-{rack:02d}/ch-{local:02d}"
+
+    def node_name(self, node: int) -> str:
+        chassis, slot = divmod(node, self.nodes_per_chassis)
+        rack, local = divmod(chassis, self.chassis_per_rack)
+        return f"r{rack:02d}.c{local:02d}.n{slot:02d}"
+
+    @classmethod
+    def for_nodes(cls, n: int) -> "Topology":
+        """A near-balanced tree for ``n`` nodes.
+
+        Chassis size grows with the fleet (4 -> 8 -> 16 -> 25 nodes)
+        and racks/chassis split the remainder close to square, so both
+        interior levels keep allocator-friendly fan-outs (a few dozen
+        children at most).
+        """
+        if n < 1:
+            raise ExperimentError("fleet needs at least one node")
+        if n >= 5000:
+            per_chassis = 25
+        elif n >= 256:
+            per_chassis = 16
+        elif n >= 32:
+            per_chassis = 8
+        else:
+            per_chassis = 4
+        chassis = math.ceil(n / per_chassis)
+        per_rack = max(1, math.ceil(math.sqrt(chassis)))
+        racks = math.ceil(chassis / per_rack)
+        return cls(racks, per_rack, per_chassis, n_nodes=n)
+
+
+def waterfill(
+    cap_w: float, demands: np.ndarray, floor_w: float
+) -> tuple[np.ndarray, bool]:
+    """Vectorized demand-proportional water-fill with a per-node floor.
+
+    The array twin of :class:`~repro.fleet.budget.DemandProportional`:
+    floors first (clamped proportionally when they do not fit -- the
+    returned flag reports the infeasibility), then budget granted up to
+    demand proportionally to unmet demand, then any surplus spread
+    equally.  Grants always sum to at most ``cap_w``.
+    """
+    n = demands.size
+    if n == 0:
+        return np.zeros(0), False
+    if cap_w <= 0:
+        return np.zeros(n), True
+    floor_total = floor_w * n
+    if floor_total > cap_w + 1e-12:
+        return np.full(n, cap_w / n), True
+    grants = np.full(n, float(floor_w))
+    remaining = cap_w - floor_total
+    unmet = np.maximum(demands - grants, 0.0)
+    for _ in range(64):
+        short = unmet > 1e-9
+        if not short.any() or remaining <= 1e-9:
+            break
+        total_unmet = unmet[short].sum()
+        pool = min(remaining, total_unmet)
+        add = np.minimum(unmet[short], pool * unmet[short] / total_unmet)
+        grants[short] += add
+        unmet[short] -= add
+        remaining -= add.sum()
+        if not (unmet[short] <= 1e-9).any():
+            break
+    if remaining > 1e-9:
+        grants += remaining / n
+    return grants, False
+
+
+def equal_fill(
+    cap_w: float, demands: np.ndarray, floor_w: float
+) -> tuple[np.ndarray, bool]:
+    """Vectorized equal-share fill (the static strawman leaf policy)."""
+    n = demands.size
+    if n == 0:
+        return np.zeros(0), False
+    if cap_w <= 0:
+        return np.zeros(n), True
+    floor_total = floor_w * n
+    if floor_total > cap_w + 1e-12:
+        return np.full(n, cap_w / n), True
+    return np.full(n, cap_w / n), False
+
+
+_LEAF_POLICIES: Mapping[str, Callable] = {
+    "demand": waterfill,
+    "equal": equal_fill,
+}
+
+
+@dataclass
+class ReallocationStats:
+    """What one event-driven reallocation pass actually touched."""
+
+    cluster: bool = False
+    racks: int = 0
+    chassis: int = 0
+    #: (subtree name, cap, floor, live children) per clamped level.
+    infeasible: list = None
+
+    def __post_init__(self) -> None:
+        if self.infeasible is None:
+            self.infeasible = []
+
+    @property
+    def touched(self) -> bool:
+        return self.cluster or self.racks > 0 or self.chassis > 0
+
+
+class BudgetTree:
+    """The cap tree and its event-driven reallocation pass.
+
+    Interior caps live here (``rack_cap_w``, ``chassis_cap_w``); leaf
+    grants are written into the caller's per-node array.  The tree
+    never raises on oversubscription -- it clamps and records.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        budget_w: float,
+        allocator: BudgetAllocator,
+        floor_w: float = MIN_GRANT_W,
+        leaf_policy: str = "demand",
+    ):
+        if budget_w <= 0:
+            raise ExperimentError("cluster budget must be positive")
+        if leaf_policy not in _LEAF_POLICIES:
+            raise ExperimentError(
+                f"unknown leaf policy {leaf_policy!r}; "
+                f"expected one of {sorted(_LEAF_POLICIES)}"
+            )
+        self.topology = topology
+        self.budget_w = float(budget_w)
+        self.allocator = allocator
+        self.floor_w = float(floor_w)
+        self.leaf_policy = leaf_policy
+        self._leaf_fill = _LEAF_POLICIES[leaf_policy]
+        self.rack_cap_w = np.zeros(topology.racks)
+        self.chassis_cap_w = np.zeros(topology.n_chassis)
+
+    # -- one event-driven pass -------------------------------------------------
+
+    def reallocate(
+        self,
+        demand_w: np.ndarray,
+        active: np.ndarray,
+        grant_w: np.ndarray,
+        dirty_chassis: Iterable[int] = (),
+        dirty_racks: Iterable[int] = (),
+        dirty_cluster: bool = False,
+        frozen_racks: Mapping[int, float] | None = None,
+    ) -> ReallocationStats:
+        """Re-divide caps for the dirty subtrees only.
+
+        ``demand_w`` is the coordinator's effective per-node demand
+        (headroom included, floors for dark nodes, zero for inactive);
+        ``active`` marks nodes that must be granted power; ``grant_w``
+        is updated in place for nodes under reallocated chassis.
+        ``frozen_racks`` maps partition-degraded racks to their frozen
+        reserve: those subtrees are excluded from the allocator and
+        their caps/grants left untouched.
+        """
+        topo = self.topology
+        frozen = dict(frozen_racks or {})
+        stats = ReallocationStats()
+        dirty_racks = set(dirty_racks) - set(frozen)
+        dirty_chassis = set(dirty_chassis)
+
+        chassis_demand = np.bincount(
+            topo.chassis_of_node, weights=np.where(active, demand_w, 0.0),
+            minlength=topo.n_chassis,
+        )
+        chassis_live = np.bincount(
+            topo.chassis_of_node, weights=active.astype(float),
+            minlength=topo.n_chassis,
+        )
+        chassis_floor = self.floor_w * chassis_live
+
+        if dirty_cluster:
+            stats.cluster = True
+            rack_demand = np.bincount(
+                topo.rack_of_chassis, weights=chassis_demand,
+                minlength=topo.racks,
+            )
+            rack_floor = np.bincount(
+                topo.rack_of_chassis, weights=chassis_floor,
+                minlength=topo.racks,
+            )
+            rack_live = np.bincount(
+                topo.rack_of_chassis, weights=chassis_live,
+                minlength=topo.racks,
+            )
+            new_caps = self._allocate_level(
+                "cluster",
+                self.budget_w - sum(frozen.values()),
+                names=[topo.rack_name(r) for r in range(topo.racks)],
+                demands=rack_demand,
+                floors=rack_floor,
+                active=(rack_live > 0),
+                skip=set(frozen),
+                live=rack_live,
+                stats=stats,
+            )
+            for r in range(topo.racks):
+                if r in frozen:
+                    continue
+                if abs(new_caps[r] - self.rack_cap_w[r]) > _CAP_EPSILON_W:
+                    dirty_racks.add(r)
+                self.rack_cap_w[r] = new_caps[r]
+
+        for rack in sorted(dirty_racks):
+            stats.racks += 1
+            sl = topo.rack_chassis_slice(rack)
+            chassis_ids = range(sl.start, sl.stop)
+            new_caps = self._allocate_level(
+                topo.rack_name(rack),
+                self.rack_cap_w[rack],
+                names=[topo.chassis_name(c) for c in chassis_ids],
+                demands=chassis_demand[sl],
+                floors=chassis_floor[sl],
+                active=(chassis_live[sl] > 0),
+                skip=set(),
+                live=chassis_live[sl],
+                stats=stats,
+            )
+            for offset, chassis in enumerate(chassis_ids):
+                if (abs(new_caps[offset] - self.chassis_cap_w[chassis])
+                        > _CAP_EPSILON_W):
+                    dirty_chassis.add(chassis)
+                self.chassis_cap_w[chassis] = new_caps[offset]
+
+        frozen_chassis = {
+            c
+            for r in frozen
+            for c in range(topo.rack_chassis_slice(r).start,
+                           topo.rack_chassis_slice(r).stop)
+        }
+        for chassis in sorted(dirty_chassis - frozen_chassis):
+            stats.chassis += 1
+            sl = topo.chassis_slice(chassis)
+            mask = active[sl]
+            grants = np.zeros(sl.stop - sl.start)
+            if mask.any():
+                filled, infeasible = self._leaf_fill(
+                    self.chassis_cap_w[chassis],
+                    demand_w[sl][mask],
+                    self.floor_w,
+                )
+                grants[mask] = filled
+                if infeasible:
+                    stats.infeasible.append((
+                        topo.chassis_name(chassis),
+                        float(self.chassis_cap_w[chassis]),
+                        self.floor_w,
+                        int(mask.sum()),
+                    ))
+            grant_w[sl] = grants
+        return stats
+
+    def _allocate_level(
+        self,
+        level_name: str,
+        cap_w: float,
+        names: Sequence[str],
+        demands: np.ndarray,
+        floors: np.ndarray,
+        active: np.ndarray,
+        skip: set,
+        live: np.ndarray,
+        stats: ReallocationStats,
+    ) -> np.ndarray:
+        """One interior level through the configured BudgetAllocator."""
+        n = len(names)
+        caps = np.zeros(n)
+        children = [
+            NodeDemand(
+                names[i],
+                float(demands[i]),
+                active=bool(active[i]) and i not in skip,
+                floor_w=float(floors[i]),
+            )
+            for i in range(n)
+        ]
+        if cap_w <= 0 or not any(c.active for c in children):
+            if any(c.active for c in children):
+                stats.infeasible.append(
+                    (level_name, float(cap_w), float(floors.sum()),
+                     int(live.sum()))
+                )
+            return caps
+        grants = self.allocator.allocate(cap_w, children)
+        if getattr(grants, "infeasible", False):
+            stats.infeasible.append(
+                (level_name, float(cap_w), float(floors.sum()),
+                 int(live.sum()))
+            )
+        for i, name in enumerate(names):
+            if i not in skip:
+                caps[i] = grants.get(name, 0.0)
+        return caps
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_invariants(
+        self,
+        grant_w: np.ndarray,
+        active: np.ndarray,
+        frozen_racks: Mapping[int, float] | None = None,
+        tolerance_w: float = 1e-6,
+    ) -> list[str]:
+        """Every violated tree invariant, as human-readable strings.
+
+        An empty list means: rack caps sum to <= the cluster budget,
+        each rack's chassis caps sum to <= the rack cap, and each
+        chassis's node grants sum to <= the chassis cap.  Frozen
+        (partitioned) racks are checked against their frozen reserve.
+        """
+        topo = self.topology
+        frozen = dict(frozen_racks or {})
+        problems: list[str] = []
+        rack_total = sum(
+            frozen.get(r, self.rack_cap_w[r]) for r in range(topo.racks)
+        )
+        if rack_total > self.budget_w + tolerance_w:
+            problems.append(
+                f"rack caps sum {rack_total:.6f} W > cluster budget "
+                f"{self.budget_w:.6f} W"
+            )
+        for rack in range(topo.racks):
+            sl = topo.rack_chassis_slice(rack)
+            total = self.chassis_cap_w[sl].sum()
+            cap = frozen.get(rack, self.rack_cap_w[rack])
+            if total > cap + tolerance_w:
+                problems.append(
+                    f"{topo.rack_name(rack)}: chassis caps sum "
+                    f"{total:.6f} W > rack cap {cap:.6f} W"
+                )
+        chassis_grant = np.bincount(
+            topo.chassis_of_node, weights=grant_w,
+            minlength=topo.n_chassis,
+        )
+        over = chassis_grant > self.chassis_cap_w + tolerance_w
+        for chassis in np.flatnonzero(over):
+            problems.append(
+                f"{topo.chassis_name(int(chassis))}: node grants sum "
+                f"{chassis_grant[chassis]:.6f} W > chassis cap "
+                f"{self.chassis_cap_w[chassis]:.6f} W"
+            )
+        return problems
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "rack_cap_w": self.rack_cap_w.copy(),
+            "chassis_cap_w": self.chassis_cap_w.copy(),
+        }
+
+    def load_state(self, state: Mapping[str, np.ndarray]) -> None:
+        self.rack_cap_w[:] = state["rack_cap_w"]
+        self.chassis_cap_w[:] = state["chassis_cap_w"]

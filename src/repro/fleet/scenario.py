@@ -1,0 +1,216 @@
+"""Fleet traffic scenarios: what ten thousand nodes want to draw.
+
+The PR-6 scenario corpus describes single-node workloads as counter
+traces; a *fleet* scenario stamps those traces across a cluster with
+the shapes that make capping hard in production:
+
+* a **diurnal envelope** -- fleet-wide demand swings day/night;
+* a **flash crowd** -- web-serving nodes spike together mid-run, the
+  moment a naive allocator double-books the budget;
+* seeded per-node diversity (template choice, phase offset, amplitude)
+  so no two nodes are bit-identical yet every run reproduces exactly;
+* churn rates (crash / restart / finish) and telemetry-loss rates that
+  the cluster coordinator consumes, plus one scheduled whole-rack
+  outage window and one coordinator-side network partition window.
+
+The engine prices each corpus trace into Watts through the paper's
+linear power model at the fastest P-state, so node demand is "what the
+node would draw uncapped" in the same units the budget tree divides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.core.models.power import LinearPowerModel
+from repro.errors import ExperimentError
+from repro.traces.corpus import corpus_trace
+
+#: Mix entries are (corpus scenario name, weight).
+DEFAULT_MIX: tuple[tuple[str, float], ...] = (
+    ("web-diurnal", 0.45),
+    ("web-flash-crowd", 0.20),
+    ("etl-scan-heavy", 0.10),
+    ("infer-batch", 0.15),
+    ("desktop-editing", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Everything that shapes fleet demand and fleet failures.
+
+    Fractions (``*_frac``) are relative to the run length so the same
+    scenario scales from a CI smoke run to a long benchmark run.  All
+    randomness derives from the controller's seed, never from these
+    parameters.
+    """
+
+    ticks: int = 360
+    tick_s: float = 1.0
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+    corpus_seed: int = 0
+    #: Per-node demand amplitude is lognormal(0, amp_sigma).
+    amp_sigma: float = 0.10
+    #: Multiplicative measurement noise on draw.
+    noise_sigma: float = 0.01
+    # Diurnal envelope over the whole fleet.
+    diurnal_period_ticks: int = 240
+    diurnal_depth: float = 0.35
+    # Flash crowd hits web-family nodes only.
+    flash_start_frac: float = 0.55
+    flash_duration_frac: float = 0.08
+    flash_magnitude: float = 1.60
+    # Churn (per-node, per-second hazard rates).
+    crash_rate_per_node_s: float = 2e-4
+    restart_delay_s: float = 20.0
+    restart_jitter_s: float = 10.0
+    #: Fraction of nodes that finish for good during the run.
+    finish_frac: float = 0.02
+    # Telemetry loss (stale demand) episodes.
+    telemetry_loss_rate_per_node_s: float = 5e-4
+    telemetry_loss_duration_s: float = 40.0
+    # One whole-rack outage window.
+    rack_outage_at_frac: float = 0.35
+    rack_outage_duration_frac: float = 0.15
+    # One coordinator-side partition window (a different rack).
+    partition_at_frac: float = 0.70
+    partition_duration_frac: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ExperimentError("scenario needs at least one tick")
+        if self.tick_s <= 0:
+            raise ExperimentError("tick_s must be positive")
+        if not self.mix:
+            raise ExperimentError("scenario mix must not be empty")
+        if any(w < 0 for _, w in self.mix) or sum(
+                w for _, w in self.mix) <= 0:
+            raise ExperimentError("mix weights must be non-negative "
+                                  "with a positive sum")
+
+    @property
+    def duration_s(self) -> float:
+        return self.ticks * self.tick_s
+
+    def window_ticks(self, at_frac: float,
+                     duration_frac: float) -> tuple[int, int]:
+        """A scheduled window as [start, end) tick indices."""
+        start = int(round(at_frac * self.ticks))
+        end = start + max(1, int(round(duration_frac * self.ticks)))
+        return start, min(end, self.ticks)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["mix"] = [list(entry) for entry in self.mix]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetScenario":
+        payload = dict(data)
+        payload["mix"] = tuple(
+            (str(name), float(weight)) for name, weight in payload["mix"]
+        )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class _Template:
+    """One corpus trace priced into per-tick Watts."""
+
+    name: str
+    family: str
+    demand_w: np.ndarray = field(repr=False)
+
+
+class ScenarioEngine:
+    """Deterministic per-tick fleet demand for one scenario + seed.
+
+    Demand for node ``i`` at tick ``t`` is its template's priced trace,
+    cycled with a per-node phase, scaled by a per-node amplitude, the
+    fleet-wide diurnal envelope and (for web-family nodes inside the
+    flash window) the flash-crowd multiplier.
+    """
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        n_nodes: int,
+        seed: int,
+        model: LinearPowerModel | None = None,
+    ):
+        self.scenario = scenario
+        self.n_nodes = n_nodes
+        model = model or LinearPowerModel.paper_model()
+        fastest = pentium_m_755_table().fastest
+
+        templates: list[_Template] = []
+        for name, _weight in scenario.mix:
+            trace = corpus_trace(name, seed=scenario.corpus_seed)
+            priced = np.array([
+                model.estimate(fastest, interval.dpc)
+                for interval in trace.intervals
+            ])
+            templates.append(
+                _Template(name=name, family=name.split("-")[0],
+                          demand_w=priced)
+            )
+        self.templates: Sequence[_Template] = tuple(templates)
+
+        weights = np.array([w for _, w in scenario.mix], dtype=float)
+        rng = np.random.default_rng([seed, 101])
+        self.template_of_node = rng.choice(
+            len(templates), size=n_nodes, p=weights / weights.sum()
+        )
+        lengths = np.array([t.demand_w.size for t in templates])
+        self.phase_of_node = rng.integers(0, lengths[self.template_of_node])
+        self.amp_of_node = rng.lognormal(
+            0.0, scenario.amp_sigma, size=n_nodes)
+        self.web_mask = np.array([
+            templates[k].family == "web" for k in self.template_of_node
+        ])
+
+        # Flat template table for one-gather demand lookup.
+        self._flat = np.concatenate([t.demand_w for t in templates])
+        bases = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        self._base_of_node = bases[self.template_of_node]
+        self._len_of_node = lengths[self.template_of_node]
+        self._flash_window = scenario.window_ticks(
+            scenario.flash_start_frac, scenario.flash_duration_frac)
+
+    def template_name(self, node: int) -> str:
+        return self.templates[int(self.template_of_node[node])].name
+
+    def diurnal_factor(self, tick: int) -> float:
+        theta = 2.0 * math.pi * tick / self.scenario.diurnal_period_ticks
+        return 1.0 - self.scenario.diurnal_depth * 0.5 * (
+            1.0 - math.cos(theta))
+
+    def in_flash(self, tick: int) -> bool:
+        start, end = self._flash_window
+        return start <= tick < end
+
+    def demands(self, tick: int) -> np.ndarray:
+        """Uncapped per-node demand (W) at one tick."""
+        idx = self._base_of_node + (tick + self.phase_of_node) \
+            % self._len_of_node
+        demand = self._flat[idx] * self.amp_of_node
+        demand = demand * self.diurnal_factor(tick)
+        if self.in_flash(tick):
+            demand = np.where(
+                self.web_mask,
+                demand * self.scenario.flash_magnitude,
+                demand,
+            )
+        return demand
+
+    def peak_demand_w(self) -> float:
+        """Upper bound on any single node's demand (for sizing budgets)."""
+        peak = max(float(t.demand_w.max()) for t in self.templates)
+        return (peak * float(self.amp_of_node.max())
+                * self.scenario.flash_magnitude)

@@ -23,6 +23,7 @@ instrumentation work, so telemetry costs nothing when off.
 """
 
 from repro.telemetry.bus import (
+    BudgetInfeasible,
     BudgetReallocated,
     ConstraintChanged,
     DecisionMade,
@@ -33,11 +34,14 @@ from repro.telemetry.bus import (
     NodeCrashed,
     NodeFinished,
     NodeRestarted,
+    PartitionDegraded,
     PStateTransition,
     RunFinished,
     RunStarted,
     SampleTaken,
     SubscriberFailure,
+    SubtreeOutage,
+    SubtreeReallocated,
     TelemetryEvent,
     TickCompleted,
     WatchdogTripped,
@@ -80,6 +84,10 @@ __all__ = [
     "ConstraintChanged",
     "RunFinished",
     "BudgetReallocated",
+    "SubtreeReallocated",
+    "SubtreeOutage",
+    "PartitionDegraded",
+    "BudgetInfeasible",
     "NodeFinished",
     "FaultInjected",
     "FaultRecovered",

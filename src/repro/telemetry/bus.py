@@ -134,14 +134,89 @@ class RunFinished(TelemetryEvent):
 
 @dataclass(frozen=True)
 class BudgetReallocated(TelemetryEvent):
-    """The fleet coordinator re-divided the shared power budget."""
+    """The fleet coordinator re-divided the shared power budget.
+
+    ``headroom_w`` is the per-node demand headroom the coordinator adds
+    on top of each counter-derived estimate before allocating (the
+    burst allowance; see ``FleetController(demand_headroom_w=...)``).
+    """
 
     budget_w: float
     demands_w: Mapping[str, float]
     grants_w: Mapping[str, float]
     active_nodes: int
+    headroom_w: float = 0.0
 
     kind: ClassVar[str] = "reallocation"
+
+
+@dataclass(frozen=True)
+class SubtreeReallocated(TelemetryEvent):
+    """One interior level of the hierarchical budget tree re-divided
+    its cap among its children.
+
+    ``subtree`` names the level ("cluster", "rack-03", "chassis-0142");
+    ``reason`` records what triggered it: ``event`` (crash / finish /
+    restart / demand-delta), ``outage``, ``partition``, ``refresh``
+    (the low-frequency safety sweep), or ``initial``.
+    """
+
+    subtree: str
+    cap_w: float
+    children: int
+    reason: str
+
+    kind: ClassVar[str] = "subtree_reallocation"
+
+
+@dataclass(frozen=True)
+class SubtreeOutage(TelemetryEvent):
+    """A whole rack/chassis went dark (or came back).
+
+    At ``down=True`` the subtree's share shifts to its siblings in the
+    same reallocation event; at ``down=False`` the subtree rejoins at
+    its floor and is raised on the next event-driven pass.
+    """
+
+    subtree: str
+    nodes: int
+    down: bool
+
+    kind: ClassVar[str] = "subtree_outage"
+
+
+@dataclass(frozen=True)
+class PartitionDegraded(TelemetryEvent):
+    """A subtree became unreachable (or reachable again).
+
+    While partitioned, the coordinator freezes the subtree at its
+    last-granted caps minus a safety margin (``frozen_cap_w``) and the
+    subtree's nodes fail-safe to margin-reduced local caps; every tick
+    spent in this mode is counted in ``FleetResult.degraded_ticks``.
+    """
+
+    subtree: str
+    frozen_cap_w: float
+    entered: bool
+
+    kind: ClassVar[str] = "partition_degraded"
+
+
+@dataclass(frozen=True)
+class BudgetInfeasible(TelemetryEvent):
+    """A subtree's floor x live-nodes exceeded its cap.
+
+    The oversubscription guard clamps grants proportionally so the
+    subtree still sums to <= its cap (never raises); this event
+    surfaces the infeasibility so operators can shed load instead.
+    """
+
+    subtree: str
+    cap_w: float
+    floor_w: float
+    live_nodes: int
+
+    kind: ClassVar[str] = "budget_infeasible"
 
 
 @dataclass(frozen=True)

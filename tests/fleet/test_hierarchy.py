@@ -1,0 +1,250 @@
+"""Tests for the hierarchical budget tree and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExperimentError
+from repro.fleet.budget import (
+    DemandProportional,
+    EqualShare,
+    MIN_GRANT_W,
+)
+from repro.fleet.hierarchy import (
+    BudgetTree,
+    Topology,
+    equal_fill,
+    waterfill,
+)
+
+
+class TestTopology:
+    def test_for_nodes_covers_exactly(self):
+        for n in (1, 7, 32, 250, 1024, 10_000):
+            topo = Topology.for_nodes(n)
+            assert topo.n_nodes == n
+            assert topo.capacity >= n
+
+    def test_chassis_slices_partition_the_fleet(self):
+        topo = Topology.for_nodes(250)
+        seen = []
+        for c in range(topo.n_chassis):
+            sl = topo.chassis_slice(c)
+            seen.extend(range(sl.start, sl.stop))
+        assert seen == list(range(250))
+
+    def test_rack_slices_partition_the_fleet(self):
+        topo = Topology.for_nodes(250)
+        seen = []
+        for r in range(topo.racks):
+            sl = topo.rack_node_slice(r)
+            seen.extend(range(sl.start, sl.stop))
+        assert seen == list(range(250))
+
+    def test_membership_arrays_agree_with_slices(self):
+        topo = Topology.for_nodes(100)
+        for c in range(topo.n_chassis):
+            sl = topo.chassis_slice(c)
+            assert (topo.chassis_of_node[sl] == c).all()
+        assert (topo.rack_of_node
+                == topo.rack_of_chassis[topo.chassis_of_node]).all()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ExperimentError):
+            Topology(0, 1, 1)
+        with pytest.raises(ExperimentError):
+            Topology(1, 1, 4, n_nodes=5)
+        with pytest.raises(ExperimentError):
+            Topology.for_nodes(0)
+
+
+class TestLeafFills:
+    @given(
+        cap=st.floats(1.0, 500.0),
+        demands=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_waterfill_never_exceeds_cap(self, cap, demands):
+        demands = np.array(demands)
+        grants, infeasible = waterfill(cap, demands, MIN_GRANT_W)
+        assert grants.sum() <= cap + 1e-6
+        if infeasible:
+            assert grants.sum() == pytest.approx(cap)
+        else:
+            assert (grants >= MIN_GRANT_W - 1e-9).all()
+
+    def test_waterfill_respects_demand_ordering(self):
+        grants, _ = waterfill(
+            30.0, np.array([5.0, 10.0, 20.0]), MIN_GRANT_W)
+        assert grants[0] <= grants[1] <= grants[2]
+
+    def test_waterfill_spreads_surplus(self):
+        grants, infeasible = waterfill(
+            100.0, np.array([10.0, 10.0]), MIN_GRANT_W)
+        assert not infeasible
+        assert grants.sum() == pytest.approx(100.0)
+
+    def test_equal_fill_clamps_when_floors_do_not_fit(self):
+        grants, infeasible = equal_fill(
+            6.0, np.array([10.0, 10.0, 10.0]), MIN_GRANT_W)
+        assert infeasible
+        assert grants.sum() == pytest.approx(6.0)
+
+    def test_zero_cap_grants_nothing(self):
+        grants, infeasible = waterfill(
+            0.0, np.array([5.0, 5.0]), MIN_GRANT_W)
+        assert infeasible
+        assert (grants == 0).all()
+
+
+def _full_realloc(tree, demand, active, grants):
+    return tree.reallocate(
+        demand, active, grants,
+        dirty_cluster=True,
+        dirty_chassis=range(tree.topology.n_chassis),
+    )
+
+
+class TestBudgetTree:
+    @given(
+        n=st.integers(1, 60),
+        budget_per_node=st.floats(1.0, 30.0),
+        seed=st.integers(0, 2**31 - 1),
+        leaf=st.sampled_from(["demand", "equal"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_at_every_level(
+        self, n, budget_per_node, seed, leaf
+    ):
+        """Randomized demands/budgets: grants sum <= cap per subtree."""
+        topo = Topology.for_nodes(n)
+        tree = BudgetTree(
+            topo, n * budget_per_node, DemandProportional(),
+            leaf_policy=leaf,
+        )
+        rng = np.random.default_rng(seed)
+        demand = rng.uniform(0.0, 40.0, n)
+        active = rng.random(n) > 0.2
+        if not active.any():
+            active[0] = True
+        demand[~active] = 0.0
+        grants = np.zeros(n)
+        _full_realloc(tree, demand, active, grants)
+        assert tree.check_invariants(grants, active) == []
+        assert grants.sum() <= tree.budget_w + 1e-6
+        assert (grants[~active] == 0).all()
+
+    def test_oversubscription_clamps_and_reports(self):
+        topo = Topology.for_nodes(16)
+        tree = BudgetTree(topo, 16 * 1.0, DemandProportional())
+        demand = np.full(16, 10.0)
+        active = np.ones(16, dtype=bool)
+        grants = np.zeros(16)
+        stats = _full_realloc(tree, demand, active, grants)
+        assert stats.infeasible
+        assert grants.sum() <= tree.budget_w + 1e-6
+        assert tree.check_invariants(grants, active) == []
+
+    def test_clean_pass_touches_nothing(self):
+        topo = Topology.for_nodes(64)
+        tree = BudgetTree(topo, 64 * 11.0, DemandProportional())
+        demand = np.full(64, 9.0)
+        active = np.ones(64, dtype=bool)
+        grants = np.zeros(64)
+        _full_realloc(tree, demand, active, grants)
+        before = grants.copy()
+        stats = tree.reallocate(demand, active, grants)
+        assert not stats.touched
+        assert (grants == before).all()
+
+    def test_event_reallocates_only_affected_subtree(self):
+        """A chassis event with a stable cluster leaves siblings alone."""
+        topo = Topology.for_nodes(64)
+        tree = BudgetTree(topo, 64 * 11.0, DemandProportional())
+        demand = np.full(64, 9.0)
+        active = np.ones(64, dtype=bool)
+        grants = np.zeros(64)
+        _full_realloc(tree, demand, active, grants)
+        caps_before = tree.chassis_cap_w.copy()
+        # Same aggregate demand -> cluster and rack caps are stable,
+        # so only the dirty chassis re-fills its nodes.
+        stats = tree.reallocate(
+            demand, active, grants, dirty_chassis=[3],
+            dirty_cluster=True,
+        )
+        assert stats.chassis == 1
+        np.testing.assert_allclose(tree.chassis_cap_w, caps_before)
+
+    def test_outage_shifts_share_to_siblings_in_one_event(self):
+        topo = Topology(racks=2, chassis_per_rack=2, nodes_per_chassis=4)
+        tree = BudgetTree(topo, 16 * 10.0, DemandProportional())
+        demand = np.full(16, 12.0)
+        active = np.ones(16, dtype=bool)
+        grants = np.zeros(16)
+        _full_realloc(tree, demand, active, grants)
+        rack0_before = tree.rack_cap_w[0]
+        # Rack 1 goes dark: one cluster-level event moves its share.
+        sl = topo.rack_node_slice(1)
+        active[sl] = False
+        demand[sl] = 0.0
+        _full_realloc(tree, demand, active, grants)
+        assert tree.rack_cap_w[0] > rack0_before
+        assert tree.rack_cap_w[0] == pytest.approx(tree.budget_w)
+        assert (grants[sl] == 0).all()
+        assert tree.check_invariants(grants, active) == []
+
+    def test_frozen_rack_is_left_untouched(self):
+        topo = Topology(racks=2, chassis_per_rack=2, nodes_per_chassis=4)
+        tree = BudgetTree(topo, 16 * 10.0, DemandProportional())
+        demand = np.full(16, 12.0)
+        active = np.ones(16, dtype=bool)
+        grants = np.zeros(16)
+        _full_realloc(tree, demand, active, grants)
+        frozen_cap = float(tree.rack_cap_w[1])
+        frozen_grants = grants[topo.rack_node_slice(1)].copy()
+        demand[: topo.rack_node_slice(0).stop] *= 2.0
+        tree.reallocate(
+            demand, active, grants,
+            dirty_cluster=True,
+            dirty_chassis=range(topo.n_chassis),
+            frozen_racks={1: frozen_cap},
+        )
+        np.testing.assert_array_equal(
+            grants[topo.rack_node_slice(1)], frozen_grants)
+        # Reachable racks divide only what the frozen reserve leaves.
+        assert tree.rack_cap_w[0] <= tree.budget_w - frozen_cap + 1e-6
+        assert tree.check_invariants(
+            grants, active, frozen_racks={1: frozen_cap}) == []
+
+    def test_equal_share_allocator_at_interior_levels(self):
+        topo = Topology.for_nodes(32)
+        tree = BudgetTree(topo, 32 * 11.0, EqualShare(),
+                          leaf_policy="equal")
+        demand = np.full(32, 9.0)
+        active = np.ones(32, dtype=bool)
+        grants = np.zeros(32)
+        _full_realloc(tree, demand, active, grants)
+        assert grants.sum() == pytest.approx(32 * 11.0)
+        assert tree.check_invariants(grants, active) == []
+
+    def test_rejects_unknown_leaf_policy(self):
+        topo = Topology.for_nodes(8)
+        with pytest.raises(ExperimentError):
+            BudgetTree(topo, 80.0, DemandProportional(),
+                       leaf_policy="bogus")
+        with pytest.raises(ExperimentError):
+            BudgetTree(topo, 0.0, DemandProportional())
+
+    def test_state_roundtrip(self):
+        topo = Topology.for_nodes(32)
+        tree = BudgetTree(topo, 32 * 11.0, DemandProportional())
+        demand = np.random.default_rng(0).uniform(4, 15, 32)
+        active = np.ones(32, dtype=bool)
+        grants = np.zeros(32)
+        _full_realloc(tree, demand, active, grants)
+        state = tree.state_dict()
+        clone = BudgetTree(topo, 32 * 11.0, DemandProportional())
+        clone.load_state(state)
+        np.testing.assert_array_equal(clone.rack_cap_w, tree.rack_cap_w)
+        np.testing.assert_array_equal(
+            clone.chassis_cap_w, tree.chassis_cap_w)

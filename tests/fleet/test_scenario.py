@@ -1,0 +1,92 @@
+"""Tests for fleet traffic scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.fleet.scenario import (
+    DEFAULT_MIX,
+    FleetScenario,
+    ScenarioEngine,
+)
+
+
+class TestFleetScenario:
+    def test_defaults_are_valid(self):
+        sc = FleetScenario()
+        assert sc.duration_s == sc.ticks * sc.tick_s
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ExperimentError):
+            FleetScenario(ticks=0)
+        with pytest.raises(ExperimentError):
+            FleetScenario(tick_s=0.0)
+        with pytest.raises(ExperimentError):
+            FleetScenario(mix=())
+        with pytest.raises(ExperimentError):
+            FleetScenario(mix=(("web-diurnal", 0.0),))
+
+    def test_dict_roundtrip(self):
+        sc = FleetScenario(ticks=99, flash_magnitude=2.0)
+        assert FleetScenario.from_dict(sc.to_dict()) == sc
+
+    def test_window_ticks_clamped_to_run(self):
+        sc = FleetScenario(ticks=100)
+        start, end = sc.window_ticks(0.95, 0.2)
+        assert end == 100 and start < end
+
+
+class TestScenarioEngine:
+    def test_deterministic_for_seed(self):
+        sc = FleetScenario(ticks=50)
+        a = ScenarioEngine(sc, 64, seed=9)
+        b = ScenarioEngine(sc, 64, seed=9)
+        for tick in (0, 10, 49):
+            np.testing.assert_array_equal(a.demands(tick),
+                                          b.demands(tick))
+
+    def test_seeds_differ(self):
+        sc = FleetScenario(ticks=50)
+        a = ScenarioEngine(sc, 64, seed=1)
+        b = ScenarioEngine(sc, 64, seed=2)
+        assert not np.array_equal(a.demands(0), b.demands(0))
+
+    def test_demands_positive_and_bounded_by_peak(self):
+        sc = FleetScenario(ticks=50)
+        eng = ScenarioEngine(sc, 128, seed=4)
+        peak = eng.peak_demand_w()
+        for tick in range(0, 50, 7):
+            d = eng.demands(tick)
+            assert (d > 0).all()
+            assert (d <= peak + 1e-9).all()
+
+    def test_flash_crowd_lifts_web_nodes_only(self):
+        sc = FleetScenario(ticks=100, diurnal_depth=0.0,
+                           flash_start_frac=0.5,
+                           flash_duration_frac=0.1)
+        eng = ScenarioEngine(sc, 256, seed=0)
+        inside = next(t for t in range(100) if eng.in_flash(t))
+        lifted = eng.demands(inside)
+        # Rebuild the same tick without the flash window.
+        calm = FleetScenario(ticks=100, diurnal_depth=0.0,
+                             flash_start_frac=0.99,
+                             flash_duration_frac=0.01)
+        calm_eng = ScenarioEngine(calm, 256, seed=0)
+        base = calm_eng.demands(inside)
+        web = eng.web_mask
+        np.testing.assert_allclose(
+            lifted[web], base[web] * sc.flash_magnitude)
+        np.testing.assert_allclose(lifted[~web], base[~web])
+
+    def test_diurnal_envelope_dips(self):
+        sc = FleetScenario(ticks=240, diurnal_period_ticks=240,
+                           diurnal_depth=0.4)
+        eng = ScenarioEngine(sc, 8, seed=0)
+        assert eng.diurnal_factor(0) == pytest.approx(1.0)
+        assert eng.diurnal_factor(120) == pytest.approx(0.6)
+
+    def test_mix_covers_all_templates(self):
+        sc = FleetScenario(ticks=10)
+        eng = ScenarioEngine(sc, 2048, seed=0)
+        used = set(eng.template_of_node.tolist())
+        assert used == set(range(len(DEFAULT_MIX)))

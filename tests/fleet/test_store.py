@@ -1,0 +1,65 @@
+"""Tests for the array-backed node state store."""
+
+import numpy as np
+
+from repro.fleet.hierarchy import Topology
+from repro.fleet.store import NodeState, NodeStore
+
+
+def _store(n=32):
+    return NodeStore(Topology.for_nodes(n), floor_w=4.0)
+
+
+class TestMasks:
+    def test_fresh_store_is_all_live(self):
+        store = _store()
+        assert store.live_mask().all()
+        assert store.running_mask().all()
+        assert store.counts()["live"] == 32
+
+    def test_lifecycle_partitions_masks(self):
+        store = _store(8)
+        store.state[0] = int(NodeState.STALE)
+        store.state[1] = int(NodeState.DARK)
+        store.state[2] = int(NodeState.CRASHED)
+        store.state[3] = int(NodeState.FINISHED)
+        assert store.running_mask().sum() == 6  # live+stale+dark
+        assert store.accountable_mask().sum() == 6
+        assert store.live_mask().sum() == 4
+        counts = store.counts()
+        assert counts == {"live": 4, "stale": 1, "dark": 1,
+                          "crashed": 1, "finished": 1}
+
+
+class TestAggregation:
+    def test_per_chassis_sums_match_slices(self):
+        store = _store(32)
+        values = np.arange(32, dtype=float)
+        per_chassis = store.per_chassis(values)
+        for c in range(store.topology.n_chassis):
+            sl = store.topology.chassis_slice(c)
+            assert per_chassis[c] == values[sl].sum()
+
+    def test_rack_rollup_conserves_total(self):
+        store = _store(50)
+        values = np.random.default_rng(0).uniform(0, 10, 50)
+        per_rack = store.per_rack_from_chassis(
+            store.per_chassis(values))
+        np.testing.assert_allclose(per_rack.sum(), values.sum())
+
+
+class TestCheckpoint:
+    def test_state_roundtrip_restores_every_array(self):
+        store = _store(16)
+        rng = np.random.default_rng(1)
+        store.true_demand_w[:] = rng.uniform(0, 20, 16)
+        store.grant_w[:] = rng.uniform(0, 15, 16)
+        store.state[3] = int(NodeState.CRASHED)
+        store.restart_at_s[3] = 42.0
+        store.crashes[3] = 2
+        snapshot = store.state_dict()
+        clone = _store(16)
+        clone.load_state(snapshot)
+        for name in NodeStore._STATE_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(clone, name), getattr(store, name), err_msg=name)

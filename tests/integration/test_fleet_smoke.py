@@ -1,0 +1,42 @@
+"""CI fleet smoke: the 1k-node scenario end-to-end, chaos included.
+
+Runs the full ``experiment fleet`` pipeline -- 1000 nodes of diurnal +
+flash-crowd traffic with churn, a rack outage, and a partition window,
+then the coordinator SIGKILL/resume drill -- so it spawns real
+subprocesses and is gated behind ``REPRO_FLEET_SMOKE=1`` (a dedicated
+CI matrix entry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exec.plan import ExperimentConfig
+from repro.experiments import fleet_capping
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_FLEET_SMOKE"),
+    reason="set REPRO_FLEET_SMOKE=1 to run the 1k-node fleet drill",
+)
+
+
+def test_fleet_1k_scenario_end_to_end():
+    """1k nodes under churn keep the violation bound; chaos resumes."""
+    data = fleet_capping.run(ExperimentConfig(scale=1.0, seed=0))
+    assert data["nodes"] == 1000
+    assert data["violation_fraction"] <= data["violation_bound"]
+    # The scenario actually exercised the failure machinery.
+    assert data["crashes"] > 0
+    assert data["outage_ticks"] > 0
+    assert data["degraded_ticks"] > 0
+    # Coordinator SIGKILL + resume: bit-identical, bound intact.
+    chaos = data["chaos"]
+    assert chaos["killed"] is True
+    assert chaos["identical"] is True
+    assert chaos["violation_fraction"] <= data["violation_bound"]
+    # The payload is archivable (BENCH_fleet.json shape).
+    assert json.loads(json.dumps(dict(data)))
+    assert "Chaos drill" in fleet_capping.render(data)

@@ -90,12 +90,18 @@ class TestDemandProportional:
         nodes = [NodeDemand(f"n{i}", d) for i, d in enumerate(demands)]
         grants = DemandProportional().allocate(budget, nodes)
         total = sum(grants.values())
-        # Never over budget (beyond the per-node floor guarantee).
-        floor_total = MIN_GRANT_W * len(nodes)
-        assert total <= max(budget, floor_total) + 1e-6
-        # Every active node gets at least the floor.
-        for node in nodes:
-            assert grants[node.name] >= MIN_GRANT_W - 1e-9
+        # Never over budget -- the floors clamp instead of overrunning.
+        assert total <= budget + 1e-6
+        if grants.infeasible:
+            # Only flagged when the floors genuinely do not fit, and
+            # then the whole budget is still handed out (equal floors
+            # -> equal clamped shares).
+            assert budget < MIN_GRANT_W * len(nodes) + 1e-6
+            assert total == pytest.approx(budget)
+        else:
+            # Every active node gets at least the floor.
+            for node in nodes:
+                assert grants[node.name] >= MIN_GRANT_W - 1e-9
 
 
 class TestFleetController:
@@ -170,13 +176,26 @@ class TestFleetController:
                 {}, MODEL, total_budget_w=10.0, allocator=EqualShare()
             )
 
-    def test_time_budget_guard(self, workloads):
+    def test_time_budget_returns_partial_degraded_result(self, workloads):
         fleet = FleetController(
             workloads, MODEL, total_budget_w=30.0,
             allocator=EqualShare(),
         )
-        with pytest.raises(ExperimentError, match="time budget"):
-            fleet.run(max_seconds=0.0)
+        # The time budget expiring must not discard the work done so
+        # far: the partial result comes back flagged degraded.
+        result = fleet.run(max_seconds=0.05)
+        assert result.degraded is True
+        assert set(result.nodes) == {"a", "b"}
+        assert 0 < result.makespan_s <= 0.05 + 0.011
+        assert result.total_instructions < sum(
+            w.total_instructions for w in workloads.values()
+        )
+        # A completed run is not degraded.
+        full = FleetController(
+            workloads, MODEL, total_budget_w=30.0,
+            allocator=EqualShare(),
+        ).run()
+        assert full.degraded is False
 
 
 class TestFleetReallocationEdgeCases:
@@ -249,10 +268,11 @@ class TestFleetReallocationEdgeCases:
             == len(reallocations)
         )
 
-    def test_budget_below_per_node_floors_still_grants_floor(self):
+    def test_budget_below_per_node_floors_clamps_and_surfaces(self):
         # Three nodes need 3 * MIN_GRANT_W; give the fleet less.  The
-        # floor invariant wins (every live node can still run at the
-        # lowest p-state) even though the sum exceeds the budget.
+        # budget invariant wins: grants are clamped to fit (equal
+        # floors -> equal shares) and the infeasibility is surfaced as
+        # a budget_infeasible event instead of silently overrunning.
         budget = MIN_GRANT_W * 3 - 2.0
         result, _, events = self._run_fleet(
             {
@@ -264,9 +284,11 @@ class TestFleetReallocationEdgeCases:
         )
         first = [e for e in events if e.kind == "reallocation"][0]
         assert first.active_nodes == 3
+        assert sum(first.grants_w.values()) <= budget + 1e-9
         for name in ("a", "b", "c"):
-            assert first.grants_w[name] >= MIN_GRANT_W - 1e-9
-        assert sum(first.grants_w.values()) > budget  # floors win
+            assert first.grants_w[name] == pytest.approx(budget / 3)
+        infeasible = [e for e in events if e.kind == "budget_infeasible"]
+        assert infeasible and infeasible[0].live_nodes == 3
         assert result.makespan_s > 0  # the fleet still completes
 
     def test_reallocation_cadence_matches_period(self):

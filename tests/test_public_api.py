@@ -26,6 +26,13 @@ PUBLIC_MODULES = (
     "repro.experiments.ablations",
     "repro.analysis",
     "repro.fleet",
+    "repro.fleet.budget",
+    "repro.fleet.controller",
+    "repro.fleet.hierarchy",
+    "repro.fleet.store",
+    "repro.fleet.scenario",
+    "repro.fleet.cluster",
+    "repro.experiments.fleet_capping",
     "repro.cpufreq",
     "repro.cli",
     "repro.telemetry",
