@@ -1,0 +1,40 @@
+"""Multicore scaling benchmark: projection breakdown + energy grid.
+
+The acceptance bar for the multicore subsystem: the (1, 2, 4)-core
+sweep (CI default; REPRO_BENCH_SCALE shrinks it to (1, 2)) must show
+the single-core Eq. 3 projection breaking under shared-bus contention
+for the memory-bound family while staying valid for the core-bound
+one, and report a (threads, frequency) energy-optimal configuration
+for every family.  The full payload is archived as
+``BENCH_multicore.json`` so projection-error and optimal-configuration
+drift shows up as diffs, not just red tests.
+"""
+
+import json
+
+from conftest import bench_scale, publish
+
+from repro.experiments import multicore_scaling
+from repro.experiments.runner import ExperimentConfig
+
+
+def test_multicore_scaling_scale(benchmark, results_dir):
+    config = ExperimentConfig(scale=bench_scale(0.4), seed=0)
+    data = benchmark.pedantic(
+        multicore_scaling.run, args=(config,), rounds=1, iterations=1
+    )
+    publish(results_dir, "multicore_scaling", multicore_scaling.render(data))
+
+    (results_dir / "BENCH_multicore.json").write_text(
+        json.dumps(dict(data), indent=2, sort_keys=True) + "\n"
+    )
+
+    # Contention must break the projection for the memory family...
+    assert data["break_points"]["memory"] is not None
+    # ...and leave the core-bound family projectable.
+    assert data["break_points"]["core"] is None
+    # Every family reports an optimal (threads, frequency) pair.
+    for entry in data["energy_optimal"].values():
+        assert entry["measured"]["threads"] >= 1
+        assert entry["measured"]["frequency_mhz"] > 0
+        assert entry["predicted"]["energy_per_gi_j"] > 0

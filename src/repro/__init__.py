@@ -41,6 +41,7 @@ from repro.errors import (
     NodeCrashError,
     PMUError,
     PStateError,
+    PlanError,
     RecoveryError,
     RecoveryExhaustedError,
     ReproError,
@@ -70,7 +71,9 @@ from repro.core import (
     AdaptivePerformanceMaximizer,
     ComponentPerformanceMaximizer,
     EnergyDelayOptimizer,
+    EnergyOptimalSearch,
     ThermalGuard,
+    ThreadsFreqGovernor,
     ThrottlingMaximizer,
     CounterSample,
     CounterSampler,
@@ -108,6 +111,14 @@ from repro.exec import (
 )
 from repro.platform.machine import Machine, MachineConfig
 from repro.measurement import PowerMeter
+from repro.multicore import (
+    ContentionModel,
+    MulticoreConfig,
+    MulticoreController,
+    MulticoreMachine,
+    MulticoreRunResult,
+    split_workload,
+)
 from repro.supervise import RetryPolicy, Supervisor
 from repro.telemetry import NullRecorder, TelemetryRecorder
 from repro.traces import (
@@ -180,6 +191,7 @@ __all__ = [
     "GovernorError",
     "MeasurementError",
     "ExperimentError",
+    "PlanError",
     "TelemetryError",
     "FaultError",
     "FaultPlanError",
@@ -225,6 +237,16 @@ __all__ = [
     "record_trace",
     "resolve_workload_spec",
     "workload_from_trace",
+    # The multicore platform: shared-bus contention and the
+    # (threads x frequency) energy-optimal configuration governors.
+    "ContentionModel",
+    "MulticoreConfig",
+    "MulticoreController",
+    "MulticoreMachine",
+    "MulticoreRunResult",
+    "split_workload",
+    "EnergyOptimalSearch",
+    "ThreadsFreqGovernor",
     "quickstart_pm",
     "quickstart_ps",
 ]

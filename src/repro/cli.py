@@ -842,6 +842,7 @@ _EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
     "drift": _experiment_runner("adaptation_drift"),
     "chaos": _experiment_runner("chaos_resume"),
     "fleet": _experiment_runner("fleet_capping"),
+    "multicore": _experiment_runner("multicore_scaling"),
 }
 
 

@@ -33,6 +33,9 @@ from repro.core.governors import (
     EnergyDelayOptimizer,
     ThermalGuard,
     ThrottlingMaximizer,
+    ConfigProjection,
+    EnergyOptimalSearch,
+    ThreadsFreqGovernor,
 )
 from repro.core.controller import PowerManagementController, RunResult, TraceRow
 from repro.core.resilience import PowerReadingFilter, ResilienceConfig
@@ -55,6 +58,9 @@ __all__ = [
     "EnergyDelayOptimizer",
     "ThermalGuard",
     "ThrottlingMaximizer",
+    "ConfigProjection",
+    "EnergyOptimalSearch",
+    "ThreadsFreqGovernor",
     "PowerManagementController",
     "RunResult",
     "TraceRow",

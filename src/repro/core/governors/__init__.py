@@ -26,6 +26,8 @@ from repro.core.governors.thermal_guard import ThermalGuard
 from repro.core.governors.throttling_pm import ThrottlingMaximizer
 from repro.core.governors.component_pm import ComponentPerformanceMaximizer
 from repro.core.governors.energy_efficiency import EnergyDelayOptimizer
+from repro.core.governors.energy_optimal import ConfigProjection, EnergyOptimalSearch
+from repro.core.governors.threads_freq import ThreadsFreqGovernor
 
 __all__ = [
     "Governor",
@@ -41,4 +43,7 @@ __all__ = [
     "ThrottlingMaximizer",
     "ComponentPerformanceMaximizer",
     "EnergyDelayOptimizer",
+    "ConfigProjection",
+    "EnergyOptimalSearch",
+    "ThreadsFreqGovernor",
 ]

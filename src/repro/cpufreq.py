@@ -47,8 +47,14 @@ class CpufreqPolicy:
         performance_model: PerformanceModel | None = None,
         default_power_limit_w: float = 17.5,
         default_floor: float = 0.8,
+        domain: int = 0,
     ):
         self._machine = machine
+        # The p-state domain this policy actuates, like the cpuN in
+        # /sys/devices/system/cpu/cpuN/cpufreq.  Single-core machines
+        # only have domain 0; the driver rejects anything else rather
+        # than silently retuning the whole package.
+        self._domain = domain
         self._power_model = power_model or LinearPowerModel.paper_model()
         self._perf_model = performance_model or PerformanceModel.paper_primary()
         self._power_limit = default_power_limit_w
@@ -82,6 +88,8 @@ class CpufreqPolicy:
             return f"{int(table.slowest.frequency_mhz * 1000)}"
         if attribute == "scaling_setspeed":
             return f"{int(self._userspace_speed * 1000)}"
+        if attribute == "affected_cpus":
+            return str(self._domain)
         if attribute == "stats/time_in_state":
             lines = [
                 f"{int(freq * 1000)} {int(seconds * 100)}"
@@ -164,7 +172,7 @@ class CpufreqPolicy:
         sample = self._sampler.sample(record.duration_s)
         target = self._governor.decide(sample, self._machine.current_pstate)
         if target != self._machine.current_pstate:
-            self._machine.speedstep.set_pstate(target)
+            self._machine.speedstep.set_pstate(target, domain=self._domain)
         freq = record.pstate.frequency_mhz
         self._time_in_state[freq] = (
             self._time_in_state.get(freq, 0.0) + record.duration_s

@@ -67,6 +67,12 @@ class ExperimentError(ReproError):
     """Raised by experiment drivers for inconsistent configurations."""
 
 
+class PlanError(ExperimentError):
+    """Raised for a malformed :class:`repro.exec.plan.RunPlan` -- e.g. an
+    unknown sweep axis, a non-positive thread count, or a cell that asks
+    for features the multicore execution path does not support."""
+
+
 class TelemetryError(ReproError):
     """Raised for invalid telemetry configuration (bad buckets, unknown
     metric types, malformed export directories)."""

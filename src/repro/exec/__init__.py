@@ -24,6 +24,7 @@ from repro.exec.cache import (
 from repro.exec.plan import (
     GOVERNOR_KINDS,
     PLAN_FORMAT_VERSION,
+    VALID_SWEEP_AXES,
     ExperimentConfig,
     GovernorFactory,
     GovernorSpec,
@@ -44,6 +45,7 @@ from repro.exec.session import (
 __all__ = [
     "GOVERNOR_KINDS",
     "PLAN_FORMAT_VERSION",
+    "VALID_SWEEP_AXES",
     "ExecSession",
     "ExperimentConfig",
     "GovernorFactory",

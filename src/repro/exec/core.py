@@ -21,10 +21,13 @@ from repro.adaptation.manager import AdaptationConfig, AdaptationManager
 from repro.checkpoint.context import current_checkpoint_session
 from repro.core.controller import PowerManagementController, RunResult
 from repro.core.resilience import ResilienceConfig
+from repro.errors import PlanError
 from repro.exec.plan import ExperimentConfig, RunCell
 from repro.faults.context import current_fault_plan
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.multicore.controller import MulticoreController
+from repro.multicore.machine import MulticoreConfig, MulticoreMachine
 from repro.platform.machine import Machine
 from repro.telemetry.recorder import TelemetryRecorder, current_recorder
 
@@ -40,8 +43,8 @@ class PreparedCell:
 
     cell: RunCell
     config: ExperimentConfig
-    machine: Machine
-    controller: PowerManagementController
+    machine: Machine | MulticoreMachine
+    controller: PowerManagementController | MulticoreController
     governor: object
     injector: FaultInjector | None
     adaptation: AdaptationManager | None
@@ -53,11 +56,34 @@ class PreparedCell:
         config = self.config
         workload = cell.resolve_workload().scaled(config.scale)
         initial = (
-            self.machine.config.table.by_frequency(cell.initial_frequency_mhz)
+            config.table.by_frequency(cell.initial_frequency_mhz)
             if cell.initial_frequency_mhz is not None
             else None
         )
         tel = self.telemetry
+        if isinstance(self.controller, MulticoreController):
+            if checkpointer is not None:
+                raise PlanError(
+                    f"cell {cell.label}: multicore cells (threads > 1) do "
+                    "not support checkpointing; run them outside a "
+                    "checkpointing() session"
+                )
+            if tel is not None and tel.enabled:
+                with tel.span("run"):
+                    out = self.controller.run(
+                        workload,
+                        threads=cell.threads,
+                        initial_pstate=initial,
+                        max_seconds=config.max_seconds,
+                    )
+            else:
+                out = self.controller.run(
+                    workload,
+                    threads=cell.threads,
+                    initial_pstate=initial,
+                    max_seconds=config.max_seconds,
+                )
+            return out.result
         if tel is not None and tel.enabled:
             with tel.span("run"):
                 return self.controller.run(
@@ -113,6 +139,44 @@ def prepare_cell(
     if injector is not None and resil is None:
         # Injecting faults into an unhardened loop would just crash it.
         resil = ResilienceConfig()
+    if cell.threads > 1:
+        unsupported = [
+            name
+            for name, value in (
+                ("fault injection", injector),
+                ("adaptation", adapt),
+                ("resilience", resil),
+                ("constraint schedules", cell.schedule),
+            )
+            if value is not None
+        ]
+        if unsupported:
+            raise PlanError(
+                f"cell {cell.label}: multicore cells (threads > 1) do not "
+                f"support {', '.join(unsupported)}; drop those options or "
+                "run the cell single-threaded"
+            )
+        mc_machine = MulticoreMachine(MulticoreConfig(
+            n_cores=cell.threads,
+            machine=config.machine_config(cell.seed_offset),
+        ))
+        mc_governor = cell.governor.build(config.table, seed=config.seed)
+        mc_controller = MulticoreController(
+            mc_machine,
+            mc_governor,
+            keep_trace=config.keep_trace,
+            telemetry=tel,
+        )
+        return PreparedCell(
+            cell=cell,
+            config=config,
+            machine=mc_machine,
+            controller=mc_controller,
+            governor=mc_governor,
+            injector=None,
+            adaptation=None,
+            telemetry=tel,
+        )
     machine = Machine(config.machine_config(cell.seed_offset))
     governor = cell.governor.build(machine.config.table, seed=config.seed)
     controller = PowerManagementController(

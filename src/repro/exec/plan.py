@@ -40,7 +40,7 @@ from repro.core.limits import ConstraintSchedule
 from repro.core.models.performance import PerformanceModel
 from repro.core.models.power import LinearPowerModel
 from repro.core.resilience import ResilienceConfig
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, PlanError
 from repro.faults.plan import FaultPlan
 from repro.platform.machine import MachineConfig
 from repro.workloads.base import Workload
@@ -82,8 +82,12 @@ class ExperimentConfig:
 
 #: Governor kinds a :class:`GovernorSpec` can describe declaratively.
 GOVERNOR_KINDS = (
-    "pm", "adaptive-pm", "ps", "dbs", "fixed", "edp", "factory",
+    "pm", "adaptive-pm", "ps", "dbs", "fixed", "edp",
+    "energy-optimal", "threads-freq", "factory",
 )
+
+#: Axis names :meth:`RunPlan.sweep_axes` accepts.
+VALID_SWEEP_AXES = ("workloads", "governors", "seeds", "threads")
 
 #: Power-model sources resolvable from data alone.
 _MODEL_SOURCES = ("trained", "paper")
@@ -196,6 +200,32 @@ class GovernorSpec:
         )
 
     @classmethod
+    def energy_optimal(
+        cls,
+        power_model: str | LinearPowerModel = "trained",
+        performance_model: PerformanceModel | None = None,
+    ) -> "GovernorSpec":
+        """EnergyOptimalSearch (energy/instruction argmin over the table)."""
+        return cls(
+            kind="energy-optimal",
+            power_model=power_model,
+            performance_model=performance_model,
+        )
+
+    @classmethod
+    def threads_freq(
+        cls,
+        power_model: str | LinearPowerModel = "trained",
+        performance_model: PerformanceModel | None = None,
+    ) -> "GovernorSpec":
+        """ThreadsFreqGovernor (one-step (threads, p-state) walker)."""
+        return cls(
+            kind="threads-freq",
+            power_model=power_model,
+            performance_model=performance_model,
+        )
+
+    @classmethod
     def from_factory(cls, factory: GovernorFactory) -> "GovernorSpec":
         """Wrap a legacy governor factory callable."""
         return cls(kind="factory", factory=factory)
@@ -245,6 +275,20 @@ class GovernorSpec:
 
             perf = self.performance_model or PerformanceModel.paper_primary()
             return EnergyDelayOptimizer(
+                table, self.resolve_power_model(seed), perf
+            )
+        if self.kind == "energy-optimal":
+            from repro.core.governors.energy_optimal import EnergyOptimalSearch
+
+            perf = self.performance_model or PerformanceModel.paper_primary()
+            return EnergyOptimalSearch(
+                table, self.resolve_power_model(seed), perf
+            )
+        if self.kind == "threads-freq":
+            from repro.core.governors.threads_freq import ThreadsFreqGovernor
+
+            perf = self.performance_model or PerformanceModel.paper_primary()
+            return ThreadsFreqGovernor(
                 table, self.resolve_power_model(seed), perf
             )
         if self.power_limit_w is None:
@@ -351,6 +395,11 @@ class RunCell:
     ``runs`` cells with seed offsets 100*i); the suite drivers use them
     to regroup parallel results.  Per-cell ``fault_plan`` / ``adaptation``
     / ``resilience`` override the plan-wide options when set.
+
+    ``threads`` > 1 routes the cell through the multicore execution
+    path: a :class:`~repro.multicore.machine.MulticoreMachine` with
+    ``threads`` cores runs the workload split ``threads`` ways behind
+    the shared-bus contention model.
     """
 
     workload: str | Workload
@@ -360,9 +409,16 @@ class RunCell:
     initial_frequency_mhz: float | None = None
     group: str | None = None
     rep: int = 0
+    threads: int = 1
     fault_plan: FaultPlan | None = None
     adaptation: AdaptationConfig | None = None
     resilience: ResilienceConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.threads, int) or self.threads < 1:
+            raise PlanError(
+                f"cell threads must be a positive int, got {self.threads!r}"
+            )
 
     @property
     def workload_name(self) -> str:
@@ -373,8 +429,10 @@ class RunCell:
 
     @property
     def label(self) -> str:
-        """``workload/governor[/repN]`` tag for logs and telemetry."""
+        """``workload/governor[/tN][/repN]`` tag for logs and telemetry."""
         tag = f"{self.workload_name}/{self.governor.label}"
+        if self.threads != 1:
+            tag = f"{tag}/t{self.threads}"
         return f"{tag}/rep{self.rep}" if self.rep else tag
 
     def resolve_workload(self) -> Workload:
@@ -419,6 +477,8 @@ class RunCell:
             out["group"] = self.group
         if self.rep:
             out["rep"] = self.rep
+        if self.threads != 1:
+            out["threads"] = self.threads
         if self.fault_plan is not None:
             out["fault_plan"] = self.fault_plan.to_dict()
         if self.adaptation is not None:
@@ -437,6 +497,7 @@ class RunCell:
             initial_frequency_mhz=data.get("initial_frequency_mhz"),
             group=data.get("group"),
             rep=int(data.get("rep", 0)),
+            threads=int(data.get("threads", 1)),
             fault_plan=(
                 FaultPlan.from_dict(data["fault_plan"])
                 if data.get("fault_plan") is not None
@@ -502,13 +563,15 @@ class RunPlan:
         governors: Iterable[GovernorSpec],
         config: ExperimentConfig | None = None,
         seeds: Sequence[int] = (0,),
+        threads: Sequence[int] = (1,),
         **plan_kwargs,
     ) -> "RunPlan":
-        """The full cross product workloads x governors x seeds.
+        """The full cross product workloads x governors x seeds x threads.
 
         ``seeds`` become per-cell ``seed_offset`` values; the paper's
         median protocol instead uses ``config.runs`` via
-        :meth:`with_median_cells`.
+        :meth:`with_median_cells`.  ``threads`` values other than 1 run
+        the cell on a multicore machine with that many cores.
         """
         config = config or ExperimentConfig()
         cells = tuple(
@@ -516,13 +579,51 @@ class RunPlan:
                 workload=w,
                 governor=g,
                 seed_offset=s,
+                threads=t,
                 group=(w if isinstance(w, str) else w.name),
             )
             for w in workloads
             for g in governors
             for s in seeds
+            for t in threads
         )
         return cls(config=config, cells=cells, **plan_kwargs)
+
+    @classmethod
+    def sweep_axes(
+        cls,
+        axes: Mapping[str, Iterable],
+        config: ExperimentConfig | None = None,
+        **plan_kwargs,
+    ) -> "RunPlan":
+        """:meth:`sweep` from a mapping of named axes, validated up front.
+
+        Unknown axis names fail immediately with a :class:`PlanError`
+        naming the valid axes, instead of silently vanishing into
+        ``**kwargs`` or exploding deep inside cell construction.
+        """
+        if not isinstance(axes, Mapping):
+            raise PlanError("sweep axes must be a mapping of axis -> values")
+        unknown = sorted(set(axes) - set(VALID_SWEEP_AXES))
+        if unknown:
+            raise PlanError(
+                f"unknown sweep axis(es) {unknown}; "
+                f"valid axes are {list(VALID_SWEEP_AXES)}"
+            )
+        missing = sorted({"workloads", "governors"} - set(axes))
+        if missing:
+            raise PlanError(
+                f"sweep axes missing required axis(es) {missing}; "
+                f"valid axes are {list(VALID_SWEEP_AXES)}"
+            )
+        return cls.sweep(
+            workloads=tuple(axes["workloads"]),
+            governors=tuple(axes["governors"]),
+            config=config,
+            seeds=tuple(axes.get("seeds", (0,))),
+            threads=tuple(axes.get("threads", (1,))),
+            **plan_kwargs,
+        )
 
     def cell_seed(self, cell: RunCell) -> int:
         """The derived machine seed a cell runs with (for debugging)."""

@@ -1,0 +1,39 @@
+"""Multicore platform: N pipeline models behind shared-resource contention.
+
+The paper's machine model (and Eq. 2-4) is single-core.  This package
+extends it to N cores the way open item 4 of the ROADMAP asks:
+
+- :mod:`repro.multicore.contention` -- a shared L2/DRAM contention
+  model: per-tick bandwidth pressure from each core's memory-bound
+  demand inflates every *other* core's effective miss latency and
+  shrinks its bandwidth share (self-excluding, so one core alone is
+  bit-identical to the single-core :class:`~repro.platform.machine.
+  Machine`).
+- :mod:`repro.multicore.workload` -- splits an existing workload across
+  threads with a configurable serial fraction and synchronisation
+  overhead (Amdahl-style).
+- :mod:`repro.multicore.machine` -- :class:`MulticoreMachine`, composing
+  N per-core :class:`~repro.platform.machine.Machine` instances with
+  package or per-core p-state domains behind a
+  :class:`~repro.drivers.speedstep.DomainSpeedStepDriver`.
+- :mod:`repro.multicore.controller` -- the multicore monitor ->
+  estimate -> control loop, mirroring
+  :class:`~repro.core.controller.PowerManagementController` tick for
+  tick (the 1-core digest-equality gate lives in
+  ``tests/multicore/test_machine.py``).
+"""
+
+from repro.multicore.contention import ContentionModel
+from repro.multicore.controller import MulticoreController, MulticoreRunResult
+from repro.multicore.machine import MulticoreConfig, MulticoreMachine, MulticoreTick
+from repro.multicore.workload import split_workload
+
+__all__ = [
+    "ContentionModel",
+    "MulticoreConfig",
+    "MulticoreController",
+    "MulticoreMachine",
+    "MulticoreRunResult",
+    "MulticoreTick",
+    "split_workload",
+]

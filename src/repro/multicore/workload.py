@@ -1,0 +1,91 @@
+"""Split a single-core workload into per-thread shards (Amdahl-style).
+
+The paper's workloads are single-threaded instruction budgets over a
+phase cycle.  To study (threads x frequency) energy-optimal
+configurations we need the same work spread over N cores, with the two
+knobs the HPC energy-configuration literature says matter:
+
+- ``serial_fraction`` -- the share of the budget that cannot be
+  parallelised.  It is modelled as extra instructions on thread 0 (the
+  other cores sit in idle power once their shard finishes), which
+  reproduces Amdahl's completion-time law without needing a scheduler.
+- ``sync_overhead`` -- per-extra-thread instruction inflation of the
+  parallel portion (barriers, locks, redundant work), so that adding
+  threads is never free.
+
+``threads == 1`` returns the original workload object unchanged -- the
+1-thread path must stay bit-identical to the single-core machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+
+def split_workload(
+    workload: Workload,
+    threads: int,
+    serial_fraction: float = 0.0,
+    sync_overhead: float = 0.0,
+) -> tuple[Workload, ...]:
+    """Split ``workload`` into ``threads`` per-core shards.
+
+    Every shard keeps the original phase cycle (the per-instruction
+    rates are properties of the code, not of the thread count); only the
+    instruction budget is divided.  Thread 0 additionally carries the
+    serial portion, and the parallel portion of every shard is inflated
+    by ``1 + sync_overhead * (threads - 1)``.
+    """
+    if not isinstance(threads, int) or threads < 1:
+        raise WorkloadError(
+            f"threads must be a positive integer, got {threads!r}"
+        )
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise WorkloadError(
+            f"serial_fraction must be in [0, 1], got {serial_fraction!r}"
+        )
+    if sync_overhead < 0.0:
+        raise WorkloadError(
+            f"sync_overhead must be >= 0, got {sync_overhead!r}"
+        )
+    if threads == 1:
+        return (workload,)
+
+    total = workload.total_instructions
+    overhead = 1.0 + sync_overhead * (threads - 1)
+    parallel_each = total * (1.0 - serial_fraction) / threads * overhead
+    serial = total * serial_fraction
+    shards = []
+    for i in range(threads):
+        budget = parallel_each + (serial if i == 0 else 0.0)
+        shards.append(replace(
+            workload,
+            name=f"{workload.name}[{i}/{threads}]",
+            total_instructions=budget,
+        ))
+    return tuple(shards)
+
+
+def parallel_efficiency(
+    threads: int,
+    serial_fraction: float = 0.0,
+    sync_overhead: float = 0.0,
+) -> float:
+    """Ideal speedup/threads under the split model (no contention).
+
+    The completion time of a split run (all cores at equal speed) is set
+    by thread 0's shard, so the ideal speedup is ``total /
+    shard0_budget`` and the efficiency is that over ``threads``.  Used
+    by the projection tables in
+    :class:`~repro.core.governors.energy_optimal.EnergyOptimalSearch`.
+    """
+    if threads < 1:
+        raise WorkloadError(f"threads must be >= 1, got {threads!r}")
+    if threads == 1:
+        return 1.0
+    overhead = 1.0 + sync_overhead * (threads - 1)
+    shard0 = (1.0 - serial_fraction) / threads * overhead + serial_fraction
+    return 1.0 / (shard0 * threads)

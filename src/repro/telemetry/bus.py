@@ -399,6 +399,23 @@ class RetryScheduled(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class ThreadsReconfigured(TelemetryEvent):
+    """A multicore run changed its active thread count mid-flight.
+
+    Emitted by :class:`~repro.multicore.controller.MulticoreController`
+    when the online (threads, p-state) governor re-splits the remaining
+    instruction budget; ``bus_utilization`` is the shared-bus demand /
+    ceiling ratio that motivated the move.
+    """
+
+    from_threads: int
+    to_threads: int
+    bus_utilization: float
+
+    kind: ClassVar[str] = "threads_reconfigured"
+
+
+@dataclass(frozen=True)
 class SubscriberFailure:
     """Record of one subscriber exception swallowed by the bus."""
 

@@ -20,8 +20,9 @@ from repro.exec.plan import (
 )
 from repro.exec.session import open_session
 
-#: Small but non-trivial: four cells over two workloads and three
-#: governor families, with a non-zero seed offset in the mix.
+#: Small but non-trivial: five cells over three workloads and four
+#: governor families, with a non-zero seed offset and a two-core
+#: multicore cell (the ``threads`` axis) in the mix.
 CELLS = (
     RunCell(workload="ammp", governor=GovernorSpec.pm(
         14.5, power_model="paper"
@@ -30,6 +31,9 @@ CELLS = (
     RunCell(workload="ammp", governor=GovernorSpec.fixed(1600.0),
             seed_offset=100, rep=1),
     RunCell(workload="mcf", governor=GovernorSpec.dbs()),
+    RunCell(workload="swim", governor=GovernorSpec.threads_freq(
+        power_model="paper"
+    ), threads=2),
 )
 
 CONFIG = ExperimentConfig(scale=0.05, seed=3)

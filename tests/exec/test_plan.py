@@ -10,9 +10,10 @@ from repro.adaptation.manager import AdaptationConfig
 from repro.core.governors.performance_maximizer import PerformanceMaximizer
 from repro.core.governors.powersave import PowerSave
 from repro.core.models.power import LinearPowerModel
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, PlanError
 from repro.exec.plan import (
     PLAN_FORMAT_VERSION,
+    VALID_SWEEP_AXES,
     ExperimentConfig,
     GovernorSpec,
     RunCell,
@@ -131,6 +132,79 @@ def test_plan_rejects_malformed_json():
         RunPlan.from_json("{not json")
     with pytest.raises(ExperimentError, match="mapping"):
         RunPlan.from_dict(["nope"])
+
+
+def test_sweep_threads_axis():
+    plan = RunPlan.sweep(
+        ["ammp"], [GovernorSpec.threads_freq()], threads=(1, 2, 4),
+    )
+    assert len(plan) == 3
+    assert [cell.threads for cell in plan.cells] == [1, 2, 4]
+    assert plan.cells[2].label == "ammp/threads-freq/t4"
+
+
+def test_threads_cells_round_trip():
+    plan = RunPlan.sweep(
+        ["ammp", "swim"],
+        [GovernorSpec.energy_optimal(power_model="paper")],
+        threads=(1, 2),
+    )
+    clone = RunPlan.from_json(plan.to_json())
+    assert clone.cells == plan.cells
+    assert [c.threads for c in clone.cells] == [1, 2, 1, 2]
+    # threads=1 stays out of the serialized form (backward compatible).
+    assert "threads" not in plan.cells[0].to_dict()
+    assert plan.cells[1].to_dict()["threads"] == 2
+
+
+def test_cell_rejects_bad_threads():
+    with pytest.raises(PlanError, match="threads"):
+        RunCell(workload="ammp", governor=GovernorSpec.dbs(), threads=0)
+    with pytest.raises(PlanError, match="threads"):
+        RunCell(workload="ammp", governor=GovernorSpec.dbs(), threads=2.0)
+
+
+def test_sweep_axes_happy_path():
+    plan = RunPlan.sweep_axes({
+        "workloads": ["ammp"],
+        "governors": [GovernorSpec.ps(0.8)],
+        "seeds": (0, 100),
+        "threads": (1, 2),
+    })
+    assert len(plan) == 4
+    assert {c.threads for c in plan.cells} == {1, 2}
+
+
+def test_sweep_axes_rejects_unknown_axis():
+    with pytest.raises(PlanError, match="unknown sweep axis") as info:
+        RunPlan.sweep_axes({
+            "workloads": ["ammp"],
+            "governors": [GovernorSpec.dbs()],
+            "cores": (2,),
+        })
+    # The error lists every valid axis so the caller can self-correct.
+    for axis in VALID_SWEEP_AXES:
+        assert axis in str(info.value)
+
+
+def test_sweep_axes_rejects_missing_required_axis():
+    with pytest.raises(PlanError, match="workloads"):
+        RunPlan.sweep_axes({"governors": [GovernorSpec.dbs()]})
+    with pytest.raises(PlanError, match="mapping"):
+        RunPlan.sweep_axes([("workloads", ["ammp"])])
+
+
+def test_new_governor_kinds_round_trip(table):
+    from repro.core.governors.energy_optimal import EnergyOptimalSearch
+    from repro.core.governors.threads_freq import ThreadsFreqGovernor
+
+    for spec, cls in (
+        (GovernorSpec.energy_optimal(power_model="paper"), EnergyOptimalSearch),
+        (GovernorSpec.threads_freq(power_model="paper"), ThreadsFreqGovernor),
+    ):
+        clone = GovernorSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert isinstance(clone.build(table), cls)
 
 
 def test_workload_objects_resolve(tiny_core_workload):

@@ -1,0 +1,151 @@
+"""EnergyOptimalSearch / ThreadsFreqGovernor behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acpi.pstates import pentium_m_755_table
+from repro.core.governors.energy_optimal import EnergyOptimalSearch
+from repro.core.governors.threads_freq import ThreadsFreqGovernor
+from repro.core.models.performance import PerformanceModel
+from repro.core.models.power import LinearPowerModel
+from repro.core.sampling import CounterSample
+from repro.errors import GovernorError
+from repro.multicore.controller import MulticoreController
+from repro.multicore.machine import MulticoreConfig, MulticoreMachine
+from repro.platform.events import Event
+from repro.platform.machine import MachineConfig
+from repro.workloads.base import Phase, Workload
+
+
+@pytest.fixture()
+def table():
+    return pentium_m_755_table()
+
+
+@pytest.fixture()
+def search(table):
+    return EnergyOptimalSearch(
+        table,
+        LinearPowerModel.paper_model(),
+        PerformanceModel.paper_primary(),
+        n_cores=4,
+        serial_fraction=0.05,
+        sync_overhead=0.01,
+    )
+
+
+def _sample(ipc: float, dpc: float | None = None, dcu: float | None = None):
+    rates = {Event.INST_RETIRED: ipc}
+    if dpc is not None:
+        rates[Event.INST_DECODED] = dpc
+    if dcu is not None:
+        rates[Event.DCU_MISS_OUTSTANDING] = dcu
+    return CounterSample(interval_s=0.01, cycles=2e7, rates=rates)
+
+
+def test_grid_covers_threads_times_pstates(search, table):
+    grid = search.project_grid(1.5, 1.8, 0.2, table.fastest)
+    assert len(grid) == 4 * len(table.frequencies_mhz)
+    assert {cell.threads for cell in grid} == {1, 2, 3, 4}
+
+
+def test_core_bound_prefers_many_threads(search, table):
+    best = search.best_configuration(1.5, 1.8, 0.1, table.fastest)
+    assert best.threads == 4
+
+
+def test_bandwidth_cap_limits_memory_bound_throughput(search, table):
+    # 12 bytes/instruction saturates the 2.8 GB/s bus below 4 threads'
+    # ideal scaling, so extra threads stop adding throughput.
+    grid = search.project_grid(
+        0.5, 0.6, 1.2, table.fastest, bytes_per_instruction=12.0
+    )
+    at_max = {c.threads: c for c in grid if c.pstate == table.fastest}
+    assert at_max[4].throughput_ips == pytest.approx(
+        search.bandwidth_ceiling_bytes_per_s / 12.0
+    )
+    # ...while power keeps growing with threads: energy says stop early.
+    assert at_max[4].power_w > at_max[2].power_w
+
+
+def test_decide_minimizes_energy_per_instruction(search, table):
+    # Prime the multiplexed state: first group carries DPC, second DCU.
+    search.reset()
+    memory = _sample(0.45, dpc=0.5)
+    search.decide(memory, table.fastest)
+    target = search.decide(_sample(0.45, dcu=1.0), table.fastest)
+    # A deeply memory-bound sample makes down-clocking nearly free.
+    assert target.frequency_mhz < 2000.0
+
+
+def test_governor_validation(table):
+    power = LinearPowerModel.paper_model()
+    perf = PerformanceModel.paper_primary()
+    with pytest.raises(GovernorError, match="n_cores"):
+        EnergyOptimalSearch(table, power, perf, n_cores=0)
+    with pytest.raises(GovernorError, match="thread_counts"):
+        EnergyOptimalSearch(table, power, perf, n_cores=2, thread_counts=(3,))
+    with pytest.raises(GovernorError, match="saturation"):
+        ThreadsFreqGovernor(table, power, perf, saturation_low=0.9,
+                            saturation_high=0.5)
+
+
+def test_threads_freq_walks_one_step(table):
+    governor = ThreadsFreqGovernor(
+        table, LinearPowerModel.paper_model(), PerformanceModel.paper_primary()
+    )
+    governor.reset()
+    governor.decide(_sample(0.45, dpc=0.5), table.fastest)
+    target = governor.decide(_sample(0.45, dcu=1.0), table.fastest)
+    # One table step at most, even though the optimum is far away.
+    assert target == table.step_down(table.fastest)
+
+
+def test_recommend_threads_parks_on_saturated_bus(table):
+    governor = ThreadsFreqGovernor(
+        table, LinearPowerModel.paper_model(), PerformanceModel.paper_primary()
+    )
+    memory_sample = _sample(0.4, dcu=1.0)  # dcu/ipc = 2.5 >= 1.21
+    assert governor.recommend_threads(
+        [memory_sample], threads=4, n_cores=4, bus_utilization=1.4
+    ) == 3
+    core_sample = _sample(1.5, dcu=0.1)
+    # Core-bound at high utilization: hold (the bus is busy but the
+    # sample says frequency scaling still works).
+    assert governor.recommend_threads(
+        [core_sample], threads=4, n_cores=4, bus_utilization=1.4
+    ) == 4
+    # Headroom: grow.
+    assert governor.recommend_threads(
+        [core_sample], threads=2, n_cores=4, bus_utilization=0.2
+    ) == 3
+    # Never below one thread or above n_cores.
+    assert governor.recommend_threads(
+        [memory_sample], threads=1, n_cores=4, bus_utilization=1.4
+    ) == 1
+    assert governor.recommend_threads(
+        [core_sample], threads=4, n_cores=4, bus_utilization=0.2
+    ) == 4
+
+
+def test_threads_freq_end_to_end_resplits_on_contention(table):
+    """A memory-bound run on 4 cores sheds threads online."""
+    phase = Phase(
+        name="mem", instructions=5e7, cpi_core=0.9, decode_ratio=1.2,
+        l1_mpi=0.04, l2_mpi=0.03, mlp=2.0, activity_jitter=0.0,
+    )
+    workload = Workload("mem", (phase,), 1.6e8, category="memory")
+    machine = MulticoreMachine(MulticoreConfig(
+        n_cores=4, machine=MachineConfig(seed=1)
+    ))
+    governor = ThreadsFreqGovernor(
+        table, LinearPowerModel.paper_model(), PerformanceModel.paper_primary()
+    )
+    out = MulticoreController(
+        machine, governor, reconfigure_every_ticks=10
+    ).run(workload, threads=4)
+    assert out.result.instructions == pytest.approx(1.6e8, rel=1e-6)
+    assert len(out.threads_history) > 1
+    assert out.threads_history[-1][1] < 4
+    assert out.peak_bus_utilization > 1.0

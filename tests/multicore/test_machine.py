@@ -1,0 +1,178 @@
+"""MulticoreMachine: 1-core bit-identity and N-core contention behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import PowerManagementController
+from repro.core.governors.powersave import PowerSave
+from repro.core.models.performance import PerformanceModel
+from repro.checkpoint.digest import run_result_digest
+from repro.errors import ExperimentError, WorkloadError
+from repro.multicore.contention import ContentionModel
+from repro.multicore.controller import MulticoreController
+from repro.multicore.machine import MulticoreConfig, MulticoreMachine
+from repro.platform.machine import Machine, MachineConfig
+from repro.workloads.base import Phase, Workload
+from repro.workloads import default_registry
+
+
+def _mem_workload(budget: float = 4e7) -> Workload:
+    phase = Phase(
+        name="mem",
+        instructions=budget,
+        cpi_core=0.9,
+        decode_ratio=1.2,
+        l1_mpi=0.04,
+        l2_mpi=0.03,
+        mlp=2.0,
+        activity_jitter=0.0,
+    )
+    return Workload("mem", (phase,), budget, category="memory")
+
+
+def _core_workload(budget: float = 4e7) -> Workload:
+    phase = Phase(
+        name="core",
+        instructions=budget,
+        cpi_core=0.8,
+        decode_ratio=1.4,
+        activity_jitter=0.0,
+    )
+    return Workload("core", (phase,), budget, category="core")
+
+
+def test_one_core_run_digest_bit_identical():
+    """The acceptance gate: 1-core multicore == single-core Machine."""
+    workload = default_registry().get("ammp").scaled(0.02)
+
+    single = Machine(MachineConfig(seed=7))
+    ref = PowerManagementController(
+        single, PowerSave(single.config.table, PerformanceModel.paper_primary(), 0.8)
+    ).run(workload)
+
+    multi = MulticoreMachine(MulticoreConfig(
+        n_cores=1, machine=MachineConfig(seed=7)
+    ))
+    out = MulticoreController(
+        multi, PowerSave(multi.config.machine.table, PerformanceModel.paper_primary(), 0.8)
+    ).run(workload, threads=1)
+
+    assert run_result_digest(out.result) == run_result_digest(ref)
+
+
+def test_one_core_digest_holds_with_jittered_workload():
+    """Jittered phases draw from the RNG every tick; streams must align."""
+    workload = default_registry().get("swim").scaled(0.01)
+
+    single = Machine(MachineConfig(seed=3))
+    ref = PowerManagementController(
+        single, PowerSave(single.config.table, PerformanceModel.paper_primary(), 0.85)
+    ).run(workload)
+
+    multi = MulticoreMachine(MulticoreConfig(
+        n_cores=1, machine=MachineConfig(seed=3)
+    ))
+    out = MulticoreController(
+        multi, PowerSave(multi.config.machine.table, PerformanceModel.paper_primary(), 0.85)
+    ).run(workload, threads=1)
+
+    assert run_result_digest(out.result) == run_result_digest(ref)
+
+
+def test_zero_memory_bound_sees_no_contention_penalty():
+    """Pure core-bound shards exert ~zero bus demand: no slowdown."""
+    budget = 3e7
+    single = MulticoreMachine(MulticoreConfig(
+        n_cores=1, machine=MachineConfig(seed=0)
+    ))
+    single.load(_core_workload(budget), threads=1)
+    while not single.finished:
+        single.step()
+
+    quad = MulticoreMachine(MulticoreConfig(
+        n_cores=4, machine=MachineConfig(seed=0)
+    ))
+    quad.load(_core_workload(4 * budget), threads=4)
+    while not quad.finished:
+        tick = quad.step()
+        assert tick.bus_utilization < 0.05
+    # Perfect scaling: 4 cores finish 4x the work in the same time.
+    assert quad.now_s == pytest.approx(single.now_s, rel=1e-6)
+
+
+def test_all_memory_bound_saturates_at_bandwidth_ceiling():
+    """Aggregate traffic of memory-bound cores caps at the ceiling."""
+    config = MulticoreConfig(n_cores=4, machine=MachineConfig(seed=0))
+    machine = MulticoreMachine(config)
+    machine.load(_mem_workload(8e7), threads=4)
+    ceiling = config.contention.ceiling(config.machine.timing)
+
+    machine.step()  # first tick: demands measured before contention
+    total_bytes = 0.0
+    total_time = 0.0
+    for _ in range(20):
+        if machine.finished:
+            break
+        tick = machine.step()
+        assert tick.bus_utilization > 1.0  # genuinely oversubscribed
+        for rec in tick.core_records:
+            if rec is not None and rec.rates is not None:
+                total_bytes += rec.rates.bytes_per_s * rec.duration_s
+        total_time += tick.duration_s
+    aggregate = total_bytes / total_time
+    assert aggregate <= ceiling * 1.02
+    assert aggregate >= ceiling * 0.7
+
+
+def test_memory_bound_scaling_is_sublinear_core_bound_is_not():
+    def completion_time(make, cores):
+        machine = MulticoreMachine(MulticoreConfig(
+            n_cores=cores, machine=MachineConfig(seed=0)
+        ))
+        machine.load(make(cores * 2e7), threads=cores)
+        while not machine.finished:
+            machine.step()
+        return machine.now_s
+
+    core_1, core_4 = completion_time(_core_workload, 1), completion_time(
+        _core_workload, 4
+    )
+    mem_1, mem_4 = completion_time(_mem_workload, 1), completion_time(
+        _mem_workload, 4
+    )
+    # Core-bound: 4x work on 4 cores takes the same time.
+    assert core_4 / core_1 < 1.05
+    # Memory-bound: contention stretches completion well past 1x.
+    assert mem_4 / mem_1 > 1.3
+
+
+def test_config_validation():
+    with pytest.raises(ExperimentError, match="n_cores"):
+        MulticoreConfig(n_cores=0)
+    with pytest.raises(ExperimentError, match="pstate_domains"):
+        MulticoreConfig(pstate_domains="socket")
+    with pytest.raises(ExperimentError, match="latency_slope"):
+        ContentionModel(latency_slope=-1.0)
+    with pytest.raises(ExperimentError, match="max_utilization"):
+        ContentionModel(max_utilization=1.5)
+
+
+def test_load_rejects_bad_thread_counts():
+    machine = MulticoreMachine(MulticoreConfig(n_cores=2))
+    with pytest.raises(WorkloadError, match="threads"):
+        machine.load(_core_workload(), threads=3)
+    with pytest.raises(WorkloadError, match="threads"):
+        machine.load(_core_workload(), threads=0)
+
+
+def test_idle_cores_burn_idle_power():
+    """threads < n_cores: unused cores still cost energy every tick."""
+    lone = MulticoreMachine(MulticoreConfig(n_cores=1))
+    lone.load(_core_workload(2e7), threads=1)
+    tick_lone = lone.step()
+
+    wide = MulticoreMachine(MulticoreConfig(n_cores=4))
+    wide.load(_core_workload(2e7), threads=1)
+    tick_wide = wide.step()
+    assert tick_wide.energy_j > tick_lone.energy_j * 1.5

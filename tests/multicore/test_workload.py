@@ -1,0 +1,74 @@
+"""split_workload / parallel_efficiency: shard arithmetic and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.multicore.workload import parallel_efficiency, split_workload
+from repro.workloads.base import Phase, Workload
+
+
+@pytest.fixture()
+def workload() -> Workload:
+    phase = Phase(
+        name="p", instructions=1e7, cpi_core=1.0, decode_ratio=1.3,
+        activity_jitter=0.0,
+    )
+    return Workload("w", (phase,), 1e9, category="core")
+
+
+def test_one_thread_returns_the_original_object(workload):
+    assert split_workload(workload, 1) == (workload,)
+    assert split_workload(workload, 1)[0] is workload
+
+
+def test_even_split_conserves_instructions(workload):
+    shards = split_workload(workload, 4)
+    assert len(shards) == 4
+    assert sum(s.total_instructions for s in shards) == pytest.approx(
+        workload.total_instructions
+    )
+    assert len({s.name for s in shards}) == 4
+    assert all(s.phases == workload.phases for s in shards)
+
+
+def test_serial_fraction_lands_on_thread_zero(workload):
+    shards = split_workload(workload, 4, serial_fraction=0.2)
+    parallel_each = 1e9 * 0.8 / 4
+    assert shards[0].total_instructions == pytest.approx(
+        parallel_each + 1e9 * 0.2
+    )
+    for shard in shards[1:]:
+        assert shard.total_instructions == pytest.approx(parallel_each)
+
+
+def test_sync_overhead_inflates_parallel_work(workload):
+    plain = split_workload(workload, 4)
+    taxed = split_workload(workload, 4, sync_overhead=0.05)
+    factor = 1.0 + 0.05 * 3
+    for a, b in zip(plain, taxed):
+        assert b.total_instructions == pytest.approx(
+            a.total_instructions * factor
+        )
+
+
+def test_validation(workload):
+    with pytest.raises(WorkloadError, match="threads"):
+        split_workload(workload, 0)
+    with pytest.raises(WorkloadError, match="serial_fraction"):
+        split_workload(workload, 2, serial_fraction=1.5)
+    with pytest.raises(WorkloadError, match="sync_overhead"):
+        split_workload(workload, 2, sync_overhead=-0.1)
+
+
+def test_parallel_efficiency_matches_amdahl():
+    assert parallel_efficiency(1) == 1.0
+    # No serial fraction, no overhead: perfect efficiency.
+    assert parallel_efficiency(8) == pytest.approx(1.0)
+    # Pure Amdahl: speedup = 1 / (s + (1-s)/t), efficiency = speedup / t.
+    s, t = 0.1, 4
+    expected = (1.0 / (s + (1.0 - s) / t)) / t
+    assert parallel_efficiency(t, serial_fraction=s) == pytest.approx(expected)
+    # Overhead strictly reduces efficiency.
+    assert parallel_efficiency(4, sync_overhead=0.05) < 1.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cpufreq import CpufreqPolicy
-from repro.errors import GovernorError, ReproError
+from repro.errors import DriverError, GovernorError, ReproError
 from repro.platform.machine import Machine, MachineConfig
 
 
@@ -36,6 +36,31 @@ class TestAttributes:
             policy.read("bogus")
         with pytest.raises(ReproError):
             policy.write("bogus", "1")
+
+    def test_affected_cpus_reports_domain(self, policy):
+        assert policy.read("affected_cpus") == "0"
+
+
+class TestDomains:
+    def test_default_domain_zero_actuates(self, tiny_core_workload):
+        machine = Machine(MachineConfig(seed=0))
+        machine.load(tiny_core_workload)
+        policy = CpufreqPolicy(machine)
+        policy.write("scaling_governor", "powersave")
+        policy.tick()
+        assert policy.read("scaling_cur_freq") == "600000"
+
+    def test_wrong_domain_is_a_pointed_error(self, tiny_core_workload):
+        # A policy aimed at a domain the machine does not have must
+        # fail loudly on its first actuation, not retune the package.
+        machine = Machine(MachineConfig(seed=0))
+        machine.load(tiny_core_workload)
+        policy = CpufreqPolicy(machine, domain=3)
+        assert policy.read("affected_cpus") == "3"
+        policy.write("scaling_governor", "powersave")
+        with pytest.raises(DriverError, match="domain 0"):
+            policy.tick()
+        assert policy.read("scaling_cur_freq") == "2000000"
 
 
 class TestGovernors:

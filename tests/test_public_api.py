@@ -33,6 +33,14 @@ PUBLIC_MODULES = (
     "repro.fleet.scenario",
     "repro.fleet.cluster",
     "repro.experiments.fleet_capping",
+    "repro.experiments.multicore_scaling",
+    "repro.multicore",
+    "repro.multicore.contention",
+    "repro.multicore.controller",
+    "repro.multicore.machine",
+    "repro.multicore.workload",
+    "repro.core.governors.energy_optimal",
+    "repro.core.governors.threads_freq",
     "repro.cpufreq",
     "repro.cli",
     "repro.telemetry",
@@ -107,11 +115,22 @@ def test_fault_api_is_exported():
         assert hasattr(repro, name)
 
 
+def test_multicore_api_is_exported():
+    """The multicore subsystem is reachable from the top level."""
+    for name in ("MulticoreMachine", "MulticoreConfig",
+                 "MulticoreController", "MulticoreRunResult",
+                 "ContentionModel", "split_workload",
+                 "EnergyOptimalSearch", "ThreadsFreqGovernor"):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name)
+
+
 def test_subpackage_all_exports_resolve():
     for module_name in ("repro.core", "repro.core.governors",
                         "repro.core.models", "repro.fleet",
                         "repro.workloads", "repro.measurement",
-                        "repro.telemetry", "repro.faults"):
+                        "repro.telemetry", "repro.faults",
+                        "repro.multicore"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name}"
