@@ -1,0 +1,44 @@
+"""Campaign chaos drill: SIGKILL mid-campaign, resume, quarantine poison.
+
+The acceptance bar for the resilient campaign engine: a campaign
+process group SIGKILLed mid-sweep must resume from its content-
+addressed store executing only the missing cells, with every surviving
+object bit-identical (by ``run_result_digest``) to a fresh serial
+execution; and deterministic poison cells -- one transient (retry
+budget exhausted), one permanent (unresolvable workload) -- must be
+quarantined with their failure histories while the healthy rest of the
+plan completes under ``degraded=True``.  The full verification data is
+archived as ``BENCH_campaign.json`` so regressions in either guarantee
+show up as a diff, not just a red test.
+"""
+
+import json
+
+from conftest import publish
+
+from repro.experiments import campaign_drill
+
+
+def test_campaign_kill_resume_and_quarantine(benchmark, results_dir):
+    # The drill manages its own scale: the kill window comes from the
+    # sweep's cell count, not per-cell runtime.
+    result = benchmark.pedantic(campaign_drill.run, rounds=1, iterations=1)
+    publish(results_dir, "campaign_drill", campaign_drill.render(result))
+
+    (results_dir / "BENCH_campaign.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+
+    part_a = result["part_a"]
+    assert part_a["killed"] is True
+    assert part_a["resumed"] is True
+    assert part_a["only_missing_executed"] is True
+    assert part_a["survivors_identical"] == part_a["survivors_total"]
+    assert part_a["completed"] == part_a["cells"]
+
+    part_b = result["part_b"]
+    assert part_b["quarantined"] == [0, 1]
+    assert part_b["degraded"] is True
+    assert part_b["transient_permanent"] is False
+    assert part_b["permanent_permanent"] is True
+    assert result["passed"] is True

@@ -26,6 +26,7 @@ __version__ = "1.0.0"
 from repro.acpi import PState, PStateTable, pentium_m_755_table
 from repro.errors import (
     AdaptationError,
+    CampaignError,
     CheckpointError,
     DeadlineExceeded,
     DriverError,
@@ -90,6 +91,12 @@ from repro.core import (
     RunResult,
     StaticClocking,
     project_dpc,
+)
+from repro.campaign import (
+    Campaign,
+    CampaignResult,
+    ResultStore,
+    run_campaign,
 )
 from repro.checkpoint import (
     ExperimentCheckpointSession,
@@ -192,6 +199,7 @@ __all__ = [
     "MeasurementError",
     "ExperimentError",
     "PlanError",
+    "CampaignError",
     "TelemetryError",
     "FaultError",
     "FaultPlanError",
@@ -226,6 +234,12 @@ __all__ = [
     "ParallelRunner",
     "execute_cells",
     "open_session",
+    # Resilient campaigns: content-addressed result store, lease-based
+    # dispatch, poison-cell quarantine.
+    "Campaign",
+    "CampaignResult",
+    "ResultStore",
+    "run_campaign",
     # Trace-driven workloads: counter logs and the scenario corpus as
     # first-class workload inputs.
     "CounterTrace",

@@ -1,0 +1,58 @@
+"""Resilient measurement campaigns over the execution engine.
+
+The paper's figures are products of large sweeps -- workloads x
+governors x seeds (x threads since the multicore work), thousands of
+cells -- and a campaign of that size must tolerate partial failure
+rather than restart from zero.  This package layers three guarantees
+over :mod:`repro.exec`:
+
+* **nothing finished is ever re-run** -- every completed cell lands in
+  a content-addressed :class:`~repro.campaign.store.ResultStore`,
+  keyed by a canonical digest of everything that determines its
+  result, and cache hits are verified bit-identical via
+  :func:`~repro.checkpoint.digest.run_result_digest`;
+* **no single cell can take the campaign down** -- dispatch is
+  lease-based (:class:`~repro.campaign.dispatch.LeaseDispatcher`):
+  heartbeats keep leases alive, the coordinator reaps crashes and
+  hangs, re-issues with bounded backoff, and quarantines poison cells
+  with their failure history while the rest of the sweep completes;
+* **every invocation ends in a valid state** -- SIGINT, a deadline, or
+  a dead worker pool yield a :class:`~repro.campaign.engine.
+  CampaignResult` flagged ``degraded``, and the next invocation
+  resumes from the store, executing only the remainder.
+
+Entry points: :func:`~repro.campaign.engine.run_campaign` /
+:class:`~repro.campaign.engine.Campaign` in code, ``repro-power
+campaign run|status|retry`` on the command line, and the ``campaign``
+chaos drill (``repro-power experiment campaign``) as the standing
+proof that kill-and-resume and quarantine-without-abort both hold.
+"""
+
+from repro.campaign.dispatch import (
+    CellFailure,
+    DispatchOutcome,
+    LeaseDispatcher,
+)
+from repro.campaign.engine import Campaign, CampaignResult, run_campaign
+from repro.campaign.status import campaign_status, render_status
+from repro.campaign.store import (
+    STORE_FORMAT_VERSION,
+    ResultStore,
+    campaign_cell_spec,
+    cell_digest,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CellFailure",
+    "DispatchOutcome",
+    "LeaseDispatcher",
+    "ResultStore",
+    "STORE_FORMAT_VERSION",
+    "campaign_cell_spec",
+    "campaign_status",
+    "cell_digest",
+    "render_status",
+    "run_campaign",
+]

@@ -1,0 +1,594 @@
+"""Lease-based cell dispatch: heartbeats, reaping, bounded re-issue.
+
+The campaign pool replaces the :class:`~repro.exec.runner.
+ParallelRunner`'s fire-and-forget claims with *leases*.  A worker that
+picks up a cell sends a lease message and then keeps the lease alive
+from a background heartbeat thread while the cell executes; the
+coordinator tracks one expiry deadline per lease and treats three
+distinct conditions as a failed attempt:
+
+* ``crashed`` -- the leaseholder process died (SIGKILL, OOM, segfault);
+* ``expired`` -- the leaseholder stopped heartbeating for a full lease
+  term (hung, livelocked, or unreachable);
+* ``failed``  -- the attempt raised a transient exception.
+
+Failed attempts are re-issued with :class:`~repro.supervise.
+RetryPolicy`-style bounded exponential backoff (zero jitter, so retry
+timing is deterministic given the failure sequence).  A cell that
+fails *permanently* (:func:`~repro.supervise.is_permanent_error`: a
+malformed plan, an unknown workload -- classified in the worker, which
+holds the live exception) or exhausts ``max_attempts`` is
+**quarantined** with its complete failure history, and the campaign
+continues; one poison cell can no longer take down a 10k-cell sweep.
+
+Every protocol step publishes a typed telemetry event
+(:class:`~repro.telemetry.bus.CellLeased`, :class:`~repro.telemetry.
+bus.LeaseExpired`, :class:`~repro.telemetry.bus.CellQuarantined`) with
+wall-clock timestamps relative to dispatch start, mirroring
+:class:`~repro.supervise.Supervisor`'s convention.
+
+Like the parallel runner, workers report over per-worker pipes (a
+``Connection.send`` completes in the calling thread, so a lease is
+observable even if the worker is SIGKILLed on the next instruction),
+and the coordinator closes the dequeue-to-lease hole with an idle
+re-issue sweep -- safe because cells are deterministic and duplicate
+completions are ignored.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.controller import RunResult
+from repro.errors import CampaignError
+from repro.exec import cache
+from repro.exec.core import execute_cell
+from repro.exec.plan import RunPlan
+from repro.exec.runner import default_mp_context
+from repro.supervise import RetryPolicy, is_permanent_error
+from repro.telemetry.bus import CellLeased, CellQuarantined, LeaseExpired
+from repro.telemetry.recorder import TelemetryRecorder
+
+#: Pipe-poll interval; lease expiry and retry release are checked
+#: between quiet polls.
+_POLL_S = 0.05
+
+#: Quiet seconds before unleased outstanding cells are re-issued.
+_REISSUE_IDLE_S = 2.0
+
+#: Sentinel telling a worker to exit.
+_STOP = None
+
+
+def _beat_loop(send, index: int, stop: threading.Event,
+               heartbeat_s: float) -> None:
+    """Heartbeat thread body: renew the lease until the cell finishes."""
+    while not stop.wait(heartbeat_s):
+        try:
+            send(("beat", index, None))
+        except (BrokenPipeError, OSError):  # parent gone; cell will notice
+            return
+
+
+def _worker_main(worker_id: int, payload: dict, task_q, conn) -> None:
+    """Worker loop: lease cells, heartbeat while executing, report.
+
+    Runs in the child process.  All sends share one lock because the
+    heartbeat thread and the main thread write the same pipe.
+    """
+    cache.install_caches(payload["caches"])
+    plan: RunPlan = payload["plan"]
+    heartbeat_s: float = payload["heartbeat_s"]
+    hook = payload["cell_hook"]
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    recorder = None
+    sink = None
+    root = payload["telemetry_root"]
+    if root:
+        from repro.telemetry.exporters import TelemetryDirectory
+
+        base = os.path.join(root, f"worker-{worker_id:02d}")
+        path = base
+        attempt = 1
+        while os.path.exists(path):  # earlier dispatches in one session
+            path = f"{base}.{attempt}"
+            attempt += 1
+        recorder = TelemetryRecorder()
+        sink = TelemetryDirectory(path)
+        sink.attach(recorder)
+    try:
+        while True:
+            index = task_q.get()
+            if index is _STOP:
+                break
+            send(("lease", index, None))
+            stop = threading.Event()
+            beater = threading.Thread(
+                target=_beat_loop,
+                args=(send, index, stop, heartbeat_s),
+                daemon=True,
+            )
+            beater.start()
+            try:
+                if hook is not None:
+                    hook(index)
+                result = execute_cell(
+                    plan.cells[index],
+                    plan.config,
+                    telemetry=recorder,
+                    fault_plan=plan.fault_plan,
+                    adaptation=plan.adaptation,
+                    resilience=plan.resilience,
+                    use_ambient=False,
+                )
+            except BaseException as error:  # noqa: BLE001 - shipped upward
+                stop.set()
+                beater.join()
+                send((
+                    "error",
+                    index,
+                    (
+                        f"{type(error).__name__}: {error}",
+                        traceback.format_exc(),
+                        is_permanent_error(error),
+                    ),
+                ))
+                continue
+            stop.set()
+            beater.join()
+            send(("done", index, result))
+    except (BrokenPipeError, OSError):  # parent is gone; die quietly
+        pass
+    finally:
+        if sink is not None:
+            sink.finalize(recorder)
+        conn.close()
+
+
+@dataclass
+class Lease:
+    """Coordinator-side record of one issued cell lease."""
+
+    index: int
+    worker: int
+    attempt: int
+    expires_at: float
+
+
+@dataclass
+class CellFailure:
+    """One failed attempt in a cell's history."""
+
+    attempt: int
+    reason: str  # "failed" | "crashed" | "expired"
+    error: str
+
+    def to_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "reason": self.reason,
+            "error": self.error,
+        }
+
+
+@dataclass
+class DispatchOutcome:
+    """Everything one dispatch pass produced."""
+
+    results: Dict[int, RunResult] = field(default_factory=dict)
+    quarantined: Dict[int, dict] = field(default_factory=dict)
+    lost: set = field(default_factory=set)
+    interrupted: bool = False
+
+
+class _PoolWorker:
+    """Parent-side record of one worker process."""
+
+    __slots__ = ("process", "conn", "eof", "wid")
+
+    def __init__(self, process, conn, wid: int):
+        self.process = process
+        self.conn = conn
+        self.eof = False
+        self.wid = wid
+
+
+class LeaseDispatcher:
+    """Coordinates one campaign's pending cells over a worker pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        max_attempts: int = 3,
+        lease_s: float = 10.0,
+        heartbeat_s: float | None = None,
+        backoff_s: float = 0.1,
+        backoff_factor: float = 2.0,
+        max_restarts: int = 16,
+        mp_context: multiprocessing.context.BaseContext | str | None = None,
+        telemetry: TelemetryRecorder | None = None,
+        telemetry_root: str | os.PathLike | None = None,
+        cell_hook: Callable[[int], None] | None = None,
+        max_seconds: float | None = None,
+    ):
+        if workers < 1:
+            raise CampaignError("campaigns need at least one worker")
+        if max_attempts < 1:
+            raise CampaignError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if lease_s <= 0:
+            raise CampaignError(f"lease_s must be positive, got {lease_s}")
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.lease_s = lease_s
+        self.heartbeat_s = (
+            heartbeat_s if heartbeat_s is not None else lease_s / 4.0
+        )
+        # Zero jitter: retry timing is deterministic given the failures.
+        self.retry_policy = RetryPolicy(
+            max_attempts=max(2, max_attempts),
+            backoff_s=backoff_s,
+            backoff_factor=backoff_factor,
+            jitter_fraction=0.0,
+        )
+        self.max_restarts = max_restarts
+        self.context = mp_context or default_mp_context()
+        self._tel = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        self.telemetry_root = (
+            os.fspath(telemetry_root) if telemetry_root is not None else None
+        )
+        self._cell_hook = cell_hook
+        self.max_seconds = max_seconds
+        #: Replacement workers started after crashes.
+        self.restarts = 0
+        #: Lease re-issues (crash + expiry + transient failure).
+        self.reissues = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _publish(self, event) -> None:
+        if self._tel is not None:
+            self._tel.bus.publish(event)
+
+    def _prime(self, plan: RunPlan, indices: Sequence[int]) -> None:
+        """Warm the parent caches, tolerating poison cells.
+
+        A cell whose workload spec cannot resolve (the classic poison
+        cell) must fail *in its worker*, where the failure is leased,
+        classified and quarantined -- never abort priming for the
+        healthy rest of the plan.
+        """
+        for index in indices:
+            cell = plan.cells[index]
+            try:
+                if (
+                    isinstance(cell.governor.power_model, str)
+                    and cell.governor.power_model == "trained"
+                ):
+                    cache.trained_power_model(seed=plan.config.seed)
+                from repro.workloads.registry import is_workload_spec
+
+                if is_workload_spec(cell.workload):
+                    cache.spec_workload(cell.workload)
+            except Exception:  # noqa: BLE001 - the worker will report it
+                continue
+
+    def _spawn(self, worker_id: int, payload: dict, task_q) -> _PoolWorker:
+        parent_conn, child_conn = self.context.Pipe(duplex=False)
+        process = self.context.Process(
+            target=_worker_main,
+            args=(worker_id, payload, task_q, child_conn),
+            daemon=True,
+            name=f"repro-campaign-{worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process, parent_conn, worker_id)
+
+    # -- the protocol ------------------------------------------------------
+
+    def dispatch(
+        self,
+        plan: RunPlan,
+        indices: Sequence[int],
+        on_result: Callable[[int, RunResult], None] | None = None,
+        on_quarantine: Callable[[int, dict], None] | None = None,
+    ) -> DispatchOutcome:
+        """Run ``plan.cells[i]`` for every ``i`` in ``indices``.
+
+        ``on_result`` / ``on_quarantine`` fire in the coordinator the
+        moment a cell reaches that terminal state (the campaign engine
+        uses them to write the store durably per cell, so an interrupt
+        one second later loses nothing).  Returns a
+        :class:`DispatchOutcome`; cells still non-terminal after an
+        interrupt or the ``max_seconds`` deadline are in ``lost``.
+        """
+        outcome = DispatchOutcome()
+        if not indices:
+            return outcome
+        self._prime(plan, indices)
+        payload = {
+            "plan": plan,
+            "caches": cache.export_caches(),
+            "heartbeat_s": self.heartbeat_s,
+            "telemetry_root": self.telemetry_root,
+            "cell_hook": self._cell_hook,
+        }
+        task_q = self.context.Queue()
+        for index in indices:
+            task_q.put(index)
+        count = min(self.workers, len(indices))
+        workers: Dict[int, _PoolWorker] = {
+            wid: self._spawn(wid, payload, task_q) for wid in range(count)
+        }
+        state = {
+            "outstanding": set(indices),
+            "leases": {},        # index -> Lease
+            "attempts": {},      # index -> lease count so far
+            "failures": {},      # index -> [CellFailure, ...]
+            "retry_at": {},      # index -> wall clock release time
+            "outcome": outcome,
+            "plan": plan,
+            "on_result": on_result,
+            "on_quarantine": on_quarantine,
+            "task_q": task_q,
+            "start": time.monotonic(),
+            "progressed": False,
+        }
+        next_id = count
+        idle_s = 0.0
+        reissued_idle = False
+        try:
+            while state["outstanding"]:
+                now = time.monotonic()
+                if (
+                    self.max_seconds is not None
+                    and now - state["start"] >= self.max_seconds
+                ):
+                    outcome.interrupted = True
+                    break
+                self._release_due_retries(state, now)
+                conns = [w.conn for w in workers.values() if not w.eof]
+                if conns:
+                    ready = mp_connection.wait(conns, timeout=_POLL_S)
+                else:
+                    ready = []
+                    time.sleep(_POLL_S)
+                state["progressed"] = False
+                by_conn = {w.conn: w for w in workers.values()}
+                for conn in ready:
+                    self._drain(by_conn[conn], state)
+                self._expire_leases(state)
+                next_id = self._reap_crashed(
+                    workers, payload, task_q, next_id, state
+                )
+                if state["outstanding"] and not workers:
+                    # The pool is gone and cannot be refilled: every
+                    # non-terminal cell (queued, leased, or waiting on
+                    # a retry) is unreachable.  Degrade, don't raise.
+                    outcome.lost |= state["outstanding"]
+                    state["outstanding"].clear()
+                    break
+                if state["progressed"]:
+                    idle_s = 0.0
+                    reissued_idle = False
+                    continue
+                idle_s += _POLL_S
+                if (
+                    state["outstanding"]
+                    and not reissued_idle
+                    and idle_s >= _REISSUE_IDLE_S
+                ):
+                    reissued_idle = self._reissue_unleased(workers, state)
+            for worker in workers.values():
+                if worker.process.is_alive():
+                    task_q.put(_STOP)
+            for worker in workers.values():
+                worker.process.join(timeout=10)
+        except KeyboardInterrupt:
+            outcome.interrupted = True
+        finally:
+            outcome.lost |= state["outstanding"]
+            for worker in workers.values():
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+                worker.conn.close()
+            task_q.close()
+        return outcome
+
+    # -- coordinator steps -------------------------------------------------
+
+    def _now_s(self, state: dict) -> float:
+        return time.monotonic() - state["start"]
+
+    def _release_due_retries(self, state: dict, now: float) -> None:
+        due = [i for i, t in state["retry_at"].items() if t <= now]
+        for index in due:
+            del state["retry_at"][index]
+            if index in state["outstanding"]:
+                state["task_q"].put(index)
+
+    def _drain(self, worker: _PoolWorker, state: dict) -> None:
+        """Handle every message currently readable from one worker."""
+        wid = worker.wid
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                kind, index, body = worker.conn.recv()
+            except (EOFError, OSError):
+                worker.eof = True
+                return
+            state["progressed"] = True
+            if kind == "lease":
+                if index not in state["outstanding"]:
+                    continue  # late duplicate of a terminal cell
+                attempt = state["attempts"].get(index, 0) + 1
+                state["attempts"][index] = attempt
+                state["leases"][index] = Lease(
+                    index=index,
+                    worker=wid,
+                    attempt=attempt,
+                    expires_at=time.monotonic() + self.lease_s,
+                )
+                self._publish(CellLeased(
+                    time_s=self._now_s(state),
+                    cell=state["plan"].cells[index].label,
+                    index=index,
+                    worker=wid,
+                    attempt=attempt,
+                ))
+            elif kind == "beat":
+                lease = state["leases"].get(index)
+                if lease is not None and lease.worker == wid:
+                    lease.expires_at = time.monotonic() + self.lease_s
+            elif kind == "done":
+                state["leases"].pop(index, None)
+                if index not in state["outstanding"]:
+                    continue  # duplicate completion: first wins
+                state["outstanding"].discard(index)
+                state["outcome"].results[index] = body
+                if state["on_result"] is not None:
+                    state["on_result"](index, body)
+            else:  # "error"
+                state["leases"].pop(index, None)
+                summary, tb, permanent = body
+                self._record_failure(
+                    state, index, wid,
+                    reason="failed", error=summary, permanent=permanent,
+                    detail=tb,
+                )
+
+    def _expire_leases(self, state: dict) -> None:
+        now = time.monotonic()
+        for index, lease in list(state["leases"].items()):
+            if now <= lease.expires_at:
+                continue
+            del state["leases"][index]
+            self._record_failure(
+                state, index, lease.worker,
+                reason="expired",
+                error=(
+                    f"lease expired after {self.lease_s:.1f}s without a "
+                    "heartbeat"
+                ),
+            )
+
+    def _reap_crashed(
+        self, workers: Dict[int, _PoolWorker], payload: dict, task_q,
+        next_id: int, state: dict,
+    ) -> int:
+        for wid, worker in list(workers.items()):
+            if worker.process.is_alive():
+                continue
+            self._drain(worker, state)  # anything buffered before death
+            worker.conn.close()
+            del workers[wid]
+            held = [
+                lease for lease in state["leases"].values()
+                if lease.worker == wid
+            ]
+            for lease in held:
+                del state["leases"][lease.index]
+                self._record_failure(
+                    state, lease.index, wid,
+                    reason="crashed",
+                    error=(
+                        f"worker {wid} died "
+                        f"(exit {worker.process.exitcode})"
+                    ),
+                )
+            if not held and worker.process.exitcode == 0:
+                continue  # clean early exit: nothing was in flight
+            if self.restarts >= self.max_restarts:
+                continue  # pool shrinks; dispatch degrades if it empties
+            self.restarts += 1
+            workers[next_id] = self._spawn(next_id, payload, task_q)
+            next_id += 1
+        return next_id
+
+    def _reissue_unleased(self, workers, state: dict) -> bool:
+        """Close the dequeue-to-lease hole, exactly like the runner."""
+        leased = set(state["leases"])
+        waiting = set(state["retry_at"])
+        candidates = sorted(
+            state["outstanding"] - leased - waiting
+        )
+        idle_worker = any(
+            not any(
+                lease.worker == wid for lease in state["leases"].values()
+            )
+            for wid in workers
+        )
+        if not candidates or not idle_worker:
+            return False
+        for index in candidates:
+            state["task_q"].put(index)
+        self.reissues += len(candidates)
+        return True
+
+    def _record_failure(
+        self, state: dict, index: int, wid: int, reason: str, error: str,
+        permanent: bool = False, detail: str = "",
+    ) -> None:
+        if index not in state["outstanding"]:
+            return
+        attempt = state["attempts"].get(index, 0)
+        history: List[CellFailure] = state["failures"].setdefault(index, [])
+        history.append(
+            CellFailure(attempt=max(attempt, 1), reason=reason, error=error)
+        )
+        label = state["plan"].cells[index].label
+        if permanent or attempt >= self.max_attempts:
+            state["outstanding"].discard(index)
+            record = {
+                "cell": label,
+                "index": index,
+                "attempts": max(attempt, 1),
+                "permanent": permanent,
+                "error": error,
+                "failures": [f.to_dict() for f in history],
+            }
+            if detail:
+                record["traceback"] = detail
+            state["outcome"].quarantined[index] = record
+            self._publish(CellQuarantined(
+                time_s=self._now_s(state),
+                cell=label,
+                index=index,
+                attempts=max(attempt, 1),
+                permanent=permanent,
+                error=error,
+            ))
+            if state["on_quarantine"] is not None:
+                state["on_quarantine"](index, record)
+            return
+        delay = self.retry_policy.delay_for_attempt(max(attempt, 1))
+        state["retry_at"][index] = time.monotonic() + delay
+        self.reissues += 1
+        self._publish(LeaseExpired(
+            time_s=self._now_s(state),
+            cell=label,
+            index=index,
+            worker=wid,
+            reason=reason,
+            retry_in_s=delay,
+        ))

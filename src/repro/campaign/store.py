@@ -1,0 +1,278 @@
+"""Content-addressed on-disk result store for campaigns.
+
+Every :class:`~repro.exec.plan.RunCell` is keyed by a SHA-256 digest of
+its *canonical spec*: the cell's serialized form plus every plan-wide
+input that shapes its result (experiment config fields, fault plan,
+adaptation, resilience, and -- for ``trace:`` workloads -- the trace
+file's content hash).  Because cells are deterministic functions of
+exactly that data, a digest identifies a result: re-running a sweep
+looks each cell up first and executes only the misses, and editing any
+input (a scale, a trace CSV byte, a governor knob) changes the digest
+and therefore transparently invalidates the cached result.
+
+Objects are pickles of ``{"spec", "result", "result_digest"}`` written
+with :func:`repro.ioutils.atomic_write_bytes`, so a SIGKILL mid-store
+leaves either the complete old object or the complete new one.  Cache
+reads are *verified*: :meth:`ResultStore.get` recomputes
+:func:`~repro.checkpoint.digest.run_result_digest` over the unpickled
+result and compares it to the digest stored at put time -- a cache hit
+is provably bit-identical to the original execution, not just
+plausibly so.
+
+Quarantine records (cells that exhausted their retry budget, or failed
+permanently) live beside the objects as human-readable JSON carrying
+the full failure history; ``campaign retry`` deletes them to make the
+cells eligible again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from typing import List, Mapping
+
+from repro.checkpoint.digest import run_result_digest
+from repro.core.controller import RunResult
+from repro.errors import CampaignError
+from repro.exec.cache import file_sha256
+from repro.exec.plan import RunCell, RunPlan, _CONFIG_FIELDS
+from repro.ioutils import atomic_write_bytes, atomic_write_text
+from repro.platform.machine import MachineConfig
+
+#: Store layout version (bump on any incompatible change to the spec
+#: canonicalization or the object payload).
+STORE_FORMAT_VERSION = 1
+
+#: Marker file identifying a directory as a campaign store.
+STORE_MANIFEST = "store.json"
+
+#: Subdirectory holding result objects (``<digest>.pkl``).
+OBJECTS_DIR = "objects"
+
+#: Subdirectory holding quarantine records (``<digest>.json``).
+QUARANTINE_DIR = "quarantine"
+
+
+def campaign_cell_spec(cell: RunCell, plan: RunPlan) -> dict:
+    """The canonical JSON-safe spec one cell's digest is computed over.
+
+    Carries everything that determines the cell's result and nothing
+    that does not (worker identity, dispatch order and wall-clock
+    timing never appear).  ``trace:`` workloads additionally pin the
+    trace file's content hash, so a touched-but-identical file keeps
+    its digest while a single changed byte invalidates it.
+    """
+    if plan.config.machine != MachineConfig():
+        raise CampaignError(
+            "campaigns require a serializable plan (default machine "
+            "config); bespoke platform models cannot be content-addressed"
+        )
+    spec: dict = {
+        "format": STORE_FORMAT_VERSION,
+        "cell": cell.to_dict(),
+        "config": {key: getattr(plan.config, key) for key in _CONFIG_FIELDS},
+    }
+    if cell.fault_plan is None and plan.fault_plan is not None:
+        spec["fault_plan"] = plan.fault_plan.to_dict()
+    if cell.adaptation is None and plan.adaptation is not None:
+        spec["adaptation"] = dataclasses.asdict(plan.adaptation)
+    if cell.resilience is None and plan.resilience is not None:
+        spec["resilience"] = dataclasses.asdict(plan.resilience)
+    workload = cell.workload
+    if isinstance(workload, str) and workload.startswith("trace:"):
+        path = workload.partition(":")[2]
+        try:
+            spec["workload_sha256"] = file_sha256(path)
+        except OSError:
+            # Resolution will raise the pointed WorkloadError in the
+            # worker; the digest still has to exist so the failure can
+            # be quarantined under it.
+            spec["workload_sha256"] = None
+    return spec
+
+
+def cell_digest(cell: RunCell, plan: RunPlan) -> str:
+    """SHA-256 hex digest of the cell's canonical spec."""
+    blob = json.dumps(
+        campaign_cell_spec(cell, plan), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A directory of verified, content-addressed cell results."""
+
+    def __init__(self, root: str | os.PathLike, create: bool = True):
+        self.root = os.path.abspath(os.fspath(root))
+        self.objects_dir = os.path.join(self.root, OBJECTS_DIR)
+        self.quarantine_dir = os.path.join(self.root, QUARANTINE_DIR)
+        manifest_path = os.path.join(self.root, STORE_MANIFEST)
+        if not create and not os.path.exists(manifest_path):
+            raise CampaignError(
+                f"{self.root} is not a campaign store "
+                f"(no {STORE_MANIFEST}); run 'campaign run' first"
+            )
+        if os.path.exists(manifest_path):
+            try:
+                with open(manifest_path) as handle:
+                    manifest = json.load(handle)
+            except (OSError, json.JSONDecodeError) as error:
+                raise CampaignError(
+                    f"unreadable store manifest {manifest_path}: {error}"
+                ) from None
+            if not isinstance(manifest, dict) or manifest.get(
+                "kind"
+            ) != "repro-campaign-store":
+                raise CampaignError(
+                    f"{self.root} is not a campaign store "
+                    f"(bad manifest {STORE_MANIFEST})"
+                )
+            if manifest.get("format") != STORE_FORMAT_VERSION:
+                raise CampaignError(
+                    f"store {self.root} has format "
+                    f"{manifest.get('format')!r}; this build reads "
+                    f"{STORE_FORMAT_VERSION}"
+                )
+            self.preexisting = True
+        else:
+            if os.path.isdir(self.root) and os.listdir(self.root):
+                raise CampaignError(
+                    f"refusing to initialize a store in non-empty "
+                    f"directory {self.root} (no {STORE_MANIFEST} found)"
+                )
+            os.makedirs(self.root, exist_ok=True)
+            atomic_write_text(
+                manifest_path,
+                json.dumps(
+                    {
+                        "kind": "repro-campaign-store",
+                        "format": STORE_FORMAT_VERSION,
+                    },
+                    indent=2,
+                )
+                + "\n",
+            )
+            self.preexisting = False
+        os.makedirs(self.objects_dir, exist_ok=True)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        #: Objects dropped because they failed to unpickle (torn or
+        #: foreign files); such cells simply re-execute.
+        self.unreadable = 0
+
+    # -- result objects ----------------------------------------------------
+
+    def _object_path(self, digest: str) -> str:
+        return os.path.join(self.objects_dir, f"{digest}.pkl")
+
+    def has(self, digest: str) -> bool:
+        """Whether a result object exists for ``digest``."""
+        return os.path.exists(self._object_path(digest))
+
+    def put(self, digest: str, spec: Mapping, result: RunResult) -> Mapping:
+        """Durably store ``result`` under ``digest``; returns its
+        :func:`run_result_digest` (computed once, stored alongside)."""
+        result_digest = run_result_digest(result)
+        payload = pickle.dumps(
+            {"spec": dict(spec), "result": result,
+             "result_digest": result_digest},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        atomic_write_bytes(self._object_path(digest), payload)
+        return result_digest
+
+    def load(self, digest: str) -> dict | None:
+        """The raw object payload for ``digest`` (None when absent or
+        unreadable; unreadable objects are counted on ``unreadable``)."""
+        path = self._object_path(digest)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if not isinstance(payload, dict) or "result" not in payload:
+                raise ValueError("not a campaign object")
+        except Exception:  # noqa: BLE001 - treat damage as a cache miss
+            self.unreadable += 1
+            return None
+        return payload
+
+    def get(self, digest: str, verify: bool = True) -> RunResult | None:
+        """The cached result for ``digest``, bit-identity verified.
+
+        ``verify`` recomputes :func:`run_result_digest` over the loaded
+        result and compares it to the digest recorded at put time; a
+        mismatch means the object no longer reproduces the execution it
+        claims to cache and raises :class:`CampaignError` rather than
+        silently serving corrupt data.
+        """
+        payload = self.load(digest)
+        if payload is None:
+            return None
+        result = payload["result"]
+        if verify:
+            recomputed = run_result_digest(result)
+            if recomputed != payload.get("result_digest"):
+                raise CampaignError(
+                    f"store object {digest[:12]} failed bit-identity "
+                    "verification (stored run_result_digest does not "
+                    "match the unpickled result)"
+                )
+        return result
+
+    def result_digest(self, digest: str) -> Mapping | None:
+        """The stored ``run_result_digest`` for ``digest`` (or None)."""
+        payload = self.load(digest)
+        return None if payload is None else payload.get("result_digest")
+
+    def object_digests(self) -> List[str]:
+        """Digests of every stored result object, sorted."""
+        return sorted(
+            name[: -len(".pkl")]
+            for name in os.listdir(self.objects_dir)
+            if name.endswith(".pkl")
+        )
+
+    # -- quarantine --------------------------------------------------------
+
+    def _quarantine_path(self, digest: str) -> str:
+        return os.path.join(self.quarantine_dir, f"{digest}.json")
+
+    def write_quarantine(self, digest: str, record: Mapping) -> None:
+        """Durably record a quarantined cell's failure history."""
+        atomic_write_text(
+            self._quarantine_path(digest),
+            json.dumps(dict(record), indent=2, sort_keys=True) + "\n",
+        )
+
+    def quarantine_record(self, digest: str) -> dict | None:
+        """The quarantine record for ``digest`` (None when not
+        quarantined or the record is unreadable)."""
+        path = self._quarantine_path(digest)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def clear_quarantine(self, digest: str) -> bool:
+        """Delete ``digest``'s quarantine record (making the cell
+        eligible again); returns whether a record existed."""
+        try:
+            os.remove(self._quarantine_path(digest))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def quarantined_digests(self) -> List[str]:
+        """Digests of every quarantined cell, sorted."""
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.quarantine_dir)
+            if name.endswith(".json")
+        )

@@ -49,6 +49,13 @@ Parallel execution: ``experiment --workers N`` fans the experiment's
 sweeps out over N worker processes (per-cell results are bit-identical
 to serial execution), and ``run --plan FILE.json [--workers N]``
 executes a serialized :class:`~repro.exec.RunPlan` batch.
+
+``campaign run|status|retry`` is the resilient flavour of ``run
+--plan``: completed cells persist in a content-addressed result store
+(re-invocations execute only the remainder, cache hits verified
+bit-identical), dispatch is lease-based with heartbeats and bounded
+re-issue, and a cell that keeps failing is quarantined with its
+failure history while the rest of the campaign completes.
 """
 
 from __future__ import annotations
@@ -262,6 +269,86 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_sim.add_argument(
         "--result-json", metavar="FILE",
         help="write a float-exact result digest to FILE",
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="resilient campaigns: content-addressed result store, "
+        "lease-based dispatch, poison-cell quarantine",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _campaign_run_args(p) -> None:
+        p.add_argument(
+            "--plan", required=True, metavar="FILE.json",
+            help="serialized RunPlan (see RunPlan.to_json)",
+        )
+        p.add_argument(
+            "--store", required=True, metavar="DIR",
+            help="content-addressed result store (created on first use)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=2, metavar="N",
+            help="worker pool size (default 2)",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=3, metavar="N",
+            help="lease attempts per cell before quarantine (default 3)",
+        )
+        p.add_argument(
+            "--lease-s", type=float, default=10.0, metavar="S",
+            help="lease term; a cell whose worker stops heartbeating "
+            "this long is re-issued (default 10)",
+        )
+        p.add_argument(
+            "--backoff-s", type=float, default=0.1, metavar="S",
+            help="base re-issue backoff, doubled per attempt "
+            "(default 0.1)",
+        )
+        p.add_argument(
+            "--max-seconds", type=float, default=None, metavar="S",
+            help="wall-clock budget; on expiry the invocation returns "
+            "a valid partial result the next one resumes from",
+        )
+        p.add_argument(
+            "--telemetry", metavar="DIR", default=None,
+            help="telemetry directory (default STORE/telemetry; "
+            "'none' disables)",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run (or resume) a plan against a result store"
+    )
+    _campaign_run_args(campaign_run)
+
+    campaign_retry = campaign_sub.add_parser(
+        "retry",
+        help="clear the plan's quarantine records, then run again",
+    )
+    _campaign_run_args(campaign_retry)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="render a campaign's progress from store + events"
+    )
+    campaign_status.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="the campaign's result store",
+    )
+    campaign_status.add_argument(
+        "--plan", metavar="FILE.json", default=None,
+        help="match the store against this plan for exact "
+        "done/remaining counts",
+    )
+    campaign_status.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="telemetry directory to read events from "
+        "(default STORE/telemetry)",
+    )
+    campaign_status.add_argument(
+        "--json", action="store_true",
+        help="emit the raw status snapshot as JSON",
     )
 
     telemetry_report = sub.add_parser(
@@ -843,6 +930,7 @@ _EXPERIMENTS: Mapping[str, Callable[[float | None], str]] = {
     "chaos": _experiment_runner("chaos_resume"),
     "fleet": _experiment_runner("fleet_capping"),
     "multicore": _experiment_runner("multicore_scaling"),
+    "campaign": _experiment_runner("campaign_drill"),
 }
 
 
@@ -949,6 +1037,88 @@ def _cmd_experiment(args) -> int:
                 )
         print(f"telemetry written to {sink.path}")
     return 0
+
+
+def _load_plan_file(path: str):
+    from repro.exec.plan import RunPlan
+
+    with open(path) as handle:
+        return RunPlan.from_json(handle.read())
+
+
+def _cmd_campaign(args) -> int:
+    from repro.campaign import Campaign, campaign_status, render_status
+
+    if args.campaign_command == "status":
+        plan = _load_plan_file(args.plan) if args.plan else None
+        data = campaign_status(
+            args.store, telemetry_dir=args.telemetry, plan=plan
+        )
+        if args.json:
+            print(json.dumps(data, indent=2, sort_keys=True))
+        else:
+            print(render_status(data))
+        return 0
+
+    from repro.campaign import ResultStore
+
+    plan = _load_plan_file(args.plan)
+    store = ResultStore(args.store)  # create first: telemetry nests inside
+    telemetry_dir = (
+        None
+        if args.telemetry == "none"
+        else args.telemetry or os.path.join(store.root, "telemetry")
+    )
+    _validate_telemetry_path(telemetry_dir)
+    recorder, sink = _make_telemetry(telemetry_dir)
+    campaign = Campaign(
+        plan,
+        store,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        lease_s=args.lease_s,
+        backoff_s=args.backoff_s,
+        max_seconds=args.max_seconds,
+        telemetry=recorder,
+        telemetry_root=telemetry_dir,
+    )
+    if args.campaign_command == "retry":
+        cleared = campaign.retry_quarantined()
+        print(f"cleared {cleared} quarantine record(s)")
+    try:
+        result = campaign.run()
+    finally:
+        if sink is not None:
+            sink.finalize(recorder)
+            from repro.telemetry.merge import merge_worker_directories
+
+            merge_worker_directories(sink.path)
+    summary = result.to_dict()
+    print(
+        f"campaign: {summary['completed']}/{summary['total']} cells "
+        f"({summary['executed']} executed, {summary['cached']} cached, "
+        f"{summary['quarantined']} quarantined, {summary['lost']} lost)"
+    )
+    if result.resumed:
+        print(f"resumed from {campaign.store.root}")
+    if result.quarantined:
+        print(
+            "quarantined cells: "
+            + ", ".join(
+                plan.cells[index].label for index in result.quarantined
+            )
+        )
+        print("(inspect with 'campaign status'; clear with "
+              "'campaign retry')")
+    if result.interrupted:
+        print("interrupted: partial result stored; re-invoke to resume")
+    if result.degraded:
+        print("degraded: yes")
+    if telemetry_dir:
+        print(f"telemetry written to {telemetry_dir}")
+    # Quarantined cells are a *handled* outcome; only an incomplete
+    # campaign (lost cells / interrupt) exits non-zero.
+    return 1 if (result.lost or result.interrupted) else 0
 
 
 def _cmd_telemetry_report(args) -> int:
@@ -1080,6 +1250,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "fleet-sim":
             return _cmd_fleet_sim(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         if args.command == "telemetry-report":
             return _cmd_telemetry_report(args)
         if args.command == "faults-report":

@@ -73,6 +73,12 @@ class PlanError(ExperimentError):
     for features the multicore execution path does not support."""
 
 
+class CampaignError(ExperimentError):
+    """Raised by the resilient campaign engine (:mod:`repro.campaign`)
+    for unusable result stores (foreign directories, format-version
+    mismatches) or campaign configurations that cannot dispatch."""
+
+
 class TelemetryError(ReproError):
     """Raised for invalid telemetry configuration (bad buckets, unknown
     metric types, malformed export directories)."""

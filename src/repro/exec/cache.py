@@ -18,6 +18,7 @@ once per campaign rather than once per cell.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Dict, Mapping
 
@@ -35,6 +36,21 @@ _WORST_CASE: Dict[tuple[float, int], Mapping[float, float]] = {}
 #: file's identity (mtime + size) too, so editing a trace CSV between
 #: runs invalidates the cached inversion.
 _TRACE_WORKLOADS: Dict[tuple, Workload] = {}
+
+#: Content-hash fallback for file-backed specs: ``(spec, sha256)`` ->
+#: workload.  A trace file whose mtime changed but whose bytes did not
+#: (``touch``, a re-download, a checkout) aliases back to the already
+#: inverted workload instead of invalidating it.
+_TRACE_CONTENT: Dict[tuple, Workload] = {}
+
+
+def file_sha256(path: str | os.PathLike) -> str:
+    """SHA-256 of a file's bytes (streamed; raises ``OSError``)."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
 
 
 def _spec_key(spec: str) -> tuple:
@@ -57,13 +73,33 @@ def spec_workload(spec: str) -> Workload:
     :class:`Workload` is cached exactly like trained power models --
     per process, inherited by forked workers, shipped to spawned ones
     via :func:`export_caches`.
+
+    The fast key is the file's stat identity (mtime + size).  On a
+    stat-key miss the file's content hash is consulted before falling
+    back to a full re-inversion, so a touched-but-identical trace file
+    costs one hash pass, not a reload.
     """
     key = _spec_key(spec)
     workload = _TRACE_WORKLOADS.get(key)
-    if workload is None:
-        from repro.workloads.registry import resolve_workload_spec
+    if workload is not None:
+        return workload
+    content_key = None
+    if len(key) == 3:  # a trace file that stat'ed successfully
+        path = spec.partition(":")[2]
+        try:
+            content_key = (spec, file_sha256(path))
+        except OSError:
+            content_key = None
+        if content_key is not None:
+            workload = _TRACE_CONTENT.get(content_key)
+            if workload is not None:
+                _TRACE_WORKLOADS[key] = workload
+                return workload
+    from repro.workloads.registry import resolve_workload_spec
 
-        workload = _TRACE_WORKLOADS[key] = resolve_workload_spec(spec)
+    workload = _TRACE_WORKLOADS[key] = resolve_workload_spec(spec)
+    if content_key is not None:
+        _TRACE_CONTENT[content_key] = workload
     return workload
 
 
@@ -146,6 +182,7 @@ def export_caches() -> dict:
         "models": dict(_MODELS),
         "worst_case": dict(_WORST_CASE),
         "trace_workloads": dict(_TRACE_WORKLOADS),
+        "trace_content": dict(_TRACE_CONTENT),
     }
 
 
@@ -154,6 +191,7 @@ def install_caches(payload: Mapping) -> None:
     _MODELS.update(payload.get("models", {}))
     _WORST_CASE.update(payload.get("worst_case", {}))
     _TRACE_WORKLOADS.update(payload.get("trace_workloads", {}))
+    _TRACE_CONTENT.update(payload.get("trace_content", {}))
 
 
 def clear_caches() -> None:
@@ -161,3 +199,4 @@ def clear_caches() -> None:
     _MODELS.clear()
     _WORST_CASE.clear()
     _TRACE_WORKLOADS.clear()
+    _TRACE_CONTENT.clear()

@@ -12,9 +12,14 @@ it, in which order, alongside what.
 Fault model: a worker that dies mid-cell (OOM-killed, SIGKILL, crashed
 interpreter) is detected by the parent, its claimed-but-unfinished
 cells are re-enqueued, and a replacement worker is started -- up to
-``max_restarts`` times, after which the runner raises rather than loop
-on a poisonous cell.  A cell that raises an ordinary exception fails
-the whole plan, exactly like serial execution.
+``max_restarts`` times.  What happens when that budget is exhausted is
+the ``on_exhausted`` policy: ``"raise"`` (the default) fails the plan,
+while ``"degrade"`` keeps every completed result and returns a partial
+list with ``None`` holes, flagging the runner ``degraded`` -- the same
+shape as a :meth:`FleetController.run <repro.fleet.controller.
+FleetController.run>` timeout, and what the campaign engine builds on.
+A cell that raises an ordinary exception fails the whole plan, exactly
+like serial execution.
 
 Each worker reports over its own pipe, not a shared queue:
 ``Connection.send`` writes in the calling thread, so once a worker has
@@ -61,6 +66,9 @@ _REISSUE_IDLE_S = 2.0
 
 #: Sentinel telling a worker to exit.
 _STOP = None
+
+#: Restart-budget-exhaustion policies.
+_EXHAUSTION_POLICIES = ("raise", "degrade")
 
 
 def default_mp_context() -> multiprocessing.context.BaseContext:
@@ -150,14 +158,21 @@ class ParallelRunner:
         max_restarts: int = 4,
         telemetry_root: str | os.PathLike | None = None,
         cell_hook: Callable[[int], None] | None = None,
+        on_exhausted: str = "raise",
     ):
         if workers < 1:
             raise ExperimentError("ParallelRunner needs at least one worker")
+        if on_exhausted not in _EXHAUSTION_POLICIES:
+            raise ExperimentError(
+                f"on_exhausted must be one of {_EXHAUSTION_POLICIES}, "
+                f"got {on_exhausted!r}"
+            )
         if isinstance(mp_context, str):
             mp_context = multiprocessing.get_context(mp_context)
         self.workers = workers
         self.context = mp_context or default_mp_context()
         self.max_restarts = max_restarts
+        self.on_exhausted = on_exhausted
         self.telemetry_root = (
             os.fspath(telemetry_root) if telemetry_root is not None else None
         )
@@ -166,6 +181,12 @@ class ParallelRunner:
         self.restarts = 0
         #: Cells re-enqueued because their worker died mid-run.
         self.rescheduled = 0
+        #: Whether the last execute() returned a partial result
+        #: (``on_exhausted="degrade"`` only).
+        self.degraded = False
+        #: Cell indices abandoned by the last execute() (their results
+        #: are ``None`` in the returned list).
+        self.lost: tuple[int, ...] = ()
 
     # -- internals ---------------------------------------------------------
 
@@ -193,7 +214,14 @@ class ParallelRunner:
         executing, and every completed cell is durably archived on
         arrival.  Parallel mode checkpoints at cell granularity (no
         mid-run snapshots inside workers).
+
+        With ``on_exhausted="degrade"`` a run that exhausts the worker
+        restart budget returns what it has instead of raising: the list
+        holds ``None`` for every abandoned cell, :attr:`degraded` is
+        set, and :attr:`lost` names the abandoned indices.
         """
+        self.degraded = False
+        self.lost = ()
         results: Dict[int, RunResult] = {}
         slots: Dict[int, int] = {}
         pending: List[int] = []
@@ -215,7 +243,7 @@ class ParallelRunner:
         if pending:
             self._execute_pending(plan, pending, results, slots,
                                   checkpoint_session)
-        return [results[index] for index in range(len(plan.cells))]
+        return [results.get(index) for index in range(len(plan.cells))]
 
     def _execute_pending(
         self,
@@ -244,7 +272,7 @@ class ParallelRunner:
         state = {
             "plan": plan, "results": results, "slots": slots,
             "outstanding": outstanding, "checkpoint": checkpoint_session,
-            "progressed": False,
+            "progressed": False, "lost": set(),
         }
         idle_s = 0.0
         reissued = False
@@ -268,6 +296,10 @@ class ParallelRunner:
                     workers, outstanding, payload, task_q, next_id, state,
                 )
                 if outstanding and not workers:
+                    if self.on_exhausted == "degrade":
+                        state["lost"] |= outstanding
+                        outstanding.clear()
+                        break
                     raise ExperimentError(
                         f"all workers exited with cells "
                         f"{sorted(outstanding)} outstanding"
@@ -281,6 +313,9 @@ class ParallelRunner:
                     reissued = self._reissue_lost(
                         workers, outstanding, task_q
                     )
+            if state["lost"]:
+                self.degraded = True
+                self.lost = tuple(sorted(state["lost"]))
             for worker in workers.values():
                 if worker.process.is_alive():
                     task_q.put(_STOP)
@@ -347,6 +382,14 @@ class ParallelRunner:
                 # Clean early exit (e.g. raced the sentinel): nothing lost.
                 continue
             if self.restarts >= self.max_restarts:
+                if self.on_exhausted == "degrade":
+                    # Abandon this worker's in-flight cells but keep the
+                    # rest of the pool draining the queue: a partial
+                    # sweep beats losing every finished cell.
+                    state["lost"].update(lost)
+                    for index in lost:
+                        outstanding.discard(index)
+                    continue
                 raise ExperimentError(
                     f"worker {wid} died (exit {worker.process.exitcode}) "
                     f"with cells {lost} in flight and the restart budget "

@@ -11,6 +11,11 @@ daemon would have:
   jitter -- transient failures are retried up to ``max_attempts``
   times, each delay multiplied by ``backoff_factor`` and perturbed by
   ``jitter_fraction`` so co-scheduled supervisors do not thundering-herd;
+* **permanent-error classification** -- plan/validation failures
+  (:data:`PERMANENT_ERROR_TYPES`) are never retried: a malformed
+  request fails the same way every time, so it propagates on the first
+  attempt instead of burning the backoff budget (the campaign engine
+  quarantines such poison cells immediately);
 * **telemetry** -- every scheduled retry emits a
   :class:`~repro.telemetry.bus.RetryScheduled` event.
 
@@ -28,11 +33,46 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-from repro.errors import DeadlineExceeded, SupervisionError
+from repro.errors import (
+    DeadlineExceeded,
+    FaultError,
+    GovernorError,
+    PlanError,
+    PStateError,
+    SupervisionError,
+    WorkloadError,
+)
 from repro.telemetry.bus import RetryScheduled
 from repro.telemetry.recorder import TelemetryRecorder
 
 T = TypeVar("T")
+
+#: Error types no amount of retrying can fix: the *request* is
+#: malformed (a bad plan, an unknown workload, an invalid argument),
+#: not the attempt unlucky.  Backing off and re-running a call that
+#: fails validation just burns the retry budget on a foregone
+#: conclusion -- the campaign engine relies on this classification to
+#: quarantine poison cells after a single attempt.
+PERMANENT_ERROR_TYPES: tuple[type[BaseException], ...] = (
+    PlanError,
+    WorkloadError,
+    GovernorError,
+    PStateError,
+    TypeError,
+    ValueError,
+)
+
+
+def is_permanent_error(error: BaseException) -> bool:
+    """Whether ``error`` is a validation failure retries cannot fix.
+
+    Injected faults (:class:`~repro.errors.FaultError`) are always
+    transient -- they model hardware glitches the next attempt may not
+    hit -- even when they also derive from a permanent type.
+    """
+    if isinstance(error, FaultError):
+        return False
+    return isinstance(error, PERMANENT_ERROR_TYPES)
 
 
 @dataclass(frozen=True)
@@ -133,8 +173,10 @@ class Supervisor:
         """Run ``fn`` with bounded retry; returns its value.
 
         ``DeadlineExceeded`` is never retried -- once the budget is
-        spent the call is abandoned.  After ``max_attempts`` failures
-        the last error propagates.
+        spent the call is abandoned.  Permanent errors
+        (:func:`is_permanent_error`: plan/validation failures) propagate
+        immediately without burning the backoff budget.  After
+        ``max_attempts`` transient failures the last error propagates.
         """
         policy = self.policy
         attempt = 0
@@ -146,6 +188,8 @@ class Supervisor:
             except DeadlineExceeded:
                 raise
             except Exception as error:  # noqa: BLE001 - retry anything else
+                if is_permanent_error(error):
+                    raise
                 if attempt >= policy.max_attempts:
                     raise
                 jitter = float(self._jitter.uniform(-1.0, 1.0))

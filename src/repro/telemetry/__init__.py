@@ -25,12 +25,16 @@ instrumentation work, so telemetry costs nothing when off.
 from repro.telemetry.bus import (
     BudgetInfeasible,
     BudgetReallocated,
+    CampaignResumed,
+    CellLeased,
+    CellQuarantined,
     ConstraintChanged,
     DecisionMade,
     DegradedModeEntered,
     EventBus,
     FaultInjected,
     FaultRecovered,
+    LeaseExpired,
     NodeCrashed,
     NodeFinished,
     NodeRestarted,
@@ -91,6 +95,10 @@ __all__ = [
     "NodeFinished",
     "FaultInjected",
     "FaultRecovered",
+    "CellLeased",
+    "LeaseExpired",
+    "CellQuarantined",
+    "CampaignResumed",
     "WatchdogTripped",
     "DegradedModeEntered",
     "NodeCrashed",

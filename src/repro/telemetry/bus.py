@@ -399,6 +399,76 @@ class RetryScheduled(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class CellLeased(TelemetryEvent):
+    """The campaign coordinator issued a cell lease to a worker.
+
+    ``time_s`` is wall-clock seconds since the campaign started (the
+    coordinator, like the supervisor, lives outside the simulated
+    clock).  ``attempt`` is 1-based: a re-issued cell carries the
+    attempt number of the new lease.
+    """
+
+    cell: str
+    index: int
+    worker: int
+    attempt: int
+
+    kind: ClassVar[str] = "cell_leased"
+
+
+@dataclass(frozen=True)
+class LeaseExpired(TelemetryEvent):
+    """A cell lease was reaped (worker death, missed heartbeats, or a
+    transient failure) and the cell scheduled for re-issue.
+
+    ``reason`` is ``crashed`` (the leaseholder died), ``expired`` (no
+    heartbeat within the lease term), or ``failed`` (the attempt raised
+    a transient error); ``retry_in_s`` is the backoff before the cell
+    becomes issuable again.
+    """
+
+    cell: str
+    index: int
+    worker: int
+    reason: str
+    retry_in_s: float
+
+    kind: ClassVar[str] = "lease_expired"
+
+
+@dataclass(frozen=True)
+class CellQuarantined(TelemetryEvent):
+    """A cell exhausted its retry budget (or failed permanently) and
+    was quarantined; the campaign continues without it.
+
+    ``permanent`` marks a validation failure quarantined on the first
+    attempt (see :func:`repro.supervise.is_permanent_error`); ``error``
+    is the last failure's ``Type: message`` rendering.
+    """
+
+    cell: str
+    index: int
+    attempts: int
+    permanent: bool
+    error: str = ""
+
+    kind: ClassVar[str] = "cell_quarantined"
+
+
+@dataclass(frozen=True)
+class CampaignResumed(TelemetryEvent):
+    """A campaign invocation found a prior result store and resumed,
+    executing only the cells the store does not already hold."""
+
+    store: str
+    total: int
+    cached: int
+    quarantined: int
+
+    kind: ClassVar[str] = "campaign_resumed"
+
+
+@dataclass(frozen=True)
 class ThreadsReconfigured(TelemetryEvent):
     """A multicore run changed its active thread count mid-flight.
 

@@ -20,8 +20,12 @@ Merge semantics per artifact:
   file is only meaningful for gauges every worker sets identically);
 * histogram/span min/max: the extremes across workers.
 
-The merge is tolerant of missing pieces -- a worker killed mid-campaign
-leaves no ``metrics.json``, which simply contributes nothing.
+The merge is tolerant of damaged pieces -- a worker killed mid-campaign
+leaves a torn ``events.jsonl`` tail, a truncated ``trace.csv`` row or
+no ``metrics.json`` at all.  Every such artifact is skipped and counted
+on the returned :class:`MergeReport` (``skipped_events``,
+``skipped_trace_rows``, ``missing_metrics``); the merge itself never
+aborts on worker corruption.
 """
 
 from __future__ import annotations
@@ -48,17 +52,39 @@ WORKER_DIR_PATTERN = "worker-*"
 
 @dataclass
 class MergeReport:
-    """What one merge pass ingested (returned for logs and tests)."""
+    """What one merge pass ingested (returned for logs and tests).
+
+    The ``skipped_*`` / ``missing_metrics`` fields count corruption the
+    merge tolerated: a worker SIGKILLed mid-write leaves a torn JSONL
+    tail, a truncated trace row, or no ``metrics.json`` at all.  Such
+    damage is skipped and counted -- the merge never aborts on it, so
+    one dead worker cannot take down the whole campaign's telemetry.
+    """
 
     root: str
     worker_dirs: List[str] = field(default_factory=list)
     events: int = 0
     trace_rows: int = 0
+    #: Malformed events.jsonl lines dropped (torn tails, partial writes).
+    skipped_events: int = 0
+    #: trace.csv rows dropped for having the wrong column count.
+    skipped_trace_rows: int = 0
+    #: Sources whose metrics.json was absent or unparseable.
+    missing_metrics: int = 0
 
     @property
     def workers(self) -> int:
         """Number of worker directories merged."""
         return len(self.worker_dirs)
+
+    @property
+    def corrupt(self) -> bool:
+        """Whether any source contributed damaged artifacts."""
+        return bool(
+            self.skipped_events
+            or self.skipped_trace_rows
+            or self.missing_metrics
+        )
 
 
 def _empty_snapshot() -> dict:
@@ -139,6 +165,13 @@ def _render_merged_summary(snapshot: Mapping, report: MergeReport) -> str:
         f"events: {report.events}   trace rows: {report.trace_rows}",
         "",
     ]
+    if report.corrupt:
+        lines[-1:] = [
+            f"skipped (corrupt): {report.skipped_events} events, "
+            f"{report.skipped_trace_rows} trace rows, "
+            f"{report.missing_metrics} metrics snapshots",
+            "",
+        ]
     counters = metrics.get("counters", {})
     residency = {
         name.rsplit(".", 1)[-1]: value
@@ -176,19 +209,53 @@ def _render_merged_summary(snapshot: Mapping, report: MergeReport) -> str:
     return "\n".join(lines)
 
 
-def _read_lines(path: str) -> List[str]:
+def _read_event_lines(path: str) -> tuple[List[str], int]:
+    """Valid JSONL lines plus the count of malformed ones dropped.
+
+    A worker killed mid-``write`` leaves a torn final line (or raw
+    garbage after a partial flush); every line must parse as a JSON
+    object to be kept, so torn tails are skipped, not propagated into
+    the merged log.
+    """
     if not os.path.exists(path):
-        return []
-    with open(path) as handle:
-        return [line for line in handle.read().splitlines() if line]
+        return [], 0
+    try:
+        with open(path, errors="replace") as handle:
+            raw = [line for line in handle.read().splitlines() if line]
+    except OSError:
+        return [], 1
+    kept: List[str] = []
+    skipped = 0
+    for line in raw:
+        try:
+            if not isinstance(json.loads(line), dict):
+                raise ValueError("not an event object")
+        except ValueError:
+            skipped += 1
+            continue
+        kept.append(line)
+    return kept, skipped
 
 
-def _read_trace_rows(path: str) -> List[List[str]]:
+def _read_trace_rows(path: str) -> tuple[List[List[str]], int]:
+    """Complete trace rows plus the count of truncated ones dropped."""
     if not os.path.exists(path):
-        return []
-    with open(path, newline="") as handle:
-        rows = list(csv.reader(handle))
-    return [row for row in rows[1:] if row]
+        return [], 0
+    try:
+        with open(path, newline="", errors="replace") as handle:
+            rows = list(csv.reader(handle))
+    except (OSError, csv.Error):
+        return [], 1
+    kept: List[List[str]] = []
+    skipped = 0
+    for row in rows[1:]:
+        if not row:
+            continue
+        if len(row) != len(TRACE_FIELDS):
+            skipped += 1  # torn tail: the writer died mid-row
+            continue
+        kept.append(row)
+    return kept, skipped
 
 
 def find_worker_directories(
@@ -227,7 +294,11 @@ def merge_worker_directories(
 
     events: List[str] = []
     for source in sources:
-        events.extend(_read_lines(os.path.join(source, EVENTS_FILENAME)))
+        lines, skipped = _read_event_lines(
+            os.path.join(source, EVENTS_FILENAME)
+        )
+        events.extend(lines)
+        report.skipped_events += skipped
     atomic_write_text(
         os.path.join(root, EVENTS_FILENAME),
         ("\n".join(events) + "\n") if events else "",
@@ -236,7 +307,11 @@ def merge_worker_directories(
 
     rows: List[List[str]] = []
     for source in sources:
-        rows.extend(_read_trace_rows(os.path.join(source, TRACE_FILENAME)))
+        source_rows, skipped = _read_trace_rows(
+            os.path.join(source, TRACE_FILENAME)
+        )
+        rows.extend(source_rows)
+        report.skipped_trace_rows += skipped
     out: List[str] = [",".join(TRACE_FIELDS)]
     out.extend(",".join(row) for row in rows)
     atomic_write_text(
@@ -245,15 +320,26 @@ def merge_worker_directories(
     report.trace_rows = len(rows)
 
     snapshots: List[Mapping] = []
+    for source in report.worker_dirs:
+        # Workers only; the parent legitimately has no metrics.json
+        # until the merge (or the session close) writes one.
+        if not os.path.exists(os.path.join(source, METRICS_FILENAME)):
+            report.missing_metrics += 1
     for source in sources:
         path = os.path.join(source, METRICS_FILENAME)
         if not os.path.exists(path):
             continue
         try:
             with open(path) as handle:
-                snapshots.append(json.load(handle))
+                snapshot = json.load(handle)
+            if not isinstance(snapshot, dict):
+                raise json.JSONDecodeError("not an object", "", 0)
+            snapshots.append(snapshot)
         except (OSError, json.JSONDecodeError):
-            continue  # a killed worker may leave a torn file behind
+            # A killed worker may leave a torn file behind.
+            if source != root:
+                report.missing_metrics += 1
+            continue
     merged = merge_snapshots(snapshots)
     atomic_write_text(
         os.path.join(root, METRICS_FILENAME),

@@ -1,0 +1,195 @@
+"""Lease dispatch: retries, quarantine, crash reaping, degradation.
+
+Fault hooks live at module level (bound with ``functools.partial``) so
+they survive pickling into worker processes, exactly like the parallel
+runner's crash tests.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign.dispatch import LeaseDispatcher
+from repro.checkpoint.digest import run_result_digest
+from repro.errors import CampaignError
+from repro.exec.core import execute_cell
+from repro.exec.plan import ExperimentConfig, GovernorSpec, RunCell, RunPlan
+from repro.telemetry.recorder import TelemetryRecorder
+
+CONFIG = ExperimentConfig(scale=0.05, seed=1)
+
+CELLS = tuple(
+    RunCell(workload=name, governor=GovernorSpec.fixed(freq))
+    for name, freq in (
+        ("ammp", 1600.0), ("mcf", 2000.0), ("ammp", 1000.0),
+    )
+)
+PLAN = RunPlan(config=CONFIG, cells=CELLS)
+
+
+def _fail_once(marker_path: str, target: int, index: int) -> None:
+    """Raise a transient error the first time ``target`` is attempted."""
+    if index != target:
+        return
+    try:
+        fd = os.open(marker_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    raise RuntimeError("injected transient fault")
+
+
+def _fail_always(target: int, index: int) -> None:
+    if index == target:
+        raise RuntimeError("injected persistent fault")
+
+
+def _kill_once(marker_path: str, index: int) -> None:
+    try:
+        fd = os.open(marker_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _kill_always(index: int) -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep_forever(index: int) -> None:
+    time.sleep(3600)
+
+
+def _serial_digests():
+    return [
+        run_result_digest(execute_cell(cell, CONFIG, use_ambient=False))
+        for cell in CELLS
+    ]
+
+
+def test_dispatch_matches_serial_execution():
+    outcome = LeaseDispatcher(2).dispatch(PLAN, range(len(CELLS)))
+    assert sorted(outcome.results) == [0, 1, 2]
+    assert not outcome.quarantined and not outcome.lost
+    assert not outcome.interrupted
+    digests = [
+        run_result_digest(outcome.results[i]) for i in range(len(CELLS))
+    ]
+    assert digests == _serial_digests()
+
+
+def test_transient_failure_retried_to_success(tmp_path):
+    marker = tmp_path / "failed-once"
+    dispatcher = LeaseDispatcher(
+        2, max_attempts=3, backoff_s=0.01,
+        cell_hook=functools.partial(_fail_once, os.fspath(marker), 1),
+    )
+    outcome = dispatcher.dispatch(PLAN, range(len(CELLS)))
+    assert sorted(outcome.results) == [0, 1, 2]
+    assert not outcome.quarantined
+    assert marker.exists()
+    assert dispatcher.reissues >= 1
+
+
+def test_retry_budget_exhaustion_quarantines():
+    quarantined = {}
+    dispatcher = LeaseDispatcher(
+        2, max_attempts=2, backoff_s=0.01,
+        cell_hook=functools.partial(_fail_always, 1),
+    )
+    outcome = dispatcher.dispatch(
+        PLAN, range(len(CELLS)),
+        on_quarantine=lambda i, record: quarantined.update({i: record}),
+    )
+    assert sorted(outcome.results) == [0, 2]
+    assert list(outcome.quarantined) == [1]
+    record = outcome.quarantined[1]
+    assert record["attempts"] == 2
+    assert record["permanent"] is False
+    assert len(record["failures"]) == 2
+    assert all(f["reason"] == "failed" for f in record["failures"])
+    assert quarantined[1] == record  # callback fired with the record
+
+
+def test_permanent_error_quarantined_on_first_attempt():
+    cells = CELLS + (
+        RunCell(
+            workload="trace:/nonexistent/poison.csv",
+            governor=GovernorSpec.fixed(1000.0),
+        ),
+    )
+    plan = RunPlan(config=CONFIG, cells=cells)
+    outcome = LeaseDispatcher(2, max_attempts=5).dispatch(
+        plan, range(len(cells))
+    )
+    assert sorted(outcome.results) == [0, 1, 2]
+    record = outcome.quarantined[3]
+    assert record["permanent"] is True
+    assert record["attempts"] == 1
+    assert "WorkloadError" in record["error"]
+
+
+def test_crashed_worker_reaped_and_cell_reissued(tmp_path):
+    marker = tmp_path / "killed-once"
+    dispatcher = LeaseDispatcher(
+        2, backoff_s=0.01,
+        cell_hook=functools.partial(_kill_once, os.fspath(marker)),
+    )
+    outcome = dispatcher.dispatch(PLAN, range(len(CELLS)))
+    assert sorted(outcome.results) == [0, 1, 2]
+    assert marker.exists()
+    assert dispatcher.restarts >= 1
+    assert dispatcher.reissues >= 1
+
+
+def test_dead_pool_degrades_instead_of_raising():
+    dispatcher = LeaseDispatcher(
+        1, max_restarts=0, max_attempts=10, backoff_s=0.01,
+        cell_hook=_kill_always,
+    )
+    outcome = dispatcher.dispatch(PLAN, range(len(CELLS)))
+    assert not outcome.results
+    assert outcome.lost  # every cell unreachable, none silently dropped
+    assert outcome.lost | set(outcome.quarantined) == {0, 1, 2}
+
+
+def test_max_seconds_interrupts_with_lost_cells():
+    dispatcher = LeaseDispatcher(
+        1, max_seconds=0.4, cell_hook=_sleep_forever,
+    )
+    outcome = dispatcher.dispatch(PLAN, range(len(CELLS)))
+    assert outcome.interrupted is True
+    assert outcome.lost == {0, 1, 2}
+
+
+def test_protocol_publishes_typed_events(tmp_path):
+    captured = []
+    telemetry = TelemetryRecorder()
+    telemetry.bus.subscribe(captured.append)
+    dispatcher = LeaseDispatcher(
+        2, max_attempts=2, backoff_s=0.01, telemetry=telemetry,
+        cell_hook=functools.partial(_fail_always, 1),
+    )
+    dispatcher.dispatch(PLAN, range(len(CELLS)))
+    kinds = [event.kind for event in captured]
+    assert kinds.count("cell_leased") >= 3
+    assert "lease_expired" in kinds  # the retry of the failing cell
+    assert "cell_quarantined" in kinds
+    quarantine = next(e for e in captured if e.kind == "cell_quarantined")
+    assert quarantine.index == 1
+    assert quarantine.permanent is False
+
+
+def test_dispatcher_validation():
+    with pytest.raises(CampaignError, match="at least one"):
+        LeaseDispatcher(0)
+    with pytest.raises(CampaignError, match="max_attempts"):
+        LeaseDispatcher(1, max_attempts=0)
+    with pytest.raises(CampaignError, match="lease_s"):
+        LeaseDispatcher(1, lease_s=0.0)

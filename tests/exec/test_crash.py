@@ -59,10 +59,61 @@ def test_killed_worker_cells_are_rescheduled(tmp_path):
     assert runner.rescheduled >= 1
 
 
+def _kill_cell(target: int, index: int) -> None:
+    """SIGKILL the worker every time it attempts ``target``."""
+    if index == target:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
 def test_restart_budget_exhaustion_raises():
     runner = ParallelRunner(1, max_restarts=0, cell_hook=_kill_always)
     with pytest.raises(ExperimentError, match="restart budget"):
         runner.execute(RunPlan(config=CONFIG, cells=CELLS))
+
+
+def test_degrade_mode_returns_partial_results():
+    runner = ParallelRunner(
+        1, max_restarts=1, on_exhausted="degrade",
+        cell_hook=functools.partial(_kill_cell, 2),
+    )
+    results = runner.execute(RunPlan(config=CONFIG, cells=CELLS))
+    assert runner.degraded is True
+    assert 2 in runner.lost
+    assert len(results) == len(CELLS)
+    assert results[2] is None
+    # Every cell not on the lost list completed normally.
+    for index, result in enumerate(results):
+        assert (result is None) == (index in runner.lost)
+
+
+def test_degrade_mode_with_dead_pool_loses_everything():
+    runner = ParallelRunner(
+        1, max_restarts=0, on_exhausted="degrade", cell_hook=_kill_always
+    )
+    results = runner.execute(RunPlan(config=CONFIG, cells=CELLS))
+    assert runner.degraded is True
+    assert runner.lost == (0, 1, 2)
+    assert results == [None, None, None]
+
+
+def test_degrade_flags_reset_between_executions(tmp_path):
+    marker = tmp_path / "killed-once"
+    runner = ParallelRunner(
+        1, max_restarts=0, on_exhausted="degrade",
+        cell_hook=functools.partial(_kill_once, os.fspath(marker)),
+    )
+    runner.execute(RunPlan(config=CONFIG, cells=CELLS))
+    assert runner.degraded is True
+    # The marker now exists, so a re-execution runs clean end to end.
+    second = runner.execute(RunPlan(config=CONFIG, cells=CELLS))
+    assert runner.degraded is False
+    assert runner.lost == ()
+    assert all(result is not None for result in second)
+
+
+def test_unknown_exhaustion_policy_rejected():
+    with pytest.raises(ExperimentError, match="on_exhausted"):
+        ParallelRunner(1, on_exhausted="panic")
 
 
 def test_worker_exception_propagates():

@@ -119,6 +119,7 @@ def test_merge_worker_directories(tmp_path):
     assert report.workers == 2
     assert report.events == 4
     assert report.trace_rows == 3
+    assert report.corrupt is False
 
     events = (tmp_path / EVENTS_FILENAME).read_text().splitlines()
     assert [json.loads(e)["event"] for e in events] == [
@@ -146,6 +147,63 @@ def test_merge_tolerates_torn_metrics(tmp_path):
     assert report.workers == 2
     merged = json.loads((tmp_path / METRICS_FILENAME).read_text())
     assert merged["metrics"]["counters"]["ticks"] == 1.0
+    assert report.missing_metrics == 1
+    assert report.corrupt is True
+
+
+def test_merge_skips_and_counts_corrupt_worker_content(tmp_path):
+    width = len(TRACE_FIELDS)
+    _write_worker(
+        tmp_path / "worker-00",
+        [{"event": "good"}], [[1] * width],
+        _snapshot(counters={"ticks": 2.0}),
+    )
+    # worker-01 was SIGKILLed mid-write: a torn events tail, a
+    # non-object line, a truncated trace row, and no metrics.json.
+    killed = tmp_path / "worker-01"
+    killed.mkdir()
+    (killed / EVENTS_FILENAME).write_text(
+        json.dumps({"event": "ok"}) + "\n"
+        + "[1, 2, 3]\n"
+        + '{"event": "torn'
+    )
+    (killed / TRACE_FILENAME).write_text(
+        ",".join(TRACE_FIELDS) + "\n"
+        + ",".join(["2"] * width) + "\n"
+        + "2,2\n"
+    )
+
+    report = merge_worker_directories(tmp_path)
+    assert report.workers == 2
+    assert report.events == 2
+    assert report.trace_rows == 2
+    assert report.skipped_events == 2
+    assert report.skipped_trace_rows == 1
+    assert report.missing_metrics == 1
+    assert report.corrupt is True
+
+    events = (tmp_path / EVENTS_FILENAME).read_text().splitlines()
+    assert [json.loads(e)["event"] for e in events] == ["good", "ok"]
+    trace = (tmp_path / TRACE_FILENAME).read_text().splitlines()
+    assert len(trace) == 3  # header + the two complete rows
+    merged = json.loads((tmp_path / METRICS_FILENAME).read_text())
+    assert merged["metrics"]["counters"]["ticks"] == 2.0
+    summary = (tmp_path / SUMMARY_FILENAME).read_text()
+    assert (
+        "skipped (corrupt): 2 events, 1 trace rows, 1 metrics snapshots"
+        in summary
+    )
+
+
+def test_parent_without_metrics_is_not_corruption(tmp_path):
+    # The parent legitimately has no metrics.json before the merge;
+    # only worker directories count toward missing_metrics.
+    _write_worker(
+        tmp_path / "worker-00", [], [], _snapshot(counters={"ticks": 1.0})
+    )
+    report = merge_worker_directories(tmp_path)
+    assert report.missing_metrics == 0
+    assert report.corrupt is False
 
 
 def test_no_worker_directories_is_a_noop(tmp_path):

@@ -10,8 +10,14 @@ import sys
 
 import pytest
 
-from repro.errors import DeadlineExceeded, SupervisionError
-from repro.supervise import RetryPolicy, Supervisor
+from repro.errors import (
+    DeadlineExceeded,
+    FaultError,
+    PlanError,
+    SupervisionError,
+    WorkloadError,
+)
+from repro.supervise import RetryPolicy, Supervisor, is_permanent_error
 from repro.telemetry.recorder import TelemetryRecorder
 
 
@@ -163,3 +169,58 @@ def test_run_subprocess_timeout_raises_deadline():
             label="sleeper",
             timeout_s=0.5,
         )
+
+
+class AlwaysInvalid:
+    """Raises ValueError (a permanent validation failure) every call."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        raise ValueError("malformed request")
+
+
+class FlakyFault:
+    """Raises FaultError (always transient) ``failures`` times."""
+
+    def __init__(self, failures):
+        self.remaining = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise FaultError("injected glitch")
+        return "ok"
+
+
+def test_is_permanent_error_classification():
+    assert is_permanent_error(ValueError("bad argument"))
+    assert is_permanent_error(PlanError("bad plan"))
+    assert is_permanent_error(WorkloadError("no such workload"))
+    assert not is_permanent_error(RuntimeError("unlucky attempt"))
+    assert not is_permanent_error(OSError("pipe broke"))
+    # Injected faults model hardware glitches: transient by fiat, even
+    # though FaultError derives from the package's error hierarchy.
+    assert not is_permanent_error(FaultError("injected"))
+
+
+def test_permanent_error_raises_without_retry():
+    supervisor, fake = _supervisor(RetryPolicy(max_attempts=5,
+                                               backoff_s=1.0))
+    fn = AlwaysInvalid()
+    with pytest.raises(ValueError, match="malformed"):
+        supervisor.call(fn)
+    assert fn.calls == 1  # no retry burned on a foregone conclusion
+    assert fake.sleeps == []
+    assert supervisor.retries == 0
+
+
+def test_injected_faults_are_still_retried():
+    supervisor, _fake = _supervisor(RetryPolicy(max_attempts=3))
+    fn = FlakyFault(failures=2)
+    assert supervisor.call(fn) == "ok"
+    assert fn.calls == 3
