@@ -21,7 +21,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -15,7 +15,7 @@ from repro.core.models.component_power import (
     collect_component_training_data,
     fit_component_model,
 )
-from repro.experiments.runner import trained_power_model
+from repro.exec.cache import trained_power_model
 from repro.platform.machine import Machine, MachineConfig
 from repro.workloads.registry import get_workload
 

@@ -12,7 +12,7 @@ from repro.core.controller import PowerManagementController
 from repro.core.governors.oracle import OraclePerformanceMaximizer
 from repro.core.governors.performance_maximizer import PerformanceMaximizer
 from repro.core.governors.unconstrained import FixedFrequency
-from repro.experiments.runner import trained_power_model
+from repro.exec.cache import trained_power_model
 from repro.platform.machine import Machine, MachineConfig
 from repro.workloads.registry import get_workload
 

@@ -12,7 +12,7 @@ from conftest import publish
 from repro.analysis.report import TextTable
 from repro.core.controller import PowerManagementController
 from repro.core.governors.performance_maximizer import PerformanceMaximizer
-from repro.experiments.runner import trained_power_model
+from repro.exec.cache import trained_power_model
 from repro.platform.machine import Machine, MachineConfig
 from repro.workloads.registry import get_workload
 

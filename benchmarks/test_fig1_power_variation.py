@@ -3,7 +3,7 @@
 from conftest import publish
 
 from repro.experiments import fig1_power_variation
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 def test_fig1_power_variation(benchmark, results_dir):

@@ -3,7 +3,7 @@
 from conftest import publish
 
 from repro.experiments import fig5_pm_trace
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 def test_fig5_pm_trace(benchmark, results_dir):

@@ -16,7 +16,7 @@ import json
 from conftest import bench_scale, publish
 
 from repro.experiments import fleet_capping
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 def test_fleet_capping_scale(benchmark, results_dir):

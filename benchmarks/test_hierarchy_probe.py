@@ -8,7 +8,7 @@ footprints.
 from conftest import publish
 
 from repro.experiments import hierarchy_probe
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 def test_hierarchy_probe(benchmark, results_dir):

@@ -15,7 +15,7 @@ import json
 from conftest import bench_scale, publish
 
 from repro.experiments import multicore_scaling
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 def test_multicore_scaling_scale(benchmark, results_dir):

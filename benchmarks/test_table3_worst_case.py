@@ -3,7 +3,7 @@
 from conftest import publish
 
 from repro.experiments import table3_worst_case
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 def test_table3_worst_case(benchmark, results_dir):

@@ -3,7 +3,7 @@
 from conftest import publish
 
 from repro.experiments import table4_static_freq
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 def test_table4_static_frequencies(benchmark, results_dir):

@@ -23,11 +23,13 @@ Everything is seeded: run it twice, get the same story twice.
 """
 
 from repro import AdaptationConfig, AdaptationManager, PerformanceMaximizer
-from repro.experiments.runner import (
+from repro.exec import (
     ExperimentConfig,
-    run_governed,
-    trained_power_model,
+    RunCell,
+    as_governor_spec,
+    execute_cell,
 )
+from repro.exec.cache import trained_power_model
 from repro.faults.plan import FaultPlan, MeterFaults
 from repro.workloads.microbenchmarks import worst_case_workload
 
@@ -59,10 +61,11 @@ def main() -> None:
           f"t={DRIFT.drift_start_s:.0f}s (cap +{100 * DRIFT.drift_max_gain:.0f}%); "
           f"PM limit {LIMIT_W} W\n")
 
-    frozen = run_governed(workload, pm, config, fault_plan=plan)
+    cell = RunCell(workload=workload, governor=as_governor_spec(pm))
+    frozen = execute_cell(cell, config, fault_plan=plan)
 
     manager = AdaptationManager(AdaptationConfig())
-    adaptive = run_governed(workload, pm, config, fault_plan=plan,
+    adaptive = execute_cell(cell, config, fault_plan=plan,
                             adaptation=manager)
 
     print(f"{'window':>10} {'frozen viol%':>13} {'adaptive viol%':>15}")

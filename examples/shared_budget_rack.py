@@ -13,7 +13,7 @@ cannot use -- and when a node finishes, its share shifts to the
 stragglers automatically.
 """
 
-from repro.experiments.runner import trained_power_model
+from repro.exec.cache import trained_power_model
 from repro.fleet import DemandProportional, EqualShare, FleetController
 from repro.workloads.registry import get_workload
 

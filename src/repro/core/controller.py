@@ -515,7 +515,27 @@ class _RunState:
 
 
 def _run_loop(st: _RunState, tel, checkpointer=None, resumed=False) -> RunResult:
-    """Drive ``st`` to completion; the single loop for fresh and resumed runs.
+    """Drive ``st`` to completion; the entry point for fresh and resumed runs.
+
+    Dispatches to the batched loop (:mod:`repro.core.blockloop`) when the
+    run's configuration admits a bit-identical fused kernel, otherwise to
+    the scalar reference loop.  The two produce indistinguishable results
+    (same ``RunResult`` floats, same checkpoint bytes, same RNG stream);
+    the digest-equivalence suite pins that contract.
+    """
+    from repro.core import blockloop
+
+    if blockloop.eligible(st, tel):
+        return blockloop.run_fast(
+            st, tel, checkpointer=checkpointer, resumed=resumed
+        )
+    return _scalar_loop(st, tel, checkpointer=checkpointer, resumed=resumed)
+
+
+def _scalar_loop(
+    st: _RunState, tel, checkpointer=None, resumed=False
+) -> RunResult:
+    """The scalar reference loop: one ``machine.step()`` per decision.
 
     Must stay operation-for-operation identical to the historical inline
     loop: RNG draws, float accumulation order and telemetry side effects
@@ -633,8 +653,8 @@ def _run_loop(st: _RunState, tel, checkpointer=None, resumed=False) -> RunResult
         # Measured-power feedback for adaptive governors (the meter
         # closes samples in lockstep with 10 ms ticks).
         measured = (
-            meter.samples[-1].watts
-            if len(meter.samples) > sample_index
+            meter.last_sample.watts
+            if meter.sample_count > sample_index
             else record.mean_power_w
         )
         if hardened:
@@ -752,13 +772,30 @@ def _run_loop(st: _RunState, tel, checkpointer=None, resumed=False) -> RunResult
     st.tick_index = tick_index
     st.last_estimate_w = last_estimate_w
 
+    return _finish_run(st, tel)
+
+
+def _finish_run(st: _RunState, tel) -> RunResult:
+    """Close out a completed run: flush the meter, build the result.
+
+    Shared by the scalar and batched loops; reads only the synced
+    ``_RunState`` fields, so both paths produce the same floats.
+    """
+    machine = st.machine
+    governor = st.governor
+    meter = st.meter
+    rt = st.rt
+    workload_name = st.workload_name
+    instructions = st.instructions
+
     meter.flush()
     meter.mark(f"{workload_name}:end")
     samples = meter.samples_between(
         f"{workload_name}:start", f"{workload_name}:end"
     )
     measured_energy = meter.energy_j(samples)
-    if instrumented:
+    if tel is not None and tel.enabled:
+        metrics = tel.metrics
         metrics.gauge("run.duration_s").set(machine.now_s)
         metrics.gauge("run.instructions").set(instructions)
         metrics.gauge("run.measured_energy_j").set(measured_energy)
@@ -779,10 +816,10 @@ def _run_loop(st: _RunState, tel, checkpointer=None, resumed=False) -> RunResult
         duration_s=machine.now_s,
         instructions=instructions,
         measured_energy_j=measured_energy,
-        true_energy_j=true_energy,
+        true_energy_j=st.true_energy,
         samples=samples,
-        trace=tuple(trace),
-        residency_s=residency,
+        trace=tuple(st.trace),
+        residency_s=st.residency,
         transitions=machine.dvfs.transition_count,
         degraded=rt.degraded if rt is not None else False,
         recoveries=dict(rt.recoveries) if rt is not None else {},

@@ -61,6 +61,7 @@ class PerformanceMaximizer(Governor):
         self.set_power_limit(power_limit_w)
         self._raise_streak = 0
         self._pending_raise: PState | None = None
+        self._projection = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -96,6 +97,34 @@ class PerformanceMaximizer(Governor):
         the workload, not the model).
         """
         self._model = model
+        self._projection = None  # rebuilt lazily against the new model
+
+    def projection_table(self):
+        """The fused Eq. 4 x Eq. 2 projection rows for the batched loop.
+
+        Built once per model *version* (process-wide, value-keyed via
+        :func:`repro.exec.cache.pm_projection_table`) and dropped on
+        :meth:`swap_model`, so online adaptation's hot-swaps invalidate
+        it.  Estimates are bitwise identical to
+        :meth:`estimate_power` -- ``tests/core/test_block_equivalence``
+        pins this.
+        """
+        tbl = getattr(self, "_projection", None)
+        if tbl is None or tbl.model != self._model:
+            from repro.exec.cache import pm_projection_table
+
+            tbl = self._projection = pm_projection_table(
+                self._model, self.table
+            )
+        return tbl
+
+    def __getstate__(self):
+        # The projection table is a pure cache; stripping it keeps
+        # checkpoints byte-identical whether or not the batched loop
+        # ever touched this governor.
+        state = self.__dict__.copy()
+        state["_projection"] = None
+        return state
 
     @property
     def guardband_w(self) -> float:

@@ -40,6 +40,7 @@ class PowerSave(Governor):
         self._model = model
         self._floor = 0.0
         self.set_floor(floor)
+        self._projection = None
 
     @property
     def floor(self) -> float:
@@ -63,6 +64,28 @@ class PowerSave(Governor):
     def events(self) -> tuple[Event, ...]:
         """PS needs retired instructions + DCU occupancy (paper §IV-B1)."""
         return (Event.INST_RETIRED, Event.DCU_MISS_OUTSTANDING)
+
+    def projection_table(self):
+        """Precomputed Eq. 3 sensitivity rows for the batched loop.
+
+        Value-keyed and shared process-wide via
+        :func:`repro.exec.cache.ps_projection_table`; picks are bitwise
+        identical to :meth:`decide`'s candidate scan.
+        """
+        tbl = getattr(self, "_projection", None)
+        if tbl is None or tbl.model != self._model:
+            from repro.exec.cache import ps_projection_table
+
+            tbl = self._projection = ps_projection_table(
+                self._model, self.table
+            )
+        return tbl
+
+    def __getstate__(self):
+        # Pure cache -- strip so checkpoints stay path-independent.
+        state = self.__dict__.copy()
+        state["_projection"] = None
+        return state
 
     def projected_relative_performance(
         self, sample: CounterSample, current: PState, candidate: PState

@@ -156,6 +156,53 @@ def worst_case_power_table(
     return table
 
 
+#: Projection tables (Eq. 2 power / Eq. 3 throughput), keyed by VALUE
+#: of (model coefficients, p-state table) rather than object identity:
+#: every cell of a campaign builds its governor from an equal-but-
+#: distinct model object, and value keys let them all share one table.
+_PM_PROJECTIONS: Dict[tuple, object] = {}
+_PS_PROJECTIONS: Dict[tuple, object] = {}
+
+
+def _pm_key(model, table) -> tuple:
+    return (
+        tuple(
+            (f, model.alpha(f), model.beta(f))
+            for f in model.frequencies_mhz
+        ),
+        tuple((p.frequency_mhz, p.voltage) for p in table),
+    )
+
+
+def _ps_key(model, table) -> tuple:
+    return (
+        (model.memory_exponent, model.dcu_threshold),
+        tuple((p.frequency_mhz, p.voltage) for p in table),
+    )
+
+
+def pm_projection_table(model, table):
+    """Shared Eq. 2 :class:`PowerProjectionTable` for (model, table)."""
+    key = _pm_key(model, table)
+    tbl = _PM_PROJECTIONS.get(key)
+    if tbl is None:
+        from repro.core.models.projection import PowerProjectionTable
+
+        tbl = _PM_PROJECTIONS[key] = PowerProjectionTable(model, table)
+    return tbl
+
+
+def ps_projection_table(model, table):
+    """Shared Eq. 3 :class:`ThroughputProjectionTable` for (model, table)."""
+    key = _ps_key(model, table)
+    tbl = _PS_PROJECTIONS.get(key)
+    if tbl is None:
+        from repro.core.models.projection import ThroughputProjectionTable
+
+        tbl = _PS_PROJECTIONS[key] = ThroughputProjectionTable(model, table)
+    return tbl
+
+
 def prime_for_plan(plan) -> None:
     """Train every model the plan's cells will ask for, ahead of forking.
 
@@ -178,25 +225,40 @@ def prime_for_plan(plan) -> None:
 
 def export_caches() -> dict:
     """A picklable snapshot of every cache (for spawn-pool workers)."""
+    from repro.platform.blockstep import export_rate_templates
+
     return {
         "models": dict(_MODELS),
         "worst_case": dict(_WORST_CASE),
         "trace_workloads": dict(_TRACE_WORKLOADS),
         "trace_content": dict(_TRACE_CONTENT),
+        "pm_projections": dict(_PM_PROJECTIONS),
+        "ps_projections": dict(_PS_PROJECTIONS),
+        "rate_templates": export_rate_templates(),
     }
 
 
 def install_caches(payload: Mapping) -> None:
     """Merge a parent-process snapshot into this process's caches."""
+    from repro.platform.blockstep import install_rate_templates
+
     _MODELS.update(payload.get("models", {}))
     _WORST_CASE.update(payload.get("worst_case", {}))
     _TRACE_WORKLOADS.update(payload.get("trace_workloads", {}))
     _TRACE_CONTENT.update(payload.get("trace_content", {}))
+    _PM_PROJECTIONS.update(payload.get("pm_projections", {}))
+    _PS_PROJECTIONS.update(payload.get("ps_projections", {}))
+    install_rate_templates(payload.get("rate_templates", {}))
 
 
 def clear_caches() -> None:
     """Drop every cached artifact (tests only)."""
+    from repro.platform.blockstep import clear_rate_templates
+
     _MODELS.clear()
     _WORST_CASE.clear()
     _TRACE_WORKLOADS.clear()
     _TRACE_CONTENT.clear()
+    _PM_PROJECTIONS.clear()
+    _PS_PROJECTIONS.clear()
+    clear_rate_templates()

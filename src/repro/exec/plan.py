@@ -420,6 +420,23 @@ class RunCell:
                 f"cell threads must be a positive int, got {self.threads!r}"
             )
 
+    @classmethod
+    def fixed(
+        cls, workload: str | Workload, frequency_mhz: float, **kwargs
+    ) -> "RunCell":
+        """A cell pinned at one frequency (the paper's reference runs).
+
+        The run *starts* at the pinned frequency too -- otherwise the
+        first tick would execute at P0 and bias short characterization
+        runs.  Replaces the retired ``experiments.runner.run_fixed``.
+        """
+        return cls(
+            workload=workload,
+            governor=GovernorSpec.fixed(frequency_mhz),
+            initial_frequency_mhz=frequency_mhz,
+            **kwargs,
+        )
+
     @property
     def workload_name(self) -> str:
         """The cell's workload name (resolving Workload objects)."""

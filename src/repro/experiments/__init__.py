@@ -16,13 +16,7 @@ Shared machinery:
 """
 
 from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import (
-    run_fixed,
-    run_governed,
-    median_run,
-    trained_power_model,
-    worst_case_power_table,
-)
+from repro.experiments.runner import median_run
 from repro.experiments.metrics import (
     normalized_performance,
     performance_reduction,
@@ -32,11 +26,7 @@ from repro.experiments.metrics import (
 
 __all__ = [
     "ExperimentConfig",
-    "run_fixed",
-    "run_governed",
     "median_run",
-    "trained_power_model",
-    "worst_case_power_table",
     "normalized_performance",
     "performance_reduction",
     "energy_savings",

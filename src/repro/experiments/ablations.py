@@ -18,13 +18,16 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.report import TextTable
-from repro.exec.plan import GovernorSpec
+from repro.exec import (
+    ExperimentConfig,
+    GovernorSpec,
+    RunCell,
+    execute_cell,
+)
 from repro.experiments.metrics import (
     energy_savings,
     performance_reduction,
 )
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import run_fixed, run_governed
 from repro.workloads.registry import get_workload
 
 
@@ -67,9 +70,11 @@ def hysteresis_ablation(
     workload = get_workload(workload_name)
     rows = []
     for window in windows:
-        result = run_governed(
-            workload,
-            GovernorSpec.pm(limit_w, raise_window=window),
+        result = execute_cell(
+            RunCell(
+                workload=workload,
+                governor=GovernorSpec.pm(limit_w, raise_window=window),
+            ),
             config,
         )
         rows.append(_row(f"raise_window={window}", result, limit_w))
@@ -87,9 +92,11 @@ def guardband_ablation(
     workload = get_workload(workload_name)
     rows = []
     for guardband in guardbands:
-        result = run_governed(
-            workload,
-            GovernorSpec.pm(limit_w, guardband_w=guardband),
+        result = execute_cell(
+            RunCell(
+                workload=workload,
+                governor=GovernorSpec.pm(limit_w, guardband_w=guardband),
+            ),
             config,
         )
         rows.append(_row(f"guardband={guardband}W", result, limit_w))
@@ -108,9 +115,15 @@ def adaptive_pm_ablation(
     """
     config = config or ExperimentConfig(scale=1.0)
     workload = get_workload(workload_name)
-    static = run_governed(workload, GovernorSpec.pm(limit_w), config)
-    adaptive = run_governed(
-        workload, GovernorSpec.adaptive_pm(limit_w), config
+    static = execute_cell(
+        RunCell(workload=workload, governor=GovernorSpec.pm(limit_w)),
+        config,
+    )
+    adaptive = execute_cell(
+        RunCell(
+            workload=workload, governor=GovernorSpec.adaptive_pm(limit_w)
+        ),
+        config,
     )
     return {
         "static_model": _row("static model PM", static, limit_w),
@@ -136,9 +149,13 @@ def dbs_ablation(
     """PS saves energy at 100% load; DBS cannot (paper §IV-B's point)."""
     config = config or ExperimentConfig(scale=0.5)
     workload = get_workload(workload_name)
-    fullspeed = run_fixed(workload, 2000.0, config)
-    ps = run_governed(workload, GovernorSpec.ps(floor), config)
-    dbs = run_governed(workload, GovernorSpec.dbs(), config)
+    fullspeed = execute_cell(RunCell.fixed(workload, 2000.0), config)
+    ps = execute_cell(
+        RunCell(workload=workload, governor=GovernorSpec.ps(floor)), config
+    )
+    dbs = execute_cell(
+        RunCell(workload=workload, governor=GovernorSpec.dbs()), config
+    )
     return DbsComparison(
         ps_savings=energy_savings(ps, fullspeed),
         ps_reduction=performance_reduction(ps, fullspeed),

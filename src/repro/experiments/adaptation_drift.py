@@ -32,8 +32,13 @@ from repro.adaptation.manager import AdaptationConfig, AdaptationManager
 from repro.analysis.report import TextTable
 from repro.core.controller import RunResult
 from repro.core.governors.performance_maximizer import PerformanceMaximizer
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import run_governed, trained_power_model
+from repro.exec import (
+    ExperimentConfig,
+    RunCell,
+    as_governor_spec,
+    execute_cell,
+)
+from repro.exec.cache import trained_power_model
 from repro.faults.plan import FaultPlan, MeterFaults
 from repro.workloads.microbenchmarks import worst_case_workload
 
@@ -105,16 +110,15 @@ def run(
 
     # The frozen leg must stay frozen even when the CLI installed an
     # ambient adaptation config (``experiment --adapt``).
+    cell = RunCell(workload=workload, governor=as_governor_spec(pm_factory))
     with adapting(None):
-        frozen_run = run_governed(
-            workload, pm_factory, config, fault_plan=plan
-        )
+        frozen_run = execute_cell(cell, config, fault_plan=plan)
 
     manager = AdaptationManager(
         adaptation if adaptation is not None else AdaptationConfig()
     )
-    adaptive_run = run_governed(
-        workload, pm_factory, config, fault_plan=plan, adaptation=manager
+    adaptive_run = execute_cell(
+        cell, config, fault_plan=plan, adaptation=manager
     )
 
     return DriftResult(

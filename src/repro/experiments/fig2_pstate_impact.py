@@ -12,8 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.analysis.report import TextTable
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import run_fixed
+from repro.exec import ExperimentConfig, RunCell, execute_cell
 from repro.workloads.registry import get_workload
 
 #: The paper's three exemplars and three p-states.
@@ -43,7 +42,9 @@ def run(config: ExperimentConfig | None = None) -> Fig2Result:
     for name in BENCHMARKS:
         workload = get_workload(name)
         durations = {
-            freq: run_fixed(workload, freq, config).duration_s
+            freq: execute_cell(
+                RunCell.fixed(workload, freq), config
+            ).duration_s
             for freq in FREQUENCIES_MHZ
         }
         base = durations[1600.0]

@@ -17,9 +17,12 @@ from typing import Mapping
 
 from repro.analysis.report import TextTable, format_series
 from repro.core.controller import RunResult
-from repro.exec.plan import GovernorSpec
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import run_fixed, run_governed
+from repro.exec import (
+    ExperimentConfig,
+    GovernorSpec,
+    RunCell,
+    execute_cell,
+)
 from repro.workloads.registry import get_workload
 
 #: The two power limits shown in the paper's figure.
@@ -42,9 +45,12 @@ def run(config: ExperimentConfig | None = None) -> Fig5Result:
     """Regenerate Fig. 5's three ammp runs (full traces kept)."""
     config = config or ExperimentConfig(scale=1.0, keep_trace=True)
     workload = get_workload("ammp")
-    unconstrained = run_fixed(workload, 2000.0, config)
+    unconstrained = execute_cell(RunCell.fixed(workload, 2000.0), config)
     limited = {
-        limit: run_governed(workload, GovernorSpec.pm(limit), config)
+        limit: execute_cell(
+            RunCell(workload=workload, governor=GovernorSpec.pm(limit)),
+            config,
+        )
         for limit in LIMITS_W
     }
     return Fig5Result(unconstrained=unconstrained, limited=limited)

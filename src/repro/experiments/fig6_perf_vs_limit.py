@@ -21,10 +21,9 @@ from typing import Dict, Mapping, Sequence, Tuple
 from repro.analysis.report import TextTable
 from repro.core.controller import RunResult
 from repro.core.governors.static import static_frequency_for_limit
-from repro.exec.plan import GovernorSpec
+from repro.exec import ExperimentConfig, GovernorSpec
+from repro.exec.cache import worst_case_power_table
 from repro.experiments.metrics import suite_normalized_performance
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import worst_case_power_table
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
 from repro.experiments.table4_static_freq import POWER_LIMITS_W
 

@@ -19,10 +19,9 @@ from typing import Mapping
 
 from repro.analysis.report import TextTable
 from repro.core.governors.static import static_frequency_for_limit
-from repro.exec.plan import GovernorSpec
+from repro.exec import ExperimentConfig, GovernorSpec
+from repro.exec.cache import worst_case_power_table
 from repro.experiments.metrics import achieved_speedup_fraction, speedup
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import worst_case_power_table
 from repro.experiments.suite import run_suite_fixed, run_suite_governed
 
 #: The limit the paper's Fig. 7 is drawn at.

@@ -13,10 +13,13 @@ from dataclasses import dataclass
 
 from repro.analysis.report import TextTable, format_series
 from repro.core.controller import RunResult
-from repro.exec.plan import GovernorSpec
+from repro.exec import (
+    ExperimentConfig,
+    GovernorSpec,
+    RunCell,
+    execute_cell,
+)
 from repro.experiments.metrics import energy_savings, performance_reduction
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import run_fixed, run_governed
 from repro.workloads.registry import get_workload
 
 #: The floor shown in the paper's figure.
@@ -45,8 +48,10 @@ def run(config: ExperimentConfig | None = None) -> Fig8Result:
     """Regenerate Fig. 8 (full trace kept)."""
     config = config or ExperimentConfig(scale=1.0, keep_trace=True)
     workload = get_workload("ammp")
-    fullspeed = run_fixed(workload, 2000.0, config)
-    powersave = run_governed(workload, GovernorSpec.ps(FLOOR), config)
+    fullspeed = execute_cell(RunCell.fixed(workload, 2000.0), config)
+    powersave = execute_cell(
+        RunCell(workload=workload, governor=GovernorSpec.ps(FLOOR)), config
+    )
     return Fig8Result(powersave=powersave, fullspeed=fullspeed)
 
 

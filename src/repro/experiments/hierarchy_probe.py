@@ -16,8 +16,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.report import TextTable
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import run_fixed
+from repro.exec import ExperimentConfig, RunCell, execute_cell
 from repro.platform.caches import PENTIUM_M_755_GEOMETRY
 from repro.units import KIB, MIB
 from repro.workloads.microbenchmarks import build_microbenchmark, get_loop_spec
@@ -74,7 +73,9 @@ def run(
         level = PENTIUM_M_755_GEOMETRY.residency_level(footprint)
 
         probe = build_microbenchmark(latency_spec, footprint)
-        probe_run = run_fixed(probe, frequency_mhz, config)
+        probe_run = execute_cell(
+            RunCell.fixed(probe, frequency_mhz), config
+        )
         # The probe issues `lines_per_instr` dependent loads per
         # instruction; each instruction takes 1/ips seconds, so the
         # per-access latency is the per-instruction time divided by the
@@ -84,7 +85,9 @@ def run(
         latency_ns = seconds_per_instr / latency_spec.lines_per_instr * 1e9
 
         stream = build_microbenchmark(bandwidth_spec, footprint)
-        stream_run = run_fixed(stream, frequency_mhz, config)
+        stream_run = execute_cell(
+            RunCell.fixed(stream, frequency_mhz), config
+        )
         # MCOPY touches (reads + writes) its footprint line by line:
         # lines_per_instr * 64 B of fresh data per instruction.
         bytes_per_s = (

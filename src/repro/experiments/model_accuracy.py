@@ -26,8 +26,8 @@ from repro.core.controller import PowerManagementController
 from repro.core.governors.unconstrained import FixedFrequency
 from repro.core.models.power import LinearPowerModel
 from repro.core.sampling import CounterSampler  # noqa: F401  (doc reference)
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import trained_power_model
+from repro.exec import ExperimentConfig
+from repro.exec.cache import trained_power_model
 from repro.platform.events import Event
 from repro.platform.machine import Machine
 from repro.workloads.registry import default_registry

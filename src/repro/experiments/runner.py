@@ -1,4 +1,4 @@
-"""Shared experiment machinery: configured runs and the median protocol.
+"""The paper's measurement protocol: median-of-N selection.
 
 The paper's protocol: "To account for the variability in workload
 execution times, we employ the standard SPEC approach of executing three
@@ -7,129 +7,48 @@ times and reporting data from the run with the median execution time"
 is the fast default for benchmarks since the simulator's variance is
 small and seeded.
 
-.. deprecated::
-    The execution machinery itself moved to :mod:`repro.exec`:
-    :class:`~repro.exec.ExperimentConfig` and the model caches are
-    re-exported from their new home, and :func:`run_governed` /
-    :func:`run_fixed` are now thin shims over
-    :func:`repro.exec.execute_cell`.  New code should describe runs
-    declaratively (:class:`~repro.exec.GovernorSpec`,
-    :class:`~repro.exec.RunCell`) and execute them through
-    :func:`repro.exec.open_session` -- that is the API that
-    parallelises.  These shims are kept so existing callers and tests
-    keep working unchanged; behaviour (including digests) is identical.
+Everything else this module used to host now lives in :mod:`repro.exec`:
+runs are described declaratively (:class:`~repro.exec.RunCell` +
+:class:`~repro.exec.GovernorSpec`), configured by
+:class:`~repro.exec.ExperimentConfig`, and executed through
+:func:`~repro.exec.execute_cell` or :func:`~repro.exec.open_session`.
+The historical names (``run_governed``, ``run_fixed``, the
+``ExperimentConfig``/``GovernorSpec``/``RunCell`` aliases and the model
+caches) are importable for one more release through deprecation stubs
+that emit a pointed :class:`DeprecationWarning`; they will be removed.
 """
 
 from __future__ import annotations
 
-from repro.adaptation.manager import AdaptationConfig, AdaptationManager
+import warnings
+
 from repro.core.controller import RunResult
 from repro.core.limits import ConstraintSchedule
-from repro.core.resilience import ResilienceConfig
 from repro.errors import ExperimentError
-from repro.exec.cache import trained_power_model, worst_case_power_table
 from repro.exec.core import execute_cell
-
-# Deprecated aliases: the canonical ExperimentConfig (and the other
-# plan types) live in repro.exec.plan; these re-exports keep legacy
-# ``from repro.experiments.runner import ExperimentConfig`` working.
-# It is the same class object, so isinstance checks cannot diverge.
 from repro.exec.plan import (
-    ExperimentConfig,
-    GovernorFactory,
-    GovernorSpec,
-    RunCell,
-    as_governor_spec,
+    ExperimentConfig as _ExperimentConfig,
+    GovernorFactory as _GovernorFactory,
+    GovernorSpec as _GovernorSpec,
+    RunCell as _RunCell,
+    as_governor_spec as _as_governor_spec,
 )
 from repro.exec.session import execute_cells
-from repro.faults.plan import FaultPlan
 from repro.telemetry.recorder import TelemetryRecorder
 from repro.workloads.base import Workload
 from repro.workloads.registry import default_registry
 
 __all__ = [
-    "ExperimentConfig",
-    "GovernorFactory",
     "median_run",
-    "run_fixed",
-    "run_governed",
+    "pick_median",
     "spec_suite",
-    "trained_power_model",
-    "worst_case_power_table",
 ]
-
-
-def run_governed(
-    workload: Workload,
-    governor_factory: GovernorFactory | GovernorSpec,
-    config: ExperimentConfig,
-    schedule: ConstraintSchedule | None = None,
-    seed_offset: int = 0,
-    initial_frequency_mhz: float | None = None,
-    telemetry: TelemetryRecorder | None = None,
-    fault_plan: FaultPlan | None = None,
-    resilience: ResilienceConfig | None = None,
-    adaptation: AdaptationConfig | AdaptationManager | None = None,
-) -> RunResult:
-    """One (workload, governor) run on a fresh machine.
-
-    .. deprecated:: thin shim over :func:`repro.exec.execute_cell`;
-       prefer ``open_session().run(workload, spec, config)``.
-
-    ``telemetry`` instruments the run; when omitted the process-local
-    recorder installed with :func:`repro.telemetry.recording` (if any)
-    is used.  ``fault_plan`` / ``adaptation`` likewise fall back to
-    their ambient contexts (:func:`repro.faults.injecting`,
-    :func:`repro.adaptation.adapting`), an active fault plan gets a
-    fresh seeded injector per run and implies a default
-    :class:`ResilienceConfig`, and an ambient checkpoint session
-    (:func:`repro.checkpoint.checkpointing`) makes the run crash-safe
-    -- all exactly as before the :mod:`repro.exec` refactor, because
-    this *is* the same code path.
-    """
-    cell = RunCell(
-        workload=workload,
-        governor=as_governor_spec(governor_factory),
-        seed_offset=seed_offset,
-        schedule=schedule,
-        initial_frequency_mhz=initial_frequency_mhz,
-    )
-    return execute_cell(
-        cell,
-        config,
-        telemetry=telemetry,
-        fault_plan=fault_plan,
-        adaptation=adaptation,
-        resilience=resilience,
-    )
-
-
-def run_fixed(
-    workload: Workload,
-    frequency_mhz: float,
-    config: ExperimentConfig,
-    seed_offset: int = 0,
-    telemetry: TelemetryRecorder | None = None,
-) -> RunResult:
-    """Run a workload pinned at one frequency (paper's reference runs).
-
-    The run *starts* at the pinned frequency too -- otherwise the first
-    tick would execute at P0 and bias short characterization runs.
-    """
-    return run_governed(
-        workload,
-        GovernorSpec.fixed(frequency_mhz),
-        config,
-        seed_offset=seed_offset,
-        initial_frequency_mhz=frequency_mhz,
-        telemetry=telemetry,
-    )
 
 
 def median_run(
     workload: Workload,
-    governor_factory: GovernorFactory | GovernorSpec,
-    config: ExperimentConfig,
+    governor_factory,
+    config: _ExperimentConfig,
     schedule: ConstraintSchedule | None = None,
     telemetry: TelemetryRecorder | None = None,
 ) -> RunResult:
@@ -141,9 +60,9 @@ def median_run(
     """
     if config.runs < 1:
         raise ExperimentError("need at least one run")
-    spec = as_governor_spec(governor_factory)
+    spec = _as_governor_spec(governor_factory)
     cells = [
-        RunCell(
+        _RunCell(
             workload=workload,
             governor=spec,
             seed_offset=100 * i,
@@ -171,6 +90,109 @@ def pick_median(results: list[RunResult]) -> RunResult:
     return ordered[len(ordered) // 2]
 
 
-def spec_suite(config: ExperimentConfig) -> tuple[Workload, ...]:
+def spec_suite(config: _ExperimentConfig) -> tuple[Workload, ...]:
     """The SPEC CPU2000 suite (unscaled; runs apply ``config.scale``)."""
     return default_registry().spec_suite()
+
+
+# -- deprecation stubs (one release; module __getattr__) --------------------
+
+
+def _run_governed(
+    workload,
+    governor_factory,
+    config,
+    schedule=None,
+    seed_offset=0,
+    initial_frequency_mhz=None,
+    telemetry=None,
+    fault_plan=None,
+    resilience=None,
+    adaptation=None,
+):
+    cell = _RunCell(
+        workload=workload,
+        governor=_as_governor_spec(governor_factory),
+        seed_offset=seed_offset,
+        schedule=schedule,
+        initial_frequency_mhz=initial_frequency_mhz,
+    )
+    return execute_cell(
+        cell,
+        config,
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+        adaptation=adaptation,
+        resilience=resilience,
+    )
+
+
+def _run_fixed(
+    workload, frequency_mhz, config, seed_offset=0, telemetry=None
+):
+    return _run_governed(
+        workload,
+        _GovernorSpec.fixed(frequency_mhz),
+        config,
+        seed_offset=seed_offset,
+        initial_frequency_mhz=frequency_mhz,
+        telemetry=telemetry,
+    )
+
+
+def _cached_model(seed=0):
+    from repro.exec.cache import trained_power_model
+
+    return trained_power_model(seed=seed)
+
+
+def _cached_worst_case(scale=3.0, seed=0):
+    from repro.exec.cache import worst_case_power_table
+
+    return worst_case_power_table(scale=scale, seed=seed)
+
+
+#: name -> (replacement hint, object).  Everything here is a pure
+#: re-export or shim over :mod:`repro.exec`; the objects are identical,
+#: only the import path is deprecated.
+_DEPRECATED = {
+    "ExperimentConfig": ("repro.exec.ExperimentConfig", _ExperimentConfig),
+    "GovernorFactory": ("repro.exec.GovernorFactory", _GovernorFactory),
+    "GovernorSpec": ("repro.exec.GovernorSpec", _GovernorSpec),
+    "RunCell": ("repro.exec.RunCell", _RunCell),
+    "as_governor_spec": ("repro.exec.as_governor_spec", _as_governor_spec),
+    "trained_power_model": (
+        "repro.exec.cache.trained_power_model",
+        _cached_model,
+    ),
+    "worst_case_power_table": (
+        "repro.exec.cache.worst_case_power_table",
+        _cached_worst_case,
+    ),
+    "run_governed": (
+        "repro.exec.execute_cell with a RunCell "
+        "(or open_session().run(...))",
+        _run_governed,
+    ),
+    "run_fixed": (
+        "repro.exec.execute_cell with GovernorSpec.fixed(...) "
+        "and initial_frequency_mhz",
+        _run_fixed,
+    ),
+}
+
+
+def __getattr__(name: str):
+    try:
+        replacement, obj = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"repro.experiments.runner.{name} is deprecated and will be "
+        f"removed in the next release; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return obj

@@ -12,8 +12,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.report import TextTable
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import run_fixed
+from repro.exec import ExperimentConfig, RunCell, execute_cell
 from repro.workloads.microbenchmarks import worst_case_workload
 
 #: The paper's Table III (FMA-256KB measured power, watts).
@@ -46,8 +45,8 @@ def run(config: ExperimentConfig | None = None) -> Table3Result:
     config = config or ExperimentConfig(scale=3.0)
     workload = worst_case_workload()
     measured = {
-        pstate.frequency_mhz: run_fixed(
-            workload, pstate.frequency_mhz, config
+        pstate.frequency_mhz: execute_cell(
+            RunCell.fixed(workload, pstate.frequency_mhz), config
         ).mean_power_w
         for pstate in config.table
     }

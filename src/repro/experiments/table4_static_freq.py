@@ -14,8 +14,8 @@ from typing import Mapping, Tuple
 
 from repro.analysis.report import TextTable
 from repro.core.governors.static import static_frequency_for_limit
-from repro.exec.plan import ExperimentConfig
-from repro.experiments.runner import worst_case_power_table
+from repro.exec import ExperimentConfig
+from repro.exec.cache import worst_case_power_table
 
 #: The paper's eight power limits (watts).
 POWER_LIMITS_W: Tuple[float, ...] = (

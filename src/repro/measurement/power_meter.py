@@ -123,6 +123,18 @@ class PowerMeter:
         return tuple(self._samples)
 
     @property
+    def sample_count(self) -> int:
+        """Number of closed samples (O(1); ``samples`` rebuilds a tuple)."""
+        return len(self._samples)
+
+    @property
+    def last_sample(self) -> PowerSample:
+        """The most recently closed sample (raises when none exist)."""
+        if not self._samples:
+            raise MeasurementError("no samples closed yet")
+        return self._samples[-1]
+
+    @property
     def markers(self) -> tuple[SyncMarker, ...]:
         """All GPIO markers so far."""
         return tuple(self._markers)

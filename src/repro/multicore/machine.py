@@ -206,6 +206,42 @@ class MulticoreMachine:
         """The first core of ``domain`` -- the one its governor samples."""
         return self.cores[self.domains[domain][0]]
 
+    def peek_rates(self, pstate=None, timing=None):
+        """Domain-0 lead core's projected rates (SteppableMachine hook).
+
+        The package-level projection entry point: governors sample the
+        lead core, so analysis peeks at the same core.  Per-core peeks
+        go through ``machine.cores[i].peek_rates`` directly.
+        """
+        return self.cores[0].peek_rates(pstate=pstate, timing=timing)
+
+    def set_effective_timing(self, timing) -> None:
+        """Override every core's memory timing (SteppableMachine hook).
+
+        Note the contention model re-installs per-core effective timing
+        for *active* cores at each ``step``, so this primarily affects
+        idle cores and direct per-core stepping between package ticks.
+        """
+        for core in self.cores:
+            core.set_effective_timing(timing)
+
+    def swap_workload(self, workload: Workload) -> None:
+        """Replace the instruction stream without resetting run state.
+
+        Splits ``workload`` over the currently active thread count and
+        swaps a shard into each active core, preserving time, jitter,
+        DVFS and dead-time accounting (the online-reconfiguration
+        contract of :class:`~repro.platform.stepping.SteppableMachine`).
+        """
+        self._workload = workload
+        shards = split_workload(
+            workload, self._threads,
+            serial_fraction=self._serial_fraction,
+            sync_overhead=self._sync_overhead,
+        )
+        for i in range(self._threads):
+            self.cores[i].swap_workload(shards[i])
+
     def resplit(self, threads: int) -> None:
         """Re-split the *remaining* instruction budget over ``threads``.
 
@@ -320,6 +356,29 @@ class MulticoreMachine:
             + (None,) * (self.config.n_cores - self._threads),
             bus_utilization=contention.utilization(base, demands),
         )
+
+    def step_block(
+        self, max_ticks: int, pstate: PState | None = None
+    ) -> list[MulticoreTick]:
+        """Advance up to ``max_ticks`` lock-step package ticks.
+
+        The package's contention re-split is inherently per-tick, so the
+        block form composes scalar :meth:`step` calls (bit-identical by
+        construction) and returns the per-tick records as a list -- the
+        multicore half of the :class:`~repro.platform.stepping.
+        SteppableMachine` block contract.  ``pstate`` actuates through
+        the domain driver first; with more than one p-state domain an
+        explicit per-domain actuation is required instead (the driver
+        raises, same as any domain-less multi-domain request).
+        """
+        if max_ticks <= 0:
+            raise ExperimentError("step_block needs a positive tick count")
+        if pstate is not None and pstate != self.current_pstate:
+            self.speedstep.set_pstate(pstate)
+        ticks: list[MulticoreTick] = []
+        while len(ticks) < max_ticks and not self.finished:
+            ticks.append(self.step())
+        return ticks
 
     def peek_demands(self) -> tuple[float, ...]:
         """Uncontended per-core bus demand (bytes/s) for the next tick."""

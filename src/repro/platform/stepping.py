@@ -1,0 +1,122 @@
+"""The ``SteppableMachine`` protocol: one stepping/projection contract.
+
+PR 8 grafted three projection hooks onto :class:`~repro.platform.
+machine.Machine` (``peek_rates``, ``set_effective_timing``,
+``swap_workload``) and the batched-kernel PR added ``step_block``.
+This module consolidates them into a single documented structural
+protocol that both :class:`~repro.platform.machine.Machine` and
+:class:`~repro.multicore.machine.MulticoreMachine` satisfy, so
+controllers, experiments and the multicore composition layer can be
+written against *one* machine surface.
+
+Scalar-vs-block contract
+------------------------
+
+``step()`` advances exactly one tick and returns that machine's scalar
+per-tick record (:class:`~repro.platform.machine.TickRecord` for the
+single core, :class:`~repro.multicore.machine.MulticoreTick` for the
+package).  ``step_block(k, pstate)`` advances up to ``k`` ticks at one
+p-state and returns a *block* of per-tick streams -- a
+:class:`~repro.platform.blockstep.TickBlock` of arrays on the single
+core, a list of per-tick records on the package.  The two paths MUST
+be bit-identical: same RNG consumption, same float operations, same
+PMU/power-sink side effects -- a caller may freely mix them
+(``tests/platform/test_step_block.py`` pins this).  A block never
+spans a p-state change: the optional ``pstate`` argument actuates
+*before* the first tick, and governors wanting per-tick control call
+``step_block(1)`` or ``step``.
+
+Projection contract
+-------------------
+
+``peek_rates(pstate=..., timing=...)`` is the single *analysis-side*
+projection entry point: ground-truth rates for the current phase under
+hypothetical operating conditions, without advancing state.  Governors
+must not call it (they see the PMU); oracle baselines, the multicore
+contention model and experiments do.  ``set_effective_timing`` installs
+contention-adjusted memory timing; ``swap_workload`` replaces the
+instruction stream without resetting time/DVFS/jitter state (online
+reconfiguration).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.acpi.pstates import PState
+from repro.platform.caches import MemoryTiming
+from repro.platform.pipeline import ResolvedRates
+from repro.workloads.base import Workload
+
+
+@runtime_checkable
+class SteppableMachine(Protocol):
+    """Structural interface of every steppable platform model."""
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the loaded workload has retired its budget."""
+        ...
+
+    @property
+    def now_s(self) -> float:
+        """Simulated wall-clock time since load."""
+        ...
+
+    @property
+    def current_pstate(self) -> PState:
+        """The active (domain-0 / package) p-state."""
+        ...
+
+    @property
+    def workload(self) -> Workload:
+        """The loaded workload; raises if none is loaded."""
+        ...
+
+    # -- wiring --------------------------------------------------------------
+
+    def add_power_sink(self, sink) -> None:
+        """Register a ``(power_watts, duration_s)`` consumer."""
+        ...
+
+    # -- projection ----------------------------------------------------------
+
+    def peek_rates(
+        self,
+        pstate: PState | None = None,
+        timing: MemoryTiming | None = None,
+    ) -> ResolvedRates:
+        """Ground-truth rates for the current phase, without stepping."""
+        ...
+
+    def set_effective_timing(self, timing: MemoryTiming) -> None:
+        """Install (contention-adjusted) memory timing for future ticks."""
+        ...
+
+    def swap_workload(self, workload: Workload) -> None:
+        """Replace the instruction stream without resetting run state."""
+        ...
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self, duration_s: float | None = None):
+        """Advance one tick; returns the machine's scalar tick record."""
+        ...
+
+    def step_block(self, max_ticks: int, pstate: PState | None = None):
+        """Advance up to ``max_ticks`` ticks at one p-state, batched.
+
+        Must be bit-identical to the equivalent ``step`` sequence; see
+        the module docstring for the full contract.
+        """
+        ...
+
+
+def is_steppable(machine: object) -> bool:
+    """Runtime structural check (used by tests and defensive callers)."""
+    return isinstance(machine, SteppableMachine)
+
+
+__all__: Sequence[str] = ("SteppableMachine", "is_steppable")

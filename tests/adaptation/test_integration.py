@@ -18,8 +18,13 @@ import pytest
 from repro.adaptation.manager import AdaptationManager
 from repro.cli import main
 from repro.core.governors.demand_based import DemandBasedSwitching
+from repro.exec import (
+    ExperimentConfig,
+    RunCell,
+    as_governor_spec,
+    execute_cell,
+)
 from repro.experiments import adaptation_drift
-from repro.experiments.runner import ExperimentConfig, run_governed
 from repro.workloads.registry import get_workload
 
 
@@ -67,11 +72,12 @@ class TestInertWhenDisengaged:
         def factory(table):
             return DemandBasedSwitching(table)
 
-        baseline = run_governed(workload, factory, config)
-        manager = AdaptationManager()
-        managed = run_governed(
-            workload, factory, config, adaptation=manager
+        cell = RunCell(
+            workload=workload, governor=as_governor_spec(factory)
         )
+        baseline = execute_cell(cell, config)
+        manager = AdaptationManager()
+        managed = execute_cell(cell, config, adaptation=manager)
         assert not manager.engaged
         assert managed.trace == baseline.trace
         assert managed.samples == baseline.samples

@@ -23,7 +23,7 @@ from repro.exec.session import (
     executing,
     open_session,
 )
-from repro.experiments.runner import run_governed
+from repro.exec.core import execute_cell
 from repro.faults.context import current_fault_plan
 from repro.faults.plan import FaultPlan, SampleFaults
 from repro.telemetry.recorder import TelemetryRecorder
@@ -60,7 +60,9 @@ def test_open_session_installs_and_restores_ambient_state():
 def test_session_run_matches_legacy_entry_point():
     workload = get_workload("ammp")
     spec = GovernorSpec.pm(14.5, power_model="paper")
-    legacy = run_governed(workload, spec, CONFIG)
+    legacy = execute_cell(
+        RunCell(workload=workload, governor=spec), CONFIG
+    )
     with open_session() as session:
         new = session.run(workload, spec, CONFIG)
     assert run_result_digest(new) == run_result_digest(legacy)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import hierarchy_probe
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 @pytest.fixture(scope="module")

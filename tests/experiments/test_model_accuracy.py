@@ -4,7 +4,7 @@ characterization table."""
 import pytest
 
 from repro.experiments import characterization, model_accuracy
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 
 @pytest.fixture(scope="module")

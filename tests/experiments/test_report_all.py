@@ -8,7 +8,7 @@ from repro.experiments.ablations import (
     render_rows,
 )
 from repro.experiments.report_all import generate
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 FAST = ExperimentConfig(scale=0.1)
 

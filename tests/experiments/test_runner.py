@@ -1,17 +1,24 @@
-"""Tests for the shared experiment machinery."""
+"""Tests for the shared experiment machinery (and its retirement).
+
+``repro.experiments.runner`` now only hosts the median-of-N protocol;
+everything else moved to :mod:`repro.exec`.  The old names must keep
+working for one release behind a pointed :class:`DeprecationWarning`.
+"""
+
+import warnings
 
 import pytest
 
 from repro.core.governors.unconstrained import FixedFrequency
 from repro.errors import ExperimentError
-from repro.experiments.runner import (
+from repro.exec import (
     ExperimentConfig,
-    median_run,
-    run_fixed,
-    run_governed,
-    trained_power_model,
-    worst_case_power_table,
+    RunCell,
+    as_governor_spec,
+    execute_cell,
 )
+from repro.exec.cache import trained_power_model, worst_case_power_table
+from repro.experiments.runner import median_run
 from repro.experiments.suite import run_suite_fixed, suite_order
 from repro.workloads.registry import get_workload
 
@@ -21,16 +28,22 @@ def config():
     return ExperimentConfig(scale=0.05, seed=3)
 
 
-def test_run_fixed_starts_and_stays_at_frequency(config):
-    result = run_fixed(get_workload("gzip"), 1200.0, config)
+def test_fixed_cell_starts_and_stays_at_frequency(config):
+    result = execute_cell(
+        RunCell.fixed(get_workload("gzip"), 1200.0), config
+    )
     assert set(result.residency_s) == {1200.0}
     assert result.transitions == 0
 
 
-def test_run_governed_uses_factory(config):
-    result = run_governed(
-        get_workload("gzip"),
-        lambda table: FixedFrequency(table, 800.0),
+def test_factory_cell_builds_the_governor(config):
+    result = execute_cell(
+        RunCell(
+            workload=get_workload("gzip"),
+            governor=as_governor_spec(
+                lambda table: FixedFrequency(table, 800.0)
+            ),
+        ),
         config,
     )
     # Starts at P0 by default, then the governor moves to 800.
@@ -38,9 +51,10 @@ def test_run_governed_uses_factory(config):
 
 
 def test_scale_shortens_runs(config):
-    short = run_fixed(get_workload("gzip"), 2000.0, config)
-    longer = run_fixed(
-        get_workload("gzip"), 2000.0, ExperimentConfig(scale=0.1, seed=3)
+    short = execute_cell(RunCell.fixed(get_workload("gzip"), 2000.0), config)
+    longer = execute_cell(
+        RunCell.fixed(get_workload("gzip"), 2000.0),
+        ExperimentConfig(scale=0.1, seed=3),
     )
     assert longer.duration_s > short.duration_s
 
@@ -80,16 +94,61 @@ def test_suite_order_is_canonical(config):
 
 
 def test_seed_offsets_change_trajectories(config):
-    a = run_governed(
-        get_workload("galgel"),
-        lambda t: FixedFrequency(t, 2000.0),
+    a = execute_cell(
+        RunCell.fixed(get_workload("galgel"), 2000.0, seed_offset=0),
         config,
-        seed_offset=0,
     )
-    b = run_governed(
-        get_workload("galgel"),
-        lambda t: FixedFrequency(t, 2000.0),
+    b = execute_cell(
+        RunCell.fixed(get_workload("galgel"), 2000.0, seed_offset=100),
         config,
-        seed_offset=100,
     )
     assert a.measured_energy_j != b.measured_energy_j
+
+
+# -- deprecation stubs ------------------------------------------------------
+
+
+DEPRECATED_NAMES = (
+    "ExperimentConfig",
+    "GovernorSpec",
+    "RunCell",
+    "as_governor_spec",
+    "trained_power_model",
+    "worst_case_power_table",
+    "run_governed",
+    "run_fixed",
+)
+
+
+@pytest.mark.parametrize("name", DEPRECATED_NAMES)
+def test_deprecated_names_warn_and_point_at_replacement(name):
+    import repro.experiments.runner as runner
+
+    with pytest.warns(DeprecationWarning, match="repro.exec"):
+        getattr(runner, name)
+
+
+def test_unknown_attribute_raises_attribute_error():
+    import repro.experiments.runner as runner
+
+    with pytest.raises(AttributeError):
+        runner.definitely_not_a_name
+
+
+def test_deprecated_run_fixed_still_executes(config):
+    import repro.experiments.runner as runner
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = runner.run_fixed(get_workload("gzip"), 1200.0, config)
+    modern = execute_cell(
+        RunCell.fixed(get_workload("gzip"), 1200.0), config
+    )
+    assert legacy.measured_energy_j == modern.measured_energy_j
+
+
+def test_deprecated_names_not_exported():
+    import repro.experiments as experiments
+
+    assert "run_governed" not in experiments.__all__
+    assert "RunCell" not in dir(experiments)

@@ -16,7 +16,7 @@ import sys
 import pytest
 
 from repro.experiments import campaign_drill
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 pytestmark = pytest.mark.skipif(
     not os.environ.get("REPRO_CAMPAIGN_SMOKE"),

@@ -18,7 +18,7 @@ import pytest
 
 from repro.checkpoint.format import read_records
 from repro.experiments import chaos_resume
-from repro.experiments.runner import ExperimentConfig
+from repro.exec import ExperimentConfig
 
 pytestmark = pytest.mark.skipif(
     not os.environ.get("REPRO_CHAOS_SMOKE"),

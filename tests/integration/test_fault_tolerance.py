@@ -20,7 +20,12 @@ import pytest
 from repro.cli import main
 from repro.core.governors.performance_maximizer import PerformanceMaximizer
 from repro.core.models.power import LinearPowerModel
-from repro.experiments.runner import ExperimentConfig, run_governed
+from repro.exec import (
+    ExperimentConfig,
+    RunCell,
+    as_governor_spec,
+    execute_cell,
+)
 from repro.faults import FaultPlan, SampleFaults, TransitionFaults
 from repro.telemetry import FaultInjected, TelemetryRecorder
 from repro.workloads.registry import get_workload
@@ -41,14 +46,19 @@ def _factory(table):
     return PerformanceMaximizer(table, MODEL, LIMIT_W)
 
 
+def _pm_cell(name="gzip"):
+    return RunCell(
+        workload=get_workload(name), governor=as_governor_spec(_factory)
+    )
+
+
 @pytest.fixture(scope="module")
 def faulted_run():
     recorder = TelemetryRecorder()
     events = []
     recorder.bus.subscribe(events.append)
-    result = run_governed(
-        get_workload("gzip"),
-        _factory,
+    result = execute_cell(
+        _pm_cell(),
         ExperimentConfig(scale=0.5, seed=0, keep_trace=True),
         telemetry=recorder,
         fault_plan=PLAN,
@@ -116,9 +126,9 @@ class TestJournalRecordsFaults:
 class TestDisabledPlanIsFree:
     def test_disabled_plan_trace_is_bit_for_bit_identical(self):
         config = ExperimentConfig(scale=0.5, seed=0, keep_trace=True)
-        baseline = run_governed(get_workload("gzip"), _factory, config)
-        gated = run_governed(
-            get_workload("gzip"), _factory, config,
+        baseline = execute_cell(_pm_cell(), config)
+        gated = execute_cell(
+            _pm_cell(), config,
             fault_plan=dataclasses.replace(PLAN, enabled=False),
         )
         assert gated.trace == baseline.trace
@@ -140,9 +150,7 @@ def test_fault_smoke_sweep():
     )
     config = ExperimentConfig(scale=0.2, seed=0)
     for name in ("gzip", "swim", "crafty"):
-        result = run_governed(
-            get_workload(name), _factory, config, fault_plan=plan
-        )
+        result = execute_cell(_pm_cell(name), config, fault_plan=plan)
         workload = get_workload(name).scaled(config.scale)
         assert result.instructions == pytest.approx(
             workload.total_instructions, rel=1e-6

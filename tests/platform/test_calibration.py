@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.models.power import PAPER_TABLE_II
 from repro.core.models.training import collect_training_data, fit_power_model
-from repro.experiments.runner import worst_case_power_table
+from repro.exec.cache import worst_case_power_table
 from repro.experiments.table3_worst_case import PAPER_TABLE_III
 from repro.experiments.table4_static_freq import (
     PAPER_TABLE_IV,

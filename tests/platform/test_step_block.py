@@ -1,0 +1,167 @@
+"""The SteppableMachine block contract: step_block == step × k, bitwise.
+
+``step_block`` is the batched half of the
+:class:`~repro.platform.stepping.SteppableMachine` protocol.  Its
+contract is strict: same RNG consumption, same float operations, same
+PMU/MSR/meter side effects as the equivalent ``step`` sequence -- so a
+caller may mix scalar and block stepping freely.  These tests pin that
+for the fused kernel, for the scalar fallback, and for the multicore
+composition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drivers.msr import (
+    IA32_PMC0,
+    IA32_PMC1,
+    IA32_TIME_STAMP_COUNTER,
+)
+from repro.errors import ReproError
+from repro.multicore.machine import MulticoreConfig, MulticoreMachine
+from repro.platform.blockstep import block_capable
+from repro.platform.machine import Machine, MachineConfig
+from repro.platform.stepping import SteppableMachine, is_steppable
+from repro.platform.thermal import ThermalModel
+from repro.workloads.registry import get_workload
+
+
+def _loaded_machine(seed=7, thermal=None, scale=0.5):
+    machine = Machine(MachineConfig(seed=seed, thermal=thermal))
+    machine.load(get_workload("ammp").scaled(scale))
+    return machine
+
+
+def _machine_state(machine):
+    return (
+        machine.now_s,
+        machine._time_s,
+        machine.msr.rdmsr(IA32_PMC0),
+        machine.msr.rdmsr(IA32_PMC1),
+        machine.msr.rdmsr(IA32_TIME_STAMP_COUNTER),
+        machine.pmu._cycles,
+        machine._rng.bit_generator.state["state"]["state"],
+    )
+
+
+def _assert_block_matches_records(block, records):
+    assert len(block) == len(records)
+    for i, record in enumerate(records):
+        assert block.time_s[i] == record.time_s
+        assert block.duration_s[i] == record.duration_s
+        assert block.instructions[i] == record.instructions
+        assert block.cycles[i] == record.cycles
+        assert block.energy_j[i] == record.energy_j
+        assert block.mean_power_w[i] == record.mean_power_w
+        assert block.jitter[i] == record.jitter
+        assert block.pstate == record.pstate
+        assert block.duty == record.duty
+
+
+@pytest.mark.parametrize("ticks", [1, 7, 64])
+def test_step_block_bit_identical_to_scalar_steps(ticks):
+    scalar = _loaded_machine()
+    batched = _loaded_machine()
+    assert block_capable(batched)
+
+    records = [scalar.step() for _ in range(ticks)]
+    block = batched.step_block(ticks)
+
+    _assert_block_matches_records(block, records)
+    assert _machine_state(batched) == _machine_state(scalar)
+
+
+def test_mixed_scalar_and_block_stepping_composes():
+    scalar = _loaded_machine()
+    mixed = _loaded_machine()
+
+    records = [scalar.step() for _ in range(20)]
+    head = [mixed.step() for _ in range(5)]
+    block = mixed.step_block(10)
+    tail = [mixed.step() for _ in range(5)]
+
+    _assert_block_matches_records(block, records[5:15])
+    for got, expected in zip(head + tail, records[:5] + records[15:]):
+        assert got == expected
+    assert _machine_state(mixed) == _machine_state(scalar)
+
+
+def test_block_pstate_argument_actuates_before_first_tick():
+    scalar = _loaded_machine()
+    batched = _loaded_machine()
+    target = scalar.config.table.by_frequency(1400.0)
+
+    scalar.speedstep.set_pstate(target)
+    records = [scalar.step() for _ in range(8)]
+    block = batched.step_block(8, pstate=target)
+
+    assert block.pstate == target
+    _assert_block_matches_records(block, records)
+    assert _machine_state(batched) == _machine_state(scalar)
+
+
+def test_block_stops_early_at_workload_completion():
+    machine = _loaded_machine(scale=0.1)
+    total = 0
+    while not machine.finished:
+        block = machine.step_block(512)
+        total += len(block)
+        assert len(block) >= 1
+    assert block.finished
+    reference = _loaded_machine(scale=0.1)
+    while not reference.finished:
+        reference.step()
+    assert machine.now_s == reference.now_s
+
+
+def test_thermal_machine_falls_back_to_scalar_composition():
+    """A thermal machine is not fusable, but step_block still works --
+    composed from scalar steps, hence trivially bit-identical."""
+    scalar = _loaded_machine(thermal=ThermalModel())
+    batched = _loaded_machine(thermal=ThermalModel())
+    assert not block_capable(batched)
+
+    records = [scalar.step() for _ in range(12)]
+    block = batched.step_block(12)
+
+    _assert_block_matches_records(block, records)
+    assert block.time_s[-1] == records[-1].time_s
+
+
+def test_step_block_rejects_bad_inputs():
+    machine = _loaded_machine(scale=0.05)
+    with pytest.raises(ReproError):
+        machine.step_block(0)
+    while not machine.finished:
+        machine.step_block(1024)
+    with pytest.raises(ReproError):
+        machine.step_block(1)
+
+
+def _two_core(seed=3):
+    machine = MulticoreMachine(
+        MulticoreConfig(n_cores=2, machine=MachineConfig(seed=seed))
+    )
+    machine.load(get_workload("ammp").scaled(0.5))
+    return machine
+
+
+def test_machines_satisfy_the_steppable_protocol():
+    # runtime_checkable protocols probe every member with hasattr, and
+    # `finished`/`workload` only resolve once a workload is loaded.
+    assert isinstance(_loaded_machine(), SteppableMachine)
+    assert is_steppable(_loaded_machine())
+    assert is_steppable(_two_core())
+    assert not is_steppable(object())
+
+
+def test_multicore_block_matches_scalar_steps():
+    scalar = _two_core()
+    batched = _two_core()
+
+    records = [scalar.step() for _ in range(10)]
+    block = batched.step_block(10)
+
+    assert block == records
+    assert batched.now_s == scalar.now_s

@@ -10,7 +10,12 @@ from repro.core.governors.powersave import PowerSave
 from repro.core.limits import ConstraintSchedule
 from repro.core.models.performance import PerformanceModel
 from repro.core.models.power import LinearPowerModel
-from repro.experiments.runner import ExperimentConfig, run_governed
+from repro.exec import (
+    ExperimentConfig,
+    RunCell,
+    as_governor_spec,
+    execute_cell,
+)
 from repro.platform.machine import Machine, MachineConfig
 from repro.telemetry import NullRecorder, TelemetryRecorder, recording
 from repro.workloads.registry import get_workload
@@ -117,30 +122,30 @@ class TestControllerInstrumentation:
 
 
 class TestRunnerIntegration:
-    def test_run_governed_wraps_root_span(self):
+    @staticmethod
+    def _pm_cell():
+        return RunCell(
+            workload=get_workload("gzip"),
+            governor=as_governor_spec(
+                lambda table: PerformanceMaximizer(table, MODEL, 14.5)
+            ),
+        )
+
+    def test_execute_cell_wraps_root_span(self):
         recorder = TelemetryRecorder()
         config = ExperimentConfig(scale=0.05)
-        run_governed(
-            get_workload("gzip"),
-            lambda table: PerformanceMaximizer(table, MODEL, 14.5),
-            config,
-            telemetry=recorder,
-        )
+        execute_cell(self._pm_cell(), config, telemetry=recorder)
         spans = recorder.spans.snapshot()
         assert spans["run"]["count"] == 1
         # Controller phases nest under the root run span.
         assert "run/decide" in spans
         assert spans["run/decide"]["count"] > 0
 
-    def test_run_governed_picks_up_current_recorder(self):
+    def test_execute_cell_picks_up_current_recorder(self):
         recorder = TelemetryRecorder()
         config = ExperimentConfig(scale=0.05)
         with recording(recorder):
-            run_governed(
-                get_workload("gzip"),
-                lambda table: PerformanceMaximizer(table, MODEL, 14.5),
-                config,
-            )
+            execute_cell(self._pm_cell(), config)
         assert recorder.metrics.counter("controller.ticks").value > 0
 
 
